@@ -1,0 +1,95 @@
+// §III-A/B ablation — the incremental improvements that took the new
+// intra-task kernel from parity with the original to 11x.
+//
+//   v0: shallow pointer swap + texture fetch inside a non-unrolled loop
+//       (both force nvcc to demote register arrays to local memory) and a
+//       per-cell profile fetch.
+//   v1: deep swap (H/E tile arrays back in registers).
+//   v2: + hand-unrolled profile loop (all tile arrays in registers).
+//       "Fixing both these issues yielded about a two-fold performance
+//       increase."
+//   v3: + packed query profile: one texture fetch per four cells (§III-B).
+#include "bench_common.h"
+
+namespace cusw {
+namespace {
+
+void run() {
+  bench::print_header("§III ablation — incremental intra-task improvements",
+                      "Hains et al., IPDPS'11, Sections III-A and III-B");
+  const auto& matrix = sw::ScoringMatrix::blosum62();
+  const sw::GapPenalty gap{10, 2};
+  Rng rng(31);
+  const auto query = seq::random_protein(567, rng).residues;
+  const auto db = seq::uniform_db(bench::scaled(24), 3200, 5000, 0xAB7A);
+
+  struct Version {
+    const char* name;
+    bool deep_swap, unroll, packed;
+  };
+  const Version versions[] = {
+      {"v0: shallow swap, rolled loop, plain profile", false, false, false},
+      {"v1: + deep swap", true, false, false},
+      {"v2: + hand-unrolled loop", true, true, false},
+      {"v3: + packed query profile (final)", true, true, true},
+  };
+
+  for (const auto* gpu : {"C1060", "C2050"}) {
+    const bench::Gpu slice =
+        std::string(gpu) == "C1060" ? bench::c1060() : bench::c2050();
+    gpusim::Device dev(slice.spec);
+    Table t({"version", "GCUPs", "speedup vs v0", "local-mem txns",
+             "texture fetches"},
+            2);
+    double v0 = 0.0;
+    for (const Version& v : versions) {
+      cudasw::ImprovedIntraParams p;
+      p.deep_swap = v.deep_swap;
+      p.unroll_profile_loop = v.unroll;
+      p.packed_profile = v.packed;
+      const auto r =
+          cudasw::run_intra_task_improved(dev, query, db, matrix, gap, p);
+      const double g = slice.eq(cudasw::kernel_gcups(r));
+      if (v0 == 0.0) v0 = g;
+      t.add_row({std::string(v.name), g, g / v0,
+                 static_cast<std::int64_t>(r.stats.local.transactions),
+                 static_cast<std::int64_t>(r.stats.texture.requests)});
+    }
+    std::printf("--- %s ---\n", gpu);
+    bench::emit(t);
+  }
+  // §II-A: the query-profile optimisation in the *inter-task* kernel (one
+  // packed fetch per tile column instead of one lookup per cell) — the
+  // Rognes/Seeberg idea the improved intra-task kernel also adopts.
+  {
+    const bench::Gpu slice = bench::c1060();
+    gpusim::Device dev(slice.spec);
+    const auto inter_db = seq::uniform_db(bench::scaled(384), 330, 390, 0x11A);
+    Table t({"inter-task variant", "GCUPs", "profile fetches"}, 2);
+    for (const bool profile : {false, true}) {
+      cudasw::InterTaskParams p;
+      p.use_query_profile = profile;
+      const auto r = cudasw::run_inter_task(dev, query, inter_db, matrix, gap, p);
+      t.add_row({std::string(profile ? "packed query profile (CUDASW++)"
+                                     : "per-cell similarity lookups"),
+                 slice.eq(cudasw::kernel_gcups(r)),
+                 static_cast<std::int64_t>(r.stats.texture.requests)});
+    }
+    std::printf("--- §II-A inter-task query profile ---\n");
+    bench::emit(t);
+  }
+
+  std::printf(
+      "expected shape: each step helps; v0->v2 (register fixes) is about\n"
+      "2x; v3 cuts texture fetches 4x; the inter-task query profile cuts\n"
+      "per-cell lookups 4x (the §II-A optimisation the improved intra-task\n"
+      "kernel adopts). Local-memory transactions drop to 0 at v2.\n");
+}
+
+}  // namespace
+}  // namespace cusw
+
+int main() {
+  cusw::run();
+  return 0;
+}

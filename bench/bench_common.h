@@ -1,0 +1,75 @@
+// Shared plumbing for the figure/table reproduction harnesses.
+//
+// Every bench runs on one-SM slices of the real GPUs (DESIGN.md §2):
+// databases are statistically scaled stand-ins, so the device shrinks
+// proportionally — SM count, DRAM bandwidth, L2 — to keep utilisation,
+// group counts and cache pressure in the paper's regime. Blocks are
+// independent, so per-block behaviour is unchanged and throughput scales
+// linearly with SM count (the paper's own multi-GPU argument); all GCUPs
+// are reported as full-device equivalents (raw / slice factor).
+//
+// CUSW_BENCH_SCALE grows the workloads; CUSW_BENCH_CSV=1 mirrors each
+// table to CSV on stdout.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cudasw/pipeline.h"
+#include "gpusim/device_spec.h"
+#include "seq/generate.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+namespace cusw::bench {
+
+/// A proportionally scaled device plus the factor for converting simulated
+/// throughput back to full-device-equivalent numbers.
+struct Gpu {
+  gpusim::DeviceSpec spec;
+  double factor;
+
+  Gpu with_caches_disabled() const {
+    return {spec.with_caches_disabled(), factor};
+  }
+
+  /// Full-device-equivalent GCUPs.
+  double eq(double raw_gcups) const { return raw_gcups / factor; }
+};
+
+inline Gpu slice_of(const gpusim::DeviceSpec& base) {
+  gpusim::DeviceSpec s = base.scaled(1.0 / base.sm_count);  // one SM
+  return {s, static_cast<double>(s.sm_count) / base.sm_count};
+}
+
+inline Gpu c1060() { return slice_of(gpusim::DeviceSpec::tesla_c1060()); }
+inline Gpu c2050() { return slice_of(gpusim::DeviceSpec::tesla_c2050()); }
+
+inline std::size_t scaled(std::size_t n) {
+  return static_cast<std::size_t>(static_cast<double>(n) * bench_scale());
+}
+
+inline void print_header(const std::string& title, const std::string& source) {
+  std::printf("=== %s ===\n", title.c_str());
+  std::printf("reproduces: %s\n", source.c_str());
+  std::printf(
+      "devices are one-SM slices; GCUPs are full-device equivalents\n\n");
+}
+
+inline void emit(const Table& table) {
+  table.print();
+  if (const char* csv = std::getenv("CUSW_BENCH_CSV");
+      csv && std::string(csv) != "0") {
+    std::printf("\n--- csv ---\n%s", table.to_csv().c_str());
+  }
+  std::printf("\n");
+}
+
+/// Query lengths from the original CUDASW++ study ("ranges from 144 to
+/// 5478 residues"), thinned to keep bench wall-clock sane.
+inline std::vector<std::size_t> paper_query_lengths() {
+  return {144, 567, 1500, 3005, 5478};
+}
+
+}  // namespace cusw::bench

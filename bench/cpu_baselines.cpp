@@ -1,0 +1,74 @@
+// Google-benchmark microbenchmarks of the host-side kernels: the scalar
+// reference aligner and the striped (SWPS3-style) kernel, plus query
+// profile construction. These are the real-wall-clock baselines behind
+// Fig. 7's SWPS3 curve.
+#include <benchmark/benchmark.h>
+
+#include "seq/generate.h"
+#include "swps3/striped_sw.h"
+#include "sw/query_profile.h"
+#include "sw/smith_waterman.h"
+
+namespace cusw {
+namespace {
+
+const sw::GapPenalty kGap{10, 2};
+
+std::vector<seq::Code> codes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  return seq::random_protein(n, rng).residues;
+}
+
+void BM_ScalarSW(benchmark::State& state) {
+  const auto q = codes(static_cast<std::size_t>(state.range(0)), 1);
+  const auto t = codes(2048, 2);
+  const auto& m = sw::ScoringMatrix::blosum62();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sw::sw_score(q, t, m, kGap));
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(q.size() * t.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ScalarSW)->Arg(144)->Arg(567)->Arg(2048);
+
+void BM_StripedSW(benchmark::State& state) {
+  const auto q = codes(static_cast<std::size_t>(state.range(0)), 3);
+  const auto t = codes(2048, 4);
+  const auto& m = sw::ScoringMatrix::blosum62();
+  const swps3::StripedProfile prof(q, m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(swps3::striped_sw_score(prof, t, kGap));
+  }
+  state.counters["cells/s"] = benchmark::Counter(
+      static_cast<double>(q.size() * t.size()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_StripedSW)->Arg(144)->Arg(567)->Arg(2048);
+
+void BM_StripedProfileBuild(benchmark::State& state) {
+  const auto q = codes(static_cast<std::size_t>(state.range(0)), 5);
+  const auto& m = sw::ScoringMatrix::blosum62();
+  for (auto _ : state) {
+    swps3::StripedProfile prof(q, m);
+    benchmark::DoNotOptimize(prof.row(0));
+  }
+}
+BENCHMARK(BM_StripedProfileBuild)->Arg(567)->Arg(5478);
+
+void BM_PackedProfileBuild(benchmark::State& state) {
+  const auto q = codes(static_cast<std::size_t>(state.range(0)), 6);
+  const auto& m = sw::ScoringMatrix::blosum62();
+  for (auto _ : state) {
+    sw::PackedQueryProfile prof(q, m);
+    benchmark::DoNotOptimize(prof.words().data());
+  }
+}
+BENCHMARK(BM_PackedProfileBuild)->Arg(567)->Arg(5478);
+
+}  // namespace
+}  // namespace cusw
+
+BENCHMARK_MAIN();

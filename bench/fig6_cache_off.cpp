@@ -1,0 +1,90 @@
+// Fig. 6 — the Fig. 5(b) experiment repeated with the C2050's L1 and L2
+// caches disabled.
+//
+// "To show that the cache is indeed responsible for the improvement [of the
+// original kernel on Fermi], we performed the same experiment on a Tesla
+// C2050 with both of the L1 and L2 caches turned off. [...] the
+// improvements gained by the original kernel on a Tesla C2050 are almost
+// completely attributed to the cache."
+#include "bench_common.h"
+
+namespace cusw {
+namespace {
+
+void run() {
+  bench::print_header(
+      "Fig. 6 — intra-task time share with C2050 L1/L2 disabled",
+      "Hains et al., IPDPS'11, Figure 6");
+  const auto& matrix = sw::ScoringMatrix::blosum62();
+  Rng rng(576);
+  const auto query = seq::random_protein(576, rng).residues;
+  const auto db =
+      seq::DatabaseProfile::swissprot().synthesize(bench::scaled(2000), 0xF165);
+
+  auto st = db.length_stats();
+  std::sort(st.lengths.begin(), st.lengths.end());
+  std::vector<std::size_t> thresholds = {3072};
+  for (double pct : {1.0, 2.0, 3.5, 6.0, 10.0}) {
+    const auto idx = static_cast<std::size_t>(
+        static_cast<double>(st.lengths.size()) * (1.0 - pct / 100.0));
+    thresholds.push_back(st.lengths[std::min(idx, st.lengths.size() - 1)]);
+  }
+
+  struct Config {
+    const char* label;
+    bench::Gpu gpu;
+    cudasw::IntraKernel kernel;
+  };
+  const Config configs[] = {
+      {"Orig (C2050 caches ON)", bench::c2050(),
+       cudasw::IntraKernel::kOriginal},
+      {"Orig (C2050 caches OFF)", bench::c2050().with_caches_disabled(),
+       cudasw::IntraKernel::kOriginal},
+      {"Orig (C1060)", bench::c1060(), cudasw::IntraKernel::kOriginal},
+      {"Imp (C2050 caches OFF)", bench::c2050().with_caches_disabled(),
+       cudasw::IntraKernel::kImproved},
+  };
+
+  Table t({"% seqs intra", "ON: % time intra", "OFF: % time intra",
+           "C1060: % time intra", "Imp OFF: % time intra"},
+          2);
+  Table g({"% seqs intra", "ON: GCUPs", "OFF: GCUPs", "C1060: GCUPs",
+           "Imp OFF: GCUPs"},
+          2);
+  for (std::size_t thr : thresholds) {
+    std::vector<Table::Cell> row_t, row_g;
+    double pct_intra = 0.0;
+    for (const Config& c : configs) {
+      gpusim::Device dev(c.gpu.spec);
+      cudasw::SearchConfig cfg;
+      cfg.threshold = thr;
+      cfg.intra_kernel = c.kernel;
+      const auto r = cudasw::search(dev, query, db, matrix, cfg);
+      pct_intra = 100.0 * static_cast<double>(r.intra_sequences) /
+                  static_cast<double>(db.size());
+      row_t.push_back(100.0 * r.intra_time_fraction());
+      row_g.push_back(c.gpu.eq(r.gcups()));
+    }
+    row_t.insert(row_t.begin(), pct_intra);
+    row_g.insert(row_g.begin(), pct_intra);
+    t.add_row(std::move(row_t));
+    g.add_row(std::move(row_g));
+  }
+  std::printf("--- %% of running time in the intra-task kernel ---\n");
+  bench::emit(t);
+  std::printf("--- whole-application GCUPs ---\n");
+  bench::emit(g);
+  std::printf(
+      "expected shape: with caches off, the original kernel's intra time\n"
+      "share on the C2050 climbs to C1060-like levels — the Fermi advantage\n"
+      "of the original kernel is almost entirely the caches. The improved\n"
+      "kernel barely changes (it already avoids global memory).\n");
+}
+
+}  // namespace
+}  // namespace cusw
+
+int main() {
+  cusw::run();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fig. 7 — whole-application GCUPs as a function of query length on the
+// (scaled) Swiss-Prot database: improved/original CUDASW++ on C1060 and
+// C2050, plus the SWPS3 CPU baseline.
+//
+// "CUDASW++ outperforms SWPS3 at all points tested [...] the performance
+// [of the improved version] is consistent for query lengths above 1000. In
+// general, our improved CUDASW++ implementation is less sensitive to
+// varying query lengths and outperforms both the original CUDASW++
+// implementation and SWPS3."
+//
+// Note: SWPS3 here is the from-scratch striped (lazy-F) kernel measured in
+// real wall-clock on this host's cores, so its absolute GCUPs depend on the
+// machine; its *shape* (lowest curve, query-length sensitivity) is the
+// reproduced result. The lazy-F iteration count per column is also
+// reported, since the paper attributes the sensitivity to that loop.
+#include "bench_common.h"
+#include "swps3/search.h"
+
+namespace cusw {
+namespace {
+
+void run() {
+  bench::print_header("Fig. 7 — GCUPs vs query length (+ SWPS3 baseline)",
+                      "Hains et al., IPDPS'11, Figure 7");
+  const auto& matrix = sw::ScoringMatrix::blosum62();
+  const sw::GapPenalty gap{10, 2};
+  const auto db =
+      seq::DatabaseProfile::swissprot().synthesize(bench::scaled(2400), 0xF167);
+
+  ThreadPool pool(4);  // the paper runs SWPS3 on four Xeon cores
+  Table t({"query_len", "Imp (C2050)", "Orig (C2050)", "Imp (C1060)",
+           "Orig (C1060)", "SWPS3 (real)", "lazyF/col"},
+          2);
+  for (std::size_t qlen : bench::paper_query_lengths()) {
+    Rng rng(1000 + qlen);
+    const auto query = seq::random_protein(qlen, rng).residues;
+
+    auto gcups_for = [&](const bench::Gpu& gpu, cudasw::IntraKernel k) {
+      gpusim::Device dev(gpu.spec);
+      cudasw::SearchConfig cfg;
+      cfg.intra_kernel = k;
+      return gpu.eq(cudasw::search(dev, query, db, matrix, cfg).gcups());
+    };
+    const auto sw3 = swps3::search(query, db, matrix, gap, pool);
+    t.add_row({static_cast<std::int64_t>(qlen),
+               gcups_for(bench::c2050(), cudasw::IntraKernel::kImproved),
+               gcups_for(bench::c2050(), cudasw::IntraKernel::kOriginal),
+               gcups_for(bench::c1060(), cudasw::IntraKernel::kImproved),
+               gcups_for(bench::c1060(), cudasw::IntraKernel::kOriginal),
+               sw3.gcups(),
+               static_cast<double>(sw3.lazy_f_iterations) /
+                   static_cast<double>(db.total_residues())});
+  }
+  bench::emit(t);
+  std::printf(
+      "expected shape: improved >= original on both GPUs at every query\n"
+      "length, by ~25%% on average on (scaled) Swiss-Prot; both GPU curves\n"
+      "flatten for long queries while SWPS3 stays lowest and varies with\n"
+      "the query (lazy-F correction work).\n");
+}
+
+}  // namespace
+}  // namespace cusw
+
+int main() {
+  cusw::run();
+  return 0;
+}

@@ -1,0 +1,165 @@
+// §VI future work — all five proposed improvements, implemented and
+// measured: coalesced strip I/O, shared-memory-only mode, persistent
+// pipeline, automatic threshold detection (the TAIR 3072 -> 1500 example),
+// multi-GPU scaling, and streamed host-to-device transfer.
+#include "bench_common.h"
+#include "cudasw/autotune.h"
+#include "cudasw/multi_gpu.h"
+
+namespace cusw {
+namespace {
+
+void kernel_extensions() {
+  const auto& matrix = sw::ScoringMatrix::blosum62();
+  const sw::GapPenalty gap{10, 2};
+  Rng rng(61);
+  const auto query = seq::random_protein(2048, rng).residues;
+  const auto db = seq::uniform_db(bench::scaled(16), 3200, 5000, 0xF0BB);
+
+  Table t({"variant", "GPU", "GCUPs", "global txns", "syncs"}, 2);
+  struct V {
+    const char* name;
+    bool coalesced, shared_only, persistent;
+    bool fermi_only;
+  };
+  const V variants[] = {
+      {"baseline (paper's final kernel)", false, false, false, false},
+      {"+ coalesced strip I/O", true, false, false, false},
+      {"+ persistent pipeline", false, false, true, false},
+      {"+ shared-only rows (Fermi, len<10k)", false, true, false, true},
+      {"all three", true, true, true, true},
+  };
+  for (const V& v : variants) {
+    for (const auto* gpu : {"C1060", "C2050"}) {
+      if (v.fermi_only && std::string(gpu) == "C1060") continue;
+      const bench::Gpu slice =
+          std::string(gpu) == "C1060" ? bench::c1060() : bench::c2050();
+      gpusim::Device dev(slice.spec);
+      cudasw::ImprovedIntraParams p;
+      p.coalesced_strip_io = v.coalesced;
+      p.shared_only = v.shared_only;
+      p.persistent_pipeline = v.persistent;
+      const auto r =
+          cudasw::run_intra_task_improved(dev, query, db, matrix, gap, p);
+      t.add_row({std::string(v.name), std::string(gpu),
+                 slice.eq(cudasw::kernel_gcups(r)),
+                 static_cast<std::int64_t>(r.stats.global.transactions),
+                 static_cast<std::int64_t>(r.stats.syncs)});
+    }
+  }
+  std::printf("--- §VI kernel extensions ---\n");
+  bench::emit(t);
+}
+
+void threshold_autotune() {
+  // "We decreased the threshold from 3072 to 1500 and reran CUDASW++ with
+  // our improved kernel on the TAIR database. [...] This is close to a 4
+  // GCUPs increase [...] by simply decreasing the threshold."
+  const auto& matrix = sw::ScoringMatrix::blosum62();
+  Rng rng(62);
+  const auto query = seq::random_protein(567, rng).residues;
+  const auto db = seq::DatabaseProfile::tair().synthesize(bench::scaled(1400),
+                                                          0x7A12);
+  const bench::Gpu slice = bench::c2050();
+  gpusim::Device dev(slice.spec);
+  cudasw::SearchConfig cfg;  // improved kernel
+
+  Table t({"threshold", "% seqs intra", "GCUPs"}, 2);
+  for (std::size_t thr : {3072u, 1500u}) {
+    cfg.threshold = thr;
+    const auto r = cudasw::search(dev, query, db, matrix, cfg);
+    t.add_row({static_cast<std::int64_t>(thr),
+               100.0 * static_cast<double>(r.intra_sequences) /
+                   static_cast<double>(db.size()),
+               slice.eq(r.gcups())});
+  }
+
+  // The automatic tuner (calibrated probes + group model) picks for itself.
+  const cudasw::ThresholdAutotuner tuner(dev, matrix, cfg, 256);
+  const auto pick =
+      tuner.tune(db, query.size(), {500, 800, 1200, 1500, 2000, 3072, 100000});
+  cfg.threshold = pick.threshold;
+  const auto r = cudasw::search(dev, query, db, matrix, cfg);
+  t.add_row({static_cast<std::int64_t>(pick.threshold),
+             100.0 * static_cast<double>(r.intra_sequences) /
+                 static_cast<double>(db.size()),
+             slice.eq(r.gcups())});
+  std::printf("--- §VI threshold auto-detection (TAIR, C2050, improved) ---\n");
+  std::printf("(last row = tuner's automatic pick)\n");
+  bench::emit(t);
+}
+
+void multi_gpu() {
+  const auto& matrix = sw::ScoringMatrix::blosum62();
+  Rng rng(63);
+  const auto query = seq::random_protein(567, rng).residues;
+  // Enough sequences that every shard still fills its device with whole
+  // occupancy groups — the regime where the paper's linearity claim lives.
+  const auto db =
+      seq::DatabaseProfile::swissprot().synthesize(bench::scaled(3600), 0x96B0);
+  Table t({"GPUs", "seconds (sim)", "GCUPs", "speedup"}, 3);
+  double base = 0.0;
+  for (int gpus : {1, 2, 4}) {
+    const bench::Gpu slice = bench::c1060();
+    const auto r = cudasw::multi_gpu_search(slice.spec, gpus, query, db,
+                                            matrix, {});
+    if (base == 0.0) base = r.seconds;
+    t.add_row({static_cast<std::int64_t>(gpus), r.seconds,
+               slice.eq(r.gcups()), base / r.seconds});
+  }
+  std::printf("--- §VI multi-GPU scaling (C1060) ---\n");
+  bench::emit(t);
+}
+
+void streaming() {
+  // Copy schedules for real database scales against scan times for a range
+  // of query lengths (at ~17 GCUPs). Streaming matters exactly where the
+  // paper says it does: short queries and very large databases (NR/TrEMBL),
+  // where the up-front copy is a visible fraction of the run.
+  Table t({"database", "bytes", "query", "copy (s)", "blocking (s)",
+           "streamed (s)", "copy overhead removed"},
+          2);
+  struct Db {
+    const char* name;
+    std::uint64_t bytes;
+  };
+  const Db dbs[] = {{"Swiss-Prot", 185'000'000},
+                    {"TrEMBL-scale", 20'000'000'000ull}};
+  for (const Db& d : dbs) {
+    for (std::size_t qlen : {144u, 5478u}) {
+      const double compute =
+          static_cast<double>(d.bytes) * static_cast<double>(qlen) / 17e9;
+      const auto r = cudasw::model_streaming_transfer(d.bytes, compute, 32);
+      t.add_row({std::string(d.name),
+                 static_cast<std::int64_t>(d.bytes),
+                 static_cast<std::int64_t>(qlen), r.transfer_seconds,
+                 r.blocking_total, r.streamed_total,
+                 std::string(r.saved_seconds >
+                                     0.9 * (r.blocking_total - compute -
+                                            r.transfer_seconds / 32)
+                                 ? "~all"
+                                 : "partial")});
+    }
+  }
+  std::printf("--- §VI streamed host-to-device transfer (model) ---\n");
+  bench::emit(t);
+}
+
+}  // namespace
+}  // namespace cusw
+
+int main() {
+  cusw::bench::print_header("§VI future-work extensions, implemented",
+                            "Hains et al., IPDPS'11, Section VI");
+  cusw::kernel_extensions();
+  cusw::threshold_autotune();
+  cusw::multi_gpu();
+  cusw::streaming();
+  std::printf(
+      "expected shapes: coalesced strip I/O cuts strip transactions;\n"
+      "persistent pipeline removes per-strip fill/drain syncs; shared-only\n"
+      "eliminates strip global traffic on Fermi; the tuner picks a\n"
+      "threshold at or below 1500 on TAIR and beats the 3072 default;\n"
+      "multi-GPU speedup is near linear; streaming hides most of the copy.\n");
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Kernel anatomy — a guided tour of why the improved intra-task kernel
+// wins, using the simulator's profiler counters on a single long pair.
+// This walks the reader through the paper's argument chain: transaction
+// counts (Table I), the incremental fixes (§III-A/B), and the Fermi cache
+// interaction (Fig. 6).
+#include <cstdio>
+
+#include "cudasw/intra_task_improved.h"
+#include "cudasw/intra_task_original.h"
+#include "seq/generate.h"
+#include "sw/smith_waterman.h"
+#include "util/table.h"
+
+namespace {
+
+void profile(const char* label, const cusw::cudasw::KernelRun& run) {
+  const auto& s = run.stats;
+  const double cells = static_cast<double>(run.cells);
+  std::printf(
+      "%-34s %9.2f GCUPs | global txns %9llu (%.3f/cell) | local %7llu | "
+      "tex fetches %9llu | shared %9llu | syncs %7llu\n",
+      label, cells / s.seconds * 1e-9,
+      static_cast<unsigned long long>(s.global_memory_transactions()),
+      static_cast<double>(s.global_memory_transactions()) / cells,
+      static_cast<unsigned long long>(s.local.transactions),
+      static_cast<unsigned long long>(s.texture.requests),
+      static_cast<unsigned long long>(s.shared_accesses),
+      static_cast<unsigned long long>(s.syncs));
+}
+
+}  // namespace
+
+int main() {
+  using namespace cusw;
+  const auto& matrix = sw::ScoringMatrix::blosum62();
+  const sw::GapPenalty gap{10, 2};
+  Rng rng(99);
+  const auto query = seq::random_protein(1024, rng).residues;
+  seq::SequenceDB pair;
+  pair.add(seq::random_protein(4096, rng, "long_target"));
+
+  std::printf("one pair: query 1024 x target 4096 = %.1f Mcells\n\n",
+              1024.0 * 4096.0 / 1e6);
+
+  // Sanity: every kernel must agree with the scalar reference.
+  const int want = sw::sw_score(query, pair[0].residues, matrix, gap);
+  std::printf("reference Smith-Waterman score: %d\n\n", want);
+
+  for (const bool fermi : {false, true}) {
+    gpusim::Device dev(fermi ? gpusim::DeviceSpec::tesla_c2050()
+                             : gpusim::DeviceSpec::tesla_c1060());
+    std::printf("== %s ==\n", dev.spec().name.c_str());
+
+    const auto orig =
+        cudasw::run_intra_task_original(dev, query, pair, matrix, gap, {});
+    profile("original (wavefront, global mem)", orig);
+
+    cudasw::ImprovedIntraParams broken;
+    broken.deep_swap = false;
+    broken.unroll_profile_loop = false;
+    broken.packed_profile = false;
+    profile("improved v0 (register spills)",
+            cudasw::run_intra_task_improved(dev, query, pair, matrix, gap,
+                                            broken));
+
+    cudasw::ImprovedIntraParams plain;
+    plain.packed_profile = false;
+    profile("improved, plain profile",
+            cudasw::run_intra_task_improved(dev, query, pair, matrix, gap,
+                                            plain));
+
+    const auto imp =
+        cudasw::run_intra_task_improved(dev, query, pair, matrix, gap, {});
+    profile("improved, packed profile (final)", imp);
+
+    if (orig.scores[0] != want || imp.scores[0] != want) {
+      std::fprintf(stderr, "score mismatch!\n");
+      return 1;
+    }
+    std::printf("all kernels returned the reference score %d\n\n", want);
+  }
+
+  std::printf(
+      "what to notice: the original kernel performs ~two orders of\n"
+      "magnitude more global transactions per cell; the v0 spills add\n"
+      "local-memory traffic (the nvcc pitfalls of §III-A); packing the\n"
+      "profile divides texture fetches by four (§III-B); and the original\n"
+      "kernel narrows the gap on the C2050 because its traffic starts\n"
+      "hitting in L1/L2 (Fig. 5/6).\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Threshold tuning — the paper's §VI observation that the default 3072
+// dispatch threshold is not optimal once the intra-task kernel is fast,
+// turned into a working tool: calibrate the autotuner on a simulated
+// device, predict the best threshold for a database from its length
+// distribution alone, and verify against full simulation.
+//
+// Usage: ./threshold_tuning [--db=<name>] [--n=1200] [--query=567]
+//   where <name> is one of: swissprot, dog, rat, human, mouse, tair
+#include <cstdio>
+
+#include "cudasw/autotune.h"
+#include "cudasw/pipeline.h"
+#include "seq/generate.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace cusw;
+  const Cli cli(argc, argv);
+
+  const std::string name = cli.get("db", "tair");
+  seq::DatabaseProfile prof = seq::DatabaseProfile::tair();
+  if (name == "swissprot") prof = seq::DatabaseProfile::swissprot();
+  if (name == "dog") prof = seq::DatabaseProfile::ensembl_dog();
+  if (name == "rat") prof = seq::DatabaseProfile::ensembl_rat();
+  if (name == "human") prof = seq::DatabaseProfile::refseq_human();
+  if (name == "mouse") prof = seq::DatabaseProfile::refseq_mouse();
+
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 1200));
+  const auto qlen = static_cast<std::size_t>(cli.get_int("query", 567));
+  const auto db = prof.synthesize(n, 42);
+  Rng rng(7);
+  const auto query = seq::random_protein(qlen, rng).residues;
+  const auto& matrix = sw::ScoringMatrix::blosum62();
+
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050().scaled(0.1));
+  cudasw::SearchConfig cfg;  // improved kernel
+
+  std::printf("database: %s stand-in (%zu sequences), query %zu, device %s\n",
+              prof.name.c_str(), db.size(), qlen, dev.spec().name.c_str());
+
+  // Calibrate once per device, then predict per database — the paper's
+  // "during the database preprocessing step, we can find the transition
+  // point".
+  const cudasw::ThresholdAutotuner tuner(dev, matrix, cfg, 256);
+  const std::vector<std::size_t> candidates = {500,  800,  1200, 1500,
+                                               2000, 3072, 6000};
+
+  Table t({"threshold", "predicted s", "simulated s", "GCUPs"}, 4);
+  std::size_t best_sim_thr = 0;
+  double best_sim = 1e300;
+  std::vector<std::size_t> lengths;
+  for (const auto& s : db.sequences()) lengths.push_back(s.length());
+  std::sort(lengths.begin(), lengths.end());
+  for (std::size_t thr : candidates) {
+    cfg.threshold = thr;
+    const double predicted = tuner.predict_seconds(lengths, qlen, thr);
+    const auto report = cudasw::search(dev, query, db, matrix, cfg);
+    if (report.seconds() < best_sim) {
+      best_sim = report.seconds();
+      best_sim_thr = thr;
+    }
+    t.add_row({static_cast<std::int64_t>(thr), predicted, report.seconds(),
+               report.gcups()});
+  }
+  t.print();
+
+  const auto pick = tuner.tune(db, qlen, candidates);
+  std::printf("\nautotuner picks threshold %zu; full simulation prefers %zu\n",
+              pick.threshold, best_sim_thr);
+  std::printf("(the paper's example: dropping TAIR's threshold from 3072 to"
+              " 1500 gained ~4 GCUPs)\n");
+  return 0;
+}

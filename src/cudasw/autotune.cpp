@@ -1,0 +1,99 @@
+#include "cudasw/autotune.h"
+
+#include <algorithm>
+
+#include "cudasw/pipeline.h"
+#include "seq/generate.h"
+#include "util/check.h"
+
+namespace cusw::cudasw {
+
+ThresholdAutotuner::ThresholdAutotuner(gpusim::Device& dev,
+                                       const sw::ScoringMatrix& matrix,
+                                       const SearchConfig& cfg,
+                                       std::size_t probe_query_len) {
+  group_size_ = inter_task_group_size(dev.spec(), cfg.inter);
+
+  Rng rng(0xCA11B8A7E);
+  const seq::Sequence probe_query =
+      seq::random_protein(probe_query_len, rng, "probe_query");
+
+  // Inter-task probe: a uniform group, so the per-launch cost divided by
+  // (longest length x query length x group size) calibrates the rate at
+  // which a group's longest member sets the launch time.
+  {
+    const std::size_t probe_len = 512;
+    seq::SequenceDB group = seq::uniform_db(
+        std::min<std::size_t>(group_size_, 2048), probe_len, probe_len, 7);
+    const KernelRun run = run_inter_task(dev, probe_query.residues, group,
+                                         matrix, cfg.gap, cfg.inter);
+    inter_rate_ = run.stats.seconds /
+                  (static_cast<double>(probe_len) *
+                   static_cast<double>(probe_query_len) *
+                   static_cast<double>(group.size()));
+  }
+
+  // Intra-task probe: a handful of long sequences through the configured
+  // intra kernel.
+  {
+    seq::SequenceDB longs = seq::uniform_db(8, 4096, 4096, 11);
+    const KernelRun run =
+        cfg.intra_kernel == IntraKernel::kImproved
+            ? run_intra_task_improved(dev, probe_query.residues, longs, matrix,
+                                      cfg.gap, cfg.improved_intra)
+            : run_intra_task_original(dev, probe_query.residues, longs, matrix,
+                                      cfg.gap, cfg.original_intra);
+    intra_rate_ = run.stats.seconds / static_cast<double>(run.cells);
+  }
+}
+
+double ThresholdAutotuner::predict_seconds(
+    const std::vector<std::size_t>& sorted_lengths, std::size_t query_len,
+    std::size_t threshold) const {
+  CUSW_REQUIRE(
+      std::is_sorted(sorted_lengths.begin(), sorted_lengths.end()),
+      "autotuner expects lengths sorted ascending");
+  const double q = static_cast<double>(query_len);
+  double seconds = 0.0;
+  std::size_t i = 0;
+  const std::size_t n = sorted_lengths.size();
+  // Below threshold: groups of group_size_, each launch bounded by its
+  // longest (= last, lengths sorted) member across every resident thread.
+  while (i < n && sorted_lengths[i] <= threshold) {
+    const std::size_t lo = i;
+    while (i < n && sorted_lengths[i] <= threshold && i - lo < group_size_) ++i;
+    const auto longest = static_cast<double>(sorted_lengths[i - 1]);
+    const auto members = static_cast<double>(i - lo);
+    seconds += inter_rate_ * longest * q * members;
+  }
+  // Above threshold: intra-task cost is proportional to actual cells.
+  for (; i < n; ++i) {
+    seconds += intra_rate_ * static_cast<double>(sorted_lengths[i]) * q;
+  }
+  return seconds;
+}
+
+ThresholdPrediction ThresholdAutotuner::tune(
+    const seq::SequenceDB& db, std::size_t query_len,
+    const std::vector<std::size_t>& candidates) const {
+  CUSW_REQUIRE(!candidates.empty(), "no candidate thresholds");
+  std::vector<std::size_t> lengths;
+  lengths.reserve(db.size());
+  for (const auto& s : db.sequences()) lengths.push_back(s.length());
+  std::sort(lengths.begin(), lengths.end());
+
+  ThresholdPrediction best;
+  best.threshold = candidates.front();
+  best.predicted_seconds =
+      predict_seconds(lengths, query_len, candidates.front());
+  for (std::size_t c = 1; c < candidates.size(); ++c) {
+    const double s = predict_seconds(lengths, query_len, candidates[c]);
+    if (s < best.predicted_seconds) {
+      best.predicted_seconds = s;
+      best.threshold = candidates[c];
+    }
+  }
+  return best;
+}
+
+}  // namespace cusw::cudasw

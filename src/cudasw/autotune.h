@@ -1,0 +1,55 @@
+// §VI future work: automatic detection of the optimal inter/intra threshold.
+//
+// "It is possible to characterize the relative performance of the inter-task
+// and intra-task kernels based on the mean and maximum lengths of a given
+// group of sequences. In this way, during the database preprocessing step,
+// we can find the transition point where the intra-task kernel will
+// outperform the inter-task kernel."
+//
+// The tuner does exactly that: it calibrates per-cell rates for both kernels
+// once per device (tiny probe launches), then — using only the database's
+// sorted length list — predicts, for each candidate threshold, the
+// inter-task time (each group pays for its *longest* member; the
+// load-imbalance model of §II-C) and the intra-task time, and returns the
+// argmin.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "cudasw/config.h"
+#include "gpusim/launch.h"
+#include "seq/database.h"
+#include "sw/scoring.h"
+
+namespace cusw::cudasw {
+
+struct ThresholdPrediction {
+  std::size_t threshold = 0;
+  double predicted_seconds = 0.0;
+};
+
+class ThresholdAutotuner {
+ public:
+  /// Calibrate both kernels' per-cell rates on `dev` with probe workloads.
+  ThresholdAutotuner(gpusim::Device& dev, const sw::ScoringMatrix& matrix,
+                     const SearchConfig& cfg, std::size_t probe_query_len = 256);
+
+  double inter_seconds_per_cell_column() const { return inter_rate_; }
+  double intra_seconds_per_cell() const { return intra_rate_; }
+
+  /// Predicted total scan time (seconds) for a given threshold.
+  double predict_seconds(const std::vector<std::size_t>& sorted_lengths,
+                         std::size_t query_len, std::size_t threshold) const;
+
+  /// Pick the best threshold among `candidates` for this database.
+  ThresholdPrediction tune(const seq::SequenceDB& db, std::size_t query_len,
+                           const std::vector<std::size_t>& candidates) const;
+
+ private:
+  std::size_t group_size_;
+  double inter_rate_ = 0.0;  // seconds per (longest-length x query) cell
+  double intra_rate_ = 0.0;  // seconds per cell
+};
+
+}  // namespace cusw::cudasw

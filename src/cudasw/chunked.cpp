@@ -1,0 +1,99 @@
+#include "cudasw/chunked.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace cusw::cudasw {
+
+std::uint64_t device_footprint_bytes(std::uint64_t residues,
+                                     std::uint64_t sequences,
+                                     std::size_t query_length,
+                                     const SearchConfig& cfg) {
+  // Encoded residues (1 B each) plus alignment padding.
+  std::uint64_t bytes = residues + 32 * sequences;
+  // Inter-task row buffers: H and F (4 B each) per residue of the resident
+  // group — conservatively charged for every below-threshold residue.
+  bytes += residues * 8;
+  // Intra-task strip rows: H and F per column for the long sequences; the
+  // wavefront banks of the original kernel are bounded by the query length.
+  bytes += residues * 8 + 7ull * 4 * query_length * sequences / 1000;
+  // Query profile texture (packed) and score vector.
+  bytes += (query_length + 3) / 4 * 4 * 24 + sequences * 4;
+  (void)cfg;
+  return bytes;
+}
+
+ChunkedReport chunked_search(gpusim::Device& dev,
+                             const std::vector<seq::Code>& query,
+                             const seq::SequenceDB& db,
+                             const sw::ScoringMatrix& matrix,
+                             const ChunkedConfig& cfg) {
+  CUSW_REQUIRE(!query.empty(), "empty query");
+  ChunkedReport report;
+  report.scores.assign(db.size(), 0);
+  if (db.empty()) return report;
+
+  // Length-sorted order, as the single-device pipeline uses.
+  std::vector<std::size_t> order(db.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return db[a].length() < db[b].length();
+                   });
+
+  // Greedily fill chunks up to the memory budget (always at least one
+  // sequence per chunk so arbitrarily small budgets still make progress).
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;  // [lo, hi) in order
+  std::size_t lo = 0;
+  while (lo < order.size()) {
+    std::uint64_t residues = 0;
+    std::size_t hi = lo;
+    while (hi < order.size()) {
+      const std::uint64_t next = residues + db[order[hi]].length();
+      if (hi > lo && device_footprint_bytes(next, hi - lo + 1, query.size(),
+                                            cfg.search) >
+                         cfg.device_memory_bytes) {
+        break;
+      }
+      residues = next;
+      ++hi;
+    }
+    chunks.emplace_back(lo, hi);
+    lo = hi;
+  }
+  report.chunks = chunks.size();
+
+  const double per_byte = 1.0 / (cfg.transfer.pcie_bandwidth_gbs * 1e9);
+  double prev_kernel = 0.0;
+  for (const auto& [c_lo, c_hi] : chunks) {
+    seq::SequenceDB chunk;
+    std::uint64_t bytes = 0;
+    for (std::size_t i = c_lo; i < c_hi; ++i) {
+      chunk.add(db[order[i]]);
+      bytes += db[order[i]].length();
+    }
+    const double copy = static_cast<double>(bytes) * per_byte +
+                        cfg.transfer.chunk_overhead_us * 1e-6;
+    report.transfer_seconds += copy;
+
+    const SearchReport r = search(dev, query, chunk, matrix, cfg.search);
+    for (std::size_t i = c_lo; i < c_hi; ++i) {
+      report.scores[order[i]] = r.scores[i - c_lo];
+    }
+    report.kernel_seconds += r.seconds();
+
+    if (cfg.overlap_transfers) {
+      // This chunk's copy overlaps the previous chunk's kernels.
+      report.total_seconds += std::max(copy, prev_kernel);
+      prev_kernel = r.seconds();
+    } else {
+      report.total_seconds += copy + r.seconds();
+    }
+  }
+  if (cfg.overlap_transfers) report.total_seconds += prev_kernel;
+  return report;
+}
+
+}  // namespace cusw::cudasw

@@ -1,0 +1,60 @@
+// §VI: scanning databases larger than device memory.
+//
+// "This would allow large databases to be used, such as the NR database or
+// TrEMBL, which are currently too large to fit in the memory of a single
+// Tesla C1060 or C2050."
+//
+// The chunked scanner estimates the device-resident footprint of the
+// search (encoded residues, per-thread row buffers, profile, score
+// vectors), splits the length-sorted database into chunks that fit the
+// device's global memory, and scans chunk by chunk, accounting the
+// host-to-device copy of each chunk — overlapped with the previous chunk's
+// kernels when streaming is enabled (the paper's other §VI proposal).
+#pragma once
+
+#include "cudasw/multi_gpu.h"
+#include "cudasw/pipeline.h"
+
+namespace cusw::cudasw {
+
+struct ChunkedConfig {
+  SearchConfig search;
+  /// Device global memory budget in bytes (defaults are per-GPU presets:
+  /// 4 GiB C1060, 3 GiB C2050). Exposed so tests and scaled experiments can
+  /// shrink it.
+  std::uint64_t device_memory_bytes = 4ull << 30;
+  TransferModel transfer;
+  bool overlap_transfers = true;
+};
+
+struct ChunkedReport {
+  std::vector<int> scores;  // original database order
+  std::size_t chunks = 0;
+  double kernel_seconds = 0.0;
+  double transfer_seconds = 0.0;
+  double total_seconds = 0.0;  // with or without overlap per config
+
+  double gcups(std::uint64_t cells) const {
+    return total_seconds > 0.0
+               ? static_cast<double>(cells) / total_seconds * 1e-9
+               : 0.0;
+  }
+};
+
+/// Device bytes needed to hold a database chunk of `residues` residues and
+/// `sequences` sequences for the given search configuration.
+std::uint64_t device_footprint_bytes(std::uint64_t residues,
+                                     std::uint64_t sequences,
+                                     std::size_t query_length,
+                                     const SearchConfig& cfg);
+
+/// Scan a database of any size, splitting it into device-memory-sized
+/// chunks. Scores are identical to a single search() over the whole
+/// database.
+ChunkedReport chunked_search(gpusim::Device& dev,
+                             const std::vector<seq::Code>& query,
+                             const seq::SequenceDB& db,
+                             const sw::ScoringMatrix& matrix,
+                             const ChunkedConfig& cfg);
+
+}  // namespace cusw::cudasw

@@ -1,0 +1,77 @@
+// Configuration of the CUDASW++ search pipeline and its kernels.
+#pragma once
+
+#include <cstddef>
+
+#include "sw/scoring.h"
+
+namespace cusw::cudasw {
+
+enum class IntraKernel {
+  kOriginal,  // CUDASW++ 1.x/2.0 wavefront kernel (global-memory working set)
+  kImproved,  // this paper's tiled strip-mined kernel
+};
+
+/// Inter-task kernel parameters (one thread per database sequence,
+/// 8-column x 4-row register tiles).
+struct InterTaskParams {
+  int threads_per_block = 64;
+  int regs_per_thread = 40;
+  int tile_cols = 8;
+  int tile_rows = 4;
+  /// §II-A: CUDASW++ builds a packed query profile in texture memory for
+  /// this kernel (one fetch per tile column). With the profile off, every
+  /// cell pays its own similarity lookup — the pre-Rognes/Seeberg design.
+  bool use_query_profile = true;
+};
+
+/// Original intra-task kernel parameters (one block per pair, wavefront
+/// order over single cells).
+struct OriginalIntraParams {
+  int threads_per_block = 256;
+  int regs_per_thread = 24;
+};
+
+/// Improved intra-task kernel parameters and feature toggles. The defaults
+/// are the paper's final configuration; the toggles recreate the incremental
+/// versions of §III and the future-work extensions of §VI.
+struct ImprovedIntraParams {
+  int threads_per_block = 256;
+  int tile_height = 4;
+  int tile_width = 1;
+  int regs_per_thread = 32;
+
+  // §III-A: with `deep_swap` false, the shallow pointer swap makes nvcc
+  // spill the per-tile H/E register arrays to local (= global) memory.
+  bool deep_swap = true;
+  // §III-A: with `unroll_profile_loop` false, the texture fetch inside the
+  // tile loop prevents unrolling and spills the tile accumulators to local.
+  bool unroll_profile_loop = true;
+  // §III-B: packed query profile (4 scores per fetch) vs one fetch per cell.
+  bool packed_profile = true;
+
+  // §VI future-work extensions.
+  bool coalesced_strip_io = false;   // stage strip rows through shared memory
+  bool shared_only = false;          // keep strip rows in shared (Fermi, short)
+  bool persistent_pipeline = false;  // one pipeline fill/flush per alignment
+  /// Longest database sequence eligible for shared-only mode.
+  std::size_t shared_only_max_len = 10000;
+
+  /// Rows of the DP table computed per pass.
+  std::size_t strip_height() const {
+    return static_cast<std::size_t>(threads_per_block) *
+           static_cast<std::size_t>(tile_height);
+  }
+};
+
+struct SearchConfig {
+  /// Database sequences longer than this go to the intra-task kernel.
+  std::size_t threshold = 3072;
+  IntraKernel intra_kernel = IntraKernel::kImproved;
+  InterTaskParams inter;
+  OriginalIntraParams original_intra;
+  ImprovedIntraParams improved_intra;
+  sw::GapPenalty gap{10, 2};
+};
+
+}  // namespace cusw::cudasw

@@ -1,0 +1,202 @@
+#include "cudasw/inter_task.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cusw::cudasw {
+
+namespace {
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+// Amortised cycles per texture fetch in the inter-task kernel, where fetch
+// addresses diverge per lane (every lane scans a different sequence) and the
+// per-fetch cache behaviour is modelled statistically rather than per
+// address. See DESIGN.md §5.
+constexpr double kTexFetchCycles = 4.0;
+}  // namespace
+
+KernelRun run_inter_task(gpusim::Device& dev,
+                         const std::vector<seq::Code>& query,
+                         const seq::SequenceDB& group,
+                         const sw::ScoringMatrix& matrix, sw::GapPenalty gap,
+                         const InterTaskParams& params) {
+  KernelRun out;
+  out.scores.assign(group.size(), 0);
+  if (group.empty() || query.empty()) return out;
+
+  const std::size_t m = query.size();
+  const int s_threads = static_cast<int>(group.size());
+  const int tpb = params.threads_per_block;
+  const int blocks = (s_threads + tpb - 1) / tpb;
+  const int rho = gap.open_cost();
+  const int sigma = gap.extend;
+  const int tile_cols = params.tile_cols;
+  const int tile_rows = params.tile_rows;
+
+  std::size_t max_len = 0;
+  for (const auto& s : group.sequences()) max_len = std::max(max_len, s.length());
+  for (const auto& s : group.sequences()) out.cells += m * s.length();
+
+  // Device layout: the group's sequences and per-thread row buffers are
+  // interleaved by thread index so lockstep accesses from a warp land in one
+  // 128 B segment. Element (j, t): db at db_base + j*s + t (1 byte); H/F row
+  // buffers at base + (j*s + t)*4.
+  const auto s_u = static_cast<std::uint64_t>(s_threads);
+  const std::uint64_t db_base = dev.reserve(max_len * s_u);
+  const std::uint64_t h_base = dev.reserve(max_len * s_u * 4);
+  const std::uint64_t f_base = dev.reserve(max_len * s_u * 4);
+
+  gpusim::LaunchConfig cfg;
+  cfg.blocks = blocks;
+  cfg.threads_per_block = tpb;
+  cfg.regs_per_thread = params.regs_per_thread;
+
+  const double cell_cycles = dev.cost_model().cycles_per_cell;
+
+  out.stats = dev.launch(cfg, [&](gpusim::BlockCtx& ctx) {
+    const int block = ctx.block_id();
+    const int base_seq = block * tpb;
+    const int lanes = std::min(tpb, s_threads - base_seq);
+
+    // Per-lane DP state across tile rows: bottom-row H and F of the previous
+    // tile row. Sized to each lane's own sequence.
+    std::vector<std::vector<int>> h_row(static_cast<std::size_t>(lanes));
+    std::vector<std::vector<int>> f_row(static_cast<std::size_t>(lanes));
+    std::vector<int> best(static_cast<std::size_t>(lanes), 0);
+    for (int l = 0; l < lanes; ++l) {
+      const std::size_t n = group[static_cast<std::size_t>(base_seq + l)].length();
+      h_row[static_cast<std::size_t>(l)].assign(n, 0);
+      f_row[static_cast<std::size_t>(l)].assign(n, kNegInf);
+    }
+
+    const std::size_t tile_row_count =
+        (m + static_cast<std::size_t>(tile_rows) - 1) /
+        static_cast<std::size_t>(tile_rows);
+    const std::int8_t* matrix_rows = matrix.data();
+
+    for (std::size_t tr = 0; tr < tile_row_count; ++tr) {
+      const std::size_t r0 = tr * static_cast<std::size_t>(tile_rows);
+      const std::size_t rows = std::min<std::size_t>(tile_rows, m - r0);
+      const bool first_row = tr == 0;
+      const bool last_row = tr + 1 == tile_row_count;
+
+      // Query-profile rows for this tile row (one pointer per query row, the
+      // host-side equivalent of the packed texture fetch).
+      const std::int8_t* qrow[8] = {};
+      const auto dim = matrix.alphabet().size();
+      for (std::size_t r = 0; r < rows; ++r) {
+        qrow[r] = matrix_rows + static_cast<std::size_t>(query[r0 + r]) * dim;
+      }
+
+      for (int l = 0; l < lanes; ++l) {
+        const auto& target =
+            group[static_cast<std::size_t>(base_seq + l)].residues;
+        const std::size_t n = target.size();
+        int* h = h_row[static_cast<std::size_t>(l)].data();
+        int* f = f_row[static_cast<std::size_t>(l)].data();
+        const seq::Code* d = target.data();
+        int h_left[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+        int e_left[8];
+        std::fill(e_left, e_left + 8, kNegInf);
+        int diag_top = 0;
+        int b = best[static_cast<std::size_t>(l)];
+        for (std::size_t j = 0; j < n; ++j) {
+          int up_h = h[j];
+          int up_f = f[j];
+          int dval = diag_top;
+          diag_top = up_h;
+          const std::size_t dj = d[j];
+          for (std::size_t r = 0; r < rows; ++r) {
+            const int e = std::max(e_left[r] - sigma, h_left[r] - rho);
+            const int fv = std::max(up_f - sigma, up_h - rho);
+            int hv = dval + qrow[r][dj];
+            hv = std::max(std::max(0, hv), std::max(e, fv));
+            dval = h_left[r];
+            h_left[r] = hv;
+            e_left[r] = e;
+            up_h = hv;
+            up_f = fv;
+            b = std::max(b, hv);
+          }
+          h[j] = up_h;
+          f[j] = up_f;
+        }
+        best[static_cast<std::size_t>(l)] = b;
+        ctx.charge(l, static_cast<double>(n) * static_cast<double>(rows) *
+                          cell_cycles);
+        // Texture: one packed-profile fetch per tile column (4 query rows),
+        // or — with the §II-A profile optimisation off — one similarity
+        // lookup per cell.
+        const std::size_t fetches =
+            params.use_query_profile
+                ? (n + static_cast<std::size_t>(tile_cols) - 1) /
+                      static_cast<std::size_t>(tile_cols) *
+                      static_cast<std::size_t>(tile_cols)
+                : n * rows;
+        ctx.note_requests(gpusim::Space::Texture, fetches);
+        ctx.charge(l, static_cast<double>(fetches) * kTexFetchCycles);
+      }
+
+      // Memory accounting, per warp and per 8-column tile step. Lanes whose
+      // sequence has ended drop out of the transaction (smaller size class).
+      for (int w = 0; w < (lanes + 31) / 32; ++w) {
+        const int lane_lo = w * 32;
+        const int lane_hi = std::min(lanes, lane_lo + 32);
+        std::size_t warp_max_len = 0;
+        for (int l = lane_lo; l < lane_hi; ++l) {
+          warp_max_len = std::max(
+              warp_max_len, group[static_cast<std::size_t>(base_seq + l)].length());
+        }
+        const std::size_t steps =
+            (warp_max_len + static_cast<std::size_t>(tile_cols) - 1) /
+            static_cast<std::size_t>(tile_cols);
+        for (std::size_t k = 0; k < steps; ++k) {
+          int active = 0;
+          for (int l = lane_lo; l < lane_hi; ++l) {
+            if (k * static_cast<std::size_t>(tile_cols) <
+                group[static_cast<std::size_t>(base_seq + l)].length())
+              ++active;
+          }
+          const std::size_t j0 = k * static_cast<std::size_t>(tile_cols);
+          const std::size_t j1 = std::min(
+              warp_max_len, j0 + static_cast<std::size_t>(tile_cols));
+          const auto lane0 =
+              static_cast<std::uint64_t>(base_seq + lane_lo);
+          for (std::size_t j = j0; j < j1; ++j) {
+            const std::uint64_t elem = j * s_u + lane0;
+            const auto cov4 = static_cast<std::uint64_t>(active) * 4;
+            // Database symbols for this column.
+            ctx.warp_access(gpusim::Space::Global, w, db_base + elem,
+                            static_cast<std::uint64_t>(active), false);
+            if (!first_row) {
+              ctx.warp_access(gpusim::Space::Global, w, h_base + elem * 4,
+                              cov4, false);
+              ctx.warp_access(gpusim::Space::Global, w, f_base + elem * 4,
+                              cov4, false);
+            }
+            if (!last_row) {
+              ctx.warp_access(gpusim::Space::Global, w, h_base + elem * 4,
+                              cov4, true);
+              ctx.warp_access(gpusim::Space::Global, w, f_base + elem * 4,
+                              cov4, true);
+            }
+          }
+        }
+      }
+      ctx.flush();  // tile rows proceed independently per thread: no barrier
+    }
+
+    for (int l = 0; l < lanes; ++l) {
+      out.scores[static_cast<std::size_t>(base_seq + l)] =
+          best[static_cast<std::size_t>(l)];
+      // Final score write-back.
+      ctx.access(gpusim::Space::Global, l,
+                 h_base + static_cast<std::uint64_t>(base_seq + l) * 4, 4,
+                 true);
+    }
+  });
+  return out;
+}
+
+}  // namespace cusw::cudasw

@@ -1,0 +1,39 @@
+// The inter-task kernel: one thread per database sequence (§II-B-1).
+//
+// Each thread walks its own DP table in 8-column x 4-row register tiles,
+// row-major over tiles, column-major inside a tile. The bottom row of each
+// tile row (H and F) round-trips through a global-memory row buffer laid
+// out interleaved across the group's threads so accesses coalesce; the
+// right column stays in registers. The query profile sits in texture
+// memory.
+//
+// A launch covers one *group* of sequences (the host sorts the database by
+// length and partitions it, §II-C); because threads of a launch finish
+// together, the group's longest sequence bounds the launch — the
+// load-balancing sensitivity of Fig. 2 emerges from exactly this.
+#pragma once
+
+#include <vector>
+
+#include "cudasw/config.h"
+#include "gpusim/launch.h"
+#include "seq/database.h"
+#include "sw/scoring.h"
+
+namespace cusw::cudasw {
+
+struct KernelRun {
+  std::vector<int> scores;  // one per sequence, group order
+  gpusim::LaunchStats stats;
+  std::uint64_t cells = 0;
+};
+
+/// Score `query` against every sequence of `group` (a contiguous,
+/// length-sorted slice of the database) with the inter-task kernel.
+KernelRun run_inter_task(gpusim::Device& dev,
+                         const std::vector<seq::Code>& query,
+                         const seq::SequenceDB& group,
+                         const sw::ScoringMatrix& matrix, sw::GapPenalty gap,
+                         const InterTaskParams& params);
+
+}  // namespace cusw::cudasw

@@ -1,0 +1,189 @@
+#include "cudasw/inter_task_simd.h"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+
+#include "gpusim/occupancy.h"
+#include "util/check.h"
+
+namespace cusw::cudasw {
+
+namespace {
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+// Amortised cycles per similarity fetch (lane-divergent addresses; modelled
+// statistically, as in the SIMT inter-task kernel — see DESIGN.md §5).
+constexpr double kTexFetchCycles = 4.0;
+}  // namespace
+
+std::size_t inter_task_simd_group_size(const gpusim::DeviceSpec& dev,
+                                       const InterTaskSimdParams& params) {
+  const gpusim::Occupancy occ = gpusim::compute_occupancy(
+      dev, params.threads_per_block, 0, params.regs_per_thread);
+  CUSW_CHECK(occ.blocks_per_sm > 0, "vSIMD config admits no blocks");
+  return static_cast<std::size_t>(dev.sm_count) *
+         static_cast<std::size_t>(occ.blocks_per_sm) *
+         static_cast<std::size_t>(params.threads_per_block) /
+         InterTaskSimdParams::kQuadLanes;
+}
+
+KernelRun run_inter_task_simd(gpusim::Device& dev,
+                              const std::vector<seq::Code>& query,
+                              const seq::SequenceDB& group,
+                              const sw::ScoringMatrix& matrix,
+                              sw::GapPenalty gap,
+                              const InterTaskSimdParams& params) {
+  constexpr int kLanes = InterTaskSimdParams::kQuadLanes;
+  CUSW_REQUIRE(params.threads_per_block % kLanes == 0,
+               "block size must be a multiple of the quad width");
+
+  KernelRun out;
+  out.scores.assign(group.size(), 0);
+  if (group.empty() || query.empty()) return out;
+
+  const std::size_t m = query.size();
+  const int rho = gap.open_cost();
+  const int sigma = gap.extend;
+  const int tpb = params.threads_per_block;
+  const int quads_per_block = tpb / kLanes;
+  const int blocks =
+      (static_cast<int>(group.size()) + quads_per_block - 1) / quads_per_block;
+  const std::size_t band = (m + kLanes - 1) / kLanes;  // query rows per lane
+
+  std::size_t max_len = 0;
+  for (const auto& s : group.sequences()) {
+    max_len = std::max(max_len, s.length());
+    out.cells += m * s.length();
+  }
+
+  // Device layout: sequences interleaved by quad index within the group.
+  const std::uint64_t db_base =
+      dev.reserve(max_len * static_cast<std::uint64_t>(group.size()));
+
+  gpusim::LaunchConfig cfg;
+  cfg.blocks = blocks;
+  cfg.threads_per_block = tpb;
+  cfg.regs_per_thread = params.regs_per_thread;
+  // Quad-boundary H/F handoffs, double buffered.
+  cfg.shared_bytes_per_block = static_cast<std::size_t>(2 * 2 * tpb) * 4;
+
+  const double cell_cycles = dev.cost_model().cycles_per_cell;
+
+  out.stats = dev.launch(cfg, [&](gpusim::BlockCtx& ctx) {
+    const int block = ctx.block_id();
+    const int base_seq = block * quads_per_block;
+    const int quads =
+        std::min(quads_per_block, static_cast<int>(group.size()) - base_seq);
+
+    // Functional state, per quad: horizontal carries for every lane's band
+    // and the double-buffered cross-lane boundary values.
+    std::vector<std::vector<int>> h_left(static_cast<std::size_t>(quads)),
+        e_left(static_cast<std::size_t>(quads));
+    std::vector<std::array<int, kLanes>> diag_reg(
+        static_cast<std::size_t>(quads));
+    std::vector<std::array<int, 2 * kLanes>> sh_h(
+        static_cast<std::size_t>(quads)),
+        sh_f(static_cast<std::size_t>(quads));
+    std::vector<int> best(static_cast<std::size_t>(quads), 0);
+    std::size_t steps = 0;
+    for (int q = 0; q < quads; ++q) {
+      const auto qi = static_cast<std::size_t>(q);
+      h_left[qi].assign(static_cast<std::size_t>(kLanes) * band, 0);
+      e_left[qi].assign(static_cast<std::size_t>(kLanes) * band, kNegInf);
+      diag_reg[qi].fill(0);
+      sh_h[qi].fill(0);
+      sh_f[qi].fill(kNegInf);
+      steps = std::max(
+          steps, group[static_cast<std::size_t>(base_seq + q)].length() +
+                     kLanes - 1);
+    }
+
+    // Lockstep wavefront: at step k, lane j of each quad computes column
+    // k - j of its band. The block barrier per step means the slowest
+    // (longest) sequence in the block paces everyone — but a block holds
+    // only `quads` sequences, a 4x narrower slice of the sorted order than
+    // the SIMT kernel's.
+    for (std::size_t k = 0; k < steps; ++k) {
+      const int cur = static_cast<int>(k % 2);
+      const int prev = 1 - cur;
+      int active_lanes = 0;
+      for (int q = 0; q < quads; ++q) {
+        const auto qi = static_cast<std::size_t>(q);
+        const auto& target =
+            group[static_cast<std::size_t>(base_seq + q)].residues;
+        const std::size_t n = target.size();
+        for (int j = 0; j < kLanes; ++j) {
+          if (k < static_cast<std::size_t>(j)) continue;
+          const std::size_t c = k - static_cast<std::size_t>(j);
+          if (c >= n) continue;
+          const std::size_t r0 = static_cast<std::size_t>(j) * band;
+          if (r0 >= m) continue;
+          const std::size_t rows = std::min(band, m - r0);
+          ++active_lanes;
+          const int lane = q * kLanes + j;
+
+          int top_h, top_f;
+          if (j == 0) {
+            top_h = 0;
+            top_f = kNegInf;
+          } else {
+            top_h = sh_h[qi][static_cast<std::size_t>(prev * kLanes + j - 1)];
+            top_f = sh_f[qi][static_cast<std::size_t>(prev * kLanes + j - 1)];
+          }
+          const int diag_h =
+              c > 0 ? diag_reg[qi][static_cast<std::size_t>(j)] : 0;
+
+          int* hl = &h_left[qi][r0];
+          int* el = &e_left[qi][r0];
+          const seq::Code d = target[c];
+          int up_h = top_h, up_f = top_f, dval = diag_h;
+          int b = best[qi];
+          for (std::size_t r = 0; r < rows; ++r) {
+            const int e = std::max(el[r] - sigma, hl[r] - rho);
+            const int fv = std::max(up_f - sigma, up_h - rho);
+            int hv = dval + matrix.score(query[r0 + r], d);
+            hv = std::max(std::max(0, hv), std::max(e, fv));
+            dval = hl[r];
+            hl[r] = hv;
+            el[r] = e;
+            up_h = hv;
+            up_f = fv;
+            b = std::max(b, hv);
+          }
+          best[qi] = b;
+          diag_reg[qi][static_cast<std::size_t>(j)] = top_h;
+          sh_h[qi][static_cast<std::size_t>(cur * kLanes + j)] = up_h;
+          sh_f[qi][static_cast<std::size_t>(cur * kLanes + j)] = up_f;
+
+          ctx.charge(lane, static_cast<double>(rows) * cell_cycles +
+                               static_cast<double>(rows) * kTexFetchCycles /
+                                   4.0);
+          ctx.note_requests(gpusim::Space::Texture, (rows + 3) / 4);
+          ctx.shared_access(lane, 2 + (j > 0 ? 2 : 0));
+        }
+        // Database symbol for this quad's current columns: one byte per
+        // active lane, lanes of a warp land in different sequences.
+        if (k < group[static_cast<std::size_t>(base_seq + q)].length() +
+                    kLanes - 1) {
+          ctx.access(gpusim::Space::Global, q * kLanes,
+                     db_base + (k % max_len) *
+                                   static_cast<std::uint64_t>(group.size()) +
+                         static_cast<std::uint64_t>(base_seq + q),
+                     1, false);
+        }
+      }
+      if (active_lanes == 0) break;
+      ctx.sync();
+    }
+    for (int q = 0; q < quads; ++q) {
+      out.scores[static_cast<std::size_t>(base_seq + q)] =
+          best[static_cast<std::size_t>(q)];
+      ctx.access(gpusim::Space::Global, q * kLanes,
+                 db_base + static_cast<std::uint64_t>(base_seq + q) * 4, 4,
+                 true);
+    }
+  });
+  return out;
+}
+
+}  // namespace cusw::cudasw

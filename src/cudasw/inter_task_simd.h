@@ -1,0 +1,43 @@
+// The CUDASW++ 2.0 "virtualized SIMD" inter-task kernel.
+//
+// The system the paper improves (CUDASW++ 2.0, its reference [5]) ships two
+// inter-task implementations: the SIMT kernel reproduced in inter_task.h
+// (one thread per sequence) and a *virtualised SIMD* kernel in which a
+// quad of threads cooperates on one alignment like the four lanes of an
+// SSE vector. Each lane owns a horizontal band of ceil(m/4) query rows and
+// sweeps its band column by column, staggered one column behind the lane
+// above; band-boundary values cross lanes through shared memory.
+//
+// The structural consequence the simulator exposes: a launch needs 4x
+// fewer sequences to fill the device, so groups span a narrower length
+// range and the kernel tolerates length variance better than the SIMT
+// kernel — at the cost of intra-quad pipeline fill and shared-memory
+// traffic. This is the same tradeoff axis as the paper's inter/intra
+// threshold, one level down.
+#pragma once
+
+#include "cudasw/inter_task.h"
+
+namespace cusw::cudasw {
+
+struct InterTaskSimdParams {
+  int threads_per_block = 64;  // 16 quads
+  int regs_per_thread = 32;
+  static constexpr int kQuadLanes = 4;
+};
+
+/// Group size (in sequences) for the virtualised SIMD kernel: one quad per
+/// sequence.
+std::size_t inter_task_simd_group_size(const gpusim::DeviceSpec& dev,
+                                       const InterTaskSimdParams& params);
+
+/// Score `query` against every sequence of `group` with quad-lane
+/// virtualised SIMD vectors.
+KernelRun run_inter_task_simd(gpusim::Device& dev,
+                              const std::vector<seq::Code>& query,
+                              const seq::SequenceDB& group,
+                              const sw::ScoringMatrix& matrix,
+                              sw::GapPenalty gap,
+                              const InterTaskSimdParams& params);
+
+}  // namespace cusw::cudasw

@@ -1,0 +1,334 @@
+#include "cudasw/intra_task_improved.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cusw::cudasw {
+
+namespace {
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+}
+
+KernelRun run_intra_task_improved(gpusim::Device& dev,
+                                  const std::vector<seq::Code>& query,
+                                  const seq::SequenceDB& longs,
+                                  const sw::ScoringMatrix& matrix,
+                                  sw::GapPenalty gap,
+                                  const ImprovedIntraParams& params) {
+  CUSW_REQUIRE(params.tile_height > 0 && params.tile_width > 0,
+               "tile dimensions must be positive");
+  CUSW_REQUIRE(!params.packed_profile || params.tile_height % 4 == 0,
+               "packed profile requires tile height to be a multiple of 4");
+
+  CUSW_REQUIRE(params.tile_height <= 8, "tile height is limited to 8 rows");
+
+  KernelRun out;
+  out.scores.assign(longs.size(), 0);
+  if (longs.empty() || query.empty()) return out;
+
+  const std::size_t m = query.size();
+  const int rho = gap.open_cost();
+  const int sigma = gap.extend;
+  const int n_th = params.threads_per_block;
+  const int th = params.tile_height;
+  const int tw = params.tile_width;
+  const std::size_t strip = params.strip_height();
+  for (const auto& s : longs.sequences()) out.cells += m * s.length();
+
+  // Query profile in texture memory: packed (one texel per 4 query rows) or
+  // plain (one int8 texel per cell). Both are functional — the kernel's
+  // scores really come from these fetches.
+  const sw::PackedQueryProfile packed(query, matrix);
+  std::vector<std::uint32_t> packed_words;
+  packed_words.reserve(packed.words().size());
+  for (const auto& w : packed.words()) packed_words.push_back(w.word);
+  const auto packed_tex = dev.make_texture(std::move(packed_words));
+
+  const sw::QueryProfile plain(query, matrix);
+  std::vector<std::int8_t> plain_bytes(
+      plain.row(0), plain.row(0) + matrix.alphabet().size() * m);
+  const auto plain_tex = dev.make_texture(std::move(plain_bytes));
+
+  // Strip-boundary row buffers (H and F per column), one region per block.
+  std::uint64_t row_total = 0;
+  std::vector<std::uint64_t> row_offset;
+  row_offset.reserve(longs.size());
+  std::uint64_t db_total = 0;
+  std::vector<std::uint64_t> db_offset;
+  db_offset.reserve(longs.size());
+  for (const auto& s : longs.sequences()) {
+    row_offset.push_back(row_total);
+    row_total += (s.length() + 32) & ~std::uint64_t{31};
+    db_offset.push_back(db_total);
+    db_total += (s.length() + 31) & ~std::uint64_t{31};
+  }
+  const std::uint64_t row_h_base = dev.reserve(row_total * 4);
+  const std::uint64_t row_f_base = dev.reserve(row_total * 4);
+  const std::uint64_t db_base = dev.reserve(db_total);
+  // Synthetic local-memory region for the §III-A register-spill variants.
+  const std::uint64_t spill_base = dev.reserve(
+      static_cast<std::size_t>(n_th) * static_cast<std::size_t>(th) * 4 * 4);
+
+  const bool spill_swap = !params.deep_swap;
+  const bool spill_unroll = !params.unroll_profile_loop;
+
+  gpusim::LaunchConfig cfg;
+  cfg.blocks = static_cast<int>(longs.size());
+  cfg.threads_per_block = n_th;
+  cfg.regs_per_thread = params.regs_per_thread;
+  // Shared usage: double-buffered H and F boundary values per thread
+  // (4 ints), plus the staging buffer for coalesced strip I/O.
+  // Double-buffered H and F boundary slots per thread per tile column,
+  // plus the staging buffer for coalesced strip I/O.
+  cfg.shared_bytes_per_block =
+      static_cast<std::size_t>(2 * 2 * n_th * tw) * sizeof(int) +
+      (params.coalesced_strip_io ? std::size_t{2 * 128} : 0) +
+      // Shared-only mode keeps the strip-boundary rows resident as short2.
+      (params.shared_only ? params.shared_only_max_len * 4 : 0);
+
+  const double cell_cycles = dev.cost_model().cycles_per_cell;
+
+  out.stats = dev.launch(cfg, [&](gpusim::BlockCtx& ctx) {
+    const auto blk = static_cast<std::size_t>(ctx.block_id());
+    const auto& target = longs[blk].residues;
+    const std::size_t n = target.size();
+    const std::size_t cols = (n + static_cast<std::size_t>(tw) - 1) /
+                             static_cast<std::size_t>(tw);
+    const std::size_t passes = (m + strip - 1) / strip;
+    const bool shared_rows =
+        params.shared_only && n <= params.shared_only_max_len;
+
+    // Functional strip-boundary rows (H and F of the last row of the strip).
+    std::vector<int> row_h(n, 0), row_f(n, kNegInf);
+    // Shared-memory boundary values, double buffered by step parity; one
+    // slot per thread per tile column.
+    const auto sh_stride = static_cast<std::size_t>(n_th * tw);
+    std::vector<int> sh_h(2 * sh_stride, 0);
+    std::vector<int> sh_f(2 * sh_stride, kNegInf);
+    // Per-thread register state.
+    std::vector<int> h_left(static_cast<std::size_t>(n_th * th), 0);
+    std::vector<int> e_left(static_cast<std::size_t>(n_th * th), kNegInf);
+    std::vector<int> diag_reg(static_cast<std::size_t>(n_th), 0);
+    int best = 0;
+    int staged_io = 0;  // columns accumulated in the coalesced-IO buffer
+
+    for (std::size_t pass = 0; pass < passes; ++pass) {
+      const std::size_t r_base = pass * strip;
+      // Threads whose whole tile row lies past the query end stay idle.
+      const int live_threads = static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(n_th),
+          (m - r_base + static_cast<std::size_t>(th) - 1) /
+              static_cast<std::size_t>(th)));
+      std::fill(h_left.begin(), h_left.end(), 0);
+      std::fill(e_left.begin(), e_left.end(), kNegInf);
+      std::fill(diag_reg.begin(), diag_reg.end(), 0);
+
+      const std::size_t steps =
+          cols + static_cast<std::size_t>(live_threads) - 1;
+      for (std::size_t k = 0; k < steps; ++k) {
+        const int t_lo = k >= cols ? static_cast<int>(k - cols + 1) : 0;
+        const int t_hi =
+            std::min(live_threads - 1, static_cast<int>(k));
+        const int cur = static_cast<int>(k % 2);
+        const int prev = 1 - cur;
+
+        for (int t = t_lo; t <= t_hi; ++t) {
+          const std::size_t c0 = (k - static_cast<std::size_t>(t)) *
+                                 static_cast<std::size_t>(tw);
+          const std::size_t c1 = std::min(n, c0 + static_cast<std::size_t>(tw));
+          const std::size_t r0 =
+              r_base + static_cast<std::size_t>(t) * static_cast<std::size_t>(th);
+          const std::size_t rows =
+              std::min<std::size_t>(static_cast<std::size_t>(th), m - r0);
+          int* hl = &h_left[static_cast<std::size_t>(t * th)];
+          int* el = &e_left[static_cast<std::size_t>(t * th)];
+
+          // The diagonal input of a tile column is the *top* input of the
+          // previous column; at a step boundary it is carried in a register.
+          int prev_top = diag_reg[static_cast<std::size_t>(t)];
+          for (std::size_t c = c0; c < c1; ++c) {
+            // Vertical inputs for the top cell of this tile column.
+            int top_h, top_f;
+            if (t == 0) {
+              if (pass == 0) {
+                top_h = 0;
+                top_f = kNegInf;
+              } else {
+                top_h = row_h[c];
+                top_f = row_f[c];
+              }
+            } else {
+              const std::size_t slot =
+                  static_cast<std::size_t>(prev) * sh_stride +
+                  static_cast<std::size_t>(t - 1) * static_cast<std::size_t>(tw) +
+                  (c - c0);
+              top_h = sh_h[slot];
+              top_f = sh_f[slot];
+            }
+            const int diag_h = c > 0 ? prev_top : 0;
+
+            // Fetch the tile's profile scores from texture (functional).
+            int score_col[8];
+            const seq::Code d = target[c];
+            if (params.packed_profile) {
+              for (std::size_t r4 = 0; r4 < rows; r4 += 4) {
+                const std::size_t block_idx = (r0 + r4) / 4;
+                const sw::Packed4 word{ctx.tex(
+                    packed_tex, packed.texel_index(d, block_idx), t)};
+                for (int lane = 0; lane < 4 && r4 + static_cast<std::size_t>(
+                                                    lane) < rows;
+                     ++lane)
+                  score_col[r4 + static_cast<std::size_t>(lane)] =
+                      word.get(lane);
+              }
+            } else {
+              for (std::size_t r = 0; r < rows; ++r) {
+                score_col[r] = ctx.tex(
+                    plain_tex, static_cast<std::size_t>(d) * m + r0 + r, t);
+              }
+            }
+
+            int up_h = top_h, up_f = top_f, dval = diag_h;
+            for (std::size_t r = 0; r < rows; ++r) {
+              const int e = std::max(el[r] - sigma, hl[r] - rho);
+              const int fv = std::max(up_f - sigma, up_h - rho);
+              int hv = dval + score_col[r];
+              hv = std::max({0, hv, e, fv});
+              dval = hl[r];
+              hl[r] = hv;
+              el[r] = e;
+              up_h = hv;
+              up_f = fv;
+              best = std::max(best, hv);
+            }
+            // Retain the top value: it is the next column's diagonal input.
+            prev_top = top_h;
+
+            // Shared-memory handoff of this tile column's bottom cell.
+            const std::size_t slot =
+                static_cast<std::size_t>(cur) * sh_stride +
+                static_cast<std::size_t>(t) * static_cast<std::size_t>(tw) +
+                (c - c0);
+            sh_h[slot] = up_h;
+            sh_f[slot] = up_f;
+
+            // Strip-boundary output by the last live thread.
+            if (t == live_threads - 1 &&
+                r0 + rows >= std::min(m, r_base + strip)) {
+              row_h[c] = up_h;
+              row_f[c] = up_f;
+            }
+          }
+          diag_reg[static_cast<std::size_t>(t)] = prev_top;
+          ctx.shared_access(
+              t, static_cast<std::uint64_t>(c1 - c0) * (2 + (t > 0 ? 2 : 0)));
+          ctx.charge(t, static_cast<double>((c1 - c0) * rows) * cell_cycles);
+        }
+
+        // ---- per-step memory accounting -------------------------------
+        const int active = t_hi - t_lo + 1;
+        if (active > 0) {
+          // Database symbols: thread t reads d[(k-t)*tw ..]; contiguous
+          // (descending) across a warp.
+          for (int w = t_lo / 32; w <= t_hi / 32; ++w) {
+            const int a_lo = std::max(t_lo, w * 32);
+            const int a_hi = std::min(t_hi, w * 32 + 31);
+            const std::size_t c_min =
+                (k - static_cast<std::size_t>(a_hi)) * static_cast<std::size_t>(tw);
+            const auto span = static_cast<std::uint64_t>(
+                (static_cast<std::size_t>(a_hi - a_lo) + 1) *
+                static_cast<std::size_t>(tw));
+            // One database-symbol fetch instruction per tile column; for
+            // tile widths > 1 the lanes' addresses are strided by tw, so
+            // every instruction spans the warp's whole column range.
+            for (int c_off = 0; c_off < tw; ++c_off) {
+              const auto off = static_cast<std::uint64_t>(c_off);
+              ctx.warp_access(gpusim::Space::Global, w,
+                              db_base + db_offset[blk] + c_min + off,
+                              span > off ? span - off : 1, false);
+            }
+            // §III-A spill variants: tile register arrays demoted to local
+            // memory, read+written once per element per tile.
+            if (spill_swap) {
+              ctx.warp_access(gpusim::Space::Local, w, spill_base,
+                              static_cast<std::uint64_t>(2 * th * 4 * 32), false);
+              ctx.warp_access(gpusim::Space::Local, w, spill_base,
+                              static_cast<std::uint64_t>(2 * th * 4 * 32), true);
+            }
+            if (spill_unroll) {
+              ctx.warp_access(gpusim::Space::Local, w,
+                              spill_base + static_cast<std::uint64_t>(
+                                               2 * th * 4 * n_th),
+                              static_cast<std::uint64_t>(th * 4 * 32), false);
+              ctx.warp_access(gpusim::Space::Local, w,
+                              spill_base + static_cast<std::uint64_t>(
+                                               2 * th * 4 * n_th),
+                              static_cast<std::uint64_t>(th * 4 * 32), true);
+            }
+          }
+
+          // Strip-boundary I/O.
+          const std::size_t c_first = (k - static_cast<std::size_t>(t_lo)) *
+                                      static_cast<std::size_t>(tw);
+          if (t_lo == 0 && pass > 0) {
+            // Thread 0 reads the previous strip's bottom row.
+            if (shared_rows) {
+              ctx.shared_access(0, 2 * static_cast<std::uint64_t>(tw));
+            } else {
+              const std::uint64_t a =
+                  (row_offset[blk] + c_first) * 4;
+              ctx.access(gpusim::Space::Global, 0, row_h_base + a,
+                         static_cast<std::uint32_t>(4 * tw), false);
+              ctx.access(gpusim::Space::Global, 0, row_f_base + a,
+                         static_cast<std::uint32_t>(4 * tw), false);
+            }
+          }
+          if (t_hi == live_threads - 1 && pass + 1 < passes) {
+            // The last thread writes its bottom row, one column at a time
+            // (uncoalesced) unless the §VI staging extension is on.
+            const std::size_t c_last = (k - static_cast<std::size_t>(t_hi)) *
+                                       static_cast<std::size_t>(tw);
+            if (shared_rows) {
+              ctx.shared_access(t_hi, 2 * static_cast<std::uint64_t>(tw));
+            } else if (params.coalesced_strip_io) {
+              ctx.shared_access(t_hi, 2 * static_cast<std::uint64_t>(tw));
+              staged_io += tw;
+              if (staged_io >= 32) {
+                // One warp cooperatively flushes 32 columns of H and F.
+                const std::uint64_t a = (row_offset[blk] + c_last) * 4;
+                ctx.warp_access(gpusim::Space::Global, t_hi / 32,
+                                row_h_base + a, 32 * 4, true);
+                ctx.warp_access(gpusim::Space::Global, t_hi / 32,
+                                row_f_base + a, 32 * 4, true);
+                ctx.shared_access(t_hi, 2 * 2);  // re-read staged values
+                staged_io = 0;
+              }
+            } else {
+              const std::uint64_t a = (row_offset[blk] + c_last) * 4;
+              ctx.access(gpusim::Space::Global, t_hi, row_h_base + a,
+                         static_cast<std::uint32_t>(4 * tw), true);
+              ctx.access(gpusim::Space::Global, t_hi, row_f_base + a,
+                         static_cast<std::uint32_t>(4 * tw), true);
+            }
+          }
+        }
+
+        // Barrier per wavefront step. With the §VI persistent pipeline, the
+        // fill steps of pass > 0 overlap the previous pass's drain, so their
+        // windows merge instead of closing on a barrier.
+        if (params.persistent_pipeline && pass > 0 &&
+            k + 1 < static_cast<std::size_t>(live_threads)) {
+          // merged window: no sync
+        } else {
+          ctx.sync();
+        }
+      }
+    }
+    out.scores[blk] = best;
+  });
+  return out;
+}
+
+}  // namespace cusw::cudasw

@@ -1,0 +1,31 @@
+// The paper's improved intra-task kernel (§III): one thread block per pair,
+// 4x1 register tiles, strip mining.
+//
+// A strip is threads x tile_height query rows. Thread t owns tile row t of
+// the strip and sweeps it column by column, staggered one column behind
+// thread t-1 (a wavefront of tiles, Fig. 4). Horizontal dependencies (H, E)
+// live in registers; vertical and diagonal dependencies (H, F) cross threads
+// through shared memory; only the bottom row of a strip round-trips through
+// global memory. The packed query profile (4 scores per 32-bit texel) is
+// fetched once per tile from texture memory.
+//
+// The parameter toggles in ImprovedIntraParams recreate the incremental
+// versions of §III-A/B (register-spill workarounds, packed profile) and the
+// §VI future-work extensions (coalesced strip I/O, shared-only mode,
+// persistent pipeline).
+#pragma once
+
+#include "cudasw/inter_task.h"
+#include "sw/query_profile.h"
+
+namespace cusw::cudasw {
+
+/// Score `query` against every sequence of `longs`, one block per pair.
+KernelRun run_intra_task_improved(gpusim::Device& dev,
+                                  const std::vector<seq::Code>& query,
+                                  const seq::SequenceDB& longs,
+                                  const sw::ScoringMatrix& matrix,
+                                  sw::GapPenalty gap,
+                                  const ImprovedIntraParams& params);
+
+}  // namespace cusw::cudasw

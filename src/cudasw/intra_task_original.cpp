@@ -1,0 +1,155 @@
+#include "cudasw/intra_task_original.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cusw::cudasw {
+
+namespace {
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+}
+
+KernelRun run_intra_task_original(gpusim::Device& dev,
+                                  const std::vector<seq::Code>& query,
+                                  const seq::SequenceDB& longs,
+                                  const sw::ScoringMatrix& matrix,
+                                  sw::GapPenalty gap,
+                                  const OriginalIntraParams& params) {
+  KernelRun out;
+  out.scores.assign(longs.size(), 0);
+  if (longs.empty() || query.empty()) return out;
+
+  const std::size_t m = query.size();
+  const int rho = gap.open_cost();
+  const int sigma = gap.extend;
+  const int tpb = params.threads_per_block;
+  for (const auto& s : longs.sequences()) out.cells += m * s.length();
+
+  // Per-block wavefront storage in global memory: three banks of H and two
+  // each of E and F, every bank one diagonal of up to m entries. Bank b of
+  // block blk lives at wave_base + ((blk*7 + b) * m_pad + i) * 4.
+  const std::uint64_t m_pad = (m + 32) & ~std::uint64_t{31};
+  const std::uint64_t wave_base =
+      dev.reserve(static_cast<std::size_t>(longs.size()) * 7 * m_pad * 4);
+  std::uint64_t db_total = 0;
+  std::vector<std::uint64_t> db_offset;
+  db_offset.reserve(longs.size());
+  for (const auto& s : longs.sequences()) {
+    db_offset.push_back(db_total);
+    db_total += (s.length() + 31) & ~std::uint64_t{31};
+  }
+  const std::uint64_t db_base = dev.reserve(db_total);
+  const std::uint64_t query_base = dev.reserve((m + 31) & ~std::size_t{31});
+
+  gpusim::LaunchConfig cfg;
+  cfg.blocks = static_cast<int>(longs.size());
+  cfg.threads_per_block = tpb;
+  cfg.regs_per_thread = params.regs_per_thread;
+  cfg.prefer_l1 = true;  // the kernel uses no shared memory
+
+  const double cell_cycles = dev.cost_model().cycles_per_cell;
+
+  out.stats = dev.launch(cfg, [&](gpusim::BlockCtx& ctx) {
+    const auto blk = static_cast<std::size_t>(ctx.block_id());
+    const auto& target = longs[blk].residues;
+    const std::size_t n = target.size();
+    auto bank_addr = [&](int bank, std::size_t i) {
+      return wave_base + ((blk * 7 + static_cast<std::size_t>(bank)) * m_pad +
+                          static_cast<std::uint64_t>(i)) *
+                             4;
+    };
+
+    // Functional wavefront state, indexed by query row i.
+    std::vector<int> h_prev2(m, 0), h_prev(m, 0), h_cur(m, 0);
+    std::vector<int> e_prev(m, kNegInf), e_cur(m, kNegInf);
+    std::vector<int> f_prev(m, kNegInf), f_cur(m, kNegInf);
+    int best = 0;
+
+    for (std::size_t d = 0; d < m + n - 1; ++d) {
+      const std::size_t i_lo = d >= n ? d - n + 1 : 0;
+      const std::size_t i_hi = std::min(m - 1, d);  // inclusive
+      const int h_bank = static_cast<int>(d % 3);
+      const int e_bank = 3 + static_cast<int>(d % 2);
+      const int f_bank = 5 + static_cast<int>(d % 2);
+
+      // The diagonal is processed in chunks of `tpb` threads; each chunk is
+      // one synchronised step ("all threads in the block are busy only when
+      // the length of the minor diagonal is a multiple of the number of
+      // threads per block").
+      for (std::size_t c_lo = i_lo; c_lo <= i_hi;
+           c_lo += static_cast<std::size_t>(tpb)) {
+        const std::size_t c_hi =
+            std::min(i_hi, c_lo + static_cast<std::size_t>(tpb) - 1);
+        const auto active = static_cast<int>(c_hi - c_lo + 1);
+
+        for (std::size_t i = c_lo; i <= c_hi; ++i) {
+          const std::size_t j = d - i;
+          const int e =
+              j > 0 ? std::max(e_prev[i] - sigma, h_prev[i] - rho) : kNegInf;
+          const int f = i > 0 ? std::max(f_prev[i - 1] - sigma,
+                                         h_prev[i - 1] - rho)
+                              : kNegInf;
+          const int diag = (i > 0 && j > 0) ? h_prev2[i - 1] : 0;
+          const int hv =
+              std::max({0, diag + matrix.score(query[i], target[j]), e, f});
+          h_cur[i] = hv;
+          e_cur[i] = e;
+          f_cur[i] = f;
+          best = std::max(best, hv);
+        }
+        ctx.charge_warp_uniform((active + 31) / 32, cell_cycles);
+
+        // Ten global accesses per cell, coalesced along the diagonal: five
+        // wavefront reads, three wavefront writes, plus the two symbols.
+        const int warps = (active + 31) / 32;
+        for (int w = 0; w < warps; ++w) {
+          const std::size_t i0 = c_lo + static_cast<std::size_t>(w) * 32;
+          const auto span = static_cast<std::uint64_t>(
+              std::min<std::size_t>(32, c_hi - i0 + 1));
+          const std::uint64_t b4 = span * 4;
+          const int hp = static_cast<int>((d + 2) % 3);   // H[d-1]
+          const int hp2 = static_cast<int>((d + 1) % 3);  // H[d-2]
+          const int ep = 3 + static_cast<int>((d + 1) % 2);
+          const int fp = 5 + static_cast<int>((d + 1) % 2);
+          ctx.warp_access(gpusim::Space::Global, w, bank_addr(hp, i0), b4,
+                          false);
+          // H[d-1][i-1], F[d-1][i-1]: shifted reads, distinct transactions
+          // at the warp boundary.
+          ctx.warp_access(gpusim::Space::Global, w,
+                          bank_addr(hp, i0 > 0 ? i0 - 1 : 0), b4, false);
+          ctx.warp_access(gpusim::Space::Global, w,
+                          bank_addr(hp2, i0 > 0 ? i0 - 1 : 0), b4, false);
+          ctx.warp_access(gpusim::Space::Global, w, bank_addr(ep, i0), b4,
+                          false);
+          ctx.warp_access(gpusim::Space::Global, w,
+                          bank_addr(fp, i0 > 0 ? i0 - 1 : 0), b4, false);
+          ctx.warp_access(gpusim::Space::Global, w, bank_addr(h_bank, i0), b4,
+                          true);
+          ctx.warp_access(gpusim::Space::Global, w, bank_addr(e_bank, i0), b4,
+                          true);
+          ctx.warp_access(gpusim::Space::Global, w, bank_addr(f_bank, i0), b4,
+                          true);
+          // Query symbol (by i) and database symbol (by j = d - i).
+          ctx.warp_access(gpusim::Space::Global, w, query_base + i0, span,
+                          false);
+          const std::uint64_t j_hi = d - i0;  // j for the first lane
+          ctx.warp_access(gpusim::Space::Global, w,
+                          db_base + db_offset[blk] + (j_hi >= span ? j_hi - span + 1 : 0),
+                          span, false);
+        }
+        ctx.sync();
+      }
+
+      std::swap(h_prev2, h_prev);
+      std::swap(h_prev, h_cur);
+      std::swap(e_prev, e_cur);
+      std::swap(f_prev, f_cur);
+    }
+    out.scores[blk] = best;
+  });
+  return out;
+}
+
+}  // namespace cusw::cudasw

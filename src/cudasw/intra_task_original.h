@@ -1,0 +1,22 @@
+// The original CUDASW++ intra-task kernel (§II-B-2): one thread block per
+// query/database pair, wavefront (anti-diagonal) order over single cells,
+// with the three most recent wavefronts of H plus the E and F wavefronts
+// kept in global memory — roughly ten global accesses per cell update. This
+// is the bottleneck the paper identifies; it is reproduced faithfully so the
+// comparisons in Figs. 3/5/6/7 and Tables I/II have their baseline.
+#pragma once
+
+#include "cudasw/inter_task.h"
+
+namespace cusw::cudasw {
+
+/// Score `query` against every sequence of `longs` (each above the
+/// threshold), one block per pair, with the original wavefront kernel.
+KernelRun run_intra_task_original(gpusim::Device& dev,
+                                  const std::vector<seq::Code>& query,
+                                  const seq::SequenceDB& longs,
+                                  const sw::ScoringMatrix& matrix,
+                                  sw::GapPenalty gap,
+                                  const OriginalIntraParams& params);
+
+}  // namespace cusw::cudasw

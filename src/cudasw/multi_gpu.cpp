@@ -1,0 +1,61 @@
+#include "cudasw/multi_gpu.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace cusw::cudasw {
+
+MultiGpuReport multi_gpu_search(const gpusim::DeviceSpec& spec, int gpus,
+                                const std::vector<seq::Code>& query,
+                                const seq::SequenceDB& db,
+                                const sw::ScoringMatrix& matrix,
+                                const SearchConfig& cfg) {
+  CUSW_REQUIRE(gpus > 0, "need at least one GPU");
+  MultiGpuReport out;
+
+  std::vector<std::size_t> order(db.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return db[a].length() < db[b].length();
+                   });
+
+  for (int g = 0; g < gpus; ++g) {
+    seq::SequenceDB shard;
+    for (std::size_t i = static_cast<std::size_t>(g); i < order.size();
+         i += static_cast<std::size_t>(gpus)) {
+      shard.add(db[order[i]]);
+    }
+    gpusim::Device dev(spec);
+    SearchReport r = search(dev, query, shard, matrix, cfg);
+    out.seconds = std::max(out.seconds, r.seconds());
+    out.cells += r.cells();
+    out.per_gpu.push_back(std::move(r));
+  }
+  return out;
+}
+
+StreamingReport model_streaming_transfer(std::uint64_t db_bytes,
+                                         double compute_seconds, int chunks,
+                                         const TransferModel& xfer) {
+  CUSW_REQUIRE(chunks > 0, "need at least one chunk");
+  StreamingReport r;
+  r.compute_seconds = compute_seconds;
+  const double per_byte = 1.0 / (xfer.pcie_bandwidth_gbs * 1e9);
+  r.transfer_seconds = static_cast<double>(db_bytes) * per_byte +
+                       static_cast<double>(chunks) * xfer.chunk_overhead_us * 1e-6;
+  r.blocking_total = static_cast<double>(db_bytes) * per_byte +
+                     xfer.chunk_overhead_us * 1e-6 + compute_seconds;
+  // Streamed: the first chunk must land before compute starts; the
+  // remaining chunks copy in the background while kernels run.
+  const double chunk_seconds =
+      r.transfer_seconds / static_cast<double>(chunks);
+  const double background = r.transfer_seconds - chunk_seconds;
+  r.streamed_total = chunk_seconds + std::max(background, compute_seconds);
+  r.saved_seconds = r.blocking_total - r.streamed_total;
+  return r;
+}
+
+}  // namespace cusw::cudasw

@@ -1,0 +1,60 @@
+// §VI future work models: multi-GPU scaling and streamed host-to-device
+// database transfer.
+//
+// "The kernel tasks are independent, and thus the running time will scale
+// almost linearly with the number of GPUs" — the multi-GPU driver shards the
+// database across device instances (round-robin over the sorted order, so
+// every shard keeps the same length profile) and the wall time is the
+// slowest shard.
+//
+// "Rather than copy the entire database to device memory before starting any
+// alignments, the algorithm could copy over a small portion ... and start
+// performing alignments on those sequences. Then the rest of the database
+// can be copied in the background" — the streaming model compares the
+// all-up-front transfer with the overlapped schedule.
+#pragma once
+
+#include <vector>
+
+#include "cudasw/pipeline.h"
+
+namespace cusw::cudasw {
+
+struct MultiGpuReport {
+  std::vector<SearchReport> per_gpu;
+  double seconds = 0.0;  // max over shards
+  std::uint64_t cells = 0;
+
+  double gcups() const {
+    return seconds > 0.0 ? static_cast<double>(cells) / seconds * 1e-9 : 0.0;
+  }
+};
+
+/// Scan `db` with `gpus` identical devices, sharding round-robin over the
+/// length-sorted order.
+MultiGpuReport multi_gpu_search(const gpusim::DeviceSpec& spec, int gpus,
+                                const std::vector<seq::Code>& query,
+                                const seq::SequenceDB& db,
+                                const sw::ScoringMatrix& matrix,
+                                const SearchConfig& cfg);
+
+struct TransferModel {
+  double pcie_bandwidth_gbs = 5.5;  // PCIe 2.0 x16 effective
+  double chunk_overhead_us = 10.0;  // per-chunk setup cost
+};
+
+struct StreamingReport {
+  double transfer_seconds = 0.0;  // full database copy time
+  double compute_seconds = 0.0;   // kernel time (from a SearchReport)
+  double blocking_total = 0.0;    // copy everything, then compute
+  double streamed_total = 0.0;    // overlap: first chunk + max(rest, compute)
+  double saved_seconds = 0.0;
+};
+
+/// Model the host-to-device copy schedule for a database of `db_bytes`
+/// split into `chunks`, overlapped with `compute_seconds` of kernel work.
+StreamingReport model_streaming_transfer(std::uint64_t db_bytes,
+                                         double compute_seconds, int chunks,
+                                         const TransferModel& xfer = {});
+
+}  // namespace cusw::cudasw

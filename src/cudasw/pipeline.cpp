@@ -1,0 +1,112 @@
+#include "cudasw/pipeline.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "gpusim/occupancy.h"
+#include "util/check.h"
+
+namespace cusw::cudasw {
+
+std::size_t inter_task_group_size(const gpusim::DeviceSpec& dev,
+                                  const InterTaskParams& params) {
+  const gpusim::Occupancy occ = gpusim::compute_occupancy(
+      dev, params.threads_per_block, 0, params.regs_per_thread);
+  CUSW_CHECK(occ.blocks_per_sm > 0, "inter-task config admits no blocks");
+  return static_cast<std::size_t>(dev.sm_count) *
+         static_cast<std::size_t>(occ.blocks_per_sm) *
+         static_cast<std::size_t>(params.threads_per_block);
+}
+
+PreparedDatabase::PreparedDatabase(const seq::SequenceDB& db,
+                                   std::size_t threshold)
+    : db_(&db), threshold_(threshold) {
+  std::vector<std::size_t> order(db.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return db[a].length() < db[b].length();
+                   });
+  for (std::size_t idx : order) {
+    (db[idx].length() > threshold ? above_ : below_).push_back(idx);
+  }
+}
+
+SearchReport search(gpusim::Device& dev, const std::vector<seq::Code>& query,
+                    const PreparedDatabase& prepared,
+                    const sw::ScoringMatrix& matrix, const SearchConfig& cfg) {
+  CUSW_REQUIRE(!query.empty(), "empty query");
+  CUSW_REQUIRE(prepared.threshold() == cfg.threshold,
+               "database was prepared with a different threshold");
+  const seq::SequenceDB& db = prepared.db();
+  SearchReport report;
+  report.scores.assign(db.size(), 0);
+  if (db.empty()) return report;
+
+  const auto& below = prepared.below();
+  const auto& above = prepared.above();
+  report.inter_sequences = below.size();
+  report.intra_sequences = above.size();
+
+  // Inter-task: one launch per occupancy-sized group of short sequences.
+  const std::size_t group_size = inter_task_group_size(dev.spec(), cfg.inter);
+  for (std::size_t lo = 0; lo < below.size(); lo += group_size) {
+    const std::size_t hi = std::min(below.size(), lo + group_size);
+    seq::SequenceDB group;
+    for (std::size_t g = lo; g < hi; ++g) group.add(db[below[g]]);
+    KernelRun run =
+        run_inter_task(dev, query, group, matrix, cfg.gap, cfg.inter);
+    for (std::size_t g = lo; g < hi; ++g)
+      report.scores[below[g]] = run.scores[g - lo];
+    report.inter_seconds += run.stats.seconds;
+    report.inter_cells += run.cells;
+    report.inter_stats += run.stats;
+    ++report.groups;
+  }
+
+  // Intra-task: a single launch, one block per long sequence.
+  if (!above.empty()) {
+    seq::SequenceDB longs;
+    for (std::size_t idx : above) longs.add(db[idx]);
+    KernelRun run =
+        cfg.intra_kernel == IntraKernel::kImproved
+            ? run_intra_task_improved(dev, query, longs, matrix, cfg.gap,
+                                      cfg.improved_intra)
+            : run_intra_task_original(dev, query, longs, matrix, cfg.gap,
+                                      cfg.original_intra);
+    for (std::size_t i = 0; i < above.size(); ++i)
+      report.scores[above[i]] = run.scores[i];
+    report.intra_seconds += run.stats.seconds;
+    report.intra_cells += run.cells;
+    report.intra_stats += run.stats;
+  }
+  return report;
+}
+
+SearchReport search(gpusim::Device& dev, const std::vector<seq::Code>& query,
+                    const seq::SequenceDB& db, const sw::ScoringMatrix& matrix,
+                    const SearchConfig& cfg) {
+  const PreparedDatabase prepared(db, cfg.threshold);
+  return search(dev, query, prepared, matrix, cfg);
+}
+
+std::vector<SearchReport> search_batch(
+    gpusim::Device& dev, const std::vector<std::vector<seq::Code>>& queries,
+    const seq::SequenceDB& db, const sw::ScoringMatrix& matrix,
+    const SearchConfig& cfg) {
+  const PreparedDatabase prepared(db, cfg.threshold);
+  std::vector<SearchReport> reports;
+  reports.reserve(queries.size());
+  for (const auto& q : queries) {
+    reports.push_back(search(dev, q, prepared, matrix, cfg));
+  }
+  return reports;
+}
+
+double kernel_gcups(const KernelRun& run) {
+  return run.stats.seconds > 0.0
+             ? static_cast<double>(run.cells) / run.stats.seconds * 1e-9
+             : 0.0;
+}
+
+}  // namespace cusw::cudasw

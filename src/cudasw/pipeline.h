@@ -1,0 +1,95 @@
+// The CUDASW++ host pipeline: sort the database by length, dispatch
+// sequences below the threshold to the inter-task kernel in
+// occupancy-sized groups, and the rest to the configured intra-task
+// kernel. Reports the GCUPs and per-kernel time split the paper's
+// experiments are built on.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cudasw/config.h"
+#include "cudasw/inter_task.h"
+#include "cudasw/intra_task_improved.h"
+#include "cudasw/intra_task_original.h"
+#include "seq/database.h"
+
+namespace cusw::cudasw {
+
+struct SearchReport {
+  /// Optimal local-alignment scores, in original database order.
+  std::vector<int> scores;
+
+  double inter_seconds = 0.0;
+  double intra_seconds = 0.0;
+  std::uint64_t inter_cells = 0;
+  std::uint64_t intra_cells = 0;
+  std::size_t inter_sequences = 0;
+  std::size_t intra_sequences = 0;
+  std::size_t groups = 0;
+  gpusim::LaunchStats inter_stats;
+  gpusim::LaunchStats intra_stats;
+
+  double seconds() const { return inter_seconds + intra_seconds; }
+  std::uint64_t cells() const { return inter_cells + intra_cells; }
+  double gcups() const {
+    return seconds() > 0.0 ? static_cast<double>(cells()) / seconds() * 1e-9
+                           : 0.0;
+  }
+  /// Fraction of the run spent in the intra-task kernel (Fig. 5b / 6).
+  double intra_time_fraction() const {
+    return seconds() > 0.0 ? intra_seconds / seconds() : 0.0;
+  }
+};
+
+/// Group size for inter-task launches: enough sequences to give every
+/// resident thread of the device one sequence, "calculated at runtime based
+/// on machine parameters to maximize the occupancy" (§II-C).
+std::size_t inter_task_group_size(const gpusim::DeviceSpec& dev,
+                                  const InterTaskParams& params);
+
+/// The host-side database preprocessing step: sort by length, split at the
+/// threshold, remember the original order. Shared across queries when
+/// scanning with several (the sort only depends on the database and the
+/// threshold).
+class PreparedDatabase {
+ public:
+  PreparedDatabase(const seq::SequenceDB& db, std::size_t threshold);
+
+  const seq::SequenceDB& db() const { return *db_; }
+  std::size_t threshold() const { return threshold_; }
+  /// Original-order indices of sequences at/below the threshold, sorted by
+  /// ascending length.
+  const std::vector<std::size_t>& below() const { return below_; }
+  /// Original-order indices above the threshold, sorted by length.
+  const std::vector<std::size_t>& above() const { return above_; }
+
+ private:
+  const seq::SequenceDB* db_;
+  std::size_t threshold_;
+  std::vector<std::size_t> below_;
+  std::vector<std::size_t> above_;
+};
+
+/// Full database scan with the configured kernels.
+SearchReport search(gpusim::Device& dev, const std::vector<seq::Code>& query,
+                    const seq::SequenceDB& db, const sw::ScoringMatrix& matrix,
+                    const SearchConfig& cfg);
+
+/// Scan with a pre-sorted database (must have been prepared with the same
+/// threshold as cfg.threshold).
+SearchReport search(gpusim::Device& dev, const std::vector<seq::Code>& query,
+                    const PreparedDatabase& prepared,
+                    const sw::ScoringMatrix& matrix, const SearchConfig& cfg);
+
+/// Scan several queries, sharing the database preprocessing — the batch
+/// workflow of a server scanning many queries against one database.
+std::vector<SearchReport> search_batch(
+    gpusim::Device& dev, const std::vector<std::vector<seq::Code>>& queries,
+    const seq::SequenceDB& db, const sw::ScoringMatrix& matrix,
+    const SearchConfig& cfg);
+
+/// GCUPs of a single kernel run (simulated time).
+double kernel_gcups(const KernelRun& run);
+
+}  // namespace cusw::cudasw

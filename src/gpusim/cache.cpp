@@ -1,0 +1,73 @@
+#include "gpusim/cache.h"
+
+namespace cusw::gpusim {
+
+namespace {
+bool is_pow2(std::size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+}
+
+Cache::Cache(std::size_t size_bytes, std::size_t line_bytes, int associativity)
+    : line_bytes_(line_bytes), ways_(associativity) {
+  if (size_bytes == 0) {
+    sets_ = 0;
+    return;
+  }
+  CUSW_REQUIRE(is_pow2(line_bytes), "cache line size must be a power of two");
+  CUSW_REQUIRE(associativity > 0, "cache associativity must be positive");
+  const std::size_t lines = size_bytes / line_bytes;
+  CUSW_REQUIRE(lines >= static_cast<std::size_t>(associativity),
+               "cache too small for its associativity");
+  sets_ = lines / static_cast<std::size_t>(associativity);
+  // Round the set count down to a power of two so indexing is a mask.
+  while (!is_pow2(sets_)) --sets_;
+  lines_.assign(sets_ * static_cast<std::size_t>(ways_), Way{});
+}
+
+bool Cache::access(std::uint64_t addr) {
+  if (!enabled()) {
+    ++misses_;
+    return false;
+  }
+  const std::uint64_t line = addr / line_bytes_;
+  const std::size_t set = static_cast<std::size_t>(line) & (sets_ - 1);
+  Way* base = &lines_[set * static_cast<std::size_t>(ways_)];
+  ++tick_;
+  Way* victim = base;
+  for (int w = 0; w < ways_; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == line) {
+      way.lru = tick_;
+      ++hits_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  victim->valid = true;
+  victim->tag = line;
+  victim->lru = tick_;
+  ++misses_;
+  return false;
+}
+
+void Cache::invalidate(std::uint64_t addr) {
+  if (!enabled()) return;
+  const std::uint64_t line = addr / line_bytes_;
+  const std::size_t set = static_cast<std::size_t>(line) & (sets_ - 1);
+  Way* base = &lines_[set * static_cast<std::size_t>(ways_)];
+  for (int w = 0; w < ways_; ++w) {
+    if (base[w].valid && base[w].tag == line) {
+      base[w].valid = false;
+      return;
+    }
+  }
+}
+
+void Cache::clear() {
+  for (auto& w : lines_) w = Way{};
+}
+
+}  // namespace cusw::gpusim

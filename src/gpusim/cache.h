@@ -1,0 +1,48 @@
+// Set-associative cache with LRU replacement, simulated at line granularity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cusw::gpusim {
+
+class Cache {
+ public:
+  /// A cache of `size_bytes` capacity with `line_bytes` lines and
+  /// `associativity` ways. size_bytes == 0 builds a disabled cache that
+  /// never hits.
+  Cache(std::size_t size_bytes, std::size_t line_bytes, int associativity);
+
+  bool enabled() const { return sets_ > 0; }
+
+  /// Look up (and on miss, fill) the line containing `addr`.
+  /// Returns true on hit.
+  bool access(std::uint64_t addr);
+
+  /// Drop a line if present (used for write-invalidate in L1).
+  void invalidate(std::uint64_t addr);
+
+  void clear();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = ~std::uint64_t{0};
+    std::uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  std::size_t line_bytes_;
+  std::size_t sets_;
+  int ways_;
+  std::vector<Way> lines_;  // sets_ x ways_, row-major
+  std::uint64_t tick_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace cusw::gpusim

@@ -1,0 +1,71 @@
+#include "gpusim/device_spec.h"
+
+#include <algorithm>
+
+namespace cusw::gpusim {
+
+DeviceSpec DeviceSpec::tesla_c1060() {
+  DeviceSpec d;
+  d.name = "Tesla C1060";
+  d.sm_count = 30;
+  d.cores_per_sm = 8;
+  d.clock_ghz = 1.296;
+  d.max_threads_per_block = 512;
+  d.max_threads_per_sm = 1024;
+  d.max_blocks_per_sm = 8;
+  d.shared_mem_per_sm = 16 * 1024;
+  d.registers_per_sm = 16 * 1024;
+  d.mem_bandwidth_gbs = 102.0;
+  d.dram_latency = 550;
+  d.has_l1 = false;
+  d.has_l2 = false;
+  d.tex_l2_bytes = 256 * 1024;
+  return d;
+}
+
+DeviceSpec DeviceSpec::tesla_c2050() {
+  DeviceSpec d;
+  d.name = "Tesla C2050";
+  d.sm_count = 14;
+  d.cores_per_sm = 32;
+  d.clock_ghz = 1.15;
+  d.max_threads_per_block = 1024;
+  d.max_threads_per_sm = 1536;
+  d.max_blocks_per_sm = 8;
+  d.shared_mem_per_sm = 48 * 1024;
+  d.registers_per_sm = 32 * 1024;
+  d.mem_bandwidth_gbs = 144.0;
+  d.dram_latency = 500;
+  d.has_l1 = true;
+  d.has_l2 = true;
+  d.l1_bytes = 16 * 1024;  // default split: 48 KB shared / 16 KB L1
+  d.l2_bytes = 768 * 1024;
+  d.l1_latency = 30;
+  d.l2_latency = 200;
+  d.tex_l2_bytes = 0;  // Fermi textures are backed by the unified L2
+  return d;
+}
+
+DeviceSpec DeviceSpec::scaled(double factor) const {
+  DeviceSpec d = *this;
+  d.sm_count = std::max(1, static_cast<int>(sm_count * factor + 0.5));
+  const double real_factor = static_cast<double>(d.sm_count) / sm_count;
+  d.mem_bandwidth_gbs *= real_factor;
+  d.l2_bytes = static_cast<std::size_t>(
+      static_cast<double>(l2_bytes) * real_factor);
+  // The texture L2 serves one shared read-only copy of the query profile;
+  // a device slice keeps it at full capacity.
+  return d;
+}
+
+DeviceSpec DeviceSpec::with_caches_disabled() const {
+  DeviceSpec d = *this;
+  d.name = name + " (L1/L2 off)";
+  d.has_l1 = false;
+  d.has_l2 = false;
+  d.l1_bytes = 0;
+  d.l2_bytes = 0;
+  return d;
+}
+
+}  // namespace cusw::gpusim

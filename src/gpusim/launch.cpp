@@ -1,0 +1,357 @@
+#include "gpusim/launch.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace cusw::gpusim {
+
+namespace {
+
+// Local-memory arena: a distinct address region so local traffic never
+// aliases real buffers in the caches.
+constexpr std::uint64_t kLocalArenaBase = std::uint64_t{1} << 40;
+
+// Transaction size classes, as on GT200: 32, 64 or 128 bytes depending on
+// how much of the segment the warp actually covers.
+std::uint32_t size_class(std::uint32_t covered) {
+  if (covered <= 32) return 32;
+  if (covered <= 64) return 64;
+  return 128;
+}
+
+}  // namespace
+
+BlockCtx::BlockCtx(const DeviceSpec& spec, const CostModel& cost,
+                   LaunchStats& stats, Cache& l2, Cache& tex_l2,
+                   std::size_t l1_bytes, int block_id, int threads,
+                   int resident_per_sm, int concurrent_blocks)
+    : spec_(&spec),
+      cost_(&cost),
+      stats_(&stats),
+      l2_(&l2),
+      tex_l2_(&tex_l2),
+      l1_(l1_bytes, 128, 4),
+      // The texture path serves read-only data (the query profile) that
+      // co-resident blocks share rather than compete for, so texture
+      // caches keep their full capacity under contention.
+      tex_cache_(spec.tex_cache_bytes, 32, 4),
+      block_id_(block_id),
+      threads_(threads),
+      resident_per_sm_(resident_per_sm),
+      concurrent_blocks_(concurrent_blocks),
+      lane_compute_(static_cast<std::size_t>(threads), 0.0),
+      warp_instr_(static_cast<std::size_t>((threads + 31) / 32), 0.0),
+      warp_lat_sum_(warp_instr_.size(), 0.0),
+      warp_txn_(warp_instr_.size(), 0) {}
+
+void BlockCtx::shared_access(int lane, std::uint64_t n) {
+  stats_->shared_accesses += n;
+  lane_compute_[lane] += static_cast<double>(n) * cost_->cycles_per_shared_access;
+}
+
+int BlockCtx::bank_conflict_degree(int word_stride) {
+  if (word_stride == 0) return 1;  // broadcast: conflict-free
+  int a = word_stride < 0 ? -word_stride : word_stride;
+  int b = 32;
+  while (b != 0) {
+    const int t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;  // gcd(|stride|, 32)
+}
+
+void BlockCtx::shared_access_strided(int lane, std::uint64_t n,
+                                     int word_stride) {
+  const int degree = bank_conflict_degree(word_stride);
+  stats_->shared_accesses += n;
+  const double cycles = static_cast<double>(n) * static_cast<double>(degree) *
+                        cost_->cycles_per_shared_access;
+  lane_compute_[lane] += cycles;
+  if (degree > 1) {
+    stats_->bank_conflict_cycles += static_cast<std::uint64_t>(
+        static_cast<double>(n) * static_cast<double>(degree - 1) *
+        cost_->cycles_per_shared_access);
+  }
+}
+
+void BlockCtx::access(Space space, int lane, std::uint64_t addr,
+                      std::uint32_t bytes, bool write) {
+  records_.push_back(Record{addr, bytes, static_cast<std::uint16_t>(lane / 32),
+                            space, write});
+  warp_instr_[static_cast<std::size_t>(lane / 32)] += 1.0 / 32.0;
+}
+
+void BlockCtx::warp_access(Space space, int warp, std::uint64_t addr,
+                           std::uint64_t bytes, bool write) {
+  warp_instr_[static_cast<std::size_t>(warp)] += 1.0;
+  // Split long cooperative runs so a single record never spans more than
+  // 1 GiB (records store 32-bit lengths); typical runs are far smaller.
+  while (bytes > 0) {
+    const std::uint32_t chunk = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(bytes, 1u << 30));
+    records_.push_back(Record{addr, chunk, static_cast<std::uint16_t>(warp),
+                              space, write});
+    addr += chunk;
+    bytes -= chunk;
+  }
+}
+
+void BlockCtx::local_access(int lane, int array_id, std::uint32_t index,
+                            std::uint32_t elem_bytes, bool write) {
+  // nvcc interleaves local arrays across threads: element i of thread t
+  // lives at base + (i * threads + t) * elem_bytes, so lockstep accesses
+  // from a warp are contiguous.
+  const std::uint64_t addr =
+      kLocalArenaBase +
+      (static_cast<std::uint64_t>(array_id) << 24) * elem_bytes +
+      (static_cast<std::uint64_t>(index) * static_cast<std::uint64_t>(threads_) +
+       static_cast<std::uint64_t>(lane)) *
+          elem_bytes;
+  records_.push_back(Record{addr, elem_bytes,
+                            static_cast<std::uint16_t>(lane / 32), Space::Local,
+                            write});
+}
+
+void BlockCtx::close_window(bool barrier) {
+  // ---- compute term -----------------------------------------------------
+  const int warp_count = warps();
+  const double cores_eff = static_cast<double>(spec_->cores_per_sm) /
+                           static_cast<double>(resident_per_sm_);
+  double per_warp_max_sum = 0.0;
+  bool any_lane = false;
+  for (double c : lane_compute_) {
+    if (c != 0.0) {
+      any_lane = true;
+      break;
+    }
+  }
+  if (any_lane) {
+    for (int w = 0; w < warp_count; ++w) {
+      double m = 0.0;
+      const int lo = w * 32;
+      const int hi = std::min(threads_, lo + 32);
+      for (int lane = lo; lane < hi; ++lane)
+        m = std::max(m, lane_compute_[lane]);
+      per_warp_max_sum += m;
+    }
+    std::fill(lane_compute_.begin(), lane_compute_.end(), 0.0);
+  }
+  per_warp_max_sum += uniform_compute_ * warp_count + warp_uniform_sum_;
+  uniform_compute_ = 0.0;
+  warp_uniform_sum_ = 0.0;
+  const double compute_term = per_warp_max_sum * 32.0 / cores_eff;
+
+  // ---- coalescing: expand records into per-warp 128 B segments -----------
+  segs_.clear();
+  for (const Record& r : records_) {
+    stats_->requests_for(r.space) += 1;
+    const std::uint64_t first = r.addr / 128;
+    const std::uint64_t last = (r.addr + r.bytes - 1) / 128;
+    for (std::uint64_t s = first; s <= last; ++s) {
+      const std::uint64_t seg_lo = s * 128;
+      const std::uint64_t seg_hi = seg_lo + 128;
+      const std::uint32_t covered = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(r.addr + r.bytes, seg_hi) -
+          std::max<std::uint64_t>(r.addr, seg_lo));
+      segs_.push_back(SegKey{s, covered, r.warp, r.space, r.write});
+    }
+  }
+  records_.clear();
+
+  std::sort(segs_.begin(), segs_.end(), [](const SegKey& a, const SegKey& b) {
+    if (a.warp != b.warp) return a.warp < b.warp;
+    if (a.space != b.space) return a.space < b.space;
+    if (a.write != b.write) return a.write < b.write;
+    return a.seg < b.seg;
+  });
+
+  // ---- cache filtering + latency chains ----------------------------------
+  std::uint64_t window_dram_bytes = 0;
+  std::size_t i = 0;
+  while (i < segs_.size()) {
+    // Merge duplicates of the same (warp, space, write, seg).
+    SegKey k = segs_[i];
+    std::uint32_t covered = k.bytes;
+    std::size_t j = i + 1;
+    while (j < segs_.size() && segs_[j].warp == k.warp &&
+           segs_[j].space == k.space && segs_[j].write == k.write &&
+           segs_[j].seg == k.seg) {
+      covered = std::min<std::uint32_t>(128, covered + segs_[j].bytes);
+      ++j;
+    }
+    i = j;
+    double& warp_latency = warp_lat_sum_[k.warp];
+    std::uint32_t& warp_txn = warp_txn_[k.warp];
+
+    const std::uint32_t txn_bytes = size_class(covered);
+    const std::uint64_t addr = k.seg * 128;
+    SpaceCounters& ctr = stats_->counters_for(k.space);
+    ctr.transactions += 1;
+    warp_txn += 1;
+
+    if (k.space == Space::Texture) {
+      if (tex_cache_.access(addr)) {
+        ctr.tex_hits += 1;
+        warp_latency += spec_->tex_hit_latency;
+      } else if (tex_l2_->enabled() && tex_l2_->access(addr)) {
+        ctr.l2_hits += 1;
+        warp_latency += spec_->l2_latency;
+      } else if (spec_->has_l2 && l2_->access(addr)) {
+        ctr.l2_hits += 1;
+        warp_latency += spec_->l2_latency;
+      } else {
+        ctr.dram_transactions += 1;
+        ctr.dram_bytes += 32;  // texture line fill
+        window_dram_bytes += 32;
+        warp_latency += spec_->dram_latency;
+      }
+      continue;
+    }
+
+    if (k.write) {
+      // Write-through: stores are fire-and-forget (no latency chain) but
+      // consume DRAM bandwidth; the line is dropped from L1 and allocated
+      // in L2 so subsequent reads hit.
+      if (spec_->has_l1) l1_.invalidate(addr);
+      if (spec_->has_l2) l2_->access(addr);
+      ctr.dram_transactions += 1;
+      ctr.dram_bytes += txn_bytes;
+      window_dram_bytes += txn_bytes;
+      continue;
+    }
+
+    if (spec_->has_l1 && l1_.access(addr)) {
+      ctr.l1_hits += 1;
+      warp_latency += spec_->l1_latency;
+    } else if (spec_->has_l2 && l2_->access(addr)) {
+      ctr.l2_hits += 1;
+      warp_latency += spec_->l2_latency;
+    } else {
+      ctr.dram_transactions += 1;
+      ctr.dram_bytes += txn_bytes;
+      window_dram_bytes += txn_bytes;
+      warp_latency += spec_->dram_latency;
+    }
+  }
+  // Latency chain of the slowest warp: each memory *instruction* stalls the
+  // warp for the average observed latency of its transactions, plus the
+  // per-transaction issue cost (which is what makes uncoalesced instructions
+  // expensive); MLP lets a few stalls overlap.
+  double max_warp_chain = 0.0;
+  double instr_issue_sum = 0.0;
+  for (std::size_t w = 0; w < warp_instr_.size(); ++w) {
+    const double txns = static_cast<double>(warp_txn_[w]);
+    if (txns == 0.0 && warp_instr_[w] == 0.0) continue;
+    const double avg_lat = txns > 0.0 ? warp_lat_sum_[w] / txns : 0.0;
+    const double chain =
+        warp_instr_[w] * avg_lat + txns * cost_->txn_issue_cycles;
+    max_warp_chain = std::max(max_warp_chain, chain);
+    instr_issue_sum += warp_instr_[w];
+    warp_instr_[w] = 0.0;
+    warp_lat_sum_[w] = 0.0;
+    warp_txn_[w] = 0;
+  }
+  // Memory instructions occupy issue slots even when every access hits a
+  // cache; fold their issue cost into the compute term.
+  const double issue_term =
+      instr_issue_sum * cost_->mem_issue_cycles * 32.0 / cores_eff;
+
+  // ---- combine ------------------------------------------------------------
+  const double bw_per_block =
+      spec_->bytes_per_cycle() / static_cast<double>(concurrent_blocks_);
+  const double bw_term = static_cast<double>(window_dram_bytes) / bw_per_block;
+  const double lat_term = max_warp_chain / cost_->mlp;
+
+  double window = std::max({compute_term + issue_term, bw_term, lat_term});
+  if (barrier) {
+    window += cost_->sync_cycles;
+    stats_->syncs += 1;
+  }
+  stats_->windows += 1;
+  block_cycles_ += window;
+}
+
+double BlockCtx::finish() {
+  close_window(false);
+  return block_cycles_;
+}
+
+Device::Device(DeviceSpec spec, CostModel cost)
+    : spec_(std::move(spec)), cost_(cost) {}
+
+LaunchStats Device::launch(const LaunchConfig& cfg,
+                           const std::function<void(BlockCtx&)>& body) {
+  CUSW_REQUIRE(cfg.blocks >= 0, "negative grid size");
+  LaunchStats stats;
+  stats.blocks = cfg.blocks;
+  if (cfg.blocks == 0) return stats;
+
+  // Fermi's configurable shared/L1 split.
+  DeviceSpec eff = spec_;
+  if (eff.has_l1 && cfg.prefer_l1) {
+    eff.l1_bytes = 48 * 1024;
+    eff.shared_mem_per_sm = 16 * 1024;
+  }
+  CUSW_REQUIRE(cfg.shared_bytes_per_block <= eff.shared_mem_per_sm,
+               "block shared memory exceeds the SM's");
+
+  stats.occupancy = compute_occupancy(eff, cfg.threads_per_block,
+                                      cfg.shared_bytes_per_block,
+                                      cfg.regs_per_thread);
+  CUSW_REQUIRE(stats.occupancy.blocks_per_sm > 0,
+               "launch config admits zero resident blocks");
+
+  const int slots = eff.sm_count * stats.occupancy.blocks_per_sm;
+  const int concurrent = std::min(cfg.blocks, slots);
+  // Average co-residency per SM (rounded): how many blocks share one SM's
+  // cores while this launch is saturated.
+  const int resident_per_sm = std::max(
+      1, static_cast<int>((static_cast<double>(concurrent) /
+                           static_cast<double>(eff.sm_count)) +
+                          0.5));
+  stats.concurrent_blocks = concurrent;
+
+  // Effective cache capacities under contention: co-resident blocks share
+  // the SM's L1/texture caches and every concurrent block competes for L2.
+  // Blocks run sequentially in the simulation, so contention is modelled by
+  // shrinking each block's effective capacity. The L2 floor reflects that a
+  // block's most recently written lines survive even under heavy sharing.
+  const std::size_t l1_eff =
+      eff.has_l1 ? eff.l1_bytes / static_cast<std::size_t>(resident_per_sm) : 0;
+  std::size_t l2_eff = 0;
+  if (eff.has_l2) {
+    l2_eff = std::max(std::min<std::size_t>(eff.l2_bytes, 64 * 1024),
+                      eff.l2_bytes / static_cast<std::size_t>(concurrent));
+  }
+  Cache l2(l2_eff, 128, 16);
+  // Texture data is shared read-only across blocks (see BlockCtx ctor):
+  // the L2 texture cache is not divided by concurrency.
+  Cache tex_l2(eff.tex_l2_bytes, 32, 8);
+
+  // Execute blocks sequentially (deterministic), then compute the makespan
+  // of their costs over the SM slots with greedy list scheduling.
+  std::priority_queue<double, std::vector<double>, std::greater<>> slot_ends;
+  for (int s = 0; s < slots; ++s) slot_ends.push(0.0);
+  double makespan = 0.0;
+  for (int b = 0; b < cfg.blocks; ++b) {
+    BlockCtx ctx(eff, cost_, stats, l2, tex_l2, l1_eff, b,
+                 cfg.threads_per_block, resident_per_sm, concurrent);
+    body(ctx);
+    const double cycles = ctx.finish();
+    stats.total_block_cycles += cycles;
+    const double start = slot_ends.top();
+    slot_ends.pop();
+    const double end = start + cycles;
+    slot_ends.push(end);
+    makespan = std::max(makespan, end);
+  }
+  stats.makespan_cycles = makespan;
+  stats.seconds = makespan / (eff.clock_ghz * 1e9) +
+                  eff.launch_overhead_us * 1e-6;
+  return stats;
+}
+
+}  // namespace cusw::gpusim

@@ -1,0 +1,272 @@
+// Kernel launch machinery: block execution contexts, the per-warp
+// coalescer, cache filtering, the window cost model, and the block
+// scheduler.
+//
+// Execution model: a kernel is a callable invoked once per block with a
+// BlockCtx. Inside, the kernel loops over its threads explicitly between
+// synchronisation points (the classic SPMD-to-loop transformation). The
+// context accumulates per-lane compute charges and memory access records;
+// each sync() (or flush()) closes a "window", runs the records through the
+// coalescer and caches, and converts the window into cycles:
+//
+//   window = max(compute, bandwidth, latency) + sync_cost
+//
+// See DESIGN.md §5 and cost_model.h for the calibration story.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gpusim/cache.h"
+#include "gpusim/cost_model.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/memory.h"
+#include "gpusim/occupancy.h"
+
+namespace cusw::gpusim {
+
+struct LaunchConfig {
+  int blocks = 1;
+  int threads_per_block = 256;
+  std::size_t shared_bytes_per_block = 0;
+  int regs_per_thread = 32;
+  /// Fermi only: request the 48 KB L1 / 16 KB shared split instead of the
+  /// default 16 KB L1 / 48 KB shared.
+  bool prefer_l1 = false;
+};
+
+struct LaunchStats {
+  SpaceCounters global;
+  SpaceCounters local;
+  SpaceCounters texture;
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t bank_conflict_cycles = 0;
+  std::uint64_t syncs = 0;
+  std::uint64_t windows = 0;
+  double total_block_cycles = 0.0;  // sum over blocks
+  double makespan_cycles = 0.0;     // after scheduling onto SM slots
+  double seconds = 0.0;             // makespan / clock + launch overhead
+  Occupancy occupancy;
+  int blocks = 0;
+  int concurrent_blocks = 0;
+
+  /// Combined global+local transaction count — what a profiler reports as
+  /// "global memory transactions" (CUDA local memory lives in DRAM).
+  std::uint64_t global_memory_transactions() const {
+    return global.transactions + local.transactions;
+  }
+
+  /// Accumulate another launch's stats (seconds add up: launches on one
+  /// device are serialised, as CUDASW++'s per-group kernel calls are).
+  LaunchStats& operator+=(const LaunchStats& o) {
+    global += o.global;
+    local += o.local;
+    texture += o.texture;
+    shared_accesses += o.shared_accesses;
+    bank_conflict_cycles += o.bank_conflict_cycles;
+    syncs += o.syncs;
+    windows += o.windows;
+    total_block_cycles += o.total_block_cycles;
+    makespan_cycles += o.makespan_cycles;
+    seconds += o.seconds;
+    blocks += o.blocks;
+    concurrent_blocks = std::max(concurrent_blocks, o.concurrent_blocks);
+    if (occupancy.blocks_per_sm == 0) occupancy = o.occupancy;
+    return *this;
+  }
+
+  SpaceCounters& counters_for(Space s) {
+    switch (s) {
+      case Space::Global:
+        return global;
+      case Space::Local:
+        return local;
+      case Space::Texture:
+        return texture;
+    }
+    return global;  // unreachable
+  }
+  std::uint64_t& requests_for(Space s) { return counters_for(s).requests; }
+};
+
+class Device;
+
+/// Per-block execution context handed to the kernel body.
+class BlockCtx {
+ public:
+  int block_id() const { return block_id_; }
+  int threads() const { return threads_; }
+  int warps() const { return (threads_ + 31) / 32; }
+
+  // ---- compute charges -------------------------------------------------
+  /// Charge `cycles` of arithmetic to one lane.
+  void charge(int lane, double cycles) { lane_compute_[lane] += cycles; }
+  /// Charge the same arithmetic to every lane of the block (fast path).
+  void charge_uniform(double cycles) { uniform_compute_ += cycles; }
+  /// Charge `cycles` per lane to exactly `active_warps` warps — the fast
+  /// path for lockstep kernels whose wavefront does not fill the block.
+  void charge_warp_uniform(int active_warps, double cycles) {
+    warp_uniform_sum_ += static_cast<double>(active_warps) * cycles;
+  }
+  /// Charge `n` shared-memory accesses to a lane.
+  void shared_access(int lane, std::uint64_t n);
+
+  /// Charge `n` shared-memory accesses whose per-lane addresses are
+  /// `stride` words apart across the warp. Shared memory has 32 banks of
+  /// 4-byte words: a warp whose lanes hit gcd(stride, 32) ways into the
+  /// same bank serialises into that many conflict-free passes.
+  void shared_access_strided(int lane, std::uint64_t n, int word_stride);
+
+  /// Conflict degree of a warp-wide strided shared access.
+  static int bank_conflict_degree(int word_stride);
+
+  // ---- memory access records -------------------------------------------
+  /// Record a contiguous per-lane access run of `bytes` at device address
+  /// `addr`. Runs from lanes of the same warp coalesce into 128 B segments.
+  void access(Space space, int lane, std::uint64_t addr, std::uint32_t bytes,
+              bool write);
+
+  /// Record a run accessed cooperatively by a whole warp (already
+  /// coalesced); cheaper than 32 per-lane records.
+  void warp_access(Space space, int warp, std::uint64_t addr,
+                   std::uint64_t bytes, bool write);
+
+  /// CUDA local-memory access: per-thread array `array_id`, element
+  /// `index` of `elem_bytes`. Addresses are interleaved across threads the
+  /// way nvcc lays local memory out, so lockstep accesses coalesce — yet
+  /// the traffic still goes to DRAM, reproducing the §III-A penalty.
+  void local_access(int lane, int array_id, std::uint32_t index,
+                    std::uint32_t elem_bytes, bool write);
+
+  // ---- functional + accounted element accesses --------------------------
+  template <class T>
+  T ld(const Buffer<T>& buf, std::size_t i, int lane) {
+    access(Space::Global, lane, buf.device_addr(i), sizeof(T), false);
+    return buf[i];
+  }
+
+  template <class T>
+  void st(Buffer<T>& buf, std::size_t i, T v, int lane) {
+    access(Space::Global, lane, buf.device_addr(i), sizeof(T), true);
+    buf[i] = v;
+  }
+
+  template <class T>
+  T tex(const TextureBuffer<T>& buf, std::size_t i, int lane) {
+    access(Space::Texture, lane, buf.device_addr(i), sizeof(T), false);
+    return buf[i];
+  }
+
+  /// Bump a space's request counter without simulating addresses — for
+  /// traffic that is modelled statistically (documented per call site).
+  void note_requests(Space s, std::uint64_t n) { stats_->requests_for(s) += n; }
+
+  // ---- window control ----------------------------------------------------
+  /// Barrier: close the window and charge the barrier cost.
+  void sync() { close_window(true); }
+  /// Close the window without a barrier (e.g. periodic flush in kernels
+  /// whose threads run independently).
+  void flush() { close_window(false); }
+
+  const DeviceSpec& device() const { return *spec_; }
+
+ private:
+  friend class Device;
+
+  struct Record {
+    std::uint64_t addr;
+    std::uint32_t bytes;
+    std::uint16_t warp;
+    Space space;
+    bool write;
+  };
+
+  BlockCtx(const DeviceSpec& spec, const CostModel& cost, LaunchStats& stats,
+           Cache& l2, Cache& tex_l2, std::size_t l1_bytes, int block_id,
+           int threads, int resident_per_sm, int concurrent_blocks);
+
+  void close_window(bool barrier);
+  double finish();  // returns total block cycles
+
+  const DeviceSpec* spec_;
+  const CostModel* cost_;
+  LaunchStats* stats_;
+  Cache* l2_;
+  Cache* tex_l2_;
+  Cache l1_;
+  Cache tex_cache_;
+  int block_id_;
+  int threads_;
+  int resident_per_sm_;
+  int concurrent_blocks_;
+
+  std::vector<double> lane_compute_;
+  double uniform_compute_ = 0.0;
+  double warp_uniform_sum_ = 0.0;
+  std::vector<Record> records_;
+  // Estimated memory *instructions* issued per warp this window: a
+  // cooperative warp_access is one instruction; a per-lane access
+  // contributes 1/32 (32 lanes execute one SIMT instruction together).
+  std::vector<double> warp_instr_;
+  std::vector<double> warp_lat_sum_;
+  std::vector<std::uint32_t> warp_txn_;
+  double block_cycles_ = 0.0;
+
+  // scratch reused across windows
+  struct SegKey {
+    std::uint64_t seg;
+    std::uint32_t bytes;
+    std::uint16_t warp;
+    Space space;
+    bool write;
+  };
+  std::vector<SegKey> segs_;
+};
+
+class Device {
+ public:
+  explicit Device(DeviceSpec spec, CostModel cost = {});
+
+  const DeviceSpec& spec() const { return spec_; }
+  const CostModel& cost_model() const { return cost_; }
+
+  template <class T>
+  Buffer<T> alloc(std::size_t n) {
+    Buffer<T> b(cursor_, n);
+    bump(n * sizeof(T));
+    return b;
+  }
+
+  template <class T>
+  TextureBuffer<T> make_texture(std::vector<T> data) {
+    TextureBuffer<T> b(cursor_, std::move(data));
+    bump(b.size() * sizeof(T));
+    return b;
+  }
+
+  /// Reserve a device address range without host-side storage. Used for
+  /// large inputs whose *functional* bytes the kernels read from host
+  /// containers while accounting through real device addresses.
+  std::uint64_t reserve(std::size_t bytes) {
+    const std::uint64_t base = cursor_;
+    bump(bytes);
+    return base;
+  }
+
+  /// Run `body` once per block and schedule the resulting block costs onto
+  /// the device's SM slots. Deterministic.
+  LaunchStats launch(const LaunchConfig& cfg,
+                     const std::function<void(BlockCtx&)>& body);
+
+ private:
+  void bump(std::size_t bytes) {
+    cursor_ += (bytes + 255) / 256 * 256;
+  }
+
+  DeviceSpec spec_;
+  CostModel cost_;
+  std::uint64_t cursor_ = 1 << 16;
+};
+
+}  // namespace cusw::gpusim

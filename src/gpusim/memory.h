@@ -1,0 +1,87 @@
+// Simulated device memory: buffers with device addresses plus the counter
+// structures the profiler-style experiments (Table I) read out.
+//
+// Buffers are functional (they really hold the data the kernels compute
+// with) and carry a device address so the coalescer and caches see the same
+// layout a real kernel would.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cusw::gpusim {
+
+enum class Space : std::uint8_t { Global, Local, Texture };
+
+struct SpaceCounters {
+  std::uint64_t requests = 0;      // access records before coalescing
+  std::uint64_t transactions = 0;  // post-coalescing memory transactions
+  std::uint64_t dram_transactions = 0;  // transactions that reached DRAM
+  std::uint64_t dram_bytes = 0;
+  std::uint64_t l1_hits = 0;
+  std::uint64_t l2_hits = 0;
+  std::uint64_t tex_hits = 0;
+
+  SpaceCounters& operator+=(const SpaceCounters& o) {
+    requests += o.requests;
+    transactions += o.transactions;
+    dram_transactions += o.dram_transactions;
+    dram_bytes += o.dram_bytes;
+    l1_hits += o.l1_hits;
+    l2_hits += o.l2_hits;
+    tex_hits += o.tex_hits;
+    return *this;
+  }
+};
+
+/// A device allocation. Functional storage plus a stable device address.
+template <class T>
+class Buffer {
+ public:
+  Buffer() = default;
+  Buffer(std::uint64_t base, std::size_t n) : base_(base), data_(n) {}
+
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t device_addr(std::size_t i = 0) const {
+    return base_ + i * sizeof(T);
+  }
+
+  T& operator[](std::size_t i) { return data_[i]; }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  T& at(std::size_t i) { return data_.at(i); }
+  const T& at(std::size_t i) const { return data_.at(i); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  void fill(const T& v) { std::fill(data_.begin(), data_.end(), v); }
+
+ private:
+  std::uint64_t base_ = 0;
+  std::vector<T> data_;
+};
+
+/// Read-only buffer bound to the texture unit (cached through the per-SM
+/// texture cache, as the CUDASW++ query profile is).
+template <class T>
+class TextureBuffer {
+ public:
+  TextureBuffer() = default;
+  TextureBuffer(std::uint64_t base, std::vector<T> data)
+      : base_(base), data_(std::move(data)) {}
+
+  std::size_t size() const { return data_.size(); }
+  std::uint64_t device_addr(std::size_t i = 0) const {
+    return base_ + i * sizeof(T);
+  }
+  const T& operator[](std::size_t i) const { return data_[i]; }
+  const T* data() const { return data_.data(); }
+
+ private:
+  std::uint64_t base_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace cusw::gpusim

@@ -1,0 +1,52 @@
+// CUDA occupancy calculation: how many blocks of a given shape fit on one SM.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+
+#include "gpusim/device_spec.h"
+#include "util/check.h"
+
+namespace cusw::gpusim {
+
+struct Occupancy {
+  int blocks_per_sm = 0;
+  int warps_per_sm = 0;
+  double occupancy = 0.0;  // active warps / max warps
+};
+
+inline Occupancy compute_occupancy(const DeviceSpec& dev, int threads_per_block,
+                                   std::size_t shared_bytes_per_block,
+                                   int regs_per_thread) {
+  CUSW_REQUIRE(threads_per_block > 0 &&
+                   threads_per_block <= dev.max_threads_per_block,
+               "threads per block out of range for device");
+  CUSW_REQUIRE(regs_per_thread >= 0, "negative register count");
+
+  int blocks = dev.max_blocks_per_sm;
+  blocks = std::min(blocks, dev.max_threads_per_sm / threads_per_block);
+  if (shared_bytes_per_block > 0) {
+    blocks = std::min(blocks, static_cast<int>(dev.shared_mem_per_sm /
+                                               shared_bytes_per_block));
+  }
+  if (regs_per_thread > 0) {
+    const std::size_t regs_per_block =
+        static_cast<std::size_t>(regs_per_thread) *
+        static_cast<std::size_t>(threads_per_block);
+    blocks = std::min(blocks,
+                      static_cast<int>(dev.registers_per_sm / regs_per_block));
+  }
+  blocks = std::max(blocks, 0);
+
+  Occupancy occ;
+  occ.blocks_per_sm = blocks;
+  const int warps_per_block =
+      (threads_per_block + dev.warp_size - 1) / dev.warp_size;
+  occ.warps_per_sm = blocks * warps_per_block;
+  const int max_warps = dev.max_threads_per_sm / dev.warp_size;
+  occ.occupancy =
+      max_warps > 0 ? static_cast<double>(occ.warps_per_sm) / max_warps : 0.0;
+  return occ;
+}
+
+}  // namespace cusw::gpusim

@@ -1,0 +1,58 @@
+#include "gpusim/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace cusw::gpusim {
+
+namespace {
+
+void space_row(std::ostream& os, const char* name, const SpaceCounters& c) {
+  os << "  " << std::left << std::setw(8) << name << std::right
+     << " requests " << std::setw(12) << c.requests << "  transactions "
+     << std::setw(12) << c.transactions << "  dram " << std::setw(12)
+     << c.dram_transactions;
+  const std::uint64_t hits = c.l1_hits + c.l2_hits + c.tex_hits;
+  if (c.transactions > 0) {
+    os << "  hit-rate " << std::fixed << std::setprecision(1)
+       << 100.0 * static_cast<double>(hits) /
+              static_cast<double>(c.transactions)
+       << "%";
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string format_launch_report(const LaunchStats& stats,
+                                 const DeviceSpec& spec) {
+  std::ostringstream os;
+  os << "launch on " << spec.name << ": " << stats.blocks << " blocks x "
+     << "(" << stats.occupancy.blocks_per_sm << " resident/SM, occupancy "
+     << std::fixed << std::setprecision(2) << stats.occupancy.occupancy
+     << ")\n";
+  os << "  time " << std::scientific << std::setprecision(3) << stats.seconds
+     << " s  (" << std::fixed << std::setprecision(0) << stats.makespan_cycles
+     << " cycles makespan, " << stats.total_block_cycles
+     << " block-cycles total)\n";
+  space_row(os, "global", stats.global);
+  space_row(os, "local", stats.local);
+  space_row(os, "texture", stats.texture);
+  os << "  shared   accesses " << std::setw(12) << stats.shared_accesses
+     << "  bank conflicts " << stats.bank_conflict_cycles << " cycles\n";
+  os << "  barriers " << stats.syncs << " (windows " << stats.windows << ")\n";
+  return os.str();
+}
+
+std::string format_launch_line(const std::string& label,
+                               const LaunchStats& stats) {
+  std::ostringstream os;
+  os << label << ": " << std::scientific << std::setprecision(3)
+     << stats.seconds << " s, global txns "
+     << stats.global_memory_transactions() << ", tex "
+     << stats.texture.transactions << ", shared " << stats.shared_accesses
+     << ", syncs " << stats.syncs;
+  return os.str();
+}
+
+}  // namespace cusw::gpusim

@@ -1,0 +1,21 @@
+// Human-readable profiler-style reports for launch statistics — the
+// simulator's equivalent of the CUDA profiler output the paper used to
+// count global memory accesses (Table I).
+#pragma once
+
+#include <string>
+
+#include "gpusim/launch.h"
+
+namespace cusw::gpusim {
+
+/// Multi-line summary of a launch: occupancy, time, per-space requests /
+/// transactions / cache hits, shared traffic and barriers.
+std::string format_launch_report(const LaunchStats& stats,
+                                 const DeviceSpec& spec);
+
+/// One-line summary (label: time, transactions, hit rates).
+std::string format_launch_line(const std::string& label,
+                               const LaunchStats& stats);
+
+}  // namespace cusw::gpusim

@@ -1,0 +1,30 @@
+#include "seq/alphabet.h"
+
+#include <cctype>
+
+namespace cusw::seq {
+
+Alphabet::Alphabet(std::string letters, char wildcard_letter)
+    : letters_(std::move(letters)) {
+  to_code_.fill(-1);
+  for (std::size_t i = 0; i < letters_.size(); ++i) {
+    const char ch = letters_[i];
+    to_code_[static_cast<unsigned char>(ch)] = static_cast<int>(i);
+    to_code_[static_cast<unsigned char>(
+        std::tolower(static_cast<unsigned char>(ch)))] = static_cast<int>(i);
+  }
+  wildcard_ = encode(wildcard_letter);
+}
+
+const Alphabet& Alphabet::amino_acid() {
+  // BLOSUM row order: 20 standard residues, then B (Asx), Z (Glx), X, *.
+  static const Alphabet a("ARNDCQEGHILKMFPSTWYVBZX*", 'X');
+  return a;
+}
+
+const Alphabet& Alphabet::dna() {
+  static const Alphabet a("ACGTN", 'N');
+  return a;
+}
+
+}  // namespace cusw::seq

@@ -1,0 +1,71 @@
+// Residue alphabets and their byte encodings.
+//
+// Sequences are stored as small integer codes (not ASCII) so that scoring
+// matrix lookups and query-profile construction are direct array indexing —
+// the same representation the CUDA kernels use on the device.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cusw::seq {
+
+using Code = std::uint8_t;
+
+/// The 20 standard amino acids plus ambiguity codes, in the conventional
+/// BLOSUM row order. 'X' doubles as the unknown-residue code.
+class Alphabet {
+ public:
+  static const Alphabet& amino_acid();
+  static const Alphabet& dna();
+
+  std::size_t size() const { return letters_.size(); }
+  char letter(Code c) const { return letters_.at(c); }
+
+  bool contains(char ch) const {
+    return to_code_[static_cast<unsigned char>(ch)] >= 0;
+  }
+
+  Code encode(char ch) const {
+    const int c = to_code_[static_cast<unsigned char>(ch)];
+    CUSW_REQUIRE(c >= 0, std::string("letter not in alphabet: ") + ch);
+    return static_cast<Code>(c);
+  }
+
+  /// Encode, mapping unknown letters to the wildcard code instead of
+  /// throwing (FASTA files in the wild contain oddities).
+  Code encode_lenient(char ch) const {
+    const int c = to_code_[static_cast<unsigned char>(ch)];
+    return c >= 0 ? static_cast<Code>(c) : wildcard_;
+  }
+
+  Code wildcard() const { return wildcard_; }
+
+  std::vector<Code> encode(std::string_view s) const {
+    std::vector<Code> out;
+    out.reserve(s.size());
+    for (char ch : s) out.push_back(encode(ch));
+    return out;
+  }
+
+  std::string decode(const std::vector<Code>& codes) const {
+    std::string out;
+    out.reserve(codes.size());
+    for (Code c : codes) out.push_back(letter(c));
+    return out;
+  }
+
+ private:
+  Alphabet(std::string letters, char wildcard_letter);
+
+  std::string letters_;
+  std::array<int, 256> to_code_{};
+  Code wildcard_ = 0;
+};
+
+}  // namespace cusw::seq

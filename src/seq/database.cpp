@@ -1,0 +1,105 @@
+#include "seq/database.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cusw::seq {
+
+double LengthStats::fraction_over(std::size_t threshold) const {
+  if (count == 0) return 0.0;
+  std::size_t over = 0;
+  for (auto len : lengths) {
+    if (len > threshold) ++over;
+  }
+  return static_cast<double>(over) / static_cast<double>(count);
+}
+
+std::uint64_t SequenceDB::total_residues() const {
+  std::uint64_t total = 0;
+  for (const auto& s : seqs_) total += s.length();
+  return total;
+}
+
+LengthStats SequenceDB::length_stats() const {
+  LengthStats st;
+  st.count = seqs_.size();
+  OnlineStats acc;
+  st.lengths.reserve(seqs_.size());
+  for (const auto& s : seqs_) {
+    st.lengths.push_back(s.length());
+    acc.add(static_cast<double>(s.length()));
+    st.total_residues += s.length();
+  }
+  st.min_length = static_cast<std::size_t>(acc.min());
+  st.max_length = static_cast<std::size_t>(acc.max());
+  st.mean_length = acc.mean();
+  st.stddev_length = acc.stddev();
+  return st;
+}
+
+void SequenceDB::sort_by_length() {
+  std::stable_sort(seqs_.begin(), seqs_.end(),
+                   [](const Sequence& a, const Sequence& b) {
+                     return a.length() < b.length();
+                   });
+}
+
+bool SequenceDB::is_sorted_by_length() const {
+  return std::is_sorted(seqs_.begin(), seqs_.end(),
+                        [](const Sequence& a, const Sequence& b) {
+                          return a.length() < b.length();
+                        });
+}
+
+std::pair<SequenceDB, SequenceDB> SequenceDB::split_by_threshold(
+    std::size_t threshold) const {
+  SequenceDB below, above;
+  for (const auto& s : seqs_) {
+    (s.length() > threshold ? above : below).add(s);
+  }
+  return {std::move(below), std::move(above)};
+}
+
+SequenceDB SequenceDB::filter_by_length(std::size_t min_length,
+                                        std::size_t max_length) const {
+  CUSW_REQUIRE(min_length <= max_length, "length filter bounds inverted");
+  SequenceDB out;
+  for (const auto& s : seqs_) {
+    if (s.length() >= min_length && s.length() <= max_length) out.add(s);
+  }
+  return out;
+}
+
+SequenceDB SequenceDB::slice(std::size_t lo, std::size_t hi) const {
+  CUSW_REQUIRE(lo <= hi && hi <= seqs_.size(), "slice bounds out of range");
+  SequenceDB out;
+  for (std::size_t i = lo; i < hi; ++i) out.add(seqs_[i]);
+  return out;
+}
+
+SequenceDB SequenceDB::sample_stride(std::size_t stride,
+                                     std::size_t offset) const {
+  CUSW_REQUIRE(stride > 0, "stride must be positive");
+  SequenceDB out;
+  for (std::size_t i = offset; i < seqs_.size(); i += stride) {
+    out.add(seqs_[i]);
+  }
+  return out;
+}
+
+void SequenceDB::append(const SequenceDB& other) {
+  seqs_.insert(seqs_.end(), other.seqs_.begin(), other.seqs_.end());
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> SequenceDB::partition_groups(
+    std::size_t group_size) const {
+  CUSW_REQUIRE(group_size > 0, "group size must be positive");
+  std::vector<std::pair<std::size_t, std::size_t>> groups;
+  for (std::size_t lo = 0; lo < seqs_.size(); lo += group_size) {
+    groups.emplace_back(lo, std::min(lo + group_size, seqs_.size()));
+  }
+  return groups;
+}
+
+}  // namespace cusw::seq

@@ -1,0 +1,74 @@
+// Sequence database container with the length statistics and sort/partition
+// operations the CUDASW++ host pipeline relies on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.h"
+#include "util/stats.h"
+
+namespace cusw::seq {
+
+struct LengthStats {
+  std::size_t count = 0;
+  std::uint64_t total_residues = 0;
+  std::size_t min_length = 0;
+  std::size_t max_length = 0;
+  double mean_length = 0.0;
+  double stddev_length = 0.0;
+  /// Fraction of sequences strictly longer than the dispatch threshold.
+  double fraction_over(std::size_t threshold) const;
+  std::vector<std::size_t> lengths;  // retained for percentile queries
+};
+
+class SequenceDB {
+ public:
+  SequenceDB() = default;
+  explicit SequenceDB(std::vector<Sequence> seqs) : seqs_(std::move(seqs)) {}
+
+  void add(Sequence s) { seqs_.push_back(std::move(s)); }
+
+  std::size_t size() const { return seqs_.size(); }
+  bool empty() const { return seqs_.empty(); }
+  const Sequence& operator[](std::size_t i) const { return seqs_[i]; }
+  const Sequence& at(std::size_t i) const { return seqs_.at(i); }
+  const std::vector<Sequence>& sequences() const { return seqs_; }
+
+  std::uint64_t total_residues() const;
+  LengthStats length_stats() const;
+
+  /// Stable sort by ascending length — the CUDASW++ preprocessing step that
+  /// makes inter-task groups near-uniform in length.
+  void sort_by_length();
+  bool is_sorted_by_length() const;
+
+  /// Split into (below-or-equal, above) the dispatch threshold.
+  std::pair<SequenceDB, SequenceDB> split_by_threshold(
+      std::size_t threshold) const;
+
+  /// Partition indices [0, size) into contiguous groups of at most
+  /// `group_size` sequences, as the host does before inter-task launches.
+  std::vector<std::pair<std::size_t, std::size_t>> partition_groups(
+      std::size_t group_size) const;
+
+  /// Sequences whose length lies in [min_length, max_length].
+  SequenceDB filter_by_length(std::size_t min_length,
+                              std::size_t max_length) const;
+
+  /// The contiguous slice [lo, hi).
+  SequenceDB slice(std::size_t lo, std::size_t hi) const;
+
+  /// Every `stride`-th sequence starting at `offset` — a stratified sample
+  /// that preserves the length distribution of a sorted database.
+  SequenceDB sample_stride(std::size_t stride, std::size_t offset = 0) const;
+
+  /// Append all sequences of `other`.
+  void append(const SequenceDB& other);
+
+ private:
+  std::vector<Sequence> seqs_;
+};
+
+}  // namespace cusw::seq

@@ -1,0 +1,68 @@
+#include "seq/fasta.h"
+
+#include <cctype>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "util/check.h"
+
+namespace cusw::seq {
+
+SequenceDB read_fasta(std::istream& in, const Alphabet& alphabet) {
+  SequenceDB db;
+  std::string line;
+  Sequence current;
+  bool have_header = false;
+  auto flush = [&] {
+    if (have_header) db.add(std::move(current));
+    current = Sequence{};
+  };
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      have_header = true;
+      current.name = line.substr(1);
+    } else if (line[0] == ';') {
+      continue;  // old-style comment line
+    } else {
+      CUSW_REQUIRE(have_header, "FASTA residues before the first '>' header");
+      for (char ch : line) {
+        if (std::isspace(static_cast<unsigned char>(ch))) continue;
+        current.residues.push_back(alphabet.encode_lenient(ch));
+      }
+    }
+  }
+  flush();
+  return db;
+}
+
+SequenceDB read_fasta_file(const std::string& path, const Alphabet& alphabet) {
+  std::ifstream in(path);
+  CUSW_REQUIRE(in.good(), "cannot open FASTA file: " + path);
+  return read_fasta(in, alphabet);
+}
+
+void write_fasta(std::ostream& out, const SequenceDB& db,
+                 const Alphabet& alphabet, std::size_t line_width) {
+  CUSW_REQUIRE(line_width > 0, "line width must be positive");
+  for (const auto& s : db.sequences()) {
+    out << '>' << s.name << '\n';
+    for (std::size_t i = 0; i < s.residues.size(); i += line_width) {
+      const std::size_t hi = std::min(i + line_width, s.residues.size());
+      for (std::size_t j = i; j < hi; ++j) out << alphabet.letter(s.residues[j]);
+      out << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path, const SequenceDB& db,
+                      const Alphabet& alphabet, std::size_t line_width) {
+  std::ofstream out(path);
+  CUSW_REQUIRE(out.good(), "cannot open FASTA file for writing: " + path);
+  write_fasta(out, db, alphabet, line_width);
+}
+
+}  // namespace cusw::seq

@@ -1,0 +1,28 @@
+// FASTA I/O.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "seq/database.h"
+
+namespace cusw::seq {
+
+/// Parse FASTA from a stream. Lenient about unknown residue letters (mapped
+/// to the alphabet wildcard) and blank lines; throws on structural errors
+/// such as residues before the first header.
+SequenceDB read_fasta(std::istream& in,
+                      const Alphabet& alphabet = Alphabet::amino_acid());
+
+SequenceDB read_fasta_file(const std::string& path,
+                           const Alphabet& alphabet = Alphabet::amino_acid());
+
+void write_fasta(std::ostream& out, const SequenceDB& db,
+                 const Alphabet& alphabet = Alphabet::amino_acid(),
+                 std::size_t line_width = 60);
+
+void write_fasta_file(const std::string& path, const SequenceDB& db,
+                      const Alphabet& alphabet = Alphabet::amino_acid(),
+                      std::size_t line_width = 60);
+
+}  // namespace cusw::seq

@@ -1,0 +1,163 @@
+#include "seq/generate.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace cusw::seq {
+
+namespace {
+
+// Robinson & Robinson (1991) amino-acid background frequencies, in the
+// BLOSUM row order used by Alphabet::amino_acid() (ARNDCQEGHILKMFPSTWYV).
+constexpr double kAaFreq[20] = {
+    0.078, 0.051, 0.045, 0.054, 0.019, 0.043, 0.063, 0.074, 0.022, 0.051,
+    0.091, 0.057, 0.022, 0.039, 0.052, 0.071, 0.058, 0.013, 0.032, 0.064};
+
+// Cumulative distribution over the 20 standard residues, normalised.
+const std::array<double, 20>& aa_cdf() {
+  static const std::array<double, 20> cdf = [] {
+    std::array<double, 20> c{};
+    double total = 0.0;
+    for (double f : kAaFreq) total += f;
+    double acc = 0.0;
+    for (int i = 0; i < 20; ++i) {
+      acc += kAaFreq[i] / total;
+      c[static_cast<std::size_t>(i)] = acc;
+    }
+    c[19] = 1.0;
+    return c;
+  }();
+  return cdf;
+}
+
+Code sample_residue(Rng& rng) {
+  const double u = rng.uniform01();
+  const auto& cdf = aa_cdf();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  return static_cast<Code>(std::distance(cdf.begin(), it));
+}
+
+std::size_t clamp_length(double len, std::size_t lo, std::size_t hi) {
+  if (!(len > static_cast<double>(lo))) return lo;
+  if (len > static_cast<double>(hi)) return hi;
+  return static_cast<std::size_t>(len);
+}
+
+}  // namespace
+
+Sequence random_protein(std::size_t length, Rng& rng, const std::string& name) {
+  Sequence s;
+  s.name = name;
+  s.residues.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) s.residues.push_back(sample_residue(rng));
+  return s;
+}
+
+SequenceDB lognormal_db_params(std::size_t n, const LogNormalParams& params,
+                               std::uint64_t seed, std::size_t min_length,
+                               std::size_t max_length) {
+  Rng rng(seed);
+  SequenceDB db;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t len = clamp_length(rng.lognormal(params.mu, params.sigma),
+                                         min_length, max_length);
+    db.add(random_protein(len, rng, "lognormal_" + std::to_string(i)));
+  }
+  return db;
+}
+
+SequenceDB lognormal_db(std::size_t n, double mean_length, double stddev_length,
+                        std::uint64_t seed, std::size_t min_length,
+                        std::size_t max_length) {
+  return lognormal_db_params(
+      n, lognormal_from_mean_stddev(mean_length, stddev_length), seed,
+      min_length, max_length);
+}
+
+SequenceDB uniform_db(std::size_t n, std::size_t lo, std::size_t hi,
+                      std::uint64_t seed) {
+  CUSW_REQUIRE(lo > 0 && lo <= hi, "uniform_db bounds invalid");
+  Rng rng(seed);
+  SequenceDB db;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto len = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+    db.add(random_protein(len, rng, "uniform_" + std::to_string(i)));
+  }
+  return db;
+}
+
+SequenceDB DatabaseProfile::synthesize(std::size_t n, std::uint64_t seed) const {
+  CUSW_REQUIRE(n > 0, "cannot synthesise an empty database");
+  constexpr double kThreshold = 3072.0;
+  const double tail = pct_over_3072 / 100.0;
+  const LogNormalParams p =
+      lognormal_from_mean_tail(mean_length, kThreshold, tail);
+
+  // Plant the exact expected number of over-threshold sequences (at least
+  // one) and draw body/tail lengths from the matching conditional
+  // distributions via the inverse CDF. A plain i.i.d. sample of a few
+  // thousand sequences would frequently contain zero long sequences, which
+  // would make the intra-task kernel path vanish from scaled experiments.
+  const auto n_tail = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(tail * static_cast<double>(n))));
+  CUSW_CHECK(n_tail < n, "tail cannot cover the whole database");
+  const double z_thr = (std::log(kThreshold) - p.mu) / p.sigma;
+  const double cdf_thr = normal_cdf(z_thr);
+
+  Rng rng(seed);
+  SequenceDB db;
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool in_tail = i < n_tail;
+    // Conditional sample: u uniform in (F(thr), 1) for the tail, (0, F(thr))
+    // for the body.
+    double u;
+    do {
+      u = in_tail ? cdf_thr + (1.0 - cdf_thr) * rng.uniform01()
+                  : cdf_thr * rng.uniform01();
+    } while (u <= 0.0 || u >= 1.0);
+    const double z = inverse_normal_cdf(u);
+    const double len = std::exp(p.mu + p.sigma * z);
+    db.add(random_protein(clamp_length(len, 16, 60000), rng,
+                          name + "_" + std::to_string(i)));
+  }
+  return db;
+}
+
+DatabaseProfile DatabaseProfile::swissprot() {
+  // UniProtKB/Swiss-Prot as benchmarked by CUDASW++: ~516k sequences, mean
+  // length ~360, 0.12% of sequences longer than 3072 (paper §I and Table II).
+  return {"Swiss-Prot", 516081, 360.0, 0.12};
+}
+
+DatabaseProfile DatabaseProfile::ensembl_dog() {
+  return {"Ensembl Dog Proteins", 25160, 486.0, 0.53};
+}
+
+DatabaseProfile DatabaseProfile::ensembl_rat() {
+  return {"Ensembl Rat Proteins", 32971, 448.0, 0.35};
+}
+
+DatabaseProfile DatabaseProfile::refseq_human() {
+  return {"NCBI RefSeq Human Proteins", 34700, 555.0, 0.56};
+}
+
+DatabaseProfile DatabaseProfile::refseq_mouse() {
+  return {"NCBI RefSeq Mouse Proteins", 29745, 521.0, 0.54};
+}
+
+DatabaseProfile DatabaseProfile::tair() {
+  // TAIR Arabidopsis: the least tail mass of the six (0.06%), which is why
+  // the paper's Table II shows the smallest improvement there.
+  return {"TAIR Arabidopsis Proteins", 35386, 409.0, 0.06};
+}
+
+std::vector<DatabaseProfile> DatabaseProfile::all_paper_databases() {
+  return {ensembl_dog(), ensembl_rat(),  refseq_human(),
+          refseq_mouse(), tair(),        swissprot()};
+}
+
+}  // namespace cusw::seq

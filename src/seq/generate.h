@@ -1,0 +1,65 @@
+// Deterministic synthetic database generation.
+//
+// The real databases used in the paper (UniProt/Swiss-Prot, Ensembl Dog/Rat,
+// NCBI RefSeq Human/Mouse, TAIR) are not redistributable here, so we
+// synthesise statistical stand-ins: protein sequence length follows a
+// log-normal distribution (the paper itself models databases this way,
+// §II-C), and residues are drawn from the Robinson–Robinson background
+// frequencies. Every experiment in the paper depends on the *length
+// distribution* only, which these generators reproduce exactly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "seq/database.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace cusw::seq {
+
+/// One random protein-like sequence of exactly `length` residues.
+Sequence random_protein(std::size_t length, Rng& rng,
+                        const std::string& name = "synthetic");
+
+/// Database with log-normal length distribution given as (mean, stddev) of
+/// the lengths themselves, as in the paper's Fig. 2 experiment.
+SequenceDB lognormal_db(std::size_t n, double mean_length,
+                        double stddev_length, std::uint64_t seed,
+                        std::size_t min_length = 16,
+                        std::size_t max_length = 60000);
+
+/// Database with log-normal lengths given the underlying normal parameters.
+SequenceDB lognormal_db_params(std::size_t n, const LogNormalParams& params,
+                               std::uint64_t seed, std::size_t min_length = 16,
+                               std::size_t max_length = 60000);
+
+/// Database with lengths uniform in [lo, hi].
+SequenceDB uniform_db(std::size_t n, std::size_t lo, std::size_t hi,
+                      std::uint64_t seed);
+
+/// Statistical profile of a published protein database: enough to synthesise
+/// a scaled stand-in whose dispatch behaviour (fraction of sequences above
+/// the kernel threshold) matches the paper's Table II column.
+struct DatabaseProfile {
+  std::string name;
+  std::size_t full_sequence_count;  // size of the real database
+  double mean_length;
+  double pct_over_3072;  // the "% over Thresh" column of Table II
+
+  /// Synthesise `n` sequences matching this profile. The generator fits a
+  /// log-normal to (mean, tail over 3072) and then plants the exact expected
+  /// number of over-threshold sequences so small scaled databases still have
+  /// a long tail instead of losing it to sampling noise.
+  SequenceDB synthesize(std::size_t n, std::uint64_t seed) const;
+
+  static DatabaseProfile swissprot();
+  static DatabaseProfile ensembl_dog();
+  static DatabaseProfile ensembl_rat();
+  static DatabaseProfile refseq_human();
+  static DatabaseProfile refseq_mouse();
+  static DatabaseProfile tair();
+  static std::vector<DatabaseProfile> all_paper_databases();
+};
+
+}  // namespace cusw::seq

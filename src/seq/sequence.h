@@ -1,0 +1,29 @@
+// A named, encoded biological sequence.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "seq/alphabet.h"
+
+namespace cusw::seq {
+
+struct Sequence {
+  std::string name;
+  std::vector<Code> residues;
+
+  Sequence() = default;
+  Sequence(std::string n, std::vector<Code> r)
+      : name(std::move(n)), residues(std::move(r)) {}
+
+  /// Convenience constructor from a letter string.
+  Sequence(std::string n, std::string_view letters,
+           const Alphabet& alphabet = Alphabet::amino_acid())
+      : name(std::move(n)), residues(alphabet.encode(letters)) {}
+
+  std::size_t length() const { return residues.size(); }
+  bool empty() const { return residues.empty(); }
+};
+
+}  // namespace cusw::seq

@@ -1,0 +1,88 @@
+#include "seq/serialize.h"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+#include "util/check.h"
+
+namespace cusw::seq {
+
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'C', 'U', 'S', 'W', 'D', 'B', '1', 0};
+
+template <class T>
+void put(std::ostream& out, T v) {
+  // Serialise integers explicitly little-endian so images are portable.
+  for (std::size_t b = 0; b < sizeof(T); ++b) {
+    out.put(static_cast<char>((static_cast<std::uint64_t>(v) >> (8 * b)) & 0xFF));
+  }
+}
+
+template <class T>
+T get(std::istream& in) {
+  std::uint64_t v = 0;
+  for (std::size_t b = 0; b < sizeof(T); ++b) {
+    const int c = in.get();
+    CUSW_REQUIRE(c != std::char_traits<char>::eof(), "truncated database image");
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(c)) << (8 * b);
+  }
+  return static_cast<T>(v);
+}
+
+}  // namespace
+
+void write_db(std::ostream& out, const SequenceDB& db) {
+  out.write(kMagic.data(), kMagic.size());
+  put<std::uint64_t>(out, db.size());
+  put<std::uint64_t>(out, db.total_residues());
+  for (const auto& s : db.sequences()) {
+    put<std::uint32_t>(out, checked_narrow<std::uint32_t>(s.name.size()));
+    out.write(s.name.data(), static_cast<std::streamsize>(s.name.size()));
+    put<std::uint64_t>(out, s.residues.size());
+    out.write(reinterpret_cast<const char*>(s.residues.data()),
+              static_cast<std::streamsize>(s.residues.size()));
+  }
+  CUSW_REQUIRE(out.good(), "database serialisation failed");
+}
+
+SequenceDB read_db(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  CUSW_REQUIRE(in.gcount() == static_cast<std::streamsize>(magic.size()) &&
+                   magic == kMagic,
+               "not a CUSWDB1 database image");
+  const auto count = get<std::uint64_t>(in);
+  const auto total = get<std::uint64_t>(in);
+  SequenceDB db;
+  std::uint64_t residues = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto name_len = get<std::uint32_t>(in);
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    const auto res_len = get<std::uint64_t>(in);
+    std::vector<Code> codes(res_len);
+    in.read(reinterpret_cast<char*>(codes.data()),
+            static_cast<std::streamsize>(res_len));
+    CUSW_REQUIRE(in.good(), "truncated database image");
+    residues += res_len;
+    db.add(Sequence(std::move(name), std::move(codes)));
+  }
+  CUSW_REQUIRE(residues == total, "database image residue count mismatch");
+  return db;
+}
+
+void write_db_file(const std::string& path, const SequenceDB& db) {
+  std::ofstream out(path, std::ios::binary);
+  CUSW_REQUIRE(out.good(), "cannot open database image for writing: " + path);
+  write_db(out, db);
+}
+
+SequenceDB read_db_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CUSW_REQUIRE(in.good(), "cannot open database image: " + path);
+  return read_db(in);
+}
+
+}  // namespace cusw::seq

@@ -1,0 +1,101 @@
+// Portable fixed-width SIMD vector.
+//
+// The SWPS3 baseline in the paper runs on SSE2; this repository targets
+// whatever host it builds on, so the vector type is a plain fixed-size array
+// with per-lane loops. GCC/Clang auto-vectorise these loops at -O2, giving a
+// faithful stand-in for hand-written intrinsics while staying portable.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace cusw::simd {
+
+template <class T, int N>
+struct Vec {
+  static_assert(N > 0 && (N & (N - 1)) == 0, "lane count must be a power of two");
+  using value_type = T;
+  static constexpr int lanes = N;
+
+  alignas(16) T lane[N];
+
+  static Vec splat(T v) {
+    Vec r;
+    for (int i = 0; i < N; ++i) r.lane[i] = v;
+    return r;
+  }
+
+  static Vec zero() { return splat(T{0}); }
+
+  static Vec load(const T* p) {
+    Vec r;
+    for (int i = 0; i < N; ++i) r.lane[i] = p[i];
+    return r;
+  }
+
+  void store(T* p) const {
+    for (int i = 0; i < N; ++i) p[i] = lane[i];
+  }
+
+  T operator[](int i) const { return lane[i]; }
+
+  friend Vec max(Vec a, Vec b) {
+    Vec r;
+    for (int i = 0; i < N; ++i) r.lane[i] = std::max(a.lane[i], b.lane[i]);
+    return r;
+  }
+
+  /// Saturating add (SSE2 padds/paddus semantics). 32-bit intermediates
+  /// keep the per-lane loop auto-vectorisable.
+  friend Vec adds(Vec a, Vec b) {
+    constexpr int lo = std::numeric_limits<T>::min();
+    constexpr int hi = std::numeric_limits<T>::max();
+    Vec r;
+    for (int i = 0; i < N; ++i) {
+      const int wide = static_cast<int>(a.lane[i]) + static_cast<int>(b.lane[i]);
+      r.lane[i] = static_cast<T>(std::min(hi, std::max(lo, wide)));
+    }
+    return r;
+  }
+
+  /// Saturating subtract (SSE2 psubs/psubus semantics).
+  friend Vec subs(Vec a, Vec b) {
+    constexpr int lo = std::numeric_limits<T>::min();
+    constexpr int hi = std::numeric_limits<T>::max();
+    Vec r;
+    for (int i = 0; i < N; ++i) {
+      const int wide = static_cast<int>(a.lane[i]) - static_cast<int>(b.lane[i]);
+      r.lane[i] = static_cast<T>(std::min(hi, std::max(lo, wide)));
+    }
+    return r;
+  }
+
+  /// Shift the whole register "left" by one lane (toward higher indices),
+  /// filling lane 0 with `fill` — SSE2 pslldq by one element.
+  friend Vec shift_in(Vec a, T fill) {
+    Vec r;
+    r.lane[0] = fill;
+    for (int i = 1; i < N; ++i) r.lane[i] = a.lane[i - 1];
+    return r;
+  }
+
+  /// True if any lane of a is strictly greater than the matching lane of b
+  /// (pcmpgt + pmovmskb — the lazy-F loop exit test).
+  friend bool any_gt(Vec a, Vec b) {
+    bool r = false;
+    for (int i = 0; i < N; ++i) r |= (a.lane[i] > b.lane[i]);
+    return r;
+  }
+
+  friend T horizontal_max(Vec a) {
+    T m = a.lane[0];
+    for (int i = 1; i < N; ++i) m = std::max(m, a.lane[i]);
+    return m;
+  }
+};
+
+using VecI16 = Vec<std::int16_t, 8>;
+
+}  // namespace cusw::simd

@@ -1,0 +1,63 @@
+#include "sw/banded.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cusw::sw {
+
+namespace {
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+}
+
+int sw_banded_score(const std::vector<seq::Code>& query,
+                    const std::vector<seq::Code>& target,
+                    const ScoringMatrix& matrix, GapPenalty gap,
+                    std::size_t bandwidth, std::ptrdiff_t diagonal_offset) {
+  const int rho = gap.open_cost();
+  const int sigma = gap.extend;
+  const auto m = static_cast<std::ptrdiff_t>(query.size());
+  const auto n = static_cast<std::ptrdiff_t>(target.size());
+  if (m == 0 || n == 0) return 0;
+  const auto band = static_cast<std::ptrdiff_t>(bandwidth);
+
+  // Row-indexed DP over the band window; h/e are indexed by j.
+  std::vector<int> h(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<int> e(static_cast<std::size_t>(n) + 1, kNegInf);
+  int best = 0;
+  for (std::ptrdiff_t i = 1; i <= m; ++i) {
+    // Band for row i (1-based): j in [i - offset - band, i - offset + band].
+    const std::ptrdiff_t lo = std::max<std::ptrdiff_t>(1, i - diagonal_offset - band);
+    const std::ptrdiff_t hi = std::min<std::ptrdiff_t>(n, i - diagonal_offset + band);
+    if (lo > hi) continue;
+    int f = kNegInf;
+    // Diagonal input for the band's first cell, then reset the cell just
+    // outside the left edge to the local-alignment boundary (score 0, no
+    // open gap) so the in-band F recurrence sees it as outside.
+    int h_diag = h[static_cast<std::size_t>(lo - 1)];
+    if (lo >= 2) {
+      h[static_cast<std::size_t>(lo - 1)] = 0;
+      e[static_cast<std::size_t>(lo - 1)] = kNegInf;
+    }
+    for (std::ptrdiff_t j = lo; j <= hi; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      e[ju] = std::max(e[ju] - sigma, h[ju] - rho);
+      f = std::max(f - sigma, h[ju - 1] - rho);
+      int hv = h_diag + matrix.score(query[static_cast<std::size_t>(i - 1)],
+                                     target[ju - 1]);
+      hv = std::max(std::max(0, hv), std::max(e[ju], f));
+      h_diag = h[ju];
+      h[ju] = hv;
+      best = std::max(best, hv);
+    }
+    // Invalidate the cell just right of the band for the next row.
+    if (hi + 1 <= n) {
+      h[static_cast<std::size_t>(hi + 1)] = 0;
+      e[static_cast<std::size_t>(hi + 1)] = kNegInf;
+    }
+  }
+  return best;
+}
+
+}  // namespace cusw::sw

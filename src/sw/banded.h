@@ -1,0 +1,26 @@
+// Banded Smith-Waterman: restrict the DP to a diagonal band.
+//
+// For pairs known to be globally similar (or as a fast rescoring filter
+// after a heuristic seed), only cells with |i - j - offset| <= bandwidth
+// matter. Complexity drops from O(mn) to O(band * max(m, n)); with a wide
+// enough band the score equals the full computation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "seq/sequence.h"
+#include "sw/scoring.h"
+
+namespace cusw::sw {
+
+/// Optimal local alignment score within the band
+/// { (i, j) : |(i - j) - diagonal_offset| <= bandwidth }, 0-based residue
+/// indices. The result is a lower bound of the unbanded score and equals it
+/// once the band covers the optimal alignment's diagonal range.
+int sw_banded_score(const std::vector<seq::Code>& query,
+                    const std::vector<seq::Code>& target,
+                    const ScoringMatrix& matrix, GapPenalty gap,
+                    std::size_t bandwidth, std::ptrdiff_t diagonal_offset = 0);
+
+}  // namespace cusw::sw

@@ -1,0 +1,316 @@
+#include "sw/linear_align.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cusw::sw {
+
+namespace {
+
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+
+// Myers-Miller context. Gap runs are priced as open' + k*sigma with
+// open' = rho - sigma (so a run of k costs rho + (k-1)*sigma). Boundary
+// parameters tb/te give the open' price of a deletion run touching the
+// top/bottom edge of a subproblem: open1 normally, 0 when the caller knows
+// the run continues across that edge (its open was already charged).
+struct MM {
+  const seq::Code* a;  // query segment
+  const seq::Code* b;  // target segment
+  const ScoringMatrix* m;
+  int sigma;
+  int open1;  // rho - sigma
+  std::string ops;
+  std::vector<int> cc, dd, rr, ss;
+
+  int ins_run(std::size_t k) const {
+    return k == 0 ? 0 : -(open1 + static_cast<int>(k) * sigma);
+  }
+
+  void emit(char op, std::size_t count) { ops.append(count, op); }
+
+  void diff(std::size_t a0, std::size_t M, std::size_t b0, std::size_t N,
+            int tb, int te) {
+    if (N == 0) {
+      if (M > 0) emit('D', M);
+      return;
+    }
+    if (M == 0) {
+      emit('I', N);
+      return;
+    }
+    if (M == 1) {
+      diff_single_row(a0, b0, N, tb, te);
+      return;
+    }
+
+    const std::size_t imid = M / 2;
+
+    // Forward pass: cc[j]/dd[j] = best (any-state / ends-in-delete) score
+    // of a[a0..a0+imid) vs b[b0..b0+j).
+    cc.assign(N + 1, 0);
+    dd.assign(N + 1, kNegInf);
+    for (std::size_t j = 1; j <= N; ++j) cc[j] = ins_run(j);
+    for (std::size_t i = 1; i <= imid; ++i) {
+      const int open_del = (i == 1 ? tb : open1) + sigma;
+      int s_diag = cc[0];
+      cc[0] = -(tb + static_cast<int>(i) * sigma);
+      dd[0] = cc[0];
+      int e = kNegInf;
+      const seq::Code ai = a[a0 + i - 1];
+      for (std::size_t j = 1; j <= N; ++j) {
+        dd[j] = std::max(dd[j] - sigma, cc[j] - open_del);
+        e = std::max(e - sigma, cc[j - 1] - (open1 + sigma));
+        const int c = s_diag + m->score(ai, b[b0 + j - 1]);
+        s_diag = cc[j];
+        cc[j] = std::max(std::max(c, dd[j]), e);
+      }
+    }
+
+    // Backward pass: rr[j]/ss[j] for a[a0+imid..a0+M) vs b[b0+j..b0+N).
+    rr.assign(N + 1, 0);
+    ss.assign(N + 1, kNegInf);
+    for (std::size_t j = 0; j < N; ++j) rr[j] = ins_run(N - j);
+    const std::size_t M2 = M - imid;
+    for (std::size_t i = 1; i <= M2; ++i) {
+      const int open_del = (i == 1 ? te : open1) + sigma;
+      int s_diag = rr[N];
+      rr[N] = -(te + static_cast<int>(i) * sigma);
+      ss[N] = rr[N];
+      int e = kNegInf;
+      const seq::Code ai = a[a0 + M - i];
+      for (std::size_t j = N; j-- > 0;) {
+        ss[j] = std::max(ss[j] - sigma, rr[j] - open_del);
+        e = std::max(e - sigma, rr[j + 1] - (open1 + sigma));
+        const int c = s_diag + m->score(ai, b[b0 + j]);
+        s_diag = rr[j];
+        rr[j] = std::max(std::max(c, ss[j]), e);
+      }
+    }
+
+    // Join: either the path passes through node (imid, j) cleanly, or a
+    // deletion run spans the midline (in which case both halves charged an
+    // open; add one back).
+    int best = kNegInf;
+    std::size_t jstar = 0;
+    bool type2 = false;
+    for (std::size_t j = 0; j <= N; ++j) {
+      const int t1 = cc[j] + rr[j];
+      if (t1 > best) {
+        best = t1;
+        jstar = j;
+        type2 = false;
+      }
+      if (dd[j] > kNegInf / 2 && ss[j] > kNegInf / 2) {
+        const int t2 = dd[j] + ss[j] + open1;
+        if (t2 > best) {
+          best = t2;
+          jstar = j;
+          type2 = true;
+        }
+      }
+    }
+
+    // The pass arrays are scratch shared across recursion levels; the
+    // recursive calls below rebuild them, so nothing to preserve.
+    if (!type2) {
+      diff(a0, imid, b0, jstar, tb, open1);
+      diff(a0 + imid, M - imid, b0 + jstar, N - jstar, open1, te);
+    } else {
+      // Rows imid and imid+1 are both deletions of the spanning run.
+      diff(a0, imid - 1, b0, jstar, tb, 0);
+      emit('D', 2);
+      diff(a0 + imid + 1, M - imid - 1, b0 + jstar, N - jstar, 0, te);
+    }
+  }
+
+  // Base case: a single query row against b[b0..b0+N), N >= 1.
+  void diff_single_row(std::size_t a0, std::size_t b0, std::size_t N, int tb,
+                       int te) {
+    // Option 1: delete the residue and insert all of b. The single-row
+    // deletion touches both edges; it continues across whichever edge
+    // offers the cheaper (possibly zero) open.
+    int best = -(std::min(tb, te) + sigma) + ins_run(N);
+    std::size_t best_k = 0;  // 0 = delete option
+    for (std::size_t k = 1; k <= N; ++k) {
+      const int v = ins_run(k - 1) + m->score(a[a0], b[b0 + k - 1]) +
+                    ins_run(N - k);
+      if (v > best) {
+        best = v;
+        best_k = k;
+      }
+    }
+    if (best_k == 0) {
+      emit('D', 1);
+      emit('I', N);
+    } else {
+      emit('I', best_k - 1);
+      emit('M', 1);
+      emit('I', N - best_k);
+    }
+  }
+};
+
+// Render an edit script into gapped strings.
+void render(const std::string& ops, const std::vector<seq::Code>& q,
+            std::size_t q0, const std::vector<seq::Code>& t, std::size_t t0,
+            const seq::Alphabet& alphabet, std::string& qa, std::string& ta) {
+  std::size_t i = q0, j = t0;
+  qa.clear();
+  ta.clear();
+  for (char op : ops) {
+    switch (op) {
+      case 'M':
+        qa.push_back(alphabet.letter(q[i++]));
+        ta.push_back(alphabet.letter(t[j++]));
+        break;
+      case 'D':
+        qa.push_back(alphabet.letter(q[i++]));
+        ta.push_back('-');
+        break;
+      default:
+        qa.push_back('-');
+        ta.push_back(alphabet.letter(t[j++]));
+        break;
+    }
+  }
+}
+
+// Score an edit script under the affine model (merged gap runs pay one
+// open each).
+int score_ops(const std::string& ops, const std::vector<seq::Code>& q,
+              std::size_t q0, const std::vector<seq::Code>& t, std::size_t t0,
+              const ScoringMatrix& m, GapPenalty gap) {
+  int score = 0;
+  std::size_t i = q0, j = t0;
+  char prev = 'M';
+  for (char op : ops) {
+    if (op == 'M') {
+      score += m.score(q[i++], t[j++]);
+    } else {
+      score -= (op == prev) ? gap.extend : gap.open_cost();
+      (op == 'D' ? i : j)++;
+    }
+    prev = op;
+  }
+  return score;
+}
+
+}  // namespace
+
+GlobalAlignment nw_align_linear(const std::vector<seq::Code>& query,
+                                const std::vector<seq::Code>& target,
+                                const ScoringMatrix& matrix, GapPenalty gap) {
+  MM mm{query.data(), target.data(), &matrix, gap.extend,
+        gap.open_cost() - gap.extend, {}, {}, {}, {}, {}};
+  mm.diff(0, query.size(), 0, target.size(), mm.open1, mm.open1);
+  GlobalAlignment out;
+  out.ops = std::move(mm.ops);
+  out.score = score_ops(out.ops, query, 0, target, 0, matrix, gap);
+  render(out.ops, query, 0, target, 0, matrix.alphabet(), out.query_aligned,
+         out.target_aligned);
+  return out;
+}
+
+LocalAlignment sw_align_linear(const seq::Sequence& query,
+                               const seq::Sequence& target,
+                               const ScoringMatrix& matrix, GapPenalty gap) {
+  const auto& q = query.residues;
+  const auto& t = target.residues;
+  LocalAlignment out;
+  if (q.empty() || t.empty()) return out;
+  const int rho = gap.open_cost();
+  const int sigma = gap.extend;
+
+  // Pass 1: locate the optimal end cell (first maximum in row-major order,
+  // matching sw_align's "strictly greater" update rule).
+  std::size_t end_i = 0, end_j = 0;
+  {
+    std::vector<int> h(t.size() + 1, 0), e(t.size() + 1, kNegInf);
+    int best = 0;
+    for (std::size_t i = 1; i <= q.size(); ++i) {
+      int f = kNegInf;
+      int h_diag = 0;
+      for (std::size_t j = 1; j <= t.size(); ++j) {
+        e[j] = std::max(e[j] - sigma, h[j] - rho);
+        f = std::max(f - sigma, h[j - 1] - rho);
+        int hv = h_diag + matrix.score(q[i - 1], t[j - 1]);
+        hv = std::max(std::max(0, hv), std::max(e[j], f));
+        h_diag = h[j];
+        h[j] = hv;
+        if (hv > best) {
+          best = hv;
+          end_i = i;
+          end_j = j;
+        }
+      }
+    }
+    out.score = best;
+    if (best == 0) return out;
+  }
+
+  // Pass 2: anchored reverse DP. The optimal alignment ends with the match
+  // (end_i-1, end_j-1); walking backwards, find where an alignment anchored
+  // at that match reaches the full score — its start cell.
+  std::size_t start_i = end_i - 1, start_j = end_j - 1;
+  {
+    const std::size_t m2 = end_i, n2 = end_j;
+    std::vector<int> h(n2 + 1, kNegInf), e(n2 + 1, kNegInf);
+    bool found = false;
+    for (std::size_t i = 1; i <= m2 && !found; ++i) {
+      int f = kNegInf;
+      int h_diag = (i == 1) ? 0 : kNegInf;
+      // h_diag must be 0 only for the anchored first cell (i=1, j=1).
+      for (std::size_t j = 1; j <= n2; ++j) {
+        const int e_new = std::max(e[j] - sigma, h[j] - rho);
+        f = std::max(f - sigma, h[j - 1] - rho);
+        const int diag = (i == 1 && j == 1) ? 0 : h_diag;
+        int hv = diag > kNegInf / 2
+                     ? diag + matrix.score(q[end_i - i], t[end_j - j])
+                     : kNegInf;
+        hv = std::max(hv, std::max(e_new, f));
+        e[j] = e_new;
+        h_diag = h[j];
+        h[j] = hv;
+        if (hv == out.score) {
+          start_i = end_i - i;
+          start_j = end_j - j;
+          found = true;
+          break;
+        }
+      }
+    }
+    CUSW_CHECK(found, "reverse pass failed to reach the optimal score");
+  }
+
+  // Pass 3: Myers-Miller global alignment of the delimited segment.
+  const std::vector<seq::Code> qs(q.begin() + static_cast<std::ptrdiff_t>(start_i),
+                                  q.begin() + static_cast<std::ptrdiff_t>(end_i));
+  const std::vector<seq::Code> ts(t.begin() + static_cast<std::ptrdiff_t>(start_j),
+                                  t.begin() + static_cast<std::ptrdiff_t>(end_j));
+  MM mm{qs.data(), ts.data(), &matrix, sigma, rho - sigma, {}, {}, {}, {}, {}};
+  mm.diff(0, qs.size(), 0, ts.size(), mm.open1, mm.open1);
+
+  out.query_begin = start_i;
+  out.query_end = end_i;
+  out.target_begin = start_j;
+  out.target_end = end_j;
+  render(mm.ops, q, start_i, t, start_j, matrix.alphabet(), out.query_aligned,
+         out.target_aligned);
+  for (std::size_t k = 0; k < mm.ops.size(); ++k) {
+    if (mm.ops[k] == 'M') {
+      (out.query_aligned[k] == out.target_aligned[k] ? out.matches
+                                                     : out.mismatches)++;
+    } else {
+      ++out.gaps;
+    }
+  }
+  const int rescored = score_ops(mm.ops, q, start_i, t, start_j, matrix, gap);
+  CUSW_CHECK(rescored == out.score,
+             "linear-space alignment does not reproduce the optimal score");
+  return out;
+}
+
+}  // namespace cusw::sw

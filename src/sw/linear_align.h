@@ -1,0 +1,41 @@
+// Linear-space alignment with traceback (Hirschberg / Myers-Miller).
+//
+// sw_align() needs O(mn) memory for its traceback tables, which rules out
+// aligning long pairs (the intra-task regime: sequences of tens of
+// thousands of residues). This module produces the same optimal local
+// alignment in O(m + n) memory:
+//
+//   1. a linear-space Smith-Waterman pass locates the optimal end cell;
+//   2. an anchored reverse pass locates the matching start cell;
+//   3. the Myers-Miller divide-and-conquer (affine-gap Hirschberg) aligns
+//      the delimited segment, splitting on the middle row and handling
+//      deletions that span the split with the classic gap-join treatment.
+#pragma once
+
+#include "sw/smith_waterman.h"
+
+namespace cusw::sw {
+
+/// Optimal global alignment of the full sequences in linear space.
+/// Equivalent to a full Needleman-Wunsch with traceback.
+struct GlobalAlignment {
+  int score = 0;
+  /// Edit script over (query, target): 'M' consumes one residue of each,
+  /// 'D' consumes query only (gap in target), 'I' consumes target only.
+  std::string ops;
+  std::string query_aligned;
+  std::string target_aligned;
+};
+
+GlobalAlignment nw_align_linear(const std::vector<seq::Code>& query,
+                                const std::vector<seq::Code>& target,
+                                const ScoringMatrix& matrix, GapPenalty gap);
+
+/// Optimal local alignment with traceback in linear space; same result
+/// contract as sw_align() (scores always identical; the alignment is one of
+/// the co-optimal ones).
+LocalAlignment sw_align_linear(const seq::Sequence& query,
+                               const seq::Sequence& target,
+                               const ScoringMatrix& matrix, GapPenalty gap);
+
+}  // namespace cusw::sw

@@ -1,0 +1,39 @@
+#include "sw/query_profile.h"
+
+#include "util/check.h"
+
+namespace cusw::sw {
+
+QueryProfile::QueryProfile(const std::vector<seq::Code>& query,
+                           const ScoringMatrix& matrix)
+    : length_(query.size()), alphabet_size_(matrix.alphabet().size()) {
+  rows_.resize(alphabet_size_ * length_);
+  for (std::size_t a = 0; a < alphabet_size_; ++a) {
+    for (std::size_t i = 0; i < length_; ++i) {
+      rows_[a * length_ + i] = checked_narrow<std::int8_t>(
+          matrix.score(query[i], static_cast<seq::Code>(a)));
+    }
+  }
+}
+
+PackedQueryProfile::PackedQueryProfile(const std::vector<seq::Code>& query,
+                                       const ScoringMatrix& matrix)
+    : length_(query.size()), words_((query.size() + 3) / 4) {
+  const std::size_t alphabet_size = matrix.alphabet().size();
+  const int pad_score = matrix.min_score();
+  words_data_.resize(alphabet_size * words_);
+  for (std::size_t a = 0; a < alphabet_size; ++a) {
+    for (std::size_t w = 0; w < words_; ++w) {
+      int s[4];
+      for (int lane = 0; lane < 4; ++lane) {
+        const std::size_t i = 4 * w + static_cast<std::size_t>(lane);
+        s[lane] = i < length_
+                      ? matrix.score(query[i], static_cast<seq::Code>(a))
+                      : pad_score;
+      }
+      words_data_[a * words_ + w] = Packed4::make(s[0], s[1], s[2], s[3]);
+    }
+  }
+}
+
+}  // namespace cusw::sw

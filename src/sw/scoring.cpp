@@ -1,0 +1,153 @@
+#include "sw/scoring.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cusw::sw {
+
+ScoringMatrix::ScoringMatrix(const seq::Alphabet& alphabet, std::string name,
+                             int fill)
+    : alphabet_(&alphabet),
+      name_(std::move(name)),
+      dim_(alphabet.size()),
+      cells_(dim_ * dim_, checked_narrow<std::int8_t>(fill)) {}
+
+int ScoringMatrix::max_score() const {
+  return *std::max_element(cells_.begin(), cells_.end());
+}
+
+int ScoringMatrix::min_score() const {
+  return *std::min_element(cells_.begin(), cells_.end());
+}
+
+ScoringMatrix ScoringMatrix::parse_ncbi(const seq::Alphabet& alphabet,
+                                        std::string name, std::istream& in0) {
+  // Buffer the stream so the symmetry-validation pass can re-read it.
+  std::ostringstream buffered;
+  buffered << in0.rdbuf();
+  const std::string text = buffered.str();
+  std::istringstream in(text);
+  std::string header_line;
+  std::getline(in, header_line);
+  std::istringstream header(header_line);
+  std::vector<char> columns;
+  for (std::string tok; header >> tok;) {
+    CUSW_CHECK(tok.size() == 1, "matrix header tokens must be single letters");
+    columns.push_back(tok[0]);
+  }
+  ScoringMatrix m(alphabet, std::move(name), 0);
+  std::string row_letter;
+  while (in >> row_letter) {
+    CUSW_CHECK(row_letter.size() == 1, "matrix row label must be one letter");
+    const seq::Code row = alphabet.encode(row_letter[0]);
+    for (char col_letter : columns) {
+      int v = 0;
+      CUSW_CHECK(static_cast<bool>(in >> v), "matrix row truncated");
+      const seq::Code col = alphabet.encode(col_letter);
+      if (col <= row) {
+        m.set(row, col, v);
+      } else {
+        // Upper triangle: must agree with what set() mirrored already once
+        // the symmetric entry has been seen; defer check to full pass below.
+      }
+    }
+  }
+  // Re-parse to verify symmetry of the source table.
+  std::istringstream in2(text);
+  std::getline(in2, header_line);
+  while (in2 >> row_letter) {
+    const seq::Code row = alphabet.encode(row_letter[0]);
+    for (char col_letter : columns) {
+      int v = 0;
+      in2 >> v;
+      CUSW_CHECK(m.score(row, alphabet.encode(col_letter)) == v,
+                 "matrix source is not symmetric");
+    }
+  }
+  return m;
+}
+
+namespace {
+
+constexpr const char* kBlosum62 = R"(A R N D C Q E G H I L K M F P S T W Y V B Z X *
+A 4 -1 -2 -2 0 -1 -1 0 -2 -1 -1 -1 -1 -2 -1 1 0 -3 -2 0 -2 -1 0 -4
+R -1 5 0 -2 -3 1 0 -2 0 -3 -2 2 -1 -3 -2 -1 -1 -3 -2 -3 -1 0 -1 -4
+N -2 0 6 1 -3 0 0 0 1 -3 -3 0 -2 -3 -2 1 0 -4 -2 -3 3 0 -1 -4
+D -2 -2 1 6 -3 0 2 -1 -1 -3 -4 -1 -3 -3 -1 0 -1 -4 -3 -3 4 1 -1 -4
+C 0 -3 -3 -3 9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1 -3 -3 -2 -4
+Q -1 1 0 0 -3 5 2 -2 0 -3 -2 1 0 -3 -1 0 -1 -2 -1 -2 0 3 -1 -4
+E -1 0 0 2 -4 2 5 -2 0 -3 -3 1 -2 -3 -1 0 -1 -3 -2 -2 1 4 -1 -4
+G 0 -2 0 -1 -3 -2 -2 6 -2 -4 -4 -2 -3 -3 -2 0 -2 -2 -3 -3 -1 -2 -1 -4
+H -2 0 1 -1 -3 0 0 -2 8 -3 -3 -1 -2 -1 -2 -1 -2 -2 2 -3 0 0 -1 -4
+I -1 -3 -3 -3 -1 -3 -3 -4 -3 4 2 -3 1 0 -3 -2 -1 -3 -1 3 -3 -3 -1 -4
+L -1 -2 -3 -4 -1 -2 -3 -4 -3 2 4 -2 2 0 -3 -2 -1 -2 -1 1 -4 -3 -1 -4
+K -1 2 0 -1 -3 1 1 -2 -1 -3 -2 5 -1 -3 -1 0 -1 -3 -2 -2 0 1 -1 -4
+M -1 -1 -2 -3 -1 0 -2 -3 -2 1 2 -1 5 0 -2 -1 -1 -1 -1 1 -3 -1 -1 -4
+F -2 -3 -3 -3 -2 -3 -3 -3 -1 0 0 -3 0 6 -4 -2 -2 1 3 -1 -3 -3 -1 -4
+P -1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4 7 -1 -1 -4 -3 -2 -2 -1 -2 -4
+S 1 -1 1 0 -1 0 0 0 -1 -2 -2 0 -1 -2 -1 4 1 -3 -2 -2 0 0 0 -4
+T 0 -1 0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1 1 5 -2 -2 0 -1 -1 0 -4
+W -3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1 1 -4 -3 -2 11 2 -3 -4 -3 -2 -4
+Y -2 -2 -2 -3 -2 -1 -2 -3 2 -1 -1 -2 -1 3 -3 -2 -2 2 7 -1 -3 -2 -1 -4
+V 0 -3 -3 -3 -1 -2 -2 -3 -3 3 1 -2 1 -1 -2 -2 0 -3 -1 4 -3 -2 -1 -4
+B -2 -1 3 4 -3 0 1 -1 0 -3 -4 0 -3 -3 -2 0 -1 -4 -3 -3 4 1 -1 -4
+Z -1 0 0 1 -3 3 4 -2 0 -3 -3 1 -1 -3 -1 0 -1 -3 -2 -2 1 4 -1 -4
+X 0 -1 -1 -1 -2 -1 -1 -1 -1 -1 -1 -1 -1 -1 -2 0 0 -2 -1 -1 -1 -1 -1 -4
+* -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 1
+)";
+
+constexpr const char* kBlosum50 = R"(A R N D C Q E G H I L K M F P S T W Y V B Z X *
+A 5 -2 -1 -2 -1 -1 -1 0 -2 -1 -2 -1 -1 -3 -1 1 0 -3 -2 0 -2 -1 -1 -5
+R -2 7 -1 -2 -4 1 0 -3 0 -4 -3 3 -2 -3 -3 -1 -1 -3 -1 -3 -1 0 -1 -5
+N -1 -1 7 2 -2 0 0 0 1 -3 -4 0 -2 -4 -2 1 0 -4 -2 -3 4 0 -1 -5
+D -2 -2 2 8 -4 0 2 -1 -1 -4 -4 -1 -4 -5 -1 0 -1 -5 -3 -4 5 1 -1 -5
+C -1 -4 -2 -4 13 -3 -3 -3 -3 -2 -2 -3 -2 -2 -4 -1 -1 -5 -3 -1 -3 -3 -2 -5
+Q -1 1 0 0 -3 7 2 -2 1 -3 -2 2 0 -4 -1 0 -1 -1 -1 -3 0 4 -1 -5
+E -1 0 0 2 -3 2 6 -3 0 -4 -3 1 -2 -3 -1 -1 -1 -3 -2 -3 1 5 -1 -5
+G 0 -3 0 -1 -3 -2 -3 8 -2 -4 -4 -2 -3 -4 -2 0 -2 -3 -3 -4 -1 -2 -2 -5
+H -2 0 1 -1 -3 1 0 -2 10 -4 -3 0 -1 -1 -2 -1 -2 -3 2 -4 0 0 -1 -5
+I -1 -4 -3 -4 -2 -3 -4 -4 -4 5 2 -3 2 0 -3 -3 -1 -3 -1 4 -4 -3 -1 -5
+L -2 -3 -4 -4 -2 -2 -3 -4 -3 2 5 -3 3 1 -4 -3 -1 -2 -1 1 -4 -3 -1 -5
+K -1 3 0 -1 -3 2 1 -2 0 -3 -3 6 -2 -4 -1 0 -1 -3 -2 -3 0 1 -1 -5
+M -1 -2 -2 -4 -2 0 -2 -3 -1 2 3 -2 7 0 -3 -2 -1 -1 0 1 -3 -1 -1 -5
+F -3 -3 -4 -5 -2 -4 -3 -4 -1 0 1 -4 0 8 -4 -3 -2 1 4 -1 -4 -4 -2 -5
+P -1 -3 -2 -1 -4 -1 -1 -2 -2 -3 -4 -1 -3 -4 10 -1 -1 -4 -3 -3 -2 -1 -2 -5
+S 1 -1 1 0 -1 0 -1 0 -1 -3 -3 0 -2 -3 -1 5 2 -4 -2 -2 0 0 -1 -5
+T 0 -1 0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1 2 5 -3 -2 0 0 -1 0 -5
+W -3 -3 -4 -5 -5 -1 -3 -3 -3 -3 -2 -3 -1 1 -4 -4 -3 15 2 -3 -5 -2 -3 -5
+Y -2 -1 -2 -3 -3 -1 -2 -3 2 -1 -1 -2 0 4 -3 -2 -2 2 8 -1 -3 -2 -1 -5
+V 0 -3 -3 -4 -1 -3 -3 -4 -4 4 1 -3 1 -1 -3 -2 0 -3 -1 5 -4 -3 -1 -5
+B -2 -1 4 5 -3 0 1 -1 0 -4 -4 0 -3 -4 -2 0 0 -5 -3 -4 5 2 -1 -5
+Z -1 0 0 1 -3 4 5 -2 0 -3 -3 1 -1 -4 -1 0 -1 -2 -2 -3 2 5 -1 -5
+X -1 -1 -1 -1 -2 -1 -1 -2 -1 -1 -1 -1 -1 -2 -2 -1 0 -3 -1 -1 -1 -1 -1 -5
+* -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 1
+)";
+
+}  // namespace
+
+const ScoringMatrix& ScoringMatrix::blosum62() {
+  static const ScoringMatrix m = [] {
+    std::istringstream in(kBlosum62);
+    return parse_ncbi(seq::Alphabet::amino_acid(), "BLOSUM62", in);
+  }();
+  return m;
+}
+
+const ScoringMatrix& ScoringMatrix::blosum50() {
+  static const ScoringMatrix m = [] {
+    std::istringstream in(kBlosum50);
+    return parse_ncbi(seq::Alphabet::amino_acid(), "BLOSUM50", in);
+  }();
+  return m;
+}
+
+ScoringMatrix ScoringMatrix::match_mismatch(const seq::Alphabet& alphabet,
+                                            int match, int mismatch) {
+  ScoringMatrix m(alphabet, "match/mismatch", mismatch);
+  for (std::size_t i = 0; i < alphabet.size(); ++i) {
+    m.set(static_cast<seq::Code>(i), static_cast<seq::Code>(i), match);
+  }
+  return m;
+}
+
+}  // namespace cusw::sw

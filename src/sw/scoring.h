@@ -1,0 +1,77 @@
+// Substitution matrices and affine gap penalties.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "seq/alphabet.h"
+#include "util/check.h"
+
+namespace cusw::sw {
+
+/// Affine gap model: a gap of length k costs open + k * extend (i.e. the
+/// first gap residue costs open + extend). Matches the recurrence in the
+/// paper's Eq. (1) with rho = open + extend charged on gap opening and
+/// sigma = extend on continuation.
+struct GapPenalty {
+  int open = 10;    // rho
+  int extend = 2;   // sigma
+
+  int open_cost() const { return open + extend; }
+};
+
+/// Square substitution matrix over an alphabet, stored row-major with
+/// direct code indexing (the layout the query profile is built from).
+class ScoringMatrix {
+ public:
+  ScoringMatrix(const seq::Alphabet& alphabet, std::string name, int fill);
+
+  const std::string& name() const { return name_; }
+  const seq::Alphabet& alphabet() const { return *alphabet_; }
+  std::size_t dim() const { return dim_; }
+
+  int score(seq::Code a, seq::Code b) const {
+    return cells_[static_cast<std::size_t>(a) * dim_ + b];
+  }
+
+  void set(seq::Code a, seq::Code b, int v) {
+    cells_[static_cast<std::size_t>(a) * dim_ + b] =
+        checked_narrow<std::int8_t>(v);
+    cells_[static_cast<std::size_t>(b) * dim_ + a] =
+        checked_narrow<std::int8_t>(v);
+  }
+
+  void set_by_letter(char a, char b, int v) {
+    set(alphabet_->encode(a), alphabet_->encode(b), v);
+  }
+
+  int max_score() const;
+  int min_score() const;
+
+  /// Raw row-major cell storage (dim() x dim() int8), for hot loops that
+  /// hoist row pointers.
+  const std::int8_t* data() const { return cells_.data(); }
+
+  /// The standard matrices used by CUDASW++ benchmarks.
+  static const ScoringMatrix& blosum62();
+  static const ScoringMatrix& blosum50();
+  /// Simple match/mismatch matrix (useful for DNA and for unit tests whose
+  /// expected scores are easy to derive by hand).
+  static ScoringMatrix match_mismatch(const seq::Alphabet& alphabet, int match,
+                                      int mismatch);
+  /// Parse an NCBI-format matrix (header row of column letters, then one
+  /// "<letter> <scores...>" row per residue). Symmetry is validated; use
+  /// this to load BLOSUM45/80/90, PAM matrices, or custom scoring systems.
+  static ScoringMatrix parse_ncbi(const seq::Alphabet& alphabet,
+                                  std::string name, std::istream& in);
+
+ private:
+  const seq::Alphabet* alphabet_;
+  std::string name_;
+  std::size_t dim_;
+  std::vector<std::int8_t> cells_;
+};
+
+}  // namespace cusw::sw

@@ -1,0 +1,200 @@
+#include "sw/smith_waterman.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace cusw::sw {
+
+namespace {
+constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
+}
+
+int sw_score(const std::vector<seq::Code>& query,
+             const std::vector<seq::Code>& target, const ScoringMatrix& matrix,
+             GapPenalty gap) {
+  const int rho = gap.open_cost();
+  const int sigma = gap.extend;
+  const std::size_t m = query.size();
+  const std::size_t n = target.size();
+  if (m == 0 || n == 0) return 0;
+
+  // One row of H and E; F and the diagonal H value are carried in scalars.
+  std::vector<int> h(n + 1, 0);
+  std::vector<int> e(n + 1, kNegInf);
+  int best = 0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    int f = kNegInf;
+    int h_diag = 0;  // H[i-1][j-1]
+    h[0] = 0;
+    const seq::Code qi = query[i - 1];
+    for (std::size_t j = 1; j <= n; ++j) {
+      e[j] = std::max(e[j] - sigma, h[j] - rho);        // gap in query
+      f = std::max(f - sigma, h[j - 1] - rho);          // gap in target
+      int hij = h_diag + matrix.score(qi, target[j - 1]);
+      hij = std::max({0, hij, e[j], f});
+      h_diag = h[j];
+      h[j] = hij;
+      best = std::max(best, hij);
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<int>> sw_full_table(
+    const std::vector<seq::Code>& query, const std::vector<seq::Code>& target,
+    const ScoringMatrix& matrix, GapPenalty gap) {
+  const int rho = gap.open_cost();
+  const int sigma = gap.extend;
+  const std::size_t m = query.size();
+  const std::size_t n = target.size();
+  std::vector<std::vector<int>> h(m + 1, std::vector<int>(n + 1, 0));
+  std::vector<std::vector<int>> e(m + 1, std::vector<int>(n + 1, kNegInf));
+  std::vector<std::vector<int>> f(m + 1, std::vector<int>(n + 1, kNegInf));
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      e[i][j] = std::max(e[i][j - 1] - sigma, h[i][j - 1] - rho);
+      f[i][j] = std::max(f[i - 1][j] - sigma, h[i - 1][j] - rho);
+      const int diag =
+          h[i - 1][j - 1] + matrix.score(query[i - 1], target[j - 1]);
+      h[i][j] = std::max({0, diag, e[i][j], f[i][j]});
+    }
+  }
+  return h;
+}
+
+LocalAlignment sw_align(const seq::Sequence& query, const seq::Sequence& target,
+                        const ScoringMatrix& matrix, GapPenalty gap) {
+  const int rho = gap.open_cost();
+  const int sigma = gap.extend;
+  const auto& q = query.residues;
+  const auto& t = target.residues;
+  const std::size_t m = q.size();
+  const std::size_t n = t.size();
+  LocalAlignment out;
+  if (m == 0 || n == 0) return out;
+
+  std::vector<std::vector<int>> h(m + 1, std::vector<int>(n + 1, 0));
+  std::vector<std::vector<int>> e(m + 1, std::vector<int>(n + 1, kNegInf));
+  std::vector<std::vector<int>> f(m + 1, std::vector<int>(n + 1, kNegInf));
+  std::size_t bi = 0, bj = 0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    for (std::size_t j = 1; j <= n; ++j) {
+      e[i][j] = std::max(e[i][j - 1] - sigma, h[i][j - 1] - rho);
+      f[i][j] = std::max(f[i - 1][j] - sigma, h[i - 1][j] - rho);
+      const int diag = h[i - 1][j - 1] + matrix.score(q[i - 1], t[j - 1]);
+      h[i][j] = std::max({0, diag, e[i][j], f[i][j]});
+      if (h[i][j] > out.score) {
+        out.score = h[i][j];
+        bi = i;
+        bj = j;
+      }
+    }
+  }
+  if (out.score == 0) return out;
+
+  // Trace back from the maximum until H drops to 0. State tracks which of
+  // the three tables the current cell value came from.
+  const auto& alphabet = matrix.alphabet();
+  enum class State { H, E, F };
+  State state = State::H;
+  std::size_t i = bi, j = bj;
+  std::string qa, ta;
+  while (i > 0 && j > 0) {
+    if (state == State::H) {
+      if (h[i][j] == 0) break;
+      const int diag = h[i - 1][j - 1] + matrix.score(q[i - 1], t[j - 1]);
+      if (h[i][j] == diag) {
+        qa.push_back(alphabet.letter(q[i - 1]));
+        ta.push_back(alphabet.letter(t[j - 1]));
+        (q[i - 1] == t[j - 1] ? out.matches : out.mismatches)++;
+        --i;
+        --j;
+      } else if (h[i][j] == e[i][j]) {
+        state = State::E;
+      } else {
+        CUSW_CHECK(h[i][j] == f[i][j], "traceback: H cell has no source");
+        state = State::F;
+      }
+    } else if (state == State::E) {
+      // Gap in the query: consume a target residue.
+      qa.push_back('-');
+      ta.push_back(alphabet.letter(t[j - 1]));
+      ++out.gaps;
+      const bool opened = (e[i][j] == h[i][j - 1] - rho);
+      --j;
+      if (opened) state = State::H;
+    } else {
+      qa.push_back(alphabet.letter(q[i - 1]));
+      ta.push_back('-');
+      ++out.gaps;
+      const bool opened = (f[i][j] == h[i - 1][j] - rho);
+      --i;
+      if (opened) state = State::H;
+    }
+  }
+  out.query_begin = i;
+  out.query_end = bi;
+  out.target_begin = j;
+  out.target_end = bj;
+  std::reverse(qa.begin(), qa.end());
+  std::reverse(ta.begin(), ta.end());
+  out.query_aligned = std::move(qa);
+  out.target_aligned = std::move(ta);
+  return out;
+}
+
+int nw_score(const std::vector<seq::Code>& query,
+             const std::vector<seq::Code>& target, const ScoringMatrix& matrix,
+             GapPenalty gap) {
+  const int rho = gap.open_cost();
+  const int sigma = gap.extend;
+  const std::size_t m = query.size();
+  const std::size_t n = target.size();
+  std::vector<int> h(n + 1), e(n + 1, kNegInf);
+  h[0] = 0;
+  for (std::size_t j = 1; j <= n; ++j)
+    h[j] = -rho - static_cast<int>(j - 1) * sigma;
+  for (std::size_t i = 1; i <= m; ++i) {
+    int h_diag = h[0];
+    h[0] = -rho - static_cast<int>(i - 1) * sigma;
+    int f = kNegInf;
+    for (std::size_t j = 1; j <= n; ++j) {
+      e[j] = std::max(e[j] - sigma, h[j] - rho);
+      f = std::max(f - sigma, h[j - 1] - rho);
+      const int diag = h_diag + matrix.score(query[i - 1], target[j - 1]);
+      h_diag = h[j];
+      h[j] = std::max({diag, e[j], f});
+    }
+  }
+  return h[n];
+}
+
+int semiglobal_score(const std::vector<seq::Code>& query,
+                     const std::vector<seq::Code>& target,
+                     const ScoringMatrix& matrix, GapPenalty gap) {
+  const int rho = gap.open_cost();
+  const int sigma = gap.extend;
+  const std::size_t m = query.size();
+  const std::size_t n = target.size();
+  if (m == 0) return 0;
+  // Free leading/trailing gaps in the target: row 0 is all zeros, and the
+  // answer is the best value in the final row.
+  std::vector<int> h(n + 1, 0), e(n + 1, kNegInf);
+  for (std::size_t i = 1; i <= m; ++i) {
+    int h_diag = h[0];
+    h[0] = -rho - static_cast<int>(i - 1) * sigma;
+    int f = kNegInf;
+    for (std::size_t j = 1; j <= n; ++j) {
+      e[j] = std::max(e[j] - sigma, h[j] - rho);
+      f = std::max(f - sigma, h[j - 1] - rho);
+      const int diag = h_diag + matrix.score(query[i - 1], target[j - 1]);
+      h_diag = h[j];
+      h[j] = std::max({diag, e[j], f});
+    }
+  }
+  return *std::max_element(h.begin(), h.end());
+}
+
+}  // namespace cusw::sw

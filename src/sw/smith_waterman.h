@@ -1,0 +1,59 @@
+// Reference dynamic-programming aligners.
+//
+// These are the ground truth every kernel (simulated GPU and striped SIMD)
+// is validated against. The recurrence matches the paper's Eq. (1):
+//
+//   E[i,j] = max(E[i,j-1] - sigma, H[i,j-1] - rho)
+//   F[i,j] = max(F[i-1,j] - sigma, H[i-1,j] - rho)
+//   H[i,j] = max(0, E[i,j], F[i,j], H[i-1,j-1] + w(q_i, d_j))
+//
+// with rho = GapPenalty::open_cost() (gap of length k costs open + k*extend).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "seq/sequence.h"
+#include "sw/scoring.h"
+
+namespace cusw::sw {
+
+/// Optimal local alignment score, O(min-memory) linear-space Gotoh.
+int sw_score(const std::vector<seq::Code>& query,
+             const std::vector<seq::Code>& target, const ScoringMatrix& matrix,
+             GapPenalty gap);
+
+/// Full H table (query.size()+1 rows by target.size()+1 columns) for tests
+/// and visualisation. Quadratic memory: only use on small inputs.
+std::vector<std::vector<int>> sw_full_table(
+    const std::vector<seq::Code>& query, const std::vector<seq::Code>& target,
+    const ScoringMatrix& matrix, GapPenalty gap);
+
+/// A local alignment with traceback.
+struct LocalAlignment {
+  int score = 0;
+  // Half-open residue ranges of the aligned region in each sequence.
+  std::size_t query_begin = 0, query_end = 0;
+  std::size_t target_begin = 0, target_end = 0;
+  // Aligned strings with '-' for gaps, same length.
+  std::string query_aligned;
+  std::string target_aligned;
+  std::size_t matches = 0, mismatches = 0, gaps = 0;
+};
+
+/// Optimal local alignment with traceback (quadratic memory).
+LocalAlignment sw_align(const seq::Sequence& query, const seq::Sequence& target,
+                        const ScoringMatrix& matrix, GapPenalty gap);
+
+/// Needleman–Wunsch global alignment score (affine gaps), for completeness.
+int nw_score(const std::vector<seq::Code>& query,
+             const std::vector<seq::Code>& target, const ScoringMatrix& matrix,
+             GapPenalty gap);
+
+/// Semi-global score: gaps at the start/end of the *target* are free.
+int semiglobal_score(const std::vector<seq::Code>& query,
+                     const std::vector<seq::Code>& target,
+                     const ScoringMatrix& matrix, GapPenalty gap);
+
+}  // namespace cusw::sw

@@ -1,0 +1,98 @@
+#include "sw/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "seq/generate.h"
+#include "sw/smith_waterman.h"
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace cusw::sw {
+
+namespace {
+constexpr double kLn2 = 0.6931471805599453;
+constexpr double kEulerGamma = 0.5772156649015329;
+}  // namespace
+
+double KarlinAltschulParams::bit_score(int raw_score) const {
+  CUSW_REQUIRE(lambda > 0.0 && k > 0.0, "uninitialised statistics parameters");
+  return (lambda * raw_score - std::log(k)) / kLn2;
+}
+
+double KarlinAltschulParams::evalue(int raw_score, std::uint64_t query_length,
+                                    std::uint64_t db_residues) const {
+  CUSW_REQUIRE(lambda > 0.0 && k > 0.0, "uninitialised statistics parameters");
+  return k * static_cast<double>(query_length) *
+         static_cast<double>(db_residues) * std::exp(-lambda * raw_score);
+}
+
+double KarlinAltschulParams::pvalue(int raw_score, std::uint64_t query_length,
+                                    std::uint64_t db_residues) const {
+  const double e = evalue(raw_score, query_length, db_residues);
+  return -std::expm1(-e);
+}
+
+int KarlinAltschulParams::score_for_evalue(double target,
+                                           std::uint64_t query_length,
+                                           std::uint64_t db_residues) const {
+  CUSW_REQUIRE(target > 0.0, "target E-value must be positive");
+  const double s = std::log(k * static_cast<double>(query_length) *
+                            static_cast<double>(db_residues) / target) /
+                   lambda;
+  return static_cast<int>(std::ceil(s));
+}
+
+KarlinAltschulParams KarlinAltschulParams::blosum62_gapped() {
+  // BLAST's gapped BLOSUM62 parameters (existence 10-11, extension 1-2
+  // band); the standard reference values.
+  return {0.267, 0.041};
+}
+
+KarlinAltschulParams KarlinAltschulParams::blosum50_gapped() {
+  return {0.232, 0.112};
+}
+
+KarlinAltschulParams fit_karlin_altschul(const ScoringMatrix& matrix,
+                                         GapPenalty gap, std::size_t m,
+                                         std::size_t n, std::size_t samples,
+                                         std::uint64_t seed) {
+  CUSW_REQUIRE(samples >= 10, "need at least 10 samples for a Gumbel fit");
+  CUSW_REQUIRE(m > 0 && n > 0, "sequence lengths must be positive");
+  Rng rng(seed);
+  OnlineStats st;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto q = seq::random_protein(m, rng).residues;
+    const auto t = seq::random_protein(n, rng).residues;
+    st.add(static_cast<double>(sw_score(q, t, matrix, gap)));
+  }
+  CUSW_CHECK(st.stddev() > 0.0, "degenerate score distribution");
+  KarlinAltschulParams p;
+  p.lambda = 3.14159265358979323846 / (std::sqrt(6.0) * st.stddev());
+  const double mu = st.mean() - kEulerGamma / p.lambda;
+  p.k = std::exp(p.lambda * mu) /
+        (static_cast<double>(m) * static_cast<double>(n));
+  return p;
+}
+
+std::vector<RankedHit> rank_hits(const std::vector<int>& scores,
+                                 const KarlinAltschulParams& params,
+                                 std::uint64_t query_length,
+                                 std::uint64_t db_residues, double max_evalue,
+                                 std::size_t limit) {
+  std::vector<RankedHit> hits;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const double e = params.evalue(scores[i], query_length, db_residues);
+    if (e <= max_evalue) {
+      hits.push_back(RankedHit{i, scores[i], params.bit_score(scores[i]), e});
+    }
+  }
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const RankedHit& a, const RankedHit& b) {
+                     return a.score > b.score;
+                   });
+  if (limit > 0 && hits.size() > limit) hits.resize(limit);
+  return hits;
+}
+
+}  // namespace cusw::sw

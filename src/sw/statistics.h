@@ -1,0 +1,77 @@
+// Karlin–Altschul statistics for local alignment scores.
+//
+// A database search is only useful if raw Smith-Waterman scores can be
+// turned into significance estimates: under the null model, optimal local
+// alignment scores follow an extreme-value (Gumbel) distribution
+//
+//     P(S >= x) ~ 1 - exp(-K m n e^(-lambda x))
+//
+// with parameters (lambda, K) that depend on the scoring system. This
+// module provides the standard presets for the gapped BLOSUM systems, a
+// simulation-based fitter for arbitrary scoring systems (method of moments
+// on the Gumbel distribution), and the bit-score / E-value / P-value
+// conversions search tools report.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sw/scoring.h"
+
+namespace cusw::sw {
+
+struct KarlinAltschulParams {
+  double lambda = 0.0;  // scale of the score distribution (nats per unit)
+  double k = 0.0;       // search-space prefactor
+
+  /// Normalised bit score: S' = (lambda*S - ln K) / ln 2.
+  double bit_score(int raw_score) const;
+
+  /// Expected number of chance hits with score >= raw in a search of an
+  /// m-residue query against n total database residues.
+  double evalue(int raw_score, std::uint64_t query_length,
+                std::uint64_t db_residues) const;
+
+  /// P(at least one chance hit with score >= raw) = 1 - exp(-E).
+  double pvalue(int raw_score, std::uint64_t query_length,
+                std::uint64_t db_residues) const;
+
+  /// Raw score needed for an E-value of `evalue` in the given search space
+  /// (the inverse of evalue(), rounded up).
+  int score_for_evalue(double evalue, std::uint64_t query_length,
+                       std::uint64_t db_residues) const;
+
+  /// Published gapped parameters (BLAST defaults) for the matrices this
+  /// library embeds.
+  static KarlinAltschulParams blosum62_gapped();  // open 10 extend 2 class
+  static KarlinAltschulParams blosum50_gapped();  // open 10 extend 2 class
+};
+
+/// Fit (lambda, K) empirically by aligning random sequence pairs under the
+/// given scoring system and fitting a Gumbel distribution to the maxima by
+/// the method of moments:
+///     lambda = pi / (sqrt(6) * stddev),   mu = mean - gamma/lambda,
+///     K = exp(lambda * mu) / (m * n).
+/// Deterministic in `seed`. Costs samples * m * n cell updates.
+KarlinAltschulParams fit_karlin_altschul(const ScoringMatrix& matrix,
+                                         GapPenalty gap, std::size_t m,
+                                         std::size_t n, std::size_t samples,
+                                         std::uint64_t seed);
+
+/// A scored database hit annotated with significance.
+struct RankedHit {
+  std::size_t db_index = 0;
+  int score = 0;
+  double bit_score = 0.0;
+  double evalue = 0.0;
+};
+
+/// Rank all database scores by significance and keep those with
+/// E-value <= max_evalue (top `limit` of them; limit 0 = no limit).
+std::vector<RankedHit> rank_hits(const std::vector<int>& scores,
+                                 const KarlinAltschulParams& params,
+                                 std::uint64_t query_length,
+                                 std::uint64_t db_residues, double max_evalue,
+                                 std::size_t limit = 0);
+
+}  // namespace cusw::sw

@@ -1,0 +1,30 @@
+#include "swps3/search.h"
+
+#include <atomic>
+
+#include "util/timer.h"
+
+namespace cusw::swps3 {
+
+SearchResult search(const std::vector<seq::Code>& query,
+                    const seq::SequenceDB& db, const sw::ScoringMatrix& matrix,
+                    sw::GapPenalty gap, ThreadPool& pool) {
+  SearchResult result;
+  result.scores.assign(db.size(), 0);
+  result.cells = static_cast<std::uint64_t>(query.size()) * db.total_residues();
+
+  const StripedProfile profile(query, matrix);
+  std::atomic<std::uint64_t> lazy_f{0};
+
+  WallTimer timer;
+  pool.parallel_for(db.size(), [&](std::size_t i) {
+    const StripedResult r = striped_sw_score(profile, db[i].residues, gap);
+    result.scores[i] = r.score;
+    lazy_f.fetch_add(r.lazy_f_iterations, std::memory_order_relaxed);
+  });
+  result.seconds = timer.seconds();
+  result.lazy_f_iterations = lazy_f.load();
+  return result;
+}
+
+}  // namespace cusw::swps3

@@ -1,0 +1,31 @@
+// Multithreaded database search with the striped kernel — the SWPS3 stand-in
+// measured (in real wall-clock time) as the CPU baseline of Fig. 7.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/database.h"
+#include "swps3/striped_sw.h"
+#include "util/thread_pool.h"
+
+namespace cusw::swps3 {
+
+struct SearchResult {
+  std::vector<int> scores;              // one per database sequence
+  double seconds = 0.0;                 // wall-clock
+  std::uint64_t cells = 0;              // query_len * total_db_residues
+  std::uint64_t lazy_f_iterations = 0;  // summed across sequences
+
+  double gcups() const {
+    return seconds > 0.0 ? static_cast<double>(cells) / seconds * 1e-9 : 0.0;
+  }
+};
+
+/// Score `query` against every sequence of `db`, splitting sequences over
+/// `pool`. Deterministic: thread count affects time only, never scores.
+SearchResult search(const std::vector<seq::Code>& query,
+                    const seq::SequenceDB& db, const sw::ScoringMatrix& matrix,
+                    sw::GapPenalty gap, ThreadPool& pool);
+
+}  // namespace cusw::swps3

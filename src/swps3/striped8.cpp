@@ -1,0 +1,121 @@
+#include "swps3/striped8.h"
+
+#include "util/check.h"
+
+namespace cusw::swps3 {
+
+using Vec8 = StripedProfile8::Vec8;
+
+StripedProfile8::StripedProfile8(const std::vector<seq::Code>& query,
+                                 const sw::ScoringMatrix& matrix)
+    : length_(query.size()),
+      seglen_((query.size() + Vec8::lanes - 1) / Vec8::lanes),
+      bias_(-matrix.min_score()) {
+  CUSW_REQUIRE(!query.empty(), "striped profile needs a nonempty query");
+  CUSW_CHECK(bias_ >= 0 && bias_ + matrix.max_score() <= 255,
+             "matrix range does not fit the biased 8-bit profile");
+  const std::size_t alphabet_size = matrix.alphabet().size();
+  vectors_.resize(alphabet_size * seglen_);
+  for (std::size_t a = 0; a < alphabet_size; ++a) {
+    for (std::size_t j = 0; j < seglen_; ++j) {
+      Vec8 v;
+      for (int k = 0; k < Vec8::lanes; ++k) {
+        const std::size_t pos = j + static_cast<std::size_t>(k) * seglen_;
+        // Padding lanes get score 0 (biased: == bias with the bias later
+        // subtracted), i.e. a zero contribution that the local floor keeps
+        // from ever mattering.
+        const int s = pos < length_
+                          ? matrix.score(query[pos], static_cast<seq::Code>(a))
+                          : matrix.min_score();
+        v.lane[k] = static_cast<std::uint8_t>(s + bias_);
+      }
+      vectors_[a * seglen_ + j] = v;
+    }
+  }
+}
+
+Striped8Result striped8_sw_score(const StripedProfile8& profile,
+                                 const std::vector<seq::Code>& target,
+                                 sw::GapPenalty gap) {
+  Striped8Result out;
+  const std::size_t seglen = profile.segment_length();
+  if (target.empty() || seglen == 0) return out;
+
+  const auto bias = static_cast<std::uint8_t>(profile.bias());
+  const Vec8 v_bias = Vec8::splat(bias);
+  const Vec8 v_open = Vec8::splat(
+      checked_narrow<std::uint8_t>(gap.open_cost()));
+  const Vec8 v_ext = Vec8::splat(checked_narrow<std::uint8_t>(gap.extend));
+  const Vec8 v_zero = Vec8::zero();
+
+  std::vector<Vec8> h_store(seglen, v_zero);
+  std::vector<Vec8> h_load(seglen, v_zero);
+  std::vector<Vec8> e(seglen, v_zero);
+  Vec8 v_max = v_zero;
+
+  for (const seq::Code d : target) {
+    const Vec8* prof = profile.row(d);
+    Vec8 v_f = v_zero;
+    Vec8 v_h = shift_in(h_store[seglen - 1], std::uint8_t{0});
+    std::swap(h_store, h_load);
+
+    for (std::size_t j = 0; j < seglen; ++j) {
+      // Biased add then unbias; saturation at zero is the local floor.
+      v_h = subs(adds(v_h, prof[j]), v_bias);
+      v_h = max(v_h, e[j]);
+      v_h = max(v_h, v_f);
+      v_max = max(v_max, v_h);
+      h_store[j] = v_h;
+      const Vec8 h_open = subs(v_h, v_open);
+      e[j] = max(subs(e[j], v_ext), h_open);
+      v_f = max(subs(v_f, v_ext), h_open);
+      v_h = h_load[j];
+    }
+
+    // Lazy-F correction (unsigned; zero plays the role of -inf). Farrar's
+    // canonical loop: test the position about to be processed, wrapping
+    // with a lane shift at the segment end (see striped_sw.cpp).
+    {
+      v_f = shift_in(v_f, std::uint8_t{0});
+      std::size_t j = 0;
+      int wraps = 0;
+      while (any_gt(v_f, subs(h_store[j], v_open))) {
+        const Vec8 raised = max(h_store[j], v_f);
+        h_store[j] = raised;
+        v_max = max(v_max, raised);
+        e[j] = max(e[j], subs(raised, v_open));
+        v_f = subs(v_f, v_ext);
+        if (++j == seglen) {
+          j = 0;
+          v_f = shift_in(v_f, std::uint8_t{0});
+          if (++wraps > Vec8::lanes) break;
+        }
+      }
+    }
+  }
+
+  const int peak = horizontal_max(v_max);
+  // Conservative overflow test: anything that could have saturated during
+  // the biased adds forces the exact 16-bit path.
+  if (peak + profile.bias() >= 255) {
+    out.overflow = true;
+    return out;
+  }
+  out.score = peak;
+  return out;
+}
+
+StripedEngine::StripedEngine(const std::vector<seq::Code>& query,
+                             const sw::ScoringMatrix& matrix,
+                             sw::GapPenalty gap)
+    : prof8_(query, matrix), prof16_(query, matrix), gap_(gap) {}
+
+int StripedEngine::score(const std::vector<seq::Code>& target) const {
+  ++scored_;
+  const Striped8Result r8 = striped8_sw_score(prof8_, target, gap_);
+  if (!r8.overflow) return r8.score;
+  ++fallbacks_;
+  return striped_sw_score(prof16_, target, gap_).score;
+}
+
+}  // namespace cusw::swps3

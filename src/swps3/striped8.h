@@ -1,0 +1,71 @@
+// 8-bit striped Smith-Waterman with 16-bit fallback — the precision scheme
+// real SWPS3/Farrar implementations use: a first pass in saturated unsigned
+// 8-bit arithmetic (twice the lanes, roughly twice the throughput), falling
+// back to the exact 16-bit kernel only for the rare pairs whose score
+// saturates.
+//
+// The unsigned trick: profile scores are stored biased by -min_score so
+// every addition is non-negative, and saturating-subtract-at-zero doubles
+// as the local-alignment floor. A pair overflows when the running maximum
+// saturates at 255.
+#pragma once
+
+#include "swps3/striped_sw.h"
+
+namespace cusw::swps3 {
+
+/// Segment-interleaved 8-bit profile with biased scores.
+class StripedProfile8 {
+ public:
+  StripedProfile8(const std::vector<seq::Code>& query,
+                  const sw::ScoringMatrix& matrix);
+
+  std::size_t query_length() const { return length_; }
+  std::size_t segment_length() const { return seglen_; }
+  int bias() const { return bias_; }
+
+  using Vec8 = simd::Vec<std::uint8_t, 16>;
+  const Vec8* row(seq::Code d) const {
+    return vectors_.data() + static_cast<std::size_t>(d) * seglen_;
+  }
+
+ private:
+  std::size_t length_;
+  std::size_t seglen_;
+  int bias_;
+  std::vector<Vec8> vectors_;
+};
+
+struct Striped8Result {
+  int score = 0;       // valid only if !overflow
+  bool overflow = false;
+};
+
+/// 8-bit pass. Returns overflow=true when the score saturates (score >=
+/// 255 - bias is reported as overflow to stay conservative).
+Striped8Result striped8_sw_score(const StripedProfile8& profile,
+                                 const std::vector<seq::Code>& target,
+                                 sw::GapPenalty gap);
+
+/// Adaptive engine: builds both profiles once per query, scores each target
+/// with the 8-bit kernel and falls back to 16-bit on overflow.
+class StripedEngine {
+ public:
+  StripedEngine(const std::vector<seq::Code>& query,
+                const sw::ScoringMatrix& matrix, sw::GapPenalty gap);
+
+  int score(const std::vector<seq::Code>& target) const;
+
+  /// How many of the scored targets needed the 16-bit fallback.
+  std::uint64_t fallbacks() const { return fallbacks_; }
+  std::uint64_t scored() const { return scored_; }
+
+ private:
+  StripedProfile8 prof8_;
+  StripedProfile prof16_;
+  sw::GapPenalty gap_;
+  mutable std::uint64_t fallbacks_ = 0;
+  mutable std::uint64_t scored_ = 0;
+};
+
+}  // namespace cusw::swps3

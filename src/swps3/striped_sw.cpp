@@ -1,0 +1,116 @@
+#include "swps3/striped_sw.h"
+
+#include "util/check.h"
+
+namespace cusw::swps3 {
+
+using simd::VecI16;
+
+namespace {
+// Large negative sentinel that survives a few saturating subtractions
+// without wrapping; scores in this codebase are far from the int16 limits.
+constexpr std::int16_t kNegInf = -30000;
+// Padding score for stripe lanes beyond the query end: negative enough that
+// a padded lane can never climb above the local-alignment floor of zero.
+constexpr std::int16_t kPadScore = -100;
+}  // namespace
+
+StripedProfile::StripedProfile(const std::vector<seq::Code>& query,
+                               const sw::ScoringMatrix& matrix)
+    : length_(query.size()),
+      seglen_((query.size() + VecI16::lanes - 1) / VecI16::lanes) {
+  CUSW_REQUIRE(!query.empty(), "striped profile needs a nonempty query");
+  const std::size_t alphabet_size = matrix.alphabet().size();
+  vectors_.resize(alphabet_size * seglen_);
+  for (std::size_t a = 0; a < alphabet_size; ++a) {
+    for (std::size_t j = 0; j < seglen_; ++j) {
+      VecI16 v;
+      for (int k = 0; k < VecI16::lanes; ++k) {
+        const std::size_t pos = j + static_cast<std::size_t>(k) * seglen_;
+        v.lane[k] = pos < length_
+                        ? static_cast<std::int16_t>(matrix.score(
+                              query[pos], static_cast<seq::Code>(a)))
+                        : kPadScore;
+      }
+      vectors_[a * seglen_ + j] = v;
+    }
+  }
+}
+
+StripedResult striped_sw_score(const StripedProfile& profile,
+                               const std::vector<seq::Code>& target,
+                               sw::GapPenalty gap) {
+  StripedResult out;
+  const std::size_t seglen = profile.segment_length();
+  if (target.empty() || seglen == 0) return out;
+
+  const VecI16 v_open = VecI16::splat(
+      checked_narrow<std::int16_t>(gap.open_cost()));
+  const VecI16 v_ext = VecI16::splat(checked_narrow<std::int16_t>(gap.extend));
+  const VecI16 v_zero = VecI16::zero();
+
+  std::vector<VecI16> h_store(seglen, v_zero);
+  std::vector<VecI16> h_load(seglen, v_zero);
+  std::vector<VecI16> e(seglen, VecI16::splat(kNegInf));
+  VecI16 v_max = v_zero;
+
+  for (const seq::Code d : target) {
+    const VecI16* prof = profile.row(d);
+    VecI16 v_f = VecI16::splat(kNegInf);
+    // H of the previous column, shifted down one query position; lane 0
+    // sees H = 0 (the local-alignment boundary).
+    VecI16 v_h = shift_in(h_store[seglen - 1], std::int16_t{0});
+    std::swap(h_store, h_load);
+
+    for (std::size_t j = 0; j < seglen; ++j) {
+      v_h = adds(v_h, prof[j]);
+      v_h = max(v_h, e[j]);
+      v_h = max(v_h, v_f);
+      v_h = max(v_h, v_zero);
+      v_max = max(v_max, v_h);
+      h_store[j] = v_h;
+      const VecI16 h_open = subs(v_h, v_open);
+      e[j] = max(subs(e[j], v_ext), h_open);
+      v_f = max(subs(v_f, v_ext), h_open);
+      v_h = h_load[j];
+    }
+
+    // Lazy-F correction: the main pass assumed F never crosses the stripe
+    // boundary. Walk the segment while the carried F can still beat a
+    // freshly opened gap at the position about to be processed, wrapping
+    // (with a lane shift) at the segment end — Farrar's canonical loop.
+    // The exit test must use the post-shift F against the *next* position:
+    // testing the just-processed one exits early when a whole-register
+    // shift is what would carry the gap into the next lane. Unlike
+    // Farrar's original, E is also re-raised so scores are exact.
+    // The exit threshold is floored at zero: a negative F can never raise
+    // an H (H is floored at zero), so the loop must not chase decaying
+    // negative F values (that costs several useless passes per column).
+    {
+      v_f = shift_in(v_f, kNegInf);
+      std::size_t j = 0;
+      int wraps = 0;
+      while (any_gt(v_f, max(subs(h_store[j], v_open), v_zero))) {
+        const VecI16 raised = max(h_store[j], v_f);
+        h_store[j] = raised;
+        v_max = max(v_max, raised);
+        e[j] = max(e[j], subs(raised, v_open));
+        v_f = subs(v_f, v_ext);
+        ++out.lazy_f_iterations;
+        if (++j == seglen) {
+          j = 0;
+          v_f = shift_in(v_f, kNegInf);
+          // After `lanes` wraps every originally carried value has been
+          // shifted out and the remaining F chain is self-generated and
+          // strictly decreasing; it cannot pass the test again.
+          if (++wraps > VecI16::lanes) break;
+        }
+      }
+    }
+  }
+
+  out.score = std::max<int>(0, horizontal_max(v_max));
+  return out;
+}
+
+}  // namespace cusw::swps3

@@ -1,0 +1,53 @@
+// Striped Smith-Waterman (Farrar 2007) with the lazy-F loop — the algorithm
+// behind SWPS3, the CPU baseline in the paper's Fig. 7.
+//
+// The query is split into V = 8 interleaved segments ("stripes"); each SIMD
+// lane processes one segment. Vertical (F) dependencies across the stripe
+// boundary are resolved lazily: the main pass assumes F cannot propagate,
+// and a correction loop re-runs columns where that assumption failed. The
+// paper attributes SWPS3's query-length sensitivity to exactly this
+// correction pass, which is why the implementation counts its iterations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/database.h"
+#include "simd/vec.h"
+#include "sw/scoring.h"
+
+namespace cusw::swps3 {
+
+/// Striped query profile: for each alphabet symbol, segment-interleaved
+/// score vectors (Farrar's layout).
+class StripedProfile {
+ public:
+  StripedProfile(const std::vector<seq::Code>& query,
+                 const sw::ScoringMatrix& matrix);
+
+  std::size_t query_length() const { return length_; }
+  std::size_t segment_length() const { return seglen_; }
+
+  const simd::VecI16* row(seq::Code d) const {
+    return vectors_.data() + static_cast<std::size_t>(d) * seglen_;
+  }
+
+ private:
+  std::size_t length_;
+  std::size_t seglen_;
+  std::vector<simd::VecI16> vectors_;
+};
+
+struct StripedResult {
+  int score = 0;
+  /// Number of extra lazy-F correction iterations executed (total across all
+  /// columns); the source of SWPS3's sensitivity to query composition.
+  std::uint64_t lazy_f_iterations = 0;
+};
+
+/// Local alignment score of query vs target using the striped kernel.
+StripedResult striped_sw_score(const StripedProfile& profile,
+                               const std::vector<seq::Code>& target,
+                               sw::GapPenalty gap);
+
+}  // namespace cusw::swps3

@@ -1,0 +1,57 @@
+// Error-checking macros and narrow casts used across the library.
+//
+// CUSW_REQUIRE is for precondition violations by callers (throws
+// std::invalid_argument); CUSW_CHECK is for internal invariants (throws
+// std::logic_error). Both are always on: this library favours loud failures
+// over silent corruption, and none of the checks sit on per-cell hot paths.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cusw {
+
+namespace detail {
+
+[[noreturn]] inline void throw_require(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": requirement failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_check(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": internal invariant violated: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace detail
+
+#define CUSW_REQUIRE(expr, msg)                                          \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::cusw::detail::throw_require(#expr, __FILE__, __LINE__, (msg));   \
+  } while (0)
+
+#define CUSW_CHECK(expr, msg)                                            \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::cusw::detail::throw_check(#expr, __FILE__, __LINE__, (msg));     \
+  } while (0)
+
+/// Narrowing cast that throws when the value does not round-trip.
+template <class To, class From>
+To checked_narrow(From v) {
+  To t = static_cast<To>(v);
+  if (static_cast<From>(t) != v || ((t < To{}) != (v < From{}))) {
+    throw std::range_error("checked_narrow: value out of range");
+  }
+  return t;
+}
+
+}  // namespace cusw

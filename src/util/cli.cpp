@@ -1,0 +1,15 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+namespace cusw {
+
+double bench_scale() {
+  if (const char* s = std::getenv("CUSW_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0.0) return v;
+  }
+  return 1.0;
+}
+
+}  // namespace cusw

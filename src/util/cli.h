@@ -1,0 +1,61 @@
+// Tiny --key=value command-line parser for the bench and example binaries.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cusw {
+
+class Cli {
+ public:
+  Cli(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      CUSW_REQUIRE(arg.rfind("--", 0) == 0,
+                   "arguments must look like --key=value or --flag: " + arg);
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        kv_[arg] = "1";
+      } else {
+        kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return kv_.count(key) > 0; }
+
+  std::string get(const std::string& key, const std::string& dflt) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : it->second;
+  }
+
+  std::int64_t get_int(const std::string& key, std::int64_t dflt) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::stoll(it->second);
+  }
+
+  double get_double(const std::string& key, double dflt) const {
+    const auto it = kv_.find(key);
+    return it == kv_.end() ? dflt : std::stod(it->second);
+  }
+
+  bool get_bool(const std::string& key, bool dflt) const {
+    const auto it = kv_.find(key);
+    if (it == kv_.end()) return dflt;
+    return it->second != "0" && it->second != "false";
+  }
+
+ private:
+  std::map<std::string, std::string> kv_;
+};
+
+/// Scale factor for bench workloads: CUSW_BENCH_SCALE=4 makes databases 4x
+/// larger (slower, smoother curves). Defaults to 1.
+double bench_scale();
+
+}  // namespace cusw

@@ -1,0 +1,180 @@
+// Online statistics, histograms, and log-normal parameter fitting.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cusw {
+
+/// Welford's online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+    sum_ += x;
+  }
+
+  std::uint64_t count() const { return n_; }
+  double sum() const { return sum_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so totals always match the sample count.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins)
+      : lo_(lo), hi_(hi), counts_(bins, 0) {
+    CUSW_REQUIRE(hi > lo && bins > 0, "histogram range/bins invalid");
+  }
+
+  void add(double x) {
+    double t = (x - lo_) / (hi_ - lo_);
+    auto idx = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
+    if (idx < 0) idx = 0;
+    if (idx >= static_cast<std::int64_t>(counts_.size()))
+      idx = static_cast<std::int64_t>(counts_.size()) - 1;
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+  }
+
+  std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  std::uint64_t total() const { return total_; }
+  double bin_lo(std::size_t i) const {
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+  }
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Inverse standard normal CDF (Acklam's rational approximation, ~1e-9
+/// relative error). Used for conditional tail sampling in the database
+/// generators.
+inline double inverse_normal_cdf(double p) {
+  CUSW_REQUIRE(p > 0.0 && p < 1.0, "inverse_normal_cdf domain is (0,1)");
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - plow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+/// Standard normal CDF.
+inline double normal_cdf(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+/// Parameters (mu, sigma) of the normal underlying a log-normal variate.
+struct LogNormalParams {
+  double mu = 0.0;
+  double sigma = 0.0;
+
+  double mean() const { return std::exp(mu + sigma * sigma / 2.0); }
+  double variance() const {
+    const double s2 = sigma * sigma;
+    return (std::exp(s2) - 1.0) * std::exp(2.0 * mu + s2);
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Fraction of the distribution above `x` (complementary CDF).
+  double tail_above(double x) const {
+    CUSW_REQUIRE(x > 0.0, "log-normal tail requires x > 0");
+    const double z = (std::log(x) - mu) / sigma;
+    return 0.5 * std::erfc(z / std::sqrt(2.0));
+  }
+};
+
+/// Solve for (mu, sigma) given the distribution's mean and standard deviation.
+/// This is the parameterisation the paper uses in Fig. 2 ("we set the standard
+/// deviation between 100 and 1500; because we used a log-normal distribution
+/// the mean varies...").
+inline LogNormalParams lognormal_from_mean_stddev(double mean, double stddev) {
+  CUSW_REQUIRE(mean > 0.0 && stddev > 0.0, "log-normal moments must be > 0");
+  const double cv2 = (stddev / mean) * (stddev / mean);
+  LogNormalParams p;
+  p.sigma = std::sqrt(std::log1p(cv2));
+  p.mu = std::log(mean) - p.sigma * p.sigma / 2.0;
+  return p;
+}
+
+/// Solve for (mu, sigma) given the mean and the tail fraction above a
+/// threshold (bisection on sigma). Used to synthesise databases matching a
+/// published "% of sequences over 3072" column.
+inline LogNormalParams lognormal_from_mean_tail(double mean, double threshold,
+                                                double tail_fraction) {
+  CUSW_REQUIRE(mean > 0.0 && threshold > mean,
+               "tail fit expects threshold above the mean");
+  CUSW_REQUIRE(tail_fraction > 0.0 && tail_fraction < 0.5,
+               "tail fraction must be in (0, 0.5)");
+  auto tail_at = [&](double sigma) {
+    LogNormalParams p;
+    p.sigma = sigma;
+    p.mu = std::log(mean) - sigma * sigma / 2.0;
+    return p.tail_above(threshold);
+  };
+  // With mu pinned by the mean, the tail mass grows with sigma up to
+  // sigma* = sqrt(2 ln(threshold/mean)) and shrinks afterwards; bisect on the
+  // increasing branch only.
+  double lo = 1e-3;
+  double hi = std::sqrt(2.0 * std::log(threshold / mean));
+  CUSW_REQUIRE(tail_at(hi) >= tail_fraction,
+               "requested tail fraction is unreachable for this mean");
+  CUSW_CHECK(tail_at(lo) < tail_fraction, "tail fit bracket invalid");
+  for (int it = 0; it < 200; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (tail_at(mid) < tail_fraction ? lo : hi) = mid;
+  }
+  LogNormalParams p;
+  p.sigma = 0.5 * (lo + hi);
+  p.mu = std::log(mean) - p.sigma * p.sigma / 2.0;
+  return p;
+}
+
+}  // namespace cusw

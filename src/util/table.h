@@ -1,0 +1,100 @@
+// ASCII table and CSV output used by the benchmark harnesses.
+//
+// Every bench binary prints a human-readable aligned table (the row/series
+// the paper reports) and can optionally mirror it to CSV for plotting.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cusw {
+
+class Table {
+ public:
+  using Cell = std::variant<std::string, double, std::int64_t>;
+
+  explicit Table(std::vector<std::string> headers, int precision = 2)
+      : headers_(std::move(headers)), precision_(precision) {}
+
+  Table& add_row(std::vector<Cell> row) {
+    CUSW_REQUIRE(row.size() == headers_.size(),
+                 "row width must match header width");
+    rows_.push_back(std::move(row));
+    return *this;
+  }
+
+  std::size_t rows() const { return rows_.size(); }
+
+  std::string to_string() const {
+    std::vector<std::vector<std::string>> text;
+    text.reserve(rows_.size());
+    for (const auto& row : rows_) {
+      std::vector<std::string> r;
+      r.reserve(row.size());
+      for (const auto& c : row) r.push_back(render(c));
+      text.push_back(std::move(r));
+    }
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      width[i] = headers_[i].size();
+      for (const auto& r : text) width[i] = std::max(width[i], r[i].size());
+    }
+    std::ostringstream os;
+    auto hline = [&] {
+      for (auto w : width) os << '+' << std::string(w + 2, '-');
+      os << "+\n";
+    };
+    hline();
+    os << format_row(headers_, width);
+    hline();
+    for (const auto& r : text) os << format_row(r, width);
+    hline();
+    return os.str();
+  }
+
+  std::string to_csv() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < headers_.size(); ++i)
+      os << (i ? "," : "") << headers_[i];
+    os << '\n';
+    for (const auto& row : rows_) {
+      for (std::size_t i = 0; i < row.size(); ++i)
+        os << (i ? "," : "") << render(row[i]);
+      os << '\n';
+    }
+    return os.str();
+  }
+
+  void print(std::ostream& os = std::cout) const { os << to_string(); }
+
+ private:
+  std::string render(const Cell& c) const {
+    if (const auto* s = std::get_if<std::string>(&c)) return *s;
+    if (const auto* i = std::get_if<std::int64_t>(&c))
+      return std::to_string(*i);
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision_) << std::get<double>(c);
+    return os.str();
+  }
+
+  static std::string format_row(const std::vector<std::string>& cells,
+                                const std::vector<std::size_t>& width) {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      os << "| " << std::setw(static_cast<int>(width[i])) << cells[i] << ' ';
+    os << "|\n";
+    return os.str();
+  }
+
+  std::vector<std::string> headers_;
+  int precision_;
+  std::vector<std::vector<Cell>> rows_;
+};
+
+}  // namespace cusw

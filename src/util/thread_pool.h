@@ -1,0 +1,97 @@
+// Minimal thread pool with a blocking parallel_for, used by the SWPS3
+// baseline to spread database chunks over host cores (the paper runs SWPS3
+// on four Xeon cores).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+
+namespace cusw {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = std::thread::hardware_concurrency()) {
+    if (threads == 0) threads = 1;
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, n), blocking until all iterations complete.
+  /// Work is handed out in contiguous chunks to keep cache behaviour sane.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    const std::size_t chunks = std::min(n, workers_.size() * 4);
+    std::atomic<std::size_t> done{0};
+    std::mutex done_mu;
+    std::condition_variable done_cv;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t lo = n * c / chunks;
+      const std::size_t hi = n * (c + 1) / chunks;
+      enqueue([&, lo, hi] {
+        for (std::size_t i = lo; i < hi; ++i) fn(i);
+        if (done.fetch_add(1) + 1 == chunks) {
+          std::lock_guard<std::mutex> lk(done_mu);
+          done_cv.notify_one();
+        }
+      });
+    }
+    std::unique_lock<std::mutex> lk(done_mu);
+    done_cv.wait(lk, [&] { return done.load() == chunks; });
+  }
+
+  void enqueue(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      CUSW_CHECK(!stopping_, "enqueue on stopped pool");
+      tasks_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lk(mu_);
+        cv_.wait(lk, [this] { return stopping_ || !tasks_.empty(); });
+        if (stopping_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace cusw

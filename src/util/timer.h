@@ -1,0 +1,24 @@
+// Wall-clock timing for the CPU baselines (the GPU side reports *simulated*
+// time from the gpusim cost model, never wall-clock).
+#pragma once
+
+#include <chrono>
+
+namespace cusw {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cusw

@@ -1,0 +1,163 @@
+// Banded and linear-space aligners against the quadratic references.
+#include <gtest/gtest.h>
+
+#include "sw/banded.h"
+#include "sw/linear_align.h"
+#include "test_helpers.h"
+
+namespace cusw::sw {
+namespace {
+
+TEST(Banded, WideBandEqualsFullScore) {
+  const auto& m = ScoringMatrix::blosum62();
+  for (int i = 0; i < 20; ++i) {
+    const auto q = test::random_codes(40 + i * 5, 10 + i);
+    const auto t = test::random_codes(50 + i * 4, 60 + i);
+    const int full = sw_score(q, t, m, {10, 2});
+    const int banded = sw_banded_score(q, t, m, {10, 2},
+                                       q.size() + t.size());
+    EXPECT_EQ(banded, full) << i;
+  }
+}
+
+TEST(Banded, ScoreIsMonotoneInBandwidthAndBounded) {
+  const auto& m = ScoringMatrix::blosum62();
+  const auto q = test::random_codes(200, 1);
+  const auto t = test::random_codes(220, 2);
+  const int full = sw_score(q, t, m, {10, 2});
+  int prev = 0;
+  for (std::size_t band : {0u, 2u, 8u, 32u, 128u, 512u}) {
+    const int s = sw_banded_score(q, t, m, {10, 2}, band);
+    EXPECT_GE(s, prev) << band;
+    EXPECT_LE(s, full) << band;
+    prev = s;
+  }
+  EXPECT_EQ(prev, full);
+}
+
+TEST(Banded, ZeroBandIsDiagonalOnly) {
+  // With bandwidth 0 and offset 0 only the main diagonal is computed: the
+  // best run of consecutive diagonal matches (gaps are impossible).
+  const auto dna = seq::Alphabet::dna();
+  const auto m = ScoringMatrix::match_mismatch(dna, 2, -1);
+  const auto a = dna.encode("ACGTACGT");
+  EXPECT_EQ(sw_banded_score(a, a, m, {5, 1}, 0), 16);
+  // One mismatch on the diagonal: 3 matches - 1 mismatch + 4 matches = 13.
+  const auto b = dna.encode("ACGAACGT");
+  EXPECT_EQ(sw_banded_score(a, b, m, {5, 1}, 0), 13);
+}
+
+TEST(Banded, DiagonalOffsetShiftsTheBand) {
+  const auto dna = seq::Alphabet::dna();
+  const auto m = ScoringMatrix::match_mismatch(dna, 2, -1);
+  // Target = query with a 3-residue prefix: the alignment lives on the
+  // diagonal i - j = -3.
+  const auto q = dna.encode("ACGTACGTAC");
+  const auto t = dna.encode("TTTACGTACGTAC");
+  EXPECT_EQ(sw_banded_score(q, t, m, {5, 1}, 0, -3), 20);
+  // A narrow band at the wrong offset misses it.
+  EXPECT_LT(sw_banded_score(q, t, m, {5, 1}, 0, 0), 20);
+}
+
+TEST(Banded, EmptyInputsScoreZero) {
+  const auto& m = ScoringMatrix::blosum62();
+  EXPECT_EQ(sw_banded_score({}, test::random_codes(5, 1), m, {10, 2}, 3), 0);
+  EXPECT_EQ(sw_banded_score(test::random_codes(5, 1), {}, m, {10, 2}, 3), 0);
+}
+
+TEST(LinearGlobal, MatchesNeedlemanWunschScore) {
+  const auto& m = ScoringMatrix::blosum62();
+  const GapPenalty gap{10, 2};
+  for (int i = 0; i < 40; ++i) {
+    const auto q = test::random_codes(1 + (i * 7) % 90, 100 + i);
+    const auto t = test::random_codes(1 + (i * 11) % 80, 300 + i);
+    const auto a = nw_align_linear(q, t, m, gap);
+    EXPECT_EQ(a.score, nw_score(q, t, m, gap)) << i;
+    // The edit script consumes both sequences exactly.
+    std::size_t qc = 0, tc = 0;
+    for (char op : a.ops) {
+      if (op != 'I') ++qc;
+      if (op != 'D') ++tc;
+    }
+    EXPECT_EQ(qc, q.size());
+    EXPECT_EQ(tc, t.size());
+    EXPECT_EQ(a.query_aligned.size(), a.target_aligned.size());
+  }
+}
+
+TEST(LinearGlobal, GappyAndDegenerateShapes) {
+  const auto& m = ScoringMatrix::blosum62();
+  // Very asymmetric lengths force long gap runs through the midline split.
+  for (const auto& [ql, tl] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 50}, {50, 1}, {2, 40}, {40, 2}, {3, 3}, {64, 65}}) {
+    const auto q = test::random_codes(ql, ql * 3 + 1);
+    const auto t = test::random_codes(tl, tl * 5 + 2);
+    for (const GapPenalty gap : {GapPenalty{10, 2}, GapPenalty{2, 1}}) {
+      const auto a = nw_align_linear(q, t, m, gap);
+      EXPECT_EQ(a.score, nw_score(q, t, m, gap))
+          << ql << "x" << tl << " gap " << gap.open;
+    }
+  }
+}
+
+TEST(LinearLocal, MatchesQuadraticScoreOnRandomPairs) {
+  const auto& m = ScoringMatrix::blosum62();
+  const GapPenalty gap{10, 2};
+  for (int i = 0; i < 30; ++i) {
+    const seq::Sequence q("q", test::random_codes(30 + (i * 13) % 150, i));
+    const seq::Sequence t("t", test::random_codes(40 + (i * 17) % 160, 77 + i));
+    const auto lin = sw_align_linear(q, t, m, gap);
+    const auto quad = sw_align(q, t, m, gap);
+    ASSERT_EQ(lin.score, quad.score) << i;
+    // Both alignments re-score to the optimum (checked internally by
+    // sw_align_linear via CUSW_CHECK; verify the coordinates make sense).
+    EXPECT_LE(lin.query_end, q.length());
+    EXPECT_LE(lin.target_end, t.length());
+    if (lin.score > 0) {
+      EXPECT_LT(lin.query_begin, lin.query_end);
+      EXPECT_LT(lin.target_begin, lin.target_end);
+      EXPECT_FALSE(lin.query_aligned.empty());
+    }
+  }
+}
+
+TEST(LinearLocal, AgreesWithQuadraticOnGapHeavyOptimum) {
+  const auto& m = ScoringMatrix::blosum62();
+  const GapPenalty gap{1, 1};  // cheap gaps exercise the gap-join logic
+  Rng rng(55);
+  for (int i = 0; i < 20; ++i) {
+    std::vector<seq::Code> qv, tv;
+    for (int k = 0; k < 50 + i; ++k)
+      qv.push_back(static_cast<seq::Code>(rng.uniform_int(0, 3)));
+    for (int k = 0; k < 70 + i; ++k)
+      tv.push_back(static_cast<seq::Code>(rng.uniform_int(0, 3)));
+    const seq::Sequence q("q", qv), t("t", tv);
+    EXPECT_EQ(sw_align_linear(q, t, m, gap).score,
+              sw_align(q, t, m, gap).score)
+        << i;
+  }
+}
+
+TEST(LinearLocal, ZeroScorePair) {
+  const auto dna = seq::Alphabet::dna();
+  const auto m = ScoringMatrix::match_mismatch(dna, 1, -2);
+  const seq::Sequence q("q", dna.encode("AAAA"));
+  const seq::Sequence t("t", dna.encode("CCCC"));
+  const auto a = sw_align_linear(q, t, m, {5, 1});
+  EXPECT_EQ(a.score, 0);
+  EXPECT_TRUE(a.query_aligned.empty());
+}
+
+TEST(LinearLocal, LongPairStaysInLinearMemoryRegime) {
+  // A pair long enough that the quadratic traceback tables would be ~1.6
+  // GB; the linear-space version must handle it (and agree with the
+  // linear-space score-only pass).
+  const auto& m = ScoringMatrix::blosum62();
+  const seq::Sequence q("q", test::random_codes(20000, 1));
+  const seq::Sequence t("t", test::random_codes(20000, 2));
+  const auto a = sw_align_linear(q, t, m, {10, 2});
+  EXPECT_EQ(a.score, sw_score(q.residues, t.residues, m, {10, 2}));
+}
+
+}  // namespace
+}  // namespace cusw::sw

@@ -1,0 +1,131 @@
+// Chunked scanning of databases larger than device memory (§VI), plus the
+// gpusim profiler report and bank-conflict model.
+#include <gtest/gtest.h>
+
+#include "cudasw/chunked.h"
+#include "gpusim/report.h"
+#include "test_helpers.h"
+
+namespace cusw {
+namespace {
+
+using cudasw::ChunkedConfig;
+using cudasw::chunked_search;
+using sw::ScoringMatrix;
+
+TEST(Chunked, ScoresMatchSingleSearchAcrossChunkCounts) {
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c1060().scaled(0.1));
+  const auto query = test::random_codes(60, 1);
+  const auto db = seq::lognormal_db(150, 200, 120, 2);
+  const auto& matrix = ScoringMatrix::blosum62();
+
+  cudasw::SearchConfig plain;
+  const auto want = cudasw::search(dev, query, db, matrix, plain).scores;
+
+  for (std::uint64_t budget : {std::uint64_t{1} << 36, std::uint64_t{1} << 20,
+                               std::uint64_t{1} << 16}) {
+    ChunkedConfig cfg;
+    cfg.device_memory_bytes = budget;
+    const auto r = chunked_search(dev, query, db, matrix, cfg);
+    EXPECT_EQ(r.scores, want) << "budget " << budget;
+    EXPECT_GE(r.chunks, 1u);
+    EXPECT_GT(r.total_seconds, 0.0);
+  }
+}
+
+TEST(Chunked, SmallerBudgetMeansMoreChunks) {
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c1060().scaled(0.1));
+  const auto query = test::random_codes(40, 3);
+  const auto db = seq::uniform_db(200, 100, 300, 4);
+  const auto& matrix = ScoringMatrix::blosum62();
+  ChunkedConfig big, small;
+  big.device_memory_bytes = std::uint64_t{1} << 36;
+  small.device_memory_bytes = std::uint64_t{1} << 19;
+  const auto rb = chunked_search(dev, query, db, matrix, big);
+  const auto rs = chunked_search(dev, query, db, matrix, small);
+  EXPECT_EQ(rb.chunks, 1u);
+  EXPECT_GT(rs.chunks, rb.chunks);
+  EXPECT_GT(rs.transfer_seconds, 0.0);
+}
+
+TEST(Chunked, OverlapNeverSlowerThanBlocking) {
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c1060().scaled(0.1));
+  const auto query = test::random_codes(80, 5);
+  const auto db = seq::uniform_db(300, 150, 400, 6);
+  const auto& matrix = ScoringMatrix::blosum62();
+  ChunkedConfig overlapped, blocking;
+  overlapped.device_memory_bytes = blocking.device_memory_bytes =
+      std::uint64_t{1} << 20;
+  blocking.overlap_transfers = false;
+  const auto ro = chunked_search(dev, query, db, matrix, overlapped);
+  const auto rb = chunked_search(dev, query, db, matrix, blocking);
+  EXPECT_EQ(ro.scores, rb.scores);
+  EXPECT_LE(ro.total_seconds, rb.total_seconds * 1.0001);
+}
+
+TEST(Chunked, FootprintGrowsWithWorkload) {
+  cudasw::SearchConfig cfg;
+  const auto small = cudasw::device_footprint_bytes(1000, 10, 100, cfg);
+  const auto more_res = cudasw::device_footprint_bytes(100000, 10, 100, cfg);
+  const auto more_seq = cudasw::device_footprint_bytes(1000, 1000, 100, cfg);
+  EXPECT_GT(more_res, small);
+  EXPECT_GT(more_seq, small);
+}
+
+TEST(Report, FormatsLaunchSummary) {
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c2050());
+  auto buf = dev.alloc<int>(1024);
+  gpusim::LaunchConfig cfg;
+  cfg.blocks = 2;
+  cfg.threads_per_block = 64;
+  const auto stats = dev.launch(cfg, [&](gpusim::BlockCtx& ctx) {
+    for (int lane = 0; lane < 64; ++lane) {
+      ctx.st(buf, static_cast<std::size_t>(lane), 1, lane);
+    }
+    ctx.shared_access(0, 5);
+    ctx.sync();
+  });
+  const std::string report = gpusim::format_launch_report(stats, dev.spec());
+  EXPECT_NE(report.find("Tesla C2050"), std::string::npos);
+  EXPECT_NE(report.find("global"), std::string::npos);
+  EXPECT_NE(report.find("barriers 2"), std::string::npos);
+  const std::string line = gpusim::format_launch_line("k", stats);
+  EXPECT_NE(line.find("k: "), std::string::npos);
+}
+
+TEST(BankConflicts, DegreeFollowsGcdRule) {
+  using gpusim::BlockCtx;
+  EXPECT_EQ(BlockCtx::bank_conflict_degree(1), 1);
+  EXPECT_EQ(BlockCtx::bank_conflict_degree(3), 1);
+  EXPECT_EQ(BlockCtx::bank_conflict_degree(2), 2);
+  EXPECT_EQ(BlockCtx::bank_conflict_degree(4), 4);
+  EXPECT_EQ(BlockCtx::bank_conflict_degree(8), 8);
+  EXPECT_EQ(BlockCtx::bank_conflict_degree(16), 16);
+  EXPECT_EQ(BlockCtx::bank_conflict_degree(32), 32);
+  EXPECT_EQ(BlockCtx::bank_conflict_degree(64), 32);
+  EXPECT_EQ(BlockCtx::bank_conflict_degree(0), 1);   // broadcast
+  EXPECT_EQ(BlockCtx::bank_conflict_degree(-2), 2);
+}
+
+TEST(BankConflicts, StridedAccessesCostMoreTime) {
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c1060());
+  gpusim::LaunchConfig cfg;
+  cfg.blocks = 1;
+  cfg.threads_per_block = 32;
+  auto run = [&](int stride) {
+    return dev.launch(cfg, [&](gpusim::BlockCtx& ctx) {
+      for (int lane = 0; lane < 32; ++lane) {
+        ctx.shared_access_strided(lane, 1000, stride);
+      }
+      ctx.sync();
+    });
+  };
+  const auto unit = run(1);
+  const auto conflicted = run(32);
+  EXPECT_EQ(unit.bank_conflict_cycles, 0u);
+  EXPECT_GT(conflicted.bank_conflict_cycles, 0u);
+  EXPECT_GT(conflicted.makespan_cycles, 10.0 * unit.makespan_cycles);
+}
+
+}  // namespace
+}  // namespace cusw

@@ -1,0 +1,109 @@
+// §VI future-work extensions: threshold autotuner, multi-GPU scaling,
+// streamed host-to-device transfer model.
+#include <gtest/gtest.h>
+
+#include "cudasw/autotune.h"
+#include "cudasw/multi_gpu.h"
+#include "cudasw/pipeline.h"
+#include "test_helpers.h"
+
+namespace cusw {
+namespace {
+
+using cudasw::SearchConfig;
+using cudasw::ThresholdAutotuner;
+using sw::ScoringMatrix;
+
+TEST(Autotune, CalibratedRatesAreSane) {
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c1060().scaled(0.1));
+  SearchConfig cfg;
+  const ThresholdAutotuner tuner(dev, ScoringMatrix::blosum62(), cfg, 64);
+  EXPECT_GT(tuner.inter_seconds_per_cell_column(), 0.0);
+  EXPECT_GT(tuner.intra_seconds_per_cell(), 0.0);
+  // The improved intra kernel's per-cell rate must be within an order of
+  // magnitude of the inter-task rate; the original's far slower.
+  SearchConfig orig_cfg;
+  orig_cfg.intra_kernel = cudasw::IntraKernel::kOriginal;
+  const ThresholdAutotuner orig(dev, ScoringMatrix::blosum62(), orig_cfg, 64);
+  EXPECT_GT(orig.intra_seconds_per_cell(), tuner.intra_seconds_per_cell());
+}
+
+TEST(Autotune, PredictionTracksSimulationOrdering) {
+  // The tuner's predicted times across thresholds must rank candidate
+  // thresholds in the same order as full simulation, at least for the
+  // extremes (that is all the transition-point detection needs).
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c1060().scaled(0.1));
+  const auto& matrix = ScoringMatrix::blosum62();
+  SearchConfig cfg;
+  const ThresholdAutotuner tuner(dev, matrix, cfg, 64);
+
+  // High-variance database: lowering the threshold should help (improved
+  // kernel); the tuner must prefer a lower threshold than 3072.
+  auto db = seq::lognormal_db(600, 900, 1400, 5);
+  std::vector<std::size_t> lengths;
+  for (const auto& s : db.sequences()) lengths.push_back(s.length());
+  std::sort(lengths.begin(), lengths.end());
+
+  const double t_low = tuner.predict_seconds(lengths, 64, 1500);
+  const double t_high = tuner.predict_seconds(lengths, 64, 100000);
+  EXPECT_LT(t_low, t_high);
+
+  const auto pick = tuner.tune(db, 64, {1000, 1500, 3072, 100000});
+  EXPECT_LT(pick.threshold, 100000u);
+  EXPECT_GT(pick.predicted_seconds, 0.0);
+}
+
+TEST(Autotune, RequiresSortedLengthsAndCandidates) {
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c1060().scaled(0.1));
+  SearchConfig cfg;
+  const ThresholdAutotuner tuner(dev, ScoringMatrix::blosum62(), cfg, 32);
+  EXPECT_THROW(tuner.predict_seconds({5, 3, 4}, 32, 100),
+               std::invalid_argument);
+  EXPECT_THROW(tuner.tune(seq::SequenceDB{}, 32, {}), std::invalid_argument);
+}
+
+TEST(MultiGpu, ScalesNearLinearlyAndPreservesScores) {
+  const auto spec = gpusim::DeviceSpec::tesla_c1060().scaled(0.1);
+  const auto query = test::random_codes(48, 3);
+  // Near-uniform lengths so the comparison is not dominated by a single
+  // straggler block (which caps speedup at any scale).
+  const auto db = seq::uniform_db(1200, 150, 250, 4);
+  const auto& matrix = ScoringMatrix::blosum62();
+  SearchConfig cfg;
+
+  const auto one = cudasw::multi_gpu_search(spec, 1, query, db, matrix, cfg);
+  const auto two = cudasw::multi_gpu_search(spec, 2, query, db, matrix, cfg);
+  EXPECT_EQ(one.cells, two.cells);
+  // "The running time will scale almost linearly with the number of GPUs."
+  EXPECT_GT(one.seconds / two.seconds, 1.4);
+  EXPECT_LT(one.seconds / two.seconds, 2.3);
+
+  // Union of shard scores equals the single-device scores (as multisets of
+  // per-sequence results; shards partition the database).
+  std::size_t total = 0;
+  for (const auto& r : two.per_gpu) total += r.scores.size();
+  EXPECT_EQ(total, db.size());
+}
+
+TEST(Streaming, OverlapSavesTimeWhenComputeDominates) {
+  // 100 MB database, 1 s of compute: the copy (~18 ms) hides entirely.
+  const auto r = cudasw::model_streaming_transfer(100'000'000, 1.0, 16);
+  EXPECT_GT(r.saved_seconds, 0.0);
+  EXPECT_LT(r.streamed_total, r.blocking_total);
+  EXPECT_NEAR(r.streamed_total, 1.0 + r.transfer_seconds / 16, 0.01);
+}
+
+TEST(Streaming, TransferBoundWhenComputeIsTiny) {
+  const auto r = cudasw::model_streaming_transfer(2'000'000'000, 0.01, 8);
+  // Total can never beat the raw copy time.
+  EXPECT_GE(r.streamed_total, r.transfer_seconds * 0.99);
+  EXPECT_LE(r.streamed_total, r.blocking_total);
+}
+
+TEST(Streaming, RejectsZeroChunks) {
+  EXPECT_THROW(cudasw::model_streaming_transfer(1000, 1.0, 0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cusw

@@ -1,0 +1,118 @@
+// Randomised cross-validation: every engine in the repository must produce
+// identical optimal local-alignment scores on randomly drawn workloads and
+// randomly drawn kernel configurations. Seeded and deterministic.
+#include <gtest/gtest.h>
+
+#include "cudasw/pipeline.h"
+#include "swps3/striped8.h"
+#include "sw/banded.h"
+#include "sw/linear_align.h"
+#include "test_helpers.h"
+
+namespace cusw {
+namespace {
+
+using sw::GapPenalty;
+using sw::ScoringMatrix;
+
+TEST(Fuzz, AllEnginesAgreeOnRandomWorkloads) {
+  Rng rng(0xF022);
+  const auto& blosum62 = ScoringMatrix::blosum62();
+  const auto& blosum50 = ScoringMatrix::blosum50();
+
+  for (int iter = 0; iter < 25; ++iter) {
+    const auto& matrix = (iter % 3 == 0) ? blosum50 : blosum62;
+    const GapPenalty gap{static_cast<int>(rng.uniform_int(1, 14)),
+                         static_cast<int>(rng.uniform_int(1, 4))};
+    const auto qlen = static_cast<std::size_t>(rng.uniform_int(1, 280));
+    const auto query = seq::random_protein(qlen, rng).residues;
+
+    seq::SequenceDB db;
+    const auto n_seqs = static_cast<std::size_t>(rng.uniform_int(1, 12));
+    for (std::size_t s = 0; s < n_seqs; ++s) {
+      db.add(seq::random_protein(
+          static_cast<std::size_t>(rng.uniform_int(1, 400)), rng));
+    }
+    const auto want = test::reference_scores(query, db, matrix, gap);
+
+    // Random device + kernel configuration.
+    gpusim::Device dev(rng.uniform01() < 0.5
+                           ? gpusim::DeviceSpec::tesla_c1060().scaled(0.1)
+                           : gpusim::DeviceSpec::tesla_c2050().scaled(0.1));
+    cudasw::ImprovedIntraParams ip;
+    ip.threads_per_block = static_cast<int>(rng.uniform_int(1, 8)) * 8;
+    ip.tile_height = rng.uniform01() < 0.5 ? 4 : 8;
+    ip.tile_width = static_cast<int>(rng.uniform_int(1, 3));
+    ip.deep_swap = rng.uniform01() < 0.8;
+    ip.unroll_profile_loop = rng.uniform01() < 0.8;
+    ip.packed_profile = ip.tile_height % 4 == 0 && rng.uniform01() < 0.8;
+    ip.coalesced_strip_io = rng.uniform01() < 0.3;
+    ip.persistent_pipeline = rng.uniform01() < 0.3;
+
+    const auto imp =
+        cudasw::run_intra_task_improved(dev, query, db, matrix, gap, ip);
+    EXPECT_EQ(imp.scores, want) << "improved, iter " << iter;
+
+    cudasw::OriginalIntraParams op;
+    op.threads_per_block = static_cast<int>(rng.uniform_int(1, 8)) * 32;
+    const auto orig =
+        cudasw::run_intra_task_original(dev, query, db, matrix, gap, op);
+    EXPECT_EQ(orig.scores, want) << "original, iter " << iter;
+
+    cudasw::InterTaskParams ep;
+    ep.threads_per_block = static_cast<int>(rng.uniform_int(1, 4)) * 32;
+    const auto inter = cudasw::run_inter_task(dev, query, db, matrix, gap, ep);
+    EXPECT_EQ(inter.scores, want) << "inter, iter " << iter;
+
+    // CPU engines.
+    const swps3::StripedProfile prof16(query, matrix);
+    const swps3::StripedEngine engine(query, matrix, gap);
+    for (std::size_t s = 0; s < db.size(); ++s) {
+      EXPECT_EQ(swps3::striped_sw_score(prof16, db[s].residues, gap).score,
+                want[s])
+          << "striped16, iter " << iter << " seq " << s;
+      EXPECT_EQ(engine.score(db[s].residues), want[s])
+          << "striped8/16, iter " << iter << " seq " << s;
+      EXPECT_EQ(sw::sw_banded_score(query, db[s].residues, matrix, gap,
+                                    qlen + db[s].length()),
+                want[s])
+          << "banded, iter " << iter << " seq " << s;
+    }
+
+    // Linear-space alignment agrees on a sampled pair.
+    const std::size_t pick =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(n_seqs) - 1));
+    const seq::Sequence qq("q", query);
+    EXPECT_EQ(sw::sw_align_linear(qq, db[pick], matrix, gap).score,
+              want[pick])
+        << "linear align, iter " << iter;
+  }
+}
+
+TEST(Fuzz, PipelineMatchesReferenceAtRandomThresholds) {
+  Rng rng(0xF023);
+  const auto& matrix = ScoringMatrix::blosum62();
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c1060().scaled(0.1));
+  for (int iter = 0; iter < 6; ++iter) {
+    const auto query =
+        seq::random_protein(static_cast<std::size_t>(rng.uniform_int(8, 200)),
+                            rng)
+            .residues;
+    seq::SequenceDB db;
+    for (int s = 0; s < 60; ++s) {
+      db.add(seq::random_protein(
+          static_cast<std::size_t>(rng.uniform_int(4, 900)), rng));
+    }
+    cudasw::SearchConfig cfg;
+    cfg.threshold = static_cast<std::size_t>(rng.uniform_int(50, 1000));
+    cfg.intra_kernel = rng.uniform01() < 0.5 ? cudasw::IntraKernel::kOriginal
+                                             : cudasw::IntraKernel::kImproved;
+    const auto report = cudasw::search(dev, query, db, matrix, cfg);
+    EXPECT_EQ(report.scores,
+              test::reference_scores(query, db, matrix, cfg.gap))
+        << "iter " << iter << " thr " << cfg.threshold;
+  }
+}
+
+}  // namespace
+}  // namespace cusw

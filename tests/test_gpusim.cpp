@@ -1,0 +1,366 @@
+// gpusim: cache behaviour, occupancy, the coalescer, the cost model's
+// qualitative properties, and the block scheduler.
+#include <gtest/gtest.h>
+
+#include "gpusim/cache.h"
+#include "gpusim/launch.h"
+#include "gpusim/occupancy.h"
+
+namespace cusw::gpusim {
+namespace {
+
+TEST(Cache, HitsAfterFillAndTracksLru) {
+  Cache c(1024, 128, 2);  // 8 lines, 4 sets x 2 ways
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(64));  // same line
+  EXPECT_FALSE(c.access(128));
+  // Two more lines mapping to set 0: 0, 512, 1024 -> evict LRU (0).
+  EXPECT_FALSE(c.access(512));
+  EXPECT_TRUE(c.access(0));     // still resident (2 ways)
+  EXPECT_FALSE(c.access(1024)); // evicts 512 (LRU)
+  EXPECT_TRUE(c.access(0));
+  EXPECT_FALSE(c.access(512));
+}
+
+TEST(Cache, DisabledCacheNeverHits) {
+  Cache c(0, 128, 4);
+  EXPECT_FALSE(c.enabled());
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(c.access(0));
+}
+
+TEST(Cache, InvalidateDropsLine) {
+  Cache c(1024, 128, 2);
+  c.access(256);
+  EXPECT_TRUE(c.access(256));
+  c.invalidate(256);
+  EXPECT_FALSE(c.access(256));
+}
+
+TEST(Cache, WorkingSetLargerThanCapacityThrashes) {
+  Cache c(4096, 128, 4);  // 32 lines
+  // Stream 64 lines cyclically twice: second pass still misses (LRU).
+  for (int pass = 0; pass < 2; ++pass) {
+    for (int i = 0; i < 64; ++i) c.access(static_cast<std::uint64_t>(i) * 128);
+  }
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(Occupancy, ThreadLimited) {
+  const auto dev = DeviceSpec::tesla_c1060();  // 1024 threads/SM, 8 blocks
+  const auto occ = compute_occupancy(dev, 256, 0, 0);
+  EXPECT_EQ(occ.blocks_per_sm, 4);
+  EXPECT_EQ(occ.warps_per_sm, 32);
+  EXPECT_DOUBLE_EQ(occ.occupancy, 1.0);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  const auto dev = DeviceSpec::tesla_c1060();  // 16384 regs/SM
+  const auto occ = compute_occupancy(dev, 256, 0, 32);  // 8192 regs/block
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  const auto dev = DeviceSpec::tesla_c1060();  // 16 KB shared/SM
+  const auto occ = compute_occupancy(dev, 64, 8 * 1024, 0);
+  EXPECT_EQ(occ.blocks_per_sm, 2);
+}
+
+TEST(Occupancy, RejectsOversizedBlock) {
+  const auto dev = DeviceSpec::tesla_c1060();
+  EXPECT_THROW(compute_occupancy(dev, 2048, 0, 0), std::invalid_argument);
+}
+
+TEST(DeviceSpec, PresetsAndCacheToggle) {
+  const auto c1060 = DeviceSpec::tesla_c1060();
+  EXPECT_FALSE(c1060.has_l1);
+  EXPECT_FALSE(c1060.has_l2);
+  const auto c2050 = DeviceSpec::tesla_c2050();
+  EXPECT_TRUE(c2050.has_l1);
+  EXPECT_TRUE(c2050.has_l2);
+  const auto off = c2050.with_caches_disabled();
+  EXPECT_FALSE(off.has_l1);
+  EXPECT_FALSE(off.has_l2);
+  EXPECT_EQ(off.sm_count, c2050.sm_count);
+}
+
+TEST(DeviceSpec, ScaledShrinksThroughputProportionally) {
+  const auto full = DeviceSpec::tesla_c1060();
+  const auto mini = full.scaled(0.1);
+  EXPECT_EQ(mini.sm_count, 3);
+  EXPECT_NEAR(mini.mem_bandwidth_gbs, full.mem_bandwidth_gbs * 0.1, 1e-9);
+  EXPECT_EQ(mini.cores_per_sm, full.cores_per_sm);
+  EXPECT_EQ(mini.dram_latency, full.dram_latency);
+}
+
+TEST(Launch, CoalescedWarpRunIsOneTransactionPer128Bytes) {
+  Device dev(DeviceSpec::tesla_c1060());
+  LaunchConfig cfg;
+  cfg.blocks = 1;
+  cfg.threads_per_block = 32;
+  const auto base = dev.reserve(4096);
+  const auto stats = dev.launch(cfg, [&](BlockCtx& ctx) {
+    ctx.warp_access(Space::Global, 0, base, 128, false);     // 1 segment
+    ctx.warp_access(Space::Global, 0, base + 512, 256, false);  // 2 segments
+  });
+  EXPECT_EQ(stats.global.transactions, 3u);
+  EXPECT_EQ(stats.global.requests, 2u);
+  EXPECT_EQ(stats.global.dram_transactions, 3u);  // no cache on C1060
+}
+
+TEST(Launch, PerLaneAccessesToOneSegmentCoalesce) {
+  Device dev(DeviceSpec::tesla_c1060());
+  LaunchConfig cfg;
+  cfg.blocks = 1;
+  cfg.threads_per_block = 64;  // two warps
+  const auto base = dev.reserve(4096);
+  const auto stats = dev.launch(cfg, [&](BlockCtx& ctx) {
+    for (int lane = 0; lane < 64; ++lane) {
+      ctx.access(Space::Global, lane, base + static_cast<std::uint64_t>(lane) * 4,
+                 4, false);
+    }
+  });
+  // 64 contiguous 4-byte reads = 256 bytes, but coalescing is per warp:
+  // warp 0 covers segment 0, warp 1 covers segment 1 -> 2 transactions.
+  EXPECT_EQ(stats.global.requests, 64u);
+  EXPECT_EQ(stats.global.transactions, 2u);
+}
+
+TEST(Launch, DuplicateSegmentAccessesWithinWindowMerge) {
+  Device dev(DeviceSpec::tesla_c1060());
+  LaunchConfig cfg;
+  cfg.blocks = 1;
+  cfg.threads_per_block = 32;
+  const auto base = dev.reserve(4096);
+  const auto stats = dev.launch(cfg, [&](BlockCtx& ctx) {
+    for (int rep = 0; rep < 10; ++rep)
+      ctx.warp_access(Space::Global, 0, base, 128, false);
+    ctx.sync();
+    ctx.warp_access(Space::Global, 0, base, 128, false);  // new window
+  });
+  EXPECT_EQ(stats.global.transactions, 2u);
+}
+
+TEST(Launch, ReadsAndWritesAreSeparateTransactions) {
+  Device dev(DeviceSpec::tesla_c1060());
+  LaunchConfig cfg;
+  cfg.blocks = 1;
+  cfg.threads_per_block = 32;
+  const auto base = dev.reserve(4096);
+  const auto stats = dev.launch(cfg, [&](BlockCtx& ctx) {
+    ctx.warp_access(Space::Global, 0, base, 128, false);
+    ctx.warp_access(Space::Global, 0, base, 128, true);
+  });
+  EXPECT_EQ(stats.global.transactions, 2u);
+}
+
+TEST(Launch, FermiCachesReduceDramTraffic) {
+  const auto run = [](const DeviceSpec& spec) {
+    Device dev(spec);
+    LaunchConfig cfg;
+    cfg.blocks = 1;
+    cfg.threads_per_block = 32;
+    const auto base = dev.reserve(1 << 16);
+    return dev.launch(cfg, [&](BlockCtx& ctx) {
+      // Write then repeatedly re-read a small working set.
+      for (int rep = 0; rep < 8; ++rep) {
+        for (int i = 0; i < 16; ++i) {
+          ctx.warp_access(Space::Global, 0, base + i * 128u, 128,
+                          rep == 0);
+        }
+        ctx.sync();
+      }
+    });
+  };
+  const auto fermi = run(DeviceSpec::tesla_c2050());
+  const auto fermi_off = run(DeviceSpec::tesla_c2050().with_caches_disabled());
+  const auto gt200 = run(DeviceSpec::tesla_c1060());
+  EXPECT_GT(fermi.global.l2_hits + fermi.global.l1_hits, 0u);
+  EXPECT_LT(fermi.global.dram_transactions, fermi_off.global.dram_transactions);
+  EXPECT_EQ(gt200.global.l1_hits + gt200.global.l2_hits, 0u);
+  EXPECT_LT(fermi.seconds, fermi_off.seconds);
+}
+
+TEST(Launch, TextureCacheHitsOnReuse) {
+  Device dev(DeviceSpec::tesla_c1060());
+  auto tex = dev.make_texture(std::vector<int>(64, 7));
+  LaunchConfig cfg;
+  cfg.blocks = 1;
+  cfg.threads_per_block = 32;
+  const auto stats = dev.launch(cfg, [&](BlockCtx& ctx) {
+    int sink = 0;
+    for (int rep = 0; rep < 4; ++rep) {
+      for (int i = 0; i < 8; ++i) sink += ctx.tex(tex, static_cast<std::size_t>(i), 0);
+      ctx.sync();
+    }
+    EXPECT_EQ(sink, 7 * 8 * 4);
+  });
+  EXPECT_GT(stats.texture.tex_hits, 0u);
+  EXPECT_LT(stats.texture.dram_transactions, stats.texture.transactions);
+}
+
+TEST(Launch, LocalMemoryCountsSeparately) {
+  Device dev(DeviceSpec::tesla_c1060());
+  LaunchConfig cfg;
+  cfg.blocks = 1;
+  cfg.threads_per_block = 32;
+  const auto stats = dev.launch(cfg, [&](BlockCtx& ctx) {
+    for (int lane = 0; lane < 32; ++lane) ctx.local_access(lane, 0, 3, 4, true);
+  });
+  EXPECT_EQ(stats.local.requests, 32u);
+  EXPECT_EQ(stats.local.transactions, 1u);  // interleaved layout coalesces
+  EXPECT_EQ(stats.global.requests, 0u);
+  EXPECT_EQ(stats.global_memory_transactions(), 1u);
+}
+
+TEST(Launch, MoreComputeMeansMoreTime) {
+  Device dev(DeviceSpec::tesla_c1060());
+  LaunchConfig cfg;
+  cfg.blocks = 8;
+  cfg.threads_per_block = 64;
+  const auto quick = dev.launch(cfg, [](BlockCtx& ctx) {
+    ctx.charge_uniform(1000);
+  });
+  const auto slow = dev.launch(cfg, [](BlockCtx& ctx) {
+    ctx.charge_uniform(10000);
+  });
+  EXPECT_GT(slow.seconds, quick.seconds);
+  EXPECT_GT(slow.makespan_cycles, 9.0 * quick.makespan_cycles / 10.0);
+}
+
+TEST(Launch, SchedulerOverlapsIndependentBlocks) {
+  Device dev(DeviceSpec::tesla_c1060());
+  LaunchConfig cfg;
+  cfg.threads_per_block = 64;
+  cfg.blocks = 1;
+  const auto one = dev.launch(cfg, [](BlockCtx& ctx) { ctx.charge_uniform(1e6); });
+  cfg.blocks = 100;  // fits in 30 SMs x several blocks
+  const auto many = dev.launch(cfg, [](BlockCtx& ctx) { ctx.charge_uniform(1e6); });
+  // 100 blocks over 30 SMs: compute throughput is conserved, so the
+  // makespan is ~100/30 of one block's solo time — nowhere near 100x.
+  EXPECT_LT(many.makespan_cycles, 3.6 * one.makespan_cycles);
+  EXPECT_GE(many.makespan_cycles, 2.8 * one.makespan_cycles);
+}
+
+TEST(Launch, ImbalancedBlocksSetTheMakespan) {
+  Device dev(DeviceSpec::tesla_c1060());
+  LaunchConfig cfg;
+  cfg.threads_per_block = 64;
+  cfg.blocks = 60;
+  const auto stats = dev.launch(cfg, [](BlockCtx& ctx) {
+    ctx.charge_uniform(ctx.block_id() == 59 ? 1e7 : 1e4);
+  });
+  // The single slow block dominates.
+  EXPECT_GT(stats.makespan_cycles, 1e6);
+}
+
+TEST(Launch, SyncsAreCountedAndCharged) {
+  Device dev(DeviceSpec::tesla_c1060());
+  LaunchConfig cfg;
+  cfg.blocks = 1;
+  cfg.threads_per_block = 32;
+  const auto a = dev.launch(cfg, [](BlockCtx& ctx) {
+    for (int i = 0; i < 100; ++i) ctx.sync();
+  });
+  EXPECT_EQ(a.syncs, 100u);
+  const auto b = dev.launch(cfg, [](BlockCtx&) {});
+  EXPECT_GT(a.makespan_cycles, b.makespan_cycles);
+}
+
+TEST(Launch, HeavyDramTrafficIsBandwidthBound) {
+  Device dev(DeviceSpec::tesla_c1060());
+  LaunchConfig cfg;
+  cfg.blocks = 30;
+  cfg.threads_per_block = 64;
+  const auto base = dev.reserve(1 << 26);
+  auto run = [&](std::uint64_t bytes_per_window) {
+    return dev.launch(cfg, [&](BlockCtx& ctx) {
+      for (int step = 0; step < 50; ++step) {
+        ctx.charge_uniform(10.0);
+        ctx.warp_access(Space::Global, 0,
+                        base + static_cast<std::uint64_t>(step) *
+                                   bytes_per_window,
+                        bytes_per_window, true);
+        ctx.sync();
+      }
+    });
+  };
+  const auto light = run(128);
+  const auto heavy = run(1 << 20);
+  EXPECT_GT(heavy.seconds, 20.0 * light.seconds);
+}
+
+TEST(Launch, UncoalescedAccessesCostMoreTransactionsAndTime) {
+  Device dev(DeviceSpec::tesla_c1060());
+  LaunchConfig cfg;
+  cfg.blocks = 1;
+  cfg.threads_per_block = 32;
+  const auto base = dev.reserve(1 << 22);
+  auto run = [&](std::uint64_t stride) {
+    return dev.launch(cfg, [&](BlockCtx& ctx) {
+      for (int step = 0; step < 1000; ++step) {
+        for (int lane = 0; lane < 32; ++lane) {
+          ctx.access(Space::Global, lane,
+                     base + (static_cast<std::uint64_t>(step) * 32 +
+                             static_cast<std::uint64_t>(lane)) *
+                                4 * stride,
+                     4, false);
+        }
+        ctx.sync();
+      }
+    });
+  };
+  const auto coalesced = run(1);     // one 128 B segment per warp per step
+  const auto scattered = run(32);    // 32 segments per warp per step
+  EXPECT_EQ(coalesced.global.transactions, 1000u);
+  EXPECT_EQ(scattered.global.transactions, 32000u);
+  // A single warp hides most of the latency either way; the extra
+  // transaction-issue cost still shows.
+  EXPECT_GT(scattered.makespan_cycles, 1.3 * coalesced.makespan_cycles);
+}
+
+TEST(Launch, PreferL1GrowsL1AndShrinksShared) {
+  Device dev(DeviceSpec::tesla_c2050());
+  LaunchConfig big_shared;
+  big_shared.blocks = 1;
+  big_shared.threads_per_block = 32;
+  big_shared.shared_bytes_per_block = 40 * 1024;  // fits the 48 KB split
+  EXPECT_NO_THROW(dev.launch(big_shared, [](BlockCtx&) {}));
+  big_shared.prefer_l1 = true;  // 16 KB shared: no longer fits
+  EXPECT_THROW(dev.launch(big_shared, [](BlockCtx&) {}),
+               std::invalid_argument);
+}
+
+TEST(Launch, ZeroBlocksIsANoop) {
+  Device dev(DeviceSpec::tesla_c1060());
+  LaunchConfig cfg;
+  cfg.blocks = 0;
+  const auto stats = dev.launch(cfg, [](BlockCtx&) { FAIL(); });
+  EXPECT_EQ(stats.seconds, 0.0);
+}
+
+TEST(Launch, BuffersAreFunctional) {
+  Device dev(DeviceSpec::tesla_c1060());
+  auto buf = dev.alloc<int>(128);
+  LaunchConfig cfg;
+  cfg.blocks = 1;
+  cfg.threads_per_block = 32;
+  dev.launch(cfg, [&](BlockCtx& ctx) {
+    for (int lane = 0; lane < 32; ++lane)
+      ctx.st(buf, static_cast<std::size_t>(lane), lane * 10, lane);
+  });
+  for (int lane = 0; lane < 32; ++lane)
+    EXPECT_EQ(buf[static_cast<std::size_t>(lane)], lane * 10);
+}
+
+TEST(Launch, DistinctAllocationsDoNotOverlap) {
+  Device dev(DeviceSpec::tesla_c1060());
+  auto a = dev.alloc<int>(100);
+  auto b = dev.alloc<char>(10);
+  const auto r = dev.reserve(1000);
+  EXPECT_GE(b.device_addr(), a.device_addr(100));
+  EXPECT_GE(r, b.device_addr(10));
+}
+
+}  // namespace
+}  // namespace cusw::gpusim

@@ -1,0 +1,30 @@
+// Shared fixtures/helpers for the test suites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/generate.h"
+#include "sw/scoring.h"
+#include "sw/smith_waterman.h"
+
+namespace cusw::test {
+
+inline std::vector<seq::Code> random_codes(std::size_t len, std::uint64_t seed) {
+  Rng rng(seed);
+  return seq::random_protein(len, rng).residues;
+}
+
+/// Reference scores of query vs every sequence in db.
+inline std::vector<int> reference_scores(const std::vector<seq::Code>& query,
+                                         const seq::SequenceDB& db,
+                                         const sw::ScoringMatrix& matrix,
+                                         sw::GapPenalty gap) {
+  std::vector<int> out;
+  out.reserve(db.size());
+  for (const auto& s : db.sequences())
+    out.push_back(sw::sw_score(query, s.residues, matrix, gap));
+  return out;
+}
+
+}  // namespace cusw::test

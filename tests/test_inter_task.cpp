@@ -1,0 +1,139 @@
+// Inter-task kernel: functional correctness against the scalar reference,
+// plus accounting sanity (transactions, cells, load imbalance).
+#include <gtest/gtest.h>
+
+#include "cudasw/inter_task.h"
+#include "cudasw/pipeline.h"
+#include "test_helpers.h"
+
+namespace cusw {
+namespace {
+
+using cudasw::InterTaskParams;
+using cudasw::run_inter_task;
+using sw::GapPenalty;
+using sw::ScoringMatrix;
+
+gpusim::Device c1060() { return gpusim::Device(gpusim::DeviceSpec::tesla_c1060()); }
+
+TEST(InterTask, MatchesReferenceOnSmallGroup) {
+  auto dev = c1060();
+  const auto query = test::random_codes(57, 1);
+  const auto db = seq::uniform_db(40, 5, 120, 2);
+  const auto& matrix = ScoringMatrix::blosum62();
+  const GapPenalty gap{10, 2};
+  const auto run = run_inter_task(dev, query, db, matrix, gap, {});
+  const auto want = test::reference_scores(query, db, matrix, gap);
+  ASSERT_EQ(run.scores.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(run.scores[i], want[i]) << "sequence " << i;
+  }
+}
+
+TEST(InterTask, MatchesReferenceAcrossQueryLengths) {
+  // Exercise partial tiles: query lengths around the 4-row tile boundary.
+  auto dev = c1060();
+  const auto db = seq::uniform_db(12, 30, 200, 3);
+  const auto& matrix = ScoringMatrix::blosum62();
+  const GapPenalty gap{12, 3};
+  for (std::size_t m : {1u, 3u, 4u, 5u, 8u, 63u, 64u, 65u, 200u}) {
+    const auto query = test::random_codes(m, 100 + m);
+    const auto run = run_inter_task(dev, query, db, matrix, gap, {});
+    const auto want = test::reference_scores(query, db, matrix, gap);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(run.scores[i], want[i]) << "m=" << m << " seq=" << i;
+    }
+  }
+}
+
+TEST(InterTask, MatchesReferenceWithBlosum50AndDifferentGaps) {
+  auto dev = c1060();
+  const auto query = test::random_codes(80, 5);
+  const auto db = seq::lognormal_db(30, 150, 80, 6);
+  const auto& matrix = ScoringMatrix::blosum50();
+  for (const GapPenalty gap : {GapPenalty{10, 2}, GapPenalty{5, 1},
+                               GapPenalty{20, 1}}) {
+    const auto run = run_inter_task(dev, query, db, matrix, gap, {});
+    const auto want = test::reference_scores(query, db, matrix, gap);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(run.scores[i], want[i]);
+    }
+  }
+}
+
+TEST(InterTask, EmptyGroupAndEmptyQuery) {
+  auto dev = c1060();
+  const auto& matrix = ScoringMatrix::blosum62();
+  const auto run = run_inter_task(dev, test::random_codes(10, 1),
+                                  seq::SequenceDB{}, matrix, {10, 2}, {});
+  EXPECT_TRUE(run.scores.empty());
+  EXPECT_EQ(run.cells, 0u);
+
+  const auto db = seq::uniform_db(3, 10, 20, 1);
+  const auto run2 =
+      run_inter_task(dev, {}, db, matrix, {10, 2}, {});
+  EXPECT_EQ(run2.scores, (std::vector<int>{0, 0, 0}));
+}
+
+TEST(InterTask, CellCountMatchesWorkload) {
+  auto dev = c1060();
+  const auto query = test::random_codes(33, 7);
+  const auto db = seq::uniform_db(10, 50, 100, 8);
+  const auto run = run_inter_task(dev, query, db,
+                                  ScoringMatrix::blosum62(), {10, 2}, {});
+  EXPECT_EQ(run.cells, 33u * db.total_residues());
+  EXPECT_GT(run.stats.global.transactions, 0u);
+  EXPECT_GT(run.stats.seconds, 0.0);
+}
+
+TEST(InterTask, LaunchTimeTracksLongestSequence) {
+  // Two groups with the same total residues; the one with a single long
+  // straggler must take substantially longer (the Fig. 2 effect).
+  auto dev = c1060();
+  const auto query = test::random_codes(64, 9);
+  const auto& matrix = ScoringMatrix::blosum62();
+
+  seq::SequenceDB uniform = seq::uniform_db(64, 500, 500, 10);
+  Rng rng(11);
+  seq::SequenceDB skewed;
+  for (int i = 0; i < 63; ++i)
+    skewed.add(seq::random_protein(450, rng));
+  skewed.add(seq::random_protein(500 * 64 - 450 * 63, rng));
+
+  const auto run_u = run_inter_task(dev, query, uniform, matrix, {10, 2}, {});
+  const auto run_s = run_inter_task(dev, query, skewed, matrix, {10, 2}, {});
+  EXPECT_NEAR(static_cast<double>(run_u.cells),
+              static_cast<double>(run_s.cells), 64.0 * 64.0);
+  EXPECT_GT(run_s.stats.seconds, 2.0 * run_u.stats.seconds);
+}
+
+TEST(InterTask, QueryProfileCutsFetchesFourfold) {
+  auto dev = c1060();
+  const auto query = test::random_codes(64, 13);
+  const auto db = seq::uniform_db(20, 100, 100, 14);
+  InterTaskParams with, without;
+  without.use_query_profile = false;
+  const auto a =
+      run_inter_task(dev, query, db, ScoringMatrix::blosum62(), {10, 2}, with);
+  const auto b = run_inter_task(dev, query, db, ScoringMatrix::blosum62(),
+                                {10, 2}, without);
+  EXPECT_EQ(a.scores, b.scores);
+  EXPECT_NEAR(static_cast<double>(b.stats.texture.requests) /
+                  static_cast<double>(a.stats.texture.requests),
+              4.0, 0.2);
+  EXPECT_LT(a.stats.seconds, b.stats.seconds);
+}
+
+TEST(InterTask, GroupSizeFollowsOccupancy) {
+  const auto spec = gpusim::DeviceSpec::tesla_c1060();
+  InterTaskParams p;
+  const std::size_t s = cudasw::inter_task_group_size(spec, p);
+  const auto occ =
+      gpusim::compute_occupancy(spec, p.threads_per_block, 0, p.regs_per_thread);
+  EXPECT_EQ(s, static_cast<std::size_t>(spec.sm_count) * occ.blocks_per_sm *
+                   p.threads_per_block);
+  EXPECT_GT(s, 0u);
+}
+
+}  // namespace
+}  // namespace cusw

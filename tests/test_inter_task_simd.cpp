@@ -1,0 +1,119 @@
+// Virtualised SIMD inter-task kernel (the CUDASW++ 2.0 companion kernel):
+// correctness against the reference and the variance-tolerance property
+// that motivated it.
+#include <gtest/gtest.h>
+
+#include "cudasw/inter_task_simd.h"
+#include "cudasw/pipeline.h"
+#include "test_helpers.h"
+
+namespace cusw {
+namespace {
+
+using cudasw::InterTaskSimdParams;
+using cudasw::run_inter_task;
+using cudasw::run_inter_task_simd;
+using sw::GapPenalty;
+using sw::ScoringMatrix;
+
+gpusim::Device c1060() {
+  return gpusim::Device(gpusim::DeviceSpec::tesla_c1060().scaled(0.1));
+}
+
+TEST(InterTaskSimd, MatchesReferenceOnSmallGroup) {
+  auto dev = c1060();
+  const auto query = test::random_codes(61, 1);
+  const auto db = seq::uniform_db(37, 5, 150, 2);
+  const auto& matrix = ScoringMatrix::blosum62();
+  const GapPenalty gap{10, 2};
+  const auto run = run_inter_task_simd(dev, query, db, matrix, gap, {});
+  const auto want = test::reference_scores(query, db, matrix, gap);
+  ASSERT_EQ(run.scores.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(run.scores[i], want[i]) << "sequence " << i;
+  }
+}
+
+TEST(InterTaskSimd, MatchesReferenceAcrossBandBoundaries) {
+  // Query lengths around multiples of the quad width stress the band
+  // partition (empty bands, 1-row bands, uneven bands).
+  auto dev = c1060();
+  const auto db = seq::uniform_db(9, 20, 120, 3);
+  const auto& matrix = ScoringMatrix::blosum50();
+  const GapPenalty gap{12, 3};
+  for (std::size_t ml : {1u, 2u, 3u, 4u, 5u, 7u, 8u, 9u, 33u, 64u, 130u}) {
+    const auto query = test::random_codes(ml, 100 + ml);
+    const auto run = run_inter_task_simd(dev, query, db, matrix, gap, {});
+    const auto want = test::reference_scores(query, db, matrix, gap);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(run.scores[i], want[i]) << "m=" << ml << " seq=" << i;
+    }
+  }
+}
+
+TEST(InterTaskSimd, AgreesWithSimtKernelAndCheapGaps) {
+  auto dev = c1060();
+  const auto query = test::random_codes(90, 5);
+  const auto db = seq::lognormal_db(50, 120, 70, 6);
+  const auto& matrix = ScoringMatrix::blosum62();
+  for (const GapPenalty gap : {GapPenalty{10, 2}, GapPenalty{1, 1}}) {
+    const auto simd = run_inter_task_simd(dev, query, db, matrix, gap, {});
+    const auto simt = run_inter_task(dev, query, db, matrix, gap, {});
+    EXPECT_EQ(simd.scores, simt.scores);
+    EXPECT_EQ(simd.cells, simt.cells);
+  }
+}
+
+TEST(InterTaskSimd, GroupSizeIsQuarterOfSimtAtEqualOccupancy) {
+  const auto spec = gpusim::DeviceSpec::tesla_c1060();
+  InterTaskSimdParams simd;
+  cudasw::InterTaskParams simt;
+  simt.threads_per_block = simd.threads_per_block;
+  simt.regs_per_thread = simd.regs_per_thread;  // same occupancy
+  const std::size_t simd_group = cudasw::inter_task_simd_group_size(spec, simd);
+  const std::size_t simt_group = cudasw::inter_task_group_size(spec, simt);
+  EXPECT_EQ(simd_group * InterTaskSimdParams::kQuadLanes, simt_group);
+}
+
+TEST(InterTaskSimd, LessSensitiveToLengthVarianceThanSimt) {
+  // The motivation for the virtualised SIMD kernel: a block carries 4x
+  // fewer sequences, so a straggler blocks a narrower slice of the launch.
+  auto dev = c1060();
+  const auto query = test::random_codes(64, 7);
+  const auto& matrix = ScoringMatrix::blosum62();
+  const GapPenalty gap{10, 2};
+
+  auto make = [&](double stddev, std::uint64_t seed) {
+    auto db = seq::lognormal_db(128, 400, stddev, seed, 16, 6000);
+    db.sort_by_length();
+    return db;
+  };
+  const auto uniform = make(40, 8);
+  const auto skewed = make(800, 9);
+
+  auto gcups = [](const cudasw::KernelRun& r) {
+    return static_cast<double>(r.cells) / r.stats.seconds;
+  };
+  const double simt_drop =
+      gcups(run_inter_task(dev, query, uniform, matrix, gap, {})) /
+      gcups(run_inter_task(dev, query, skewed, matrix, gap, {}));
+  const double simd_drop =
+      gcups(run_inter_task_simd(dev, query, uniform, matrix, gap, {})) /
+      gcups(run_inter_task_simd(dev, query, skewed, matrix, gap, {}));
+  EXPECT_GT(simt_drop, 1.2);            // SIMT suffers from the variance
+  EXPECT_LT(simd_drop, simt_drop);      // vSIMD suffers less
+}
+
+TEST(InterTaskSimd, EmptyInputs) {
+  auto dev = c1060();
+  const auto& matrix = ScoringMatrix::blosum62();
+  const auto a = run_inter_task_simd(dev, test::random_codes(5, 1),
+                                     seq::SequenceDB{}, matrix, {10, 2}, {});
+  EXPECT_TRUE(a.scores.empty());
+  const auto db = seq::uniform_db(2, 5, 9, 1);
+  const auto b = run_inter_task_simd(dev, {}, db, matrix, {10, 2}, {});
+  EXPECT_EQ(b.scores, (std::vector<int>{0, 0}));
+}
+
+}  // namespace
+}  // namespace cusw

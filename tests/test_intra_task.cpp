@@ -1,0 +1,218 @@
+// Intra-task kernels (original wavefront and improved tiled): functional
+// correctness against the scalar reference across strip/tile shapes and
+// feature toggles, plus the paper's memory-transaction claims.
+#include <gtest/gtest.h>
+
+#include "cudasw/intra_task_improved.h"
+#include "cudasw/intra_task_original.h"
+#include "test_helpers.h"
+
+namespace cusw {
+namespace {
+
+using cudasw::ImprovedIntraParams;
+using cudasw::run_intra_task_improved;
+using cudasw::run_intra_task_original;
+using sw::GapPenalty;
+using sw::ScoringMatrix;
+
+gpusim::Device c1060() { return gpusim::Device(gpusim::DeviceSpec::tesla_c1060()); }
+gpusim::Device c2050() { return gpusim::Device(gpusim::DeviceSpec::tesla_c2050()); }
+
+TEST(IntraOriginal, MatchesReference) {
+  auto dev = c1060();
+  const auto query = test::random_codes(91, 21);
+  const auto db = seq::uniform_db(6, 40, 400, 22);
+  const auto& matrix = ScoringMatrix::blosum62();
+  const GapPenalty gap{10, 2};
+  const auto run = run_intra_task_original(dev, query, db, matrix, gap, {});
+  const auto want = test::reference_scores(query, db, matrix, gap);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(run.scores[i], want[i]) << "seq " << i;
+  }
+}
+
+TEST(IntraOriginal, MatchesReferenceWhenDiagonalExceedsBlock) {
+  // Query longer than the 256-thread block: diagonals need multiple chunks.
+  auto dev = c1060();
+  const auto query = test::random_codes(300, 23);
+  const auto db = seq::uniform_db(2, 500, 600, 24);
+  const auto& matrix = ScoringMatrix::blosum50();
+  const GapPenalty gap{8, 2};
+  const auto run = run_intra_task_original(dev, query, db, matrix, gap, {});
+  const auto want = test::reference_scores(query, db, matrix, gap);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(run.scores[i], want[i]);
+  }
+}
+
+struct ImprovedCase {
+  int threads;
+  int tile_height;
+  int tile_width;
+  std::size_t query_len;
+  std::size_t target_len;
+};
+
+class ImprovedMatchesReference
+    : public ::testing::TestWithParam<ImprovedCase> {};
+
+TEST_P(ImprovedMatchesReference, Scores) {
+  const ImprovedCase c = GetParam();
+  auto dev = c1060();
+  const auto query = test::random_codes(c.query_len, 31 + c.query_len);
+  seq::SequenceDB db;
+  Rng rng(32);
+  db.add(seq::random_protein(c.target_len, rng));
+  db.add(seq::random_protein(c.target_len / 2 + 1, rng));
+  const auto& matrix = ScoringMatrix::blosum62();
+  const GapPenalty gap{10, 2};
+
+  ImprovedIntraParams p;
+  p.threads_per_block = c.threads;
+  p.tile_height = c.tile_height;
+  p.tile_width = c.tile_width;
+  const auto run = run_intra_task_improved(dev, query, db, matrix, gap, p);
+  const auto want = test::reference_scores(query, db, matrix, gap);
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(run.scores[i], want[i]) << "seq " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StripShapes, ImprovedMatchesReference,
+    ::testing::Values(
+        // Single pass, tiny block.
+        ImprovedCase{4, 4, 1, 16, 40},
+        // Multiple passes (query longer than the strip).
+        ImprovedCase{4, 4, 1, 70, 55},
+        ImprovedCase{8, 4, 1, 200, 150},
+        // Partial final strip and partial final tile.
+        ImprovedCase{4, 4, 1, 33, 29},
+        ImprovedCase{4, 4, 1, 31, 29},
+        // Tile height 8 (the §IV-A parameter sweep).
+        ImprovedCase{4, 8, 1, 90, 70},
+        // Tile width 2 (§III-C: width 1 is optimal, but width >1 must be
+        // correct to be benchmarked).
+        ImprovedCase{4, 4, 2, 70, 51},
+        ImprovedCase{8, 4, 3, 120, 90},
+        // Query shorter than one tile row.
+        ImprovedCase{8, 4, 1, 3, 50},
+        // Full-size block.
+        ImprovedCase{256, 4, 1, 600, 500}));
+
+TEST(IntraImproved, AllFeatureTogglesPreserveScores) {
+  auto dev = c2050();
+  const auto query = test::random_codes(150, 41);
+  const auto db = seq::uniform_db(3, 200, 300, 42);
+  const auto& matrix = ScoringMatrix::blosum62();
+  const GapPenalty gap{10, 2};
+  const auto want = test::reference_scores(query, db, matrix, gap);
+
+  for (int mask = 0; mask < 64; ++mask) {
+    ImprovedIntraParams p;
+    p.threads_per_block = 16;
+    p.deep_swap = mask & 1;
+    p.unroll_profile_loop = mask & 2;
+    p.packed_profile = mask & 4;
+    p.coalesced_strip_io = mask & 8;
+    p.shared_only = mask & 16;
+    p.persistent_pipeline = mask & 32;
+    const auto run = run_intra_task_improved(dev, query, db, matrix, gap, p);
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(run.scores[i], want[i]) << "mask=" << mask << " seq=" << i;
+    }
+  }
+}
+
+TEST(IntraImproved, FarFewerGlobalTransactionsThanOriginal) {
+  // Table I's claim at small scale: the improved kernel's global traffic is
+  // orders of magnitude below the original's.
+  auto dev = c1060();
+  const auto query = test::random_codes(256, 51);
+  const auto db = seq::uniform_db(2, 1000, 1200, 52);
+  const auto& matrix = ScoringMatrix::blosum62();
+  const GapPenalty gap{10, 2};
+
+  const auto orig = run_intra_task_original(dev, query, db, matrix, gap, {});
+  const auto imp = run_intra_task_improved(dev, query, db, matrix, gap, {});
+  EXPECT_EQ(orig.scores, imp.scores);
+  EXPECT_GT(orig.stats.global_memory_transactions(),
+            10 * imp.stats.global_memory_transactions());
+}
+
+TEST(IntraImproved, RegisterSpillVariantsAddLocalTraffic) {
+  auto dev = c1060();
+  const auto query = test::random_codes(128, 61);
+  const auto db = seq::uniform_db(1, 500, 500, 62);
+  const auto& matrix = ScoringMatrix::blosum62();
+  const GapPenalty gap{10, 2};
+
+  ImprovedIntraParams good;
+  ImprovedIntraParams spilled;
+  spilled.deep_swap = false;
+  spilled.unroll_profile_loop = false;
+  const auto a = run_intra_task_improved(dev, query, db, matrix, gap, good);
+  const auto b = run_intra_task_improved(dev, query, db, matrix, gap, spilled);
+  EXPECT_EQ(a.scores, b.scores);
+  EXPECT_EQ(a.stats.local.transactions, 0u);
+  EXPECT_GT(b.stats.local.transactions, 0u);
+  EXPECT_GT(b.stats.seconds, a.stats.seconds);
+}
+
+TEST(IntraImproved, PackedProfileQuartersTextureRequests) {
+  auto dev = c1060();
+  const auto query = test::random_codes(128, 71);
+  const auto db = seq::uniform_db(1, 400, 400, 72);
+  const auto& matrix = ScoringMatrix::blosum62();
+
+  ImprovedIntraParams packed;
+  ImprovedIntraParams plain;
+  plain.packed_profile = false;
+  const auto a = run_intra_task_improved(dev, query, db, matrix, {10, 2}, packed);
+  const auto b = run_intra_task_improved(dev, query, db, matrix, {10, 2}, plain);
+  EXPECT_EQ(a.scores, b.scores);
+  EXPECT_NEAR(static_cast<double>(b.stats.texture.requests) /
+                  static_cast<double>(a.stats.texture.requests),
+              4.0, 0.05);
+}
+
+TEST(IntraImproved, SharedOnlyModeEliminatesStripGlobalTraffic) {
+  auto dev = c2050();
+  // Two passes so the strip boundary actually matters.
+  const auto query = test::random_codes(160, 81);
+  const auto db = seq::uniform_db(1, 600, 600, 82);
+  const auto& matrix = ScoringMatrix::blosum62();
+
+  ImprovedIntraParams base;
+  base.threads_per_block = 16;  // strip = 64 rows -> 3 passes
+  ImprovedIntraParams shared = base;
+  shared.shared_only = true;
+  const auto a = run_intra_task_improved(dev, query, db, matrix, {10, 2}, base);
+  const auto b =
+      run_intra_task_improved(dev, query, db, matrix, {10, 2}, shared);
+  EXPECT_EQ(a.scores, b.scores);
+  EXPECT_LT(b.stats.global.transactions, a.stats.global.transactions);
+  EXPECT_GT(b.stats.shared_accesses, a.stats.shared_accesses);
+}
+
+TEST(IntraImproved, PersistentPipelineReducesSyncs) {
+  auto dev = c1060();
+  const auto query = test::random_codes(300, 91);  // several strips
+  const auto db = seq::uniform_db(1, 400, 400, 92);
+  const auto& matrix = ScoringMatrix::blosum62();
+
+  ImprovedIntraParams base;
+  base.threads_per_block = 32;
+  ImprovedIntraParams persistent = base;
+  persistent.persistent_pipeline = true;
+  const auto a = run_intra_task_improved(dev, query, db, matrix, {10, 2}, base);
+  const auto b =
+      run_intra_task_improved(dev, query, db, matrix, {10, 2}, persistent);
+  EXPECT_EQ(a.scores, b.scores);
+  EXPECT_LT(b.stats.syncs, a.stats.syncs);
+  EXPECT_LT(b.stats.seconds, a.stats.seconds);
+}
+
+}  // namespace
+}  // namespace cusw

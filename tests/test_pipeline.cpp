@@ -1,0 +1,186 @@
+// Full search pipeline: dispatch correctness, score integrity in original
+// database order, stats bookkeeping, kernel-choice equivalence.
+#include <gtest/gtest.h>
+
+#include "cudasw/pipeline.h"
+#include "test_helpers.h"
+
+namespace cusw {
+namespace {
+
+using cudasw::IntraKernel;
+using cudasw::SearchConfig;
+using sw::ScoringMatrix;
+
+gpusim::Device mini1060() {
+  return gpusim::Device(gpusim::DeviceSpec::tesla_c1060().scaled(0.1));
+}
+
+seq::SequenceDB mixed_db(std::uint64_t seed) {
+  // Short sequences plus a long tail that crosses the test threshold.
+  seq::SequenceDB db = seq::lognormal_db(120, 150, 80, seed);
+  Rng rng(seed + 1);
+  db.add(seq::random_protein(900, rng, "long1"));
+  db.add(seq::random_protein(1500, rng, "long2"));
+  // Shuffle-ish: long ones are at the end; pipeline must restore order.
+  return db;
+}
+
+TEST(Pipeline, ScoresMatchReferenceInOriginalOrder) {
+  auto dev = mini1060();
+  const auto query = test::random_codes(96, 7);
+  const auto db = mixed_db(8);
+  const auto& matrix = ScoringMatrix::blosum62();
+  SearchConfig cfg;
+  cfg.threshold = 600;
+  const auto report = cudasw::search(dev, query, db, matrix, cfg);
+  const auto want = test::reference_scores(query, db, matrix, cfg.gap);
+  ASSERT_EQ(report.scores.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(report.scores[i], want[i]) << "db index " << i;
+  }
+}
+
+TEST(Pipeline, BothIntraKernelsGiveIdenticalScores) {
+  auto dev = mini1060();
+  const auto query = test::random_codes(80, 9);
+  const auto db = mixed_db(10);
+  const auto& matrix = ScoringMatrix::blosum62();
+  SearchConfig a, b;
+  a.threshold = b.threshold = 500;
+  a.intra_kernel = IntraKernel::kOriginal;
+  b.intra_kernel = IntraKernel::kImproved;
+  const auto ra = cudasw::search(dev, query, db, matrix, a);
+  const auto rb = cudasw::search(dev, query, db, matrix, b);
+  EXPECT_EQ(ra.scores, rb.scores);
+}
+
+TEST(Pipeline, ThresholdControlsDispatchCounts) {
+  auto dev = mini1060();
+  const auto query = test::random_codes(50, 11);
+  const auto db = mixed_db(12);
+  const auto& matrix = ScoringMatrix::blosum62();
+  const auto stats = db.length_stats();
+
+  for (std::size_t thr : {300u, 600u, 1200u, 4000u}) {
+    SearchConfig cfg;
+    cfg.threshold = thr;
+    const auto report = cudasw::search(dev, query, db, matrix, cfg);
+    std::size_t want_above = 0;
+    for (auto len : stats.lengths) {
+      if (len > thr) ++want_above;
+    }
+    EXPECT_EQ(report.intra_sequences, want_above) << thr;
+    EXPECT_EQ(report.inter_sequences + report.intra_sequences, db.size());
+    EXPECT_EQ(report.cells(), query.size() * db.total_residues());
+  }
+}
+
+TEST(Pipeline, AllSequencesAboveOrBelowThreshold) {
+  auto dev = mini1060();
+  const auto query = test::random_codes(40, 13);
+  const auto db = seq::uniform_db(50, 100, 200, 14);
+  const auto& matrix = ScoringMatrix::blosum62();
+  SearchConfig all_inter;
+  all_inter.threshold = 10000;
+  const auto ri = cudasw::search(dev, query, db, matrix, all_inter);
+  EXPECT_EQ(ri.intra_sequences, 0u);
+  EXPECT_EQ(ri.intra_seconds, 0.0);
+  EXPECT_EQ(ri.intra_time_fraction(), 0.0);
+
+  SearchConfig all_intra;
+  all_intra.threshold = 1;
+  const auto ra = cudasw::search(dev, query, db, matrix, all_intra);
+  EXPECT_EQ(ra.inter_sequences, 0u);
+  EXPECT_EQ(ra.intra_sequences, 50u);
+  EXPECT_EQ(ra.scores, ri.scores);
+}
+
+TEST(Pipeline, EmptyDatabase) {
+  auto dev = mini1060();
+  const auto report = cudasw::search(dev, test::random_codes(10, 1),
+                                     seq::SequenceDB{},
+                                     ScoringMatrix::blosum62(), {});
+  EXPECT_TRUE(report.scores.empty());
+  EXPECT_EQ(report.gcups(), 0.0);
+}
+
+TEST(Pipeline, GroupCountMatchesGroupSize) {
+  auto dev = mini1060();
+  const auto query = test::random_codes(30, 15);
+  const std::size_t group =
+      cudasw::inter_task_group_size(dev.spec(), cudasw::InterTaskParams{});
+  const auto db = seq::uniform_db(group + 5, 50, 60, 16);
+  SearchConfig cfg;
+  const auto report =
+      cudasw::search(dev, query, db, ScoringMatrix::blosum62(), cfg);
+  EXPECT_EQ(report.groups, 2u);
+}
+
+TEST(Pipeline, StatsAccumulateAcrossGroups) {
+  auto dev = mini1060();
+  const auto query = test::random_codes(30, 17);
+  const auto db = mixed_db(18);
+  SearchConfig cfg;
+  cfg.threshold = 600;
+  const auto report =
+      cudasw::search(dev, query, db, ScoringMatrix::blosum62(), cfg);
+  EXPECT_GT(report.inter_stats.global.transactions, 0u);
+  EXPECT_GT(report.intra_stats.global.transactions, 0u);
+  EXPECT_GT(report.inter_seconds, 0.0);
+  EXPECT_GT(report.intra_seconds, 0.0);
+  EXPECT_NEAR(report.intra_time_fraction(),
+              report.intra_seconds / report.seconds(), 1e-12);
+  EXPECT_GT(report.gcups(), 0.0);
+}
+
+TEST(Pipeline, PreparedDatabaseMatchesAdHocSearch) {
+  auto dev = mini1060();
+  const auto query = test::random_codes(60, 19);
+  const auto db = mixed_db(20);
+  const auto& matrix = ScoringMatrix::blosum62();
+  SearchConfig cfg;
+  cfg.threshold = 700;
+
+  const cudasw::PreparedDatabase prepared(db, cfg.threshold);
+  EXPECT_EQ(prepared.below().size() + prepared.above().size(), db.size());
+  // below() is sorted by length and respects the threshold.
+  for (std::size_t k = 1; k < prepared.below().size(); ++k) {
+    EXPECT_LE(db[prepared.below()[k - 1]].length(),
+              db[prepared.below()[k]].length());
+  }
+  for (std::size_t idx : prepared.above()) {
+    EXPECT_GT(db[idx].length(), cfg.threshold);
+  }
+
+  const auto a = cudasw::search(dev, query, prepared, matrix, cfg);
+  const auto b = cudasw::search(dev, query, db, matrix, cfg);
+  EXPECT_EQ(a.scores, b.scores);
+  EXPECT_EQ(a.groups, b.groups);
+
+  // Mismatched threshold is rejected.
+  SearchConfig other;
+  other.threshold = 100;
+  EXPECT_THROW(cudasw::search(dev, query, prepared, matrix, other),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, SearchBatchMatchesIndividualSearches) {
+  auto dev = mini1060();
+  const auto db = mixed_db(21);
+  const auto& matrix = ScoringMatrix::blosum62();
+  SearchConfig cfg;
+  cfg.threshold = 600;
+  std::vector<std::vector<seq::Code>> queries = {
+      test::random_codes(40, 22), test::random_codes(90, 23),
+      test::random_codes(10, 24)};
+  const auto batch = cudasw::search_batch(dev, queries, db, matrix, cfg);
+  ASSERT_EQ(batch.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    const auto single = cudasw::search(dev, queries[i], db, matrix, cfg);
+    EXPECT_EQ(batch[i].scores, single.scores) << i;
+  }
+}
+
+}  // namespace
+}  // namespace cusw

@@ -1,0 +1,216 @@
+// seq: alphabets, FASTA round-trip, database operations, synthetic
+// generators and the paper-database profiles.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "seq/fasta.h"
+#include "seq/generate.h"
+
+namespace cusw::seq {
+namespace {
+
+TEST(Alphabet, AminoAcidEncodesBlosumOrder) {
+  const auto& aa = Alphabet::amino_acid();
+  EXPECT_EQ(aa.size(), 24u);
+  EXPECT_EQ(aa.encode('A'), 0);
+  EXPECT_EQ(aa.encode('R'), 1);
+  EXPECT_EQ(aa.encode('V'), 19);
+  EXPECT_EQ(aa.encode('*'), 23);
+  EXPECT_EQ(aa.encode('a'), aa.encode('A'));  // case-insensitive
+  EXPECT_EQ(aa.letter(aa.encode('W')), 'W');
+  EXPECT_THROW(aa.encode('J'), std::invalid_argument);
+  EXPECT_EQ(aa.encode_lenient('J'), aa.wildcard());
+  EXPECT_EQ(aa.letter(aa.wildcard()), 'X');
+}
+
+TEST(Alphabet, RoundTripString) {
+  const auto& aa = Alphabet::amino_acid();
+  const std::string s = "MKVLAADWY";
+  EXPECT_EQ(aa.decode(aa.encode(s)), s);
+}
+
+TEST(Sequence, ConstructFromLetters) {
+  const Sequence s("test", "ACDEF");
+  EXPECT_EQ(s.length(), 5u);
+  EXPECT_EQ(s.residues[0], Alphabet::amino_acid().encode('A'));
+}
+
+TEST(Fasta, ParsesMultiRecordWithWrappingAndComments) {
+  std::istringstream in(
+      ">seq1 description here\n"
+      "MKVL\n"
+      "AAD\n"
+      "\n"
+      "; old-style comment\n"
+      ">seq2\n"
+      "WYYW\r\n");
+  const SequenceDB db = read_fasta(in);
+  ASSERT_EQ(db.size(), 2u);
+  EXPECT_EQ(db[0].name, "seq1 description here");
+  EXPECT_EQ(db[0].length(), 7u);
+  EXPECT_EQ(db[1].length(), 4u);
+}
+
+TEST(Fasta, ThrowsOnResiduesBeforeHeader) {
+  std::istringstream in("MKVL\n>seq\nAA\n");
+  EXPECT_THROW(read_fasta(in), std::invalid_argument);
+}
+
+TEST(Fasta, RoundTripsThroughWriter) {
+  SequenceDB db;
+  db.add(Sequence("a", "MKVLAADWYMKVLAADWY"));
+  db.add(Sequence("b", "WW"));
+  std::ostringstream out;
+  write_fasta(out, db, Alphabet::amino_acid(), 5);  // force line wrapping
+  std::istringstream in(out.str());
+  const SequenceDB back = read_fasta(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].residues, db[0].residues);
+  EXPECT_EQ(back[1].residues, db[1].residues);
+  EXPECT_EQ(back[0].name, "a");
+}
+
+TEST(Database, LengthStatsAndThresholdSplit) {
+  SequenceDB db;
+  db.add(Sequence("s1", std::vector<Code>(10, 0)));
+  db.add(Sequence("s2", std::vector<Code>(30, 0)));
+  db.add(Sequence("s3", std::vector<Code>(20, 0)));
+  const auto st = db.length_stats();
+  EXPECT_EQ(st.count, 3u);
+  EXPECT_EQ(st.total_residues, 60u);
+  EXPECT_EQ(st.min_length, 10u);
+  EXPECT_EQ(st.max_length, 30u);
+  EXPECT_DOUBLE_EQ(st.mean_length, 20.0);
+  EXPECT_DOUBLE_EQ(st.fraction_over(15), 2.0 / 3.0);
+
+  const auto [below, above] = db.split_by_threshold(20);
+  EXPECT_EQ(below.size(), 2u);
+  EXPECT_EQ(above.size(), 1u);
+  EXPECT_EQ(above[0].length(), 30u);
+}
+
+TEST(Database, SortAndPartition) {
+  SequenceDB db;
+  for (std::size_t len : {50u, 10u, 30u, 20u, 40u}) {
+    db.add(Sequence("x", std::vector<Code>(len, 0)));
+  }
+  EXPECT_FALSE(db.is_sorted_by_length());
+  db.sort_by_length();
+  EXPECT_TRUE(db.is_sorted_by_length());
+  const auto groups = db.partition_groups(2);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], (std::pair<std::size_t, std::size_t>{0, 2}));
+  EXPECT_EQ(groups[2], (std::pair<std::size_t, std::size_t>{4, 5}));
+  EXPECT_THROW(db.partition_groups(0), std::invalid_argument);
+}
+
+TEST(Database, FilterSliceSampleAppend) {
+  SequenceDB db;
+  for (std::size_t len : {10u, 20u, 30u, 40u, 50u, 60u}) {
+    db.add(Sequence("len" + std::to_string(len), std::vector<Code>(len, 0)));
+  }
+  const auto mid = db.filter_by_length(20, 40);
+  ASSERT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid[0].length(), 20u);
+  EXPECT_EQ(mid[2].length(), 40u);
+  EXPECT_THROW(db.filter_by_length(40, 20), std::invalid_argument);
+
+  const auto s = db.slice(1, 4);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0].length(), 20u);
+  EXPECT_THROW(db.slice(4, 99), std::invalid_argument);
+
+  const auto every2 = db.sample_stride(2);
+  ASSERT_EQ(every2.size(), 3u);
+  EXPECT_EQ(every2[1].length(), 30u);
+  const auto every2_off = db.sample_stride(2, 1);
+  EXPECT_EQ(every2_off[0].length(), 20u);
+  EXPECT_THROW(db.sample_stride(0), std::invalid_argument);
+
+  SequenceDB combined = mid;
+  combined.append(every2);
+  EXPECT_EQ(combined.size(), 6u);
+  EXPECT_EQ(combined[3].length(), 10u);
+}
+
+TEST(Generate, DeterministicBySeed) {
+  const auto a = lognormal_db(50, 300, 200, 42);
+  const auto b = lognormal_db(50, 300, 200, 42);
+  const auto c = lognormal_db(50, 300, 200, 43);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].residues, b[i].residues);
+  }
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_diff |= a[i].residues != c[i].residues;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Generate, LognormalMomentsMatch) {
+  const auto db = lognormal_db(4000, 360, 300, 7);
+  const auto st = db.length_stats();
+  EXPECT_NEAR(st.mean_length, 360.0, 20.0);
+  EXPECT_NEAR(st.stddev_length, 300.0, 40.0);
+}
+
+TEST(Generate, UniformBoundsRespected) {
+  const auto db = uniform_db(500, 100, 200, 5);
+  const auto st = db.length_stats();
+  EXPECT_GE(st.min_length, 100u);
+  EXPECT_LE(st.max_length, 200u);
+}
+
+TEST(Generate, ResidueFrequenciesLookLikeProteins) {
+  // Leucine (L) must be the most common standard residue; Tryptophan (W)
+  // the rarest. All residues drawn from the 20 standard ones.
+  Rng rng(3);
+  const auto s = random_protein(200000, rng);
+  std::array<int, 24> counts{};
+  for (Code c : s.residues) {
+    ASSERT_LT(c, 20);
+    ++counts[c];
+  }
+  const auto& aa = Alphabet::amino_acid();
+  const int leu = counts[aa.encode('L')];
+  const int trp = counts[aa.encode('W')];
+  for (int a = 0; a < 20; ++a) {
+    EXPECT_LE(counts[a], leu);
+    EXPECT_GE(counts[a], trp);
+  }
+  EXPECT_NEAR(static_cast<double>(leu) / 200000, 0.091, 0.01);
+}
+
+class PaperProfile : public ::testing::TestWithParam<DatabaseProfile> {};
+
+TEST_P(PaperProfile, SynthesizedTailMatchesPublishedColumn) {
+  const DatabaseProfile prof = GetParam();
+  const auto db = prof.synthesize(4000, 123);
+  EXPECT_EQ(db.size(), 4000u);
+  const auto st = db.length_stats();
+  // Mean within 15% (tail planting perturbs it slightly at small n).
+  EXPECT_NEAR(st.mean_length, prof.mean_length, prof.mean_length * 0.15);
+  // The over-3072 fraction matches the paper's Table II column, up to the
+  // 1/n quantisation of planting whole sequences.
+  const double want = prof.pct_over_3072 / 100.0;
+  const double got = st.fraction_over(3072);
+  EXPECT_NEAR(got, std::max(want, 1.0 / 4000.0), 1.1 / 4000.0)
+      << prof.name;
+  EXPECT_GE(st.fraction_over(3072), 1.0 / 4000.0);  // tail always present
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatabases, PaperProfile,
+    ::testing::ValuesIn(DatabaseProfile::all_paper_databases()),
+    [](const ::testing::TestParamInfo<DatabaseProfile>& info) {
+      std::string name = info.param.name;
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace cusw::seq

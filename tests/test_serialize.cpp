@@ -1,0 +1,66 @@
+// Binary database image round-trips and corruption handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "seq/generate.h"
+#include "seq/serialize.h"
+
+namespace cusw::seq {
+namespace {
+
+TEST(Serialize, RoundTripsArbitraryDatabase) {
+  const auto db = lognormal_db(80, 200, 150, 17);
+  std::stringstream buf;
+  write_db(buf, db);
+  const auto back = read_db(buf);
+  ASSERT_EQ(back.size(), db.size());
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(back[i].name, db[i].name);
+    EXPECT_EQ(back[i].residues, db[i].residues);
+  }
+}
+
+TEST(Serialize, RoundTripsEmptyAndEdgeCases) {
+  SequenceDB db;
+  db.add(Sequence("empty-seq", std::vector<Code>{}));
+  db.add(Sequence("", std::vector<Code>{1, 2, 3}));
+  db.add(Sequence(std::string(300, 'n'), std::vector<Code>(1, 19)));
+  std::stringstream buf;
+  write_db(buf, db);
+  const auto back = read_db(buf);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_TRUE(back[0].residues.empty());
+  EXPECT_TRUE(back[1].name.empty());
+  EXPECT_EQ(back[2].name.size(), 300u);
+
+  SequenceDB none;
+  std::stringstream buf2;
+  write_db(buf2, none);
+  EXPECT_EQ(read_db(buf2).size(), 0u);
+}
+
+TEST(Serialize, RejectsBadMagicAndTruncation) {
+  std::stringstream bad("not a database image at all");
+  EXPECT_THROW(read_db(bad), std::invalid_argument);
+
+  const auto db = uniform_db(5, 10, 20, 1);
+  std::stringstream buf;
+  write_db(buf, db);
+  const std::string full = buf.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  EXPECT_THROW(read_db(truncated), std::invalid_argument);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto db = uniform_db(12, 30, 60, 9);
+  const std::string path = "/tmp/cusw_test_db.bin";
+  write_db_file(path, db);
+  const auto back = read_db_file(path);
+  ASSERT_EQ(back.size(), db.size());
+  EXPECT_EQ(back[7].residues, db[7].residues);
+  EXPECT_THROW(read_db_file("/nonexistent/nope.bin"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cusw::seq

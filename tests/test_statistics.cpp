@@ -1,0 +1,97 @@
+// Karlin-Altschul statistics: conversions, presets, the simulation fitter,
+// and hit ranking.
+#include <gtest/gtest.h>
+
+#include "sw/statistics.h"
+#include "test_helpers.h"
+
+namespace cusw::sw {
+namespace {
+
+TEST(Statistics, BitScoreAndEvalueRelations) {
+  const auto p = KarlinAltschulParams::blosum62_gapped();
+  // Higher raw score -> higher bit score, lower E-value.
+  EXPECT_GT(p.bit_score(100), p.bit_score(50));
+  EXPECT_LT(p.evalue(100, 300, 1'000'000), p.evalue(50, 300, 1'000'000));
+  // E-value scales linearly with the search space.
+  EXPECT_NEAR(p.evalue(80, 300, 2'000'000) / p.evalue(80, 300, 1'000'000),
+              2.0, 1e-9);
+  // P-value is a probability and ~E for tiny E.
+  const double e = p.evalue(200, 300, 1'000'000);
+  EXPECT_GT(e, 0.0);
+  EXPECT_LT(e, 1e-6);
+  EXPECT_NEAR(p.pvalue(200, 300, 1'000'000), e, e * 1e-3);
+  EXPECT_LE(p.pvalue(10, 300, 1'000'000), 1.0);
+}
+
+TEST(Statistics, ScoreForEvalueInvertsEvalue) {
+  const auto p = KarlinAltschulParams::blosum62_gapped();
+  for (double target : {10.0, 1e-3, 1e-10}) {
+    const int s = p.score_for_evalue(target, 567, 180'000'000);
+    EXPECT_LE(p.evalue(s, 567, 180'000'000), target);
+    EXPECT_GT(p.evalue(s - 1, 567, 180'000'000), target);
+  }
+}
+
+TEST(Statistics, UninitialisedParamsThrow) {
+  KarlinAltschulParams p;
+  EXPECT_THROW(p.bit_score(10), std::invalid_argument);
+  EXPECT_THROW(p.evalue(10, 10, 10), std::invalid_argument);
+}
+
+TEST(Statistics, FitterRecoversPlausibleGumbelParams) {
+  // Fit on random pairs; the fitted lambda for gapped BLOSUM62 should be in
+  // the physically sensible band around the published 0.267 (the method of
+  // moments on short sequences is biased, so the tolerance is loose).
+  const auto fit = fit_karlin_altschul(ScoringMatrix::blosum62(), {10, 2},
+                                       120, 120, 300, 42);
+  EXPECT_GT(fit.lambda, 0.1);
+  EXPECT_LT(fit.lambda, 0.6);
+  EXPECT_GT(fit.k, 0.0);
+  EXPECT_LT(fit.k, 1.0);
+  // Deterministic in the seed.
+  const auto fit2 = fit_karlin_altschul(ScoringMatrix::blosum62(), {10, 2},
+                                        120, 120, 300, 42);
+  EXPECT_DOUBLE_EQ(fit.lambda, fit2.lambda);
+  EXPECT_DOUBLE_EQ(fit.k, fit2.k);
+}
+
+TEST(Statistics, FittedParamsMakeRandomScoresInsignificant) {
+  // A random pair's score should not look significant under parameters
+  // fitted to random pairs; a strong self-match should.
+  const auto& m = ScoringMatrix::blosum62();
+  const auto fit = fit_karlin_altschul(m, {10, 2}, 100, 100, 200, 7);
+  const auto q = test::random_codes(100, 1);
+  const auto t = test::random_codes(100, 2);
+  const int random_score = sw_score(q, t, m, {10, 2});
+  const int self_score = sw_score(q, q, m, {10, 2});
+  const double e_random = fit.evalue(random_score, 100, 100 * 1000);
+  const double e_self = fit.evalue(self_score, 100, 100 * 1000);
+  EXPECT_GT(e_random, 1e-3);
+  EXPECT_LT(e_self, 1e-6);
+}
+
+TEST(Statistics, RankHitsFiltersSortsAndLimits) {
+  const auto p = KarlinAltschulParams::blosum62_gapped();
+  const std::vector<int> scores = {30, 120, 55, 120, 90};
+  const auto all = rank_hits(scores, p, 200, 1'000'000, 1e10);
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(all[0].score, 120);
+  EXPECT_EQ(all[0].db_index, 1u);  // stable: first 120 wins
+  EXPECT_EQ(all[1].db_index, 3u);
+  EXPECT_EQ(all.back().score, 30);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_GE(all[i].evalue, all[i - 1].evalue);
+  }
+
+  const auto top2 = rank_hits(scores, p, 200, 1'000'000, 1e10, 2);
+  ASSERT_EQ(top2.size(), 2u);
+
+  const double cut = p.evalue(100, 200, 1'000'000);
+  const auto significant = rank_hits(scores, p, 200, 1'000'000, cut);
+  for (const auto& h : significant) EXPECT_GE(h.score, 100);
+  EXPECT_EQ(significant.size(), 2u);
+}
+
+}  // namespace
+}  // namespace cusw::sw

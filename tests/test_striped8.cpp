@@ -1,0 +1,80 @@
+// 8-bit striped kernel and the adaptive 8/16-bit engine.
+#include <gtest/gtest.h>
+
+#include "swps3/striped8.h"
+#include "test_helpers.h"
+
+namespace cusw::swps3 {
+namespace {
+
+using sw::GapPenalty;
+using sw::ScoringMatrix;
+
+TEST(Striped8, MatchesReferenceBelowSaturation) {
+  const auto& m = ScoringMatrix::blosum62();
+  const GapPenalty gap{10, 2};
+  for (int i = 0; i < 50; ++i) {
+    const auto q = test::random_codes(1 + (i * 19) % 140, 700 + i);
+    const auto t = test::random_codes(1 + (i * 23) % 160, 800 + i);
+    const StripedProfile8 prof(q, m);
+    const auto r = striped8_sw_score(prof, t, gap);
+    // Random pairs score far below 255 - bias: no overflow expected.
+    ASSERT_FALSE(r.overflow) << i;
+    ASSERT_EQ(r.score, sw::sw_score(q, t, m, gap)) << i;
+  }
+}
+
+TEST(Striped8, OverflowsOnStrongMatches) {
+  const auto& m = ScoringMatrix::blosum62();
+  // Self-alignment of a 200-residue query scores far above 255.
+  const auto q = test::random_codes(200, 3);
+  const StripedProfile8 prof(q, m);
+  const auto r = striped8_sw_score(prof, q, {10, 2});
+  EXPECT_TRUE(r.overflow);
+}
+
+TEST(Striped8, LazyFNeededForGappyOptima) {
+  const auto& m = ScoringMatrix::blosum62();
+  const GapPenalty gap{1, 1};
+  Rng rng(91);
+  for (int i = 0; i < 25; ++i) {
+    std::vector<seq::Code> q, t;
+    for (int k = 0; k < 50 + i; ++k) q.push_back(k % 3 == 0 ? 19 : 0);
+    for (int k = 0; k < 60 + i; ++k)
+      t.push_back(static_cast<seq::Code>(rng.uniform_int(0, 2) == 0 ? 19 : 0));
+    const StripedProfile8 prof(q, m);
+    const auto r = striped8_sw_score(prof, t, gap);
+    if (!r.overflow) {
+      ASSERT_EQ(r.score, sw::sw_score(q, t, m, gap)) << i;
+    }
+  }
+}
+
+TEST(StripedEngine, FallsBackExactlyWhenNeeded) {
+  const auto& m = ScoringMatrix::blosum62();
+  const GapPenalty gap{10, 2};
+  const auto q = test::random_codes(150, 5);
+  const StripedEngine engine(q, m, gap);
+
+  // A batch of random targets (no fallback) plus the query itself
+  // (fallback): every score must match the reference.
+  seq::SequenceDB db = seq::uniform_db(30, 50, 200, 6);
+  db.add(seq::Sequence("self", q));
+  for (std::size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(engine.score(db[i].residues),
+              sw::sw_score(q, db[i].residues, m, gap))
+        << i;
+  }
+  EXPECT_EQ(engine.scored(), db.size());
+  EXPECT_GE(engine.fallbacks(), 1u);
+  EXPECT_LT(engine.fallbacks(), db.size() / 2);  // fallback stays rare
+}
+
+TEST(StripedEngine, EmptyTarget) {
+  const auto q = test::random_codes(20, 7);
+  const StripedEngine engine(q, ScoringMatrix::blosum62(), {10, 2});
+  EXPECT_EQ(engine.score({}), 0);
+}
+
+}  // namespace
+}  // namespace cusw::swps3

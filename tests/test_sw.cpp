@@ -1,0 +1,267 @@
+// sw: scoring matrices, the reference aligners (hand-computed cases,
+// textbook examples, property tests), and query profiles.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "seq/generate.h"
+#include "sw/query_profile.h"
+#include "sw/smith_waterman.h"
+#include "test_helpers.h"
+
+namespace cusw::sw {
+namespace {
+
+using seq::Alphabet;
+using seq::Code;
+
+std::vector<Code> enc(const std::string& s) {
+  return Alphabet::amino_acid().encode(s);
+}
+
+TEST(Scoring, Blosum62KnownEntries) {
+  const auto& m = ScoringMatrix::blosum62();
+  const auto& aa = Alphabet::amino_acid();
+  auto sc = [&](char a, char b) { return m.score(aa.encode(a), aa.encode(b)); };
+  EXPECT_EQ(sc('A', 'A'), 4);
+  EXPECT_EQ(sc('W', 'W'), 11);
+  EXPECT_EQ(sc('C', 'C'), 9);
+  EXPECT_EQ(sc('A', 'R'), -1);
+  EXPECT_EQ(sc('W', 'C'), -2);
+  EXPECT_EQ(sc('I', 'L'), 2);
+  EXPECT_EQ(sc('X', 'X'), -1);
+  EXPECT_EQ(m.max_score(), 11);
+}
+
+TEST(Scoring, Blosum50KnownEntries) {
+  const auto& m = ScoringMatrix::blosum50();
+  const auto& aa = Alphabet::amino_acid();
+  auto sc = [&](char a, char b) { return m.score(aa.encode(a), aa.encode(b)); };
+  EXPECT_EQ(sc('W', 'W'), 15);
+  EXPECT_EQ(sc('C', 'C'), 13);
+  EXPECT_EQ(sc('A', 'A'), 5);
+  EXPECT_EQ(sc('E', 'Q'), 2);
+  EXPECT_EQ(m.max_score(), 15);
+}
+
+TEST(Scoring, MatricesAreSymmetric) {
+  for (const ScoringMatrix* m :
+       {&ScoringMatrix::blosum62(), &ScoringMatrix::blosum50()}) {
+    for (std::size_t a = 0; a < m->dim(); ++a) {
+      for (std::size_t b = 0; b < m->dim(); ++b) {
+        ASSERT_EQ(m->score(static_cast<Code>(a), static_cast<Code>(b)),
+                  m->score(static_cast<Code>(b), static_cast<Code>(a)));
+      }
+    }
+  }
+}
+
+TEST(Scoring, ParseNcbiLoadsCustomMatrix) {
+  // A custom DNA matrix in NCBI format (transitions cheaper than
+  // transversions).
+  std::istringstream in(
+      "A C G T N\n"
+      "A 5 -4 -1 -4 0\n"
+      "C -4 5 -4 -1 0\n"
+      "G -1 -4 5 -4 0\n"
+      "T -4 -1 -4 5 0\n"
+      "N 0 0 0 0 0\n");
+  const auto m =
+      ScoringMatrix::parse_ncbi(Alphabet::dna(), "transition", in);
+  const auto& dna = Alphabet::dna();
+  EXPECT_EQ(m.score(dna.encode('A'), dna.encode('G')), -1);
+  EXPECT_EQ(m.score(dna.encode('A'), dna.encode('C')), -4);
+  EXPECT_EQ(m.score(dna.encode('T'), dna.encode('T')), 5);
+  EXPECT_EQ(m.name(), "transition");
+
+  // Asymmetric input is rejected.
+  std::istringstream bad(
+      "A C\n"
+      "A 1 2\n"
+      "C 3 1\n");
+  EXPECT_THROW(ScoringMatrix::parse_ncbi(Alphabet::dna(), "bad", bad),
+               std::logic_error);
+}
+
+TEST(Scoring, MatchMismatchMatrix) {
+  const auto m = ScoringMatrix::match_mismatch(Alphabet::dna(), 2, -3);
+  const auto& dna = Alphabet::dna();
+  EXPECT_EQ(m.score(dna.encode('A'), dna.encode('A')), 2);
+  EXPECT_EQ(m.score(dna.encode('A'), dna.encode('C')), -3);
+}
+
+TEST(SmithWaterman, IdenticalSequencesScoreFullMatch) {
+  const auto q = enc("MKVLAADWY");
+  const auto& m = ScoringMatrix::blosum62();
+  int want = 0;
+  for (Code c : q) want += m.score(c, c);
+  EXPECT_EQ(sw_score(q, q, m, {10, 2}), want);
+}
+
+TEST(SmithWaterman, HandComputedSingleGap) {
+  // Match/mismatch +2/-1, gap open cost rho = open+extend = 3, extend 1.
+  // q = ACGT, t = ACT: best local alignment ACGT vs AC-T = 2+2-3+2 = 3, or
+  // drop the gap: "AC" = 4. So the optimum is 4.
+  const auto m = ScoringMatrix::match_mismatch(Alphabet::dna(), 2, -1);
+  const auto& dna = Alphabet::dna();
+  EXPECT_EQ(sw_score(dna.encode("ACGT"), dna.encode("ACT"), m, {2, 1}), 4);
+  // With a cheap gap (rho = 1): ACGT vs AC-T = 2+2-1+2 = 5.
+  EXPECT_EQ(sw_score(dna.encode("ACGT"), dna.encode("ACT"), m, {0, 1}), 5);
+}
+
+TEST(SmithWaterman, LocalAlignmentIgnoresBadPrefix) {
+  // A strong match embedded in junk scores the same as the match alone.
+  const auto m = ScoringMatrix::match_mismatch(Alphabet::dna(), 3, -2);
+  const auto& dna = Alphabet::dna();
+  const int embedded = sw_score(dna.encode("TTTTTACGTACGTTTTT"),
+                                dna.encode("CCCCACGTACGCCCC"), m, {5, 2});
+  const int alone = sw_score(dna.encode("ACGTACG"), dna.encode("ACGTACG"), m,
+                             {5, 2});
+  EXPECT_EQ(embedded, alone);
+}
+
+TEST(SmithWaterman, ScoreIsSymmetricInArguments) {
+  const auto& m = ScoringMatrix::blosum62();
+  for (int i = 0; i < 20; ++i) {
+    const auto a = test::random_codes(40 + i, 100 + i);
+    const auto b = test::random_codes(60 - i, 200 + i);
+    EXPECT_EQ(sw_score(a, b, m, {10, 2}), sw_score(b, a, m, {10, 2}));
+  }
+}
+
+TEST(SmithWaterman, NeverNegativeAndZeroForEmptyInputs) {
+  const auto& m = ScoringMatrix::blosum62();
+  EXPECT_EQ(sw_score({}, enc("MKVL"), m, {10, 2}), 0);
+  EXPECT_EQ(sw_score(enc("MKVL"), {}, m, {10, 2}), 0);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_GE(sw_score(test::random_codes(5, i), test::random_codes(5, 50 + i),
+                       m, {10, 2}),
+              0);
+  }
+}
+
+TEST(SmithWaterman, LinearSpaceMatchesFullTable) {
+  const auto& m = ScoringMatrix::blosum62();
+  for (int i = 0; i < 25; ++i) {
+    const auto q = test::random_codes(1 + i * 3, i);
+    const auto t = test::random_codes(2 + i * 2, 1000 + i);
+    const auto table = sw_full_table(q, t, m, {10, 2});
+    int best = 0;
+    for (const auto& row : table)
+      for (int v : row) best = std::max(best, v);
+    EXPECT_EQ(sw_score(q, t, m, {10, 2}), best) << "case " << i;
+  }
+}
+
+TEST(SmithWaterman, MonotoneInGapPenalty) {
+  const auto& m = ScoringMatrix::blosum62();
+  const auto q = test::random_codes(80, 1);
+  const auto t = test::random_codes(90, 2);
+  const int cheap = sw_score(q, t, m, {4, 1});
+  const int costly = sw_score(q, t, m, {15, 3});
+  EXPECT_GE(cheap, costly);
+}
+
+TEST(Traceback, AlignmentIsConsistentWithScore) {
+  const auto& m = ScoringMatrix::blosum62();
+  const GapPenalty gap{10, 2};
+  for (int i = 0; i < 15; ++i) {
+    const seq::Sequence q("q", test::random_codes(50, 300 + i));
+    const seq::Sequence t("t", test::random_codes(70, 400 + i));
+    const LocalAlignment a = sw_align(q, t, m, gap);
+    EXPECT_EQ(a.score, sw_score(q.residues, t.residues, m, gap));
+    ASSERT_EQ(a.query_aligned.size(), a.target_aligned.size());
+    // Re-score the reported alignment; it must reproduce the score.
+    int rescore = 0;
+    bool in_gap = false;
+    const auto& aa = Alphabet::amino_acid();
+    for (std::size_t k = 0; k < a.query_aligned.size(); ++k) {
+      const char qc = a.query_aligned[k];
+      const char tc = a.target_aligned[k];
+      if (qc == '-' || tc == '-') {
+        rescore -= in_gap ? gap.extend : gap.open_cost();
+        in_gap = true;
+      } else {
+        rescore += m.score(aa.encode(qc), aa.encode(tc));
+        in_gap = false;
+      }
+    }
+    EXPECT_EQ(rescore, a.score) << "alignment does not re-score";
+    // Aligned region bounds are consistent.
+    EXPECT_LE(a.query_end, q.length());
+    EXPECT_LE(a.target_end, t.length());
+    EXPECT_LE(a.query_begin, a.query_end);
+  }
+}
+
+TEST(Traceback, EmptyAlignmentWhenNothingScoresPositive) {
+  const auto m = ScoringMatrix::match_mismatch(Alphabet::dna(), 1, -2);
+  const auto& dna = Alphabet::dna();
+  const seq::Sequence q("q", dna.encode("AAAA"));
+  const seq::Sequence t("t", dna.encode("CCCC"));
+  const LocalAlignment a = sw_align(q, t, m, {5, 1});
+  EXPECT_EQ(a.score, 0);
+  EXPECT_TRUE(a.query_aligned.empty());
+}
+
+TEST(NeedlemanWunsch, GlobalForcesEndToEnd) {
+  const auto m = ScoringMatrix::match_mismatch(Alphabet::dna(), 2, -1);
+  const auto& dna = Alphabet::dna();
+  // Global must pay for the trailing mismatch/gap; local does not.
+  const auto q = dna.encode("ACGT");
+  const auto t = dna.encode("ACGTTTTT");
+  EXPECT_EQ(nw_score(q, q, m, {2, 1}), 8);
+  EXPECT_LT(nw_score(q, t, m, {2, 1}), sw_score(q, t, m, {2, 1}));
+  // Semi-global forgives the target overhang.
+  EXPECT_EQ(semiglobal_score(q, t, m, {2, 1}), 8);
+}
+
+TEST(NeedlemanWunsch, AllGapsBaseline) {
+  const auto m = ScoringMatrix::match_mismatch(Alphabet::dna(), 1, -1);
+  const auto& dna = Alphabet::dna();
+  // Aligning against an empty-ish target: q of length 3 vs t of length 1,
+  // best global = match + gap of 2 = 1 - (rho + sigma) with rho=2, sigma=1.
+  EXPECT_EQ(nw_score(dna.encode("AAA"), dna.encode("A"), m, {1, 1}), 1 - 3);
+}
+
+TEST(QueryProfile, MatchesMatrixLookups) {
+  const auto q = test::random_codes(37, 9);
+  const auto& m = ScoringMatrix::blosum62();
+  const QueryProfile prof(q, m);
+  EXPECT_EQ(prof.query_length(), 37u);
+  for (std::size_t a = 0; a < m.dim(); ++a) {
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      ASSERT_EQ(prof.score(static_cast<Code>(a), i),
+                m.score(q[i], static_cast<Code>(a)));
+    }
+  }
+}
+
+TEST(PackedQueryProfile, PacksFourScoresPerWord) {
+  const auto q = test::random_codes(10, 11);  // not a multiple of 4
+  const auto& m = ScoringMatrix::blosum62();
+  const PackedQueryProfile prof(q, m);
+  EXPECT_EQ(prof.words_per_symbol(), 3u);
+  for (std::size_t a = 0; a < m.dim(); ++a) {
+    for (std::size_t i = 0; i < q.size(); ++i) {
+      const Packed4 w = prof.packed(static_cast<Code>(a), i / 4);
+      ASSERT_EQ(w.get(static_cast<int>(i % 4)),
+                m.score(q[i], static_cast<Code>(a)));
+    }
+    // Padding lanes hold the matrix minimum so they can never win a max.
+    const Packed4 last = prof.packed(static_cast<Code>(a), 2);
+    EXPECT_EQ(last.get(2), m.min_score());
+    EXPECT_EQ(last.get(3), m.min_score());
+  }
+}
+
+TEST(PackedQueryProfile, TexelIndexIsRowMajor) {
+  const auto q = test::random_codes(8, 13);
+  const PackedQueryProfile prof(q, ScoringMatrix::blosum62());
+  EXPECT_EQ(prof.texel_index(0, 0), 0u);
+  EXPECT_EQ(prof.texel_index(0, 1), 1u);
+  EXPECT_EQ(prof.texel_index(1, 0), prof.words_per_symbol());
+}
+
+}  // namespace
+}  // namespace cusw::sw

@@ -1,0 +1,136 @@
+// swps3: the portable SIMD vector and the striped (Farrar) kernel with the
+// lazy-F loop, validated against the scalar reference.
+#include <gtest/gtest.h>
+
+#include "simd/vec.h"
+#include "swps3/search.h"
+#include "test_helpers.h"
+
+namespace cusw {
+namespace {
+
+using simd::VecI16;
+using swps3::StripedProfile;
+using swps3::striped_sw_score;
+using sw::GapPenalty;
+using sw::ScoringMatrix;
+
+TEST(Vec, SplatLoadStore) {
+  const auto v = VecI16::splat(7);
+  for (int i = 0; i < VecI16::lanes; ++i) EXPECT_EQ(v[i], 7);
+  std::int16_t buf[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto w = VecI16::load(buf);
+  std::int16_t out[8];
+  w.store(out);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(out[i], buf[i]);
+}
+
+TEST(Vec, SaturatingArithmetic) {
+  const auto big = VecI16::splat(32000);
+  const auto r = adds(big, VecI16::splat(1000));
+  EXPECT_EQ(r[0], 32767);
+  const auto small = VecI16::splat(-32000);
+  const auto s = subs(small, VecI16::splat(1000));
+  EXPECT_EQ(s[0], -32768);
+  const auto t = adds(VecI16::splat(5), VecI16::splat(-3));
+  EXPECT_EQ(t[0], 2);
+}
+
+TEST(Vec, ShiftInAndCompare) {
+  std::int16_t buf[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto v = VecI16::load(buf);
+  const auto s = shift_in(v, std::int16_t{-9});
+  EXPECT_EQ(s[0], -9);
+  EXPECT_EQ(s[1], 1);
+  EXPECT_EQ(s[7], 7);
+  EXPECT_TRUE(any_gt(v, VecI16::splat(7)));
+  EXPECT_FALSE(any_gt(v, VecI16::splat(8)));
+  EXPECT_EQ(horizontal_max(v), 8);
+}
+
+TEST(Striped, MatchesReferenceOnRandomPairs) {
+  const auto& m = ScoringMatrix::blosum62();
+  const GapPenalty gap{10, 2};
+  for (int i = 0; i < 60; ++i) {
+    const std::size_t qlen = 1 + (i * 13) % 120;
+    const std::size_t tlen = 1 + (i * 29) % 150;
+    const auto q = test::random_codes(qlen, 500 + i);
+    const auto t = test::random_codes(tlen, 900 + i);
+    const StripedProfile prof(q, m);
+    const int got = striped_sw_score(prof, t, gap).score;
+    const int want = sw::sw_score(q, t, m, gap);
+    ASSERT_EQ(got, want) << "qlen=" << qlen << " tlen=" << tlen;
+  }
+}
+
+TEST(Striped, MatchesReferenceWithGappyOptimum) {
+  // Force alignments that need F-propagation across stripe boundaries:
+  // cheap gaps + repetitive sequences make vertical runs optimal, which is
+  // exactly what the lazy-F loop has to fix up.
+  const auto& m = ScoringMatrix::blosum62();
+  const GapPenalty gap{1, 1};
+  Rng rng(77);
+  for (int i = 0; i < 30; ++i) {
+    std::vector<seq::Code> q, t;
+    for (int k = 0; k < 60 + i; ++k) q.push_back(k % 3 == 0 ? 19 : 0);
+    for (int k = 0; k < 40 + 2 * i; ++k)
+      t.push_back(static_cast<seq::Code>(rng.uniform_int(0, 2) == 0 ? 19 : 0));
+    const StripedProfile prof(q, m);
+    ASSERT_EQ(striped_sw_score(prof, t, gap).score,
+              sw::sw_score(q, t, m, gap))
+        << i;
+  }
+}
+
+TEST(Striped, LazyFRegressionCrossLaneExitCondition) {
+  // Regression: with a single-vector segment (query <= 8 residues) every
+  // vertical-gap propagation crosses a lane boundary, so an exit test that
+  // compares the un-shifted F against the just-processed position stops one
+  // lane short. Minimal case found by fuzzing (gap open 0, extend 1):
+  // q = GRWGL, t = YYAGRL; optimum is GR--L vs ..GRL-ish scoring 13.
+  const auto& m = ScoringMatrix::blosum62();
+  const GapPenalty gap{0, 1};
+  const std::vector<seq::Code> q = {7, 1, 18, 7, 10};
+  const std::vector<seq::Code> t = {17, 17, 0, 7, 1, 10};
+  ASSERT_EQ(sw::sw_score(q, t, m, gap), 13);
+  const StripedProfile prof(q, m);
+  EXPECT_EQ(striped_sw_score(prof, t, gap).score, 13);
+}
+
+TEST(Striped, QueryShorterThanVectorWidth) {
+  const auto& m = ScoringMatrix::blosum62();
+  for (std::size_t qlen : {1u, 2u, 7u, 8u, 9u}) {
+    const auto q = test::random_codes(qlen, qlen);
+    const auto t = test::random_codes(50, 1000 + qlen);
+    const StripedProfile prof(q, m);
+    EXPECT_EQ(striped_sw_score(prof, t, {10, 2}).score,
+              sw::sw_score(q, t, m, {10, 2}))
+        << qlen;
+  }
+}
+
+TEST(Striped, EmptyTargetScoresZero) {
+  const auto q = test::random_codes(20, 1);
+  const StripedProfile prof(q, ScoringMatrix::blosum62());
+  const auto r = striped_sw_score(prof, {}, {10, 2});
+  EXPECT_EQ(r.score, 0);
+  EXPECT_EQ(r.lazy_f_iterations, 0u);
+}
+
+TEST(Search, ParallelSearchMatchesReferenceAndIsDeterministic) {
+  const auto& m = ScoringMatrix::blosum62();
+  const GapPenalty gap{10, 2};
+  const auto query = test::random_codes(64, 3);
+  const auto db = seq::lognormal_db(200, 120, 60, 4);
+  ThreadPool pool2(2), pool4(4);
+  const auto r2 = swps3::search(query, db, m, gap, pool2);
+  const auto r4 = swps3::search(query, db, m, gap, pool4);
+  EXPECT_EQ(r2.scores, r4.scores);  // thread count never changes results
+  const auto want = test::reference_scores(query, db, m, gap);
+  EXPECT_EQ(r2.scores, want);
+  EXPECT_EQ(r2.cells, 64u * db.total_residues());
+  EXPECT_GT(r2.gcups(), 0.0);
+}
+
+}  // namespace
+}  // namespace cusw

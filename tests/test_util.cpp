@@ -1,0 +1,173 @@
+// util: RNG determinism and distributions, online stats, histogram,
+// log-normal fitting, inverse normal CDF, table rendering, thread pool, CLI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/check.h"
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace cusw {
+namespace {
+
+TEST(Check, RequireThrowsInvalidArgument) {
+  EXPECT_THROW(CUSW_REQUIRE(false, "nope"), std::invalid_argument);
+  EXPECT_NO_THROW(CUSW_REQUIRE(true, ""));
+  EXPECT_THROW(CUSW_CHECK(false, "bug"), std::logic_error);
+}
+
+TEST(Check, CheckedNarrow) {
+  EXPECT_EQ(checked_narrow<std::int8_t>(127), 127);
+  EXPECT_EQ(checked_narrow<std::int8_t>(-128), -128);
+  EXPECT_THROW(checked_narrow<std::int8_t>(128), std::range_error);
+  EXPECT_THROW(checked_narrow<std::uint8_t>(-1), std::range_error);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Rng c(43);
+  EXPECT_NE(Rng(42).next(), c.next());
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(7);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, Uniform01InHalfOpenRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform01();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(11);
+  OnlineStats st;
+  for (int i = 0; i < 50000; ++i) st.add(rng.normal(5.0, 2.0));
+  EXPECT_NEAR(st.mean(), 5.0, 0.05);
+  EXPECT_NEAR(st.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMatchesFittedParams) {
+  const auto p = lognormal_from_mean_stddev(360.0, 300.0);
+  Rng rng(13);
+  OnlineStats st;
+  for (int i = 0; i < 200000; ++i) st.add(rng.lognormal(p.mu, p.sigma));
+  EXPECT_NEAR(st.mean(), 360.0, 5.0);
+  EXPECT_NEAR(st.stddev(), 300.0, 15.0);
+}
+
+TEST(Stats, OnlineStatsBasics) {
+  OnlineStats st;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) st.add(v);
+  EXPECT_EQ(st.count(), 8u);
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.stddev(), 2.138, 0.001);  // sample stddev
+  EXPECT_EQ(st.min(), 2.0);
+  EXPECT_EQ(st.max(), 9.0);
+}
+
+TEST(Stats, HistogramClampsOutliers) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(100.0);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(9), 2u);
+}
+
+TEST(Stats, LogNormalTailFitHitsTarget) {
+  // Swiss-Prot-like: mean 360, 0.12% of mass above 3072.
+  const auto p = lognormal_from_mean_tail(360.0, 3072.0, 0.0012);
+  EXPECT_NEAR(p.mean(), 360.0, 1.0);
+  EXPECT_NEAR(p.tail_above(3072.0), 0.0012, 1e-5);
+}
+
+TEST(Stats, LogNormalTailFitRejectsUnreachable) {
+  EXPECT_THROW(lognormal_from_mean_tail(360.0, 3072.0, 0.4),
+               std::invalid_argument);
+  EXPECT_THROW(lognormal_from_mean_tail(360.0, 100.0, 0.01),
+               std::invalid_argument);
+}
+
+TEST(Stats, InverseNormalCdfRoundTrips) {
+  for (double p : {0.001, 0.01, 0.2, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(normal_cdf(inverse_normal_cdf(p)), p, 1e-6) << p;
+  }
+  EXPECT_NEAR(inverse_normal_cdf(0.5), 0.0, 1e-9);
+  EXPECT_GT(inverse_normal_cdf(0.999), 3.0);
+}
+
+TEST(Table, RendersAlignedAndCsv) {
+  Table t({"name", "gcups"});
+  t.add_row({std::string("a"), 1.25});
+  t.add_row({std::string("bb"), std::int64_t{7}});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| name | gcups |"), std::string::npos);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("name,gcups\na,1.25\nbb,7\n"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRowWidth) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({std::string("x")}), std::invalid_argument);
+}
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyAndSingle) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+  int count = 0;
+  std::mutex mu;
+  pool.parallel_for(1, [&](std::size_t) {
+    std::lock_guard<std::mutex> lk(mu);
+    ++count;
+  });
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Cli, ParsesFlagsAndValues) {
+  const char* argv[] = {"prog", "--n=42", "--name=abc", "--flag",
+                        "--ratio=2.5", "--off=false"};
+  Cli cli(6, const_cast<char**>(argv));
+  EXPECT_EQ(cli.get_int("n", 0), 42);
+  EXPECT_EQ(cli.get("name", ""), "abc");
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  EXPECT_FALSE(cli.get_bool("off", true));
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio", 0.0), 2.5);
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_THROW(Cli(2, const_cast<char**>(argv)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cusw
