@@ -20,9 +20,45 @@
 #include "gpusim/device_spec.h"
 #include "seq/generate.h"
 #include "util/cli.h"
+#include "util/parallel.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace cusw::bench {
+
+/// Apply a --threads=N flag by exporting CUSW_THREADS, so the whole bench
+/// (simulator block sharding, pipeline group launches) picks it up through
+/// util::parallelism(). Without the flag the env var / hardware default
+/// stands. Returns the effective worker count.
+inline std::size_t apply_threads_flag(const Cli& cli) {
+  const int threads = cli.get_int("threads", -1);
+  if (threads >= 0) {
+    setenv("CUSW_THREADS", std::to_string(threads).c_str(), 1);
+  }
+  return util::parallelism();
+}
+
+/// Bench harness guard: parses --threads and reports host wall-clock on
+/// exit. Construct first in main(). Simulated (GCUPs) numbers never depend
+/// on the thread count — only this wall-clock figure does.
+class BenchMain {
+ public:
+  BenchMain(int argc, char** argv) {
+    Cli cli(argc, argv);
+    threads_ = apply_threads_flag(cli);
+  }
+  BenchMain(const BenchMain&) = delete;
+  BenchMain& operator=(const BenchMain&) = delete;
+  ~BenchMain() {
+    std::printf("host wall-clock: %.3f s (CUSW_THREADS=%zu)\n",
+                timer_.seconds(), threads_);
+  }
+
+ private:
+  WallTimer timer_;
+  std::size_t threads_ = 1;
+};
 
 /// A proportionally scaled device plus the factor for converting simulated
 /// throughput back to full-device-equivalent numbers.

@@ -71,7 +71,8 @@ void run() {
 }  // namespace
 }  // namespace cusw
 
-int main() {
+int main(int argc, char** argv) {
+  cusw::bench::BenchMain bench_main(argc, argv);
   cusw::run();
   return 0;
 }

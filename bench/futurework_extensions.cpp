@@ -148,7 +148,8 @@ void streaming() {
 }  // namespace
 }  // namespace cusw
 
-int main() {
+int main(int argc, char** argv) {
+  cusw::bench::BenchMain bench_main(argc, argv);
   cusw::bench::print_header("§VI future-work extensions, implemented",
                             "Hains et al., IPDPS'11, Section VI");
   cusw::kernel_extensions();

@@ -18,7 +18,7 @@ constexpr double kTexFetchCycles = 4.0;
 
 KernelRun run_inter_task(gpusim::Device& dev,
                          const std::vector<seq::Code>& query,
-                         const seq::SequenceDB& group,
+                         seq::SequenceDBView group,
                          const sw::ScoringMatrix& matrix, sw::GapPenalty gap,
                          const InterTaskParams& params) {
   KernelRun out;
@@ -35,17 +35,22 @@ KernelRun run_inter_task(gpusim::Device& dev,
   const int tile_rows = params.tile_rows;
 
   std::size_t max_len = 0;
-  for (const auto& s : group.sequences()) max_len = std::max(max_len, s.length());
-  for (const auto& s : group.sequences()) out.cells += m * s.length();
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    max_len = std::max(max_len, group[i].length());
+    out.cells += m * group[i].length();
+  }
 
   // Device layout: the group's sequences and per-thread row buffers are
   // interleaved by thread index so lockstep accesses from a warp land in one
   // 128 B segment. Element (j, t): db at db_base + j*s + t (1 byte); H/F row
-  // buffers at base + (j*s + t)*4.
+  // buffers at base + (j*s + t)*4. Addresses come from a per-run arena so
+  // the layout (and cache behaviour) is independent of how many kernel runs
+  // the host executes, concurrently or before this one.
+  gpusim::MemoryArena arena;
   const auto s_u = static_cast<std::uint64_t>(s_threads);
-  const std::uint64_t db_base = dev.reserve(max_len * s_u);
-  const std::uint64_t h_base = dev.reserve(max_len * s_u * 4);
-  const std::uint64_t f_base = dev.reserve(max_len * s_u * 4);
+  const std::uint64_t db_base = arena.reserve(max_len * s_u);
+  const std::uint64_t h_base = arena.reserve(max_len * s_u * 4);
+  const std::uint64_t f_base = arena.reserve(max_len * s_u * 4);
 
   gpusim::LaunchConfig cfg;
   cfg.blocks = blocks;

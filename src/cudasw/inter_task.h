@@ -28,11 +28,13 @@ struct KernelRun {
   std::uint64_t cells = 0;
 };
 
-/// Score `query` against every sequence of `group` (a contiguous,
-/// length-sorted slice of the database) with the inter-task kernel.
+/// Score `query` against every sequence of `group` (a view of a
+/// contiguous, length-sorted slice of the database — the pipeline passes
+/// index spans of the prepared database, copy-free) with the inter-task
+/// kernel.
 KernelRun run_inter_task(gpusim::Device& dev,
                          const std::vector<seq::Code>& query,
-                         const seq::SequenceDB& group,
+                         seq::SequenceDBView group,
                          const sw::ScoringMatrix& matrix, sw::GapPenalty gap,
                          const InterTaskParams& params);
 

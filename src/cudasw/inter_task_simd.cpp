@@ -29,7 +29,7 @@ std::size_t inter_task_simd_group_size(const gpusim::DeviceSpec& dev,
 
 KernelRun run_inter_task_simd(gpusim::Device& dev,
                               const std::vector<seq::Code>& query,
-                              const seq::SequenceDB& group,
+                              seq::SequenceDBView group,
                               const sw::ScoringMatrix& matrix,
                               sw::GapPenalty gap,
                               const InterTaskSimdParams& params) {
@@ -51,14 +51,16 @@ KernelRun run_inter_task_simd(gpusim::Device& dev,
   const std::size_t band = (m + kLanes - 1) / kLanes;  // query rows per lane
 
   std::size_t max_len = 0;
-  for (const auto& s : group.sequences()) {
-    max_len = std::max(max_len, s.length());
-    out.cells += m * s.length();
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    max_len = std::max(max_len, group[i].length());
+    out.cells += m * group[i].length();
   }
 
-  // Device layout: sequences interleaved by quad index within the group.
+  // Device layout: sequences interleaved by quad index within the group,
+  // at per-run arena addresses (independent of launch concurrency/order).
+  gpusim::MemoryArena arena;
   const std::uint64_t db_base =
-      dev.reserve(max_len * static_cast<std::uint64_t>(group.size()));
+      arena.reserve(max_len * static_cast<std::uint64_t>(group.size()));
 
   gpusim::LaunchConfig cfg;
   cfg.blocks = blocks;

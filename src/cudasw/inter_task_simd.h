@@ -35,7 +35,7 @@ std::size_t inter_task_simd_group_size(const gpusim::DeviceSpec& dev,
 /// virtualised SIMD vectors.
 KernelRun run_inter_task_simd(gpusim::Device& dev,
                               const std::vector<seq::Code>& query,
-                              const seq::SequenceDB& group,
+                              seq::SequenceDBView group,
                               const sw::ScoringMatrix& matrix,
                               sw::GapPenalty gap,
                               const InterTaskSimdParams& params);

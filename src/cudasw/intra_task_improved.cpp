@@ -13,7 +13,7 @@ constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
 
 KernelRun run_intra_task_improved(gpusim::Device& dev,
                                   const std::vector<seq::Code>& query,
-                                  const seq::SequenceDB& longs,
+                                  seq::SequenceDBView longs,
                                   const sw::ScoringMatrix& matrix,
                                   sw::GapPenalty gap,
                                   const ImprovedIntraParams& params) {
@@ -35,7 +35,13 @@ KernelRun run_intra_task_improved(gpusim::Device& dev,
   const int th = params.tile_height;
   const int tw = params.tile_width;
   const std::size_t strip = params.strip_height();
-  for (const auto& s : longs.sequences()) out.cells += m * s.length();
+  for (std::size_t i = 0; i < longs.size(); ++i)
+    out.cells += m * longs[i].length();
+
+  // Per-run address arena: buffers and textures land at the same device
+  // addresses for every run of this kernel, keeping simulated cache
+  // behaviour independent of host-side launch concurrency and order.
+  gpusim::MemoryArena arena;
 
   // Query profile in texture memory: packed (one texel per 4 query rows) or
   // plain (one int8 texel per cell). Both are functional — the kernel's
@@ -44,12 +50,12 @@ KernelRun run_intra_task_improved(gpusim::Device& dev,
   std::vector<std::uint32_t> packed_words;
   packed_words.reserve(packed.words().size());
   for (const auto& w : packed.words()) packed_words.push_back(w.word);
-  const auto packed_tex = dev.make_texture(std::move(packed_words));
+  const auto packed_tex = arena.make_texture(std::move(packed_words));
 
   const sw::QueryProfile plain(query, matrix);
   std::vector<std::int8_t> plain_bytes(
       plain.row(0), plain.row(0) + matrix.alphabet().size() * m);
-  const auto plain_tex = dev.make_texture(std::move(plain_bytes));
+  const auto plain_tex = arena.make_texture(std::move(plain_bytes));
 
   // Strip-boundary row buffers (H and F per column), one region per block.
   std::uint64_t row_total = 0;
@@ -58,17 +64,18 @@ KernelRun run_intra_task_improved(gpusim::Device& dev,
   std::uint64_t db_total = 0;
   std::vector<std::uint64_t> db_offset;
   db_offset.reserve(longs.size());
-  for (const auto& s : longs.sequences()) {
+  for (std::size_t i = 0; i < longs.size(); ++i) {
+    const std::size_t len = longs[i].length();
     row_offset.push_back(row_total);
-    row_total += (s.length() + 32) & ~std::uint64_t{31};
+    row_total += (len + 32) & ~std::uint64_t{31};
     db_offset.push_back(db_total);
-    db_total += (s.length() + 31) & ~std::uint64_t{31};
+    db_total += (len + 31) & ~std::uint64_t{31};
   }
-  const std::uint64_t row_h_base = dev.reserve(row_total * 4);
-  const std::uint64_t row_f_base = dev.reserve(row_total * 4);
-  const std::uint64_t db_base = dev.reserve(db_total);
+  const std::uint64_t row_h_base = arena.reserve(row_total * 4);
+  const std::uint64_t row_f_base = arena.reserve(row_total * 4);
+  const std::uint64_t db_base = arena.reserve(db_total);
   // Synthetic local-memory region for the §III-A register-spill variants.
-  const std::uint64_t spill_base = dev.reserve(
+  const std::uint64_t spill_base = arena.reserve(
       static_cast<std::size_t>(n_th) * static_cast<std::size_t>(th) * 4 * 4);
 
   const bool spill_swap = !params.deep_swap;

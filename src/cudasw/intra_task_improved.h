@@ -23,7 +23,7 @@ namespace cusw::cudasw {
 /// Score `query` against every sequence of `longs`, one block per pair.
 KernelRun run_intra_task_improved(gpusim::Device& dev,
                                   const std::vector<seq::Code>& query,
-                                  const seq::SequenceDB& longs,
+                                  seq::SequenceDBView longs,
                                   const sw::ScoringMatrix& matrix,
                                   sw::GapPenalty gap,
                                   const ImprovedIntraParams& params);

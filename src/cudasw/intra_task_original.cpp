@@ -13,7 +13,7 @@ constexpr int kNegInf = std::numeric_limits<int>::min() / 4;
 
 KernelRun run_intra_task_original(gpusim::Device& dev,
                                   const std::vector<seq::Code>& query,
-                                  const seq::SequenceDB& longs,
+                                  seq::SequenceDBView longs,
                                   const sw::ScoringMatrix& matrix,
                                   sw::GapPenalty gap,
                                   const OriginalIntraParams& params) {
@@ -25,23 +25,27 @@ KernelRun run_intra_task_original(gpusim::Device& dev,
   const int rho = gap.open_cost();
   const int sigma = gap.extend;
   const int tpb = params.threads_per_block;
-  for (const auto& s : longs.sequences()) out.cells += m * s.length();
+  for (std::size_t i = 0; i < longs.size(); ++i)
+    out.cells += m * longs[i].length();
 
   // Per-block wavefront storage in global memory: three banks of H and two
   // each of E and F, every bank one diagonal of up to m entries. Bank b of
-  // block blk lives at wave_base + ((blk*7 + b) * m_pad + i) * 4.
+  // block blk lives at wave_base + ((blk*7 + b) * m_pad + i) * 4. Addresses
+  // come from a per-run arena so the layout is independent of host-side
+  // launch concurrency and order.
+  gpusim::MemoryArena arena;
   const std::uint64_t m_pad = (m + 32) & ~std::uint64_t{31};
   const std::uint64_t wave_base =
-      dev.reserve(static_cast<std::size_t>(longs.size()) * 7 * m_pad * 4);
+      arena.reserve(static_cast<std::size_t>(longs.size()) * 7 * m_pad * 4);
   std::uint64_t db_total = 0;
   std::vector<std::uint64_t> db_offset;
   db_offset.reserve(longs.size());
-  for (const auto& s : longs.sequences()) {
+  for (std::size_t i = 0; i < longs.size(); ++i) {
     db_offset.push_back(db_total);
-    db_total += (s.length() + 31) & ~std::uint64_t{31};
+    db_total += (longs[i].length() + 31) & ~std::uint64_t{31};
   }
-  const std::uint64_t db_base = dev.reserve(db_total);
-  const std::uint64_t query_base = dev.reserve((m + 31) & ~std::size_t{31});
+  const std::uint64_t db_base = arena.reserve(db_total);
+  const std::uint64_t query_base = arena.reserve((m + 31) & ~std::size_t{31});
 
   gpusim::LaunchConfig cfg;
   cfg.blocks = static_cast<int>(longs.size());

@@ -14,7 +14,7 @@ namespace cusw::cudasw {
 /// threshold), one block per pair, with the original wavefront kernel.
 KernelRun run_intra_task_original(gpusim::Device& dev,
                                   const std::vector<seq::Code>& query,
-                                  const seq::SequenceDB& longs,
+                                  seq::SequenceDBView longs,
                                   const sw::ScoringMatrix& matrix,
                                   sw::GapPenalty gap,
                                   const OriginalIntraParams& params);

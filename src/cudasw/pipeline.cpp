@@ -5,6 +5,8 @@
 
 #include "gpusim/occupancy.h"
 #include "util/check.h"
+#include "util/parallel.h"
+#include "util/thread_pool.h"
 
 namespace cusw::cudasw {
 
@@ -49,25 +51,37 @@ SearchReport search(gpusim::Device& dev, const std::vector<seq::Code>& query,
   report.intra_sequences = above.size();
 
   // Inter-task: one launch per occupancy-sized group of short sequences.
+  // Kernels take index-span views of the prepared database (no per-group
+  // sequence copies), and group launches run concurrently on host workers;
+  // each produces an independent KernelRun, reduced below in group order so
+  // the report is bit-identical for any CUSW_THREADS value.
   const std::size_t group_size = inter_task_group_size(dev.spec(), cfg.inter);
-  for (std::size_t lo = 0; lo < below.size(); lo += group_size) {
-    const std::size_t hi = std::min(below.size(), lo + group_size);
-    seq::SequenceDB group;
-    for (std::size_t g = lo; g < hi; ++g) group.add(db[below[g]]);
-    KernelRun run =
-        run_inter_task(dev, query, group, matrix, cfg.gap, cfg.inter);
-    for (std::size_t g = lo; g < hi; ++g)
-      report.scores[below[g]] = run.scores[g - lo];
+  const std::size_t n_groups = (below.size() + group_size - 1) / group_size;
+  std::vector<KernelRun> runs(n_groups);
+  ThreadPool::shared().run_indexed(
+      n_groups, std::min(util::parallelism(), n_groups),
+      [&](std::size_t /*worker*/, std::size_t g) {
+        const std::size_t lo = g * group_size;
+        const std::size_t hi = std::min(below.size(), lo + group_size);
+        runs[g] = run_inter_task(
+            dev, query, seq::SequenceDBView(db, below.data() + lo, hi - lo),
+            matrix, cfg.gap, cfg.inter);
+      });
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    const KernelRun& run = runs[g];
+    const std::size_t lo = g * group_size;
+    for (std::size_t i = 0; i < run.scores.size(); ++i)
+      report.scores[below[lo + i]] = run.scores[i];
     report.inter_seconds += run.stats.seconds;
     report.inter_cells += run.cells;
     report.inter_stats += run.stats;
     ++report.groups;
   }
 
-  // Intra-task: a single launch, one block per long sequence.
+  // Intra-task: a single launch, one block per long sequence (the launch
+  // itself shards blocks across host workers).
   if (!above.empty()) {
-    seq::SequenceDB longs;
-    for (std::size_t idx : above) longs.add(db[idx]);
+    const seq::SequenceDBView longs(db, above.data(), above.size());
     KernelRun run =
         cfg.intra_kernel == IntraKernel::kImproved
             ? run_intra_task_improved(dev, query, longs, matrix, cfg.gap,
@@ -95,11 +109,15 @@ std::vector<SearchReport> search_batch(
     const seq::SequenceDB& db, const sw::ScoringMatrix& matrix,
     const SearchConfig& cfg) {
   const PreparedDatabase prepared(db, cfg.threshold);
-  std::vector<SearchReport> reports;
-  reports.reserve(queries.size());
-  for (const auto& q : queries) {
-    reports.push_back(search(dev, q, prepared, matrix, cfg));
-  }
+  // Queries are independent scans over the shared prepared database; run
+  // them concurrently. Each report is written to its own slot, so the
+  // batch result is identical to the serial loop.
+  std::vector<SearchReport> reports(queries.size());
+  ThreadPool::shared().run_indexed(
+      queries.size(), std::min(util::parallelism(), queries.size()),
+      [&](std::size_t /*worker*/, std::size_t q) {
+        reports[q] = search(dev, queries[q], prepared, matrix, cfg);
+      });
   return reports;
 }
 

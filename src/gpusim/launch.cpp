@@ -4,6 +4,8 @@
 #include <queue>
 
 #include "util/check.h"
+#include "util/parallel.h"
+#include "util/thread_pool.h"
 
 namespace cusw::gpusim {
 
@@ -19,6 +21,19 @@ std::uint32_t size_class(std::uint32_t covered) {
   if (covered <= 32) return 32;
   if (covered <= 64) return 64;
   return 128;
+}
+
+// Fold one block's counters into the launch total. Only the fields a
+// BlockCtx mutates are added here; occupancy, block counts and the
+// scheduling-derived cycle figures belong to the launch, not to blocks.
+void add_block_counters(LaunchStats& into, const LaunchStats& block) {
+  into.global += block.global;
+  into.local += block.local;
+  into.texture += block.texture;
+  into.shared_accesses += block.shared_accesses;
+  into.bank_conflict_cycles += block.bank_conflict_cycles;
+  into.syncs += block.syncs;
+  into.windows += block.windows;
 }
 
 }  // namespace
@@ -316,9 +331,11 @@ LaunchStats Device::launch(const LaunchConfig& cfg,
 
   // Effective cache capacities under contention: co-resident blocks share
   // the SM's L1/texture caches and every concurrent block competes for L2.
-  // Blocks run sequentially in the simulation, so contention is modelled by
-  // shrinking each block's effective capacity. The L2 floor reflects that a
-  // block's most recently written lines survive even under heavy sharing.
+  // Contention is modelled by shrinking each block's effective capacity,
+  // not by literal cross-block cache state — every block starts from cold
+  // caches, which is what makes block execution order (and host thread
+  // count) irrelevant to the result. The L2 floor reflects that a block's
+  // most recently written lines survive even under heavy sharing.
   const std::size_t l1_eff =
       eff.has_l1 ? eff.l1_bytes / static_cast<std::size_t>(resident_per_sm) : 0;
   std::size_t l2_eff = 0;
@@ -326,25 +343,58 @@ LaunchStats Device::launch(const LaunchConfig& cfg,
     l2_eff = std::max(std::min<std::size_t>(eff.l2_bytes, 64 * 1024),
                       eff.l2_bytes / static_cast<std::size_t>(concurrent));
   }
-  Cache l2(l2_eff, 128, 16);
-  // Texture data is shared read-only across blocks (see BlockCtx ctor):
-  // the L2 texture cache is not divided by concurrency.
-  Cache tex_l2(eff.tex_l2_bytes, 32, 8);
 
-  // Execute blocks sequentially (deterministic), then compute the makespan
-  // of their costs over the SM slots with greedy list scheduling.
+  // Execute blocks sharded across host workers. Each worker owns private
+  // L2 / texture-L2 clones (cleared before every block) and each block
+  // accumulates into a private LaunchStats, so per-block results do not
+  // depend on which worker ran them or in what order. The reduction below
+  // walks blocks in index order, making every counter — and the double
+  // accumulation of total_block_cycles — bit-identical for any
+  // CUSW_THREADS value, including the serial fallback (same code path
+  // with one worker).
+  const std::size_t workers = std::min<std::size_t>(
+      util::parallelism(), static_cast<std::size_t>(cfg.blocks));
+  struct WorkerCaches {
+    Cache l2;
+    Cache tex_l2;
+  };
+  std::vector<WorkerCaches> caches;
+  caches.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    caches.push_back(WorkerCaches{Cache(l2_eff, 128, 16),
+                                  // Texture data is shared read-only across
+                                  // blocks (see BlockCtx ctor): the L2
+                                  // texture cache keeps full capacity.
+                                  Cache(eff.tex_l2_bytes, 32, 8)});
+  }
+  std::vector<LaunchStats> block_stats(static_cast<std::size_t>(cfg.blocks));
+  std::vector<double> block_cycles(static_cast<std::size_t>(cfg.blocks), 0.0);
+  ThreadPool::shared().run_indexed(
+      static_cast<std::size_t>(cfg.blocks), workers,
+      [&](std::size_t worker, std::size_t b) {
+        WorkerCaches& wc = caches[worker];
+        wc.l2.clear();
+        wc.tex_l2.clear();
+        BlockCtx ctx(eff, cost_, block_stats[b], wc.l2, wc.tex_l2, l1_eff,
+                     static_cast<int>(b), cfg.threads_per_block,
+                     resident_per_sm, concurrent);
+        body(ctx);
+        block_cycles[b] = ctx.finish();
+      });
+
+  // Serial post-pass in block-index order: reduce the per-block stats and
+  // compute the makespan of the block costs over the SM slots with greedy
+  // list scheduling.
   std::priority_queue<double, std::vector<double>, std::greater<>> slot_ends;
   for (int s = 0; s < slots; ++s) slot_ends.push(0.0);
   double makespan = 0.0;
   for (int b = 0; b < cfg.blocks; ++b) {
-    BlockCtx ctx(eff, cost_, stats, l2, tex_l2, l1_eff, b,
-                 cfg.threads_per_block, resident_per_sm, concurrent);
-    body(ctx);
-    const double cycles = ctx.finish();
-    stats.total_block_cycles += cycles;
+    const auto bi = static_cast<std::size_t>(b);
+    add_block_counters(stats, block_stats[bi]);
+    stats.total_block_cycles += block_cycles[bi];
     const double start = slot_ends.top();
     slot_ends.pop();
-    const double end = start + cycles;
+    const double end = start + block_cycles[bi];
     slot_ends.push(end);
     makespan = std::max(makespan, end);
   }

@@ -233,40 +233,37 @@ class Device {
 
   template <class T>
   Buffer<T> alloc(std::size_t n) {
-    Buffer<T> b(cursor_, n);
-    bump(n * sizeof(T));
-    return b;
+    return arena_.alloc<T>(n);
   }
 
   template <class T>
   TextureBuffer<T> make_texture(std::vector<T> data) {
-    TextureBuffer<T> b(cursor_, std::move(data));
-    bump(b.size() * sizeof(T));
-    return b;
+    return arena_.make_texture(std::move(data));
   }
 
   /// Reserve a device address range without host-side storage. Used for
   /// large inputs whose *functional* bytes the kernels read from host
   /// containers while accounting through real device addresses.
-  std::uint64_t reserve(std::size_t bytes) {
-    const std::uint64_t base = cursor_;
-    bump(bytes);
-    return base;
-  }
+  ///
+  /// The device-wide cursor moves with every allocation, so concurrent
+  /// kernel runs that need address-stable (hence run-count-independent)
+  /// layouts should allocate from their own MemoryArena instead.
+  std::uint64_t reserve(std::size_t bytes) { return arena_.reserve(bytes); }
 
   /// Run `body` once per block and schedule the resulting block costs onto
-  /// the device's SM slots. Deterministic.
+  /// the device's SM slots. Blocks are sharded across host worker threads
+  /// (CUSW_THREADS, see util::parallelism()); each block runs against
+  /// private cache state and a private LaunchStats, reduced in block-index
+  /// order, so the result is bit-identical for any thread count. Thread
+  /// safe as long as `body` only writes block-disjoint host state, which
+  /// kernels satisfy by construction (one output slot per block/lane).
   LaunchStats launch(const LaunchConfig& cfg,
                      const std::function<void(BlockCtx&)>& body);
 
  private:
-  void bump(std::size_t bytes) {
-    cursor_ += (bytes + 255) / 256 * 256;
-  }
-
   DeviceSpec spec_;
   CostModel cost_;
-  std::uint64_t cursor_ = 1 << 16;
+  MemoryArena arena_;
 };
 
 }  // namespace cusw::gpusim

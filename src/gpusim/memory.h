@@ -6,6 +6,7 @@
 // layout a real kernel would.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -82,6 +83,45 @@ class TextureBuffer {
  private:
   std::uint64_t base_ = 0;
   std::vector<T> data_;
+};
+
+/// Bump allocator for simulated device addresses. Caches never persist
+/// across launches (Device::launch builds them per launch), so a kernel run
+/// may draw its addresses from a private arena at a fixed base: the
+/// addresses — and with them cache set indexing and every derived counter —
+/// come out identical no matter how many kernel runs execute concurrently
+/// on host threads. The cursor is atomic so an arena may also be shared
+/// (Device's process-lifetime allocator is one).
+class MemoryArena {
+ public:
+  static constexpr std::uint64_t kDefaultBase = std::uint64_t{1} << 16;
+
+  explicit MemoryArena(std::uint64_t base = kDefaultBase) : cursor_(base) {}
+
+  template <class T>
+  Buffer<T> alloc(std::size_t n) {
+    return Buffer<T>(bump(n * sizeof(T)), n);
+  }
+
+  template <class T>
+  TextureBuffer<T> make_texture(std::vector<T> data) {
+    const std::size_t bytes = data.size() * sizeof(T);
+    return TextureBuffer<T>(bump(bytes), std::move(data));
+  }
+
+  /// Reserve an address range without host-side storage (for inputs whose
+  /// functional bytes the kernels read from host containers while
+  /// accounting through device addresses).
+  std::uint64_t reserve(std::size_t bytes) { return bump(bytes); }
+
+ private:
+  std::uint64_t bump(std::size_t bytes) {
+    // 256-byte allocation granularity, as on the real devices.
+    return cursor_.fetch_add((bytes + 255) / 256 * 256,
+                             std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> cursor_;
 };
 
 }  // namespace cusw::gpusim

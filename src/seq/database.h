@@ -71,4 +71,35 @@ class SequenceDB {
   std::vector<Sequence> seqs_;
 };
 
+/// Non-owning view of a subset of a SequenceDB, optionally through an
+/// index list (original-order indices, in view order). Kernel launches
+/// take views so the host pipeline can dispatch occupancy-sized groups of
+/// a prepared database without copying any sequence. The database and the
+/// index array must outlive the view.
+class SequenceDBView {
+ public:
+  SequenceDBView() = default;
+
+  /// Whole-database view (implicit: any SequenceDB is a view of itself).
+  SequenceDBView(const SequenceDB& db)  // NOLINT(google-explicit-constructor)
+      : db_(&db), count_(db.size()) {}
+
+  /// View of `count` sequences: db[indices[0]], ..., db[indices[count-1]].
+  SequenceDBView(const SequenceDB& db, const std::size_t* indices,
+                 std::size_t count)
+      : db_(&db), indices_(indices), count_(count) {}
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  const Sequence& operator[](std::size_t i) const {
+    return (*db_)[indices_ != nullptr ? indices_[i] : i];
+  }
+
+ private:
+  const SequenceDB* db_ = nullptr;
+  const std::size_t* indices_ = nullptr;
+  std::size_t count_ = 0;
+};
+
 }  // namespace cusw::seq

@@ -1,0 +1,21 @@
+#include "util/parallel.h"
+
+#include <cstdlib>
+
+#include "util/thread_pool.h"
+
+namespace cusw::util {
+
+std::size_t parallelism() {
+  const char* env = std::getenv("CUSW_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 0) {
+      return v <= 1 ? 1 : static_cast<std::size_t>(v);
+    }
+  }
+  return ThreadPool::default_thread_count();
+}
+
+}  // namespace cusw::util

@@ -1,0 +1,18 @@
+// Host-parallelism policy: how many worker threads the simulator and the
+// search pipeline may use. Controlled by the CUSW_THREADS environment
+// variable; 0 or 1 selects the serial fallback, unset means one worker per
+// hardware thread.
+#pragma once
+
+#include <cstddef>
+
+namespace cusw::util {
+
+/// Effective host worker count. Reads CUSW_THREADS on every call so tests
+/// can flip it between searches:
+///   - unset / empty / non-numeric -> ThreadPool::default_thread_count()
+///   - 0 or 1                      -> 1 (serial fallback)
+///   - n > 1                       -> n
+std::size_t parallelism();
+
+}  // namespace cusw::util

@@ -1,12 +1,15 @@
-// Minimal thread pool with a blocking parallel_for, used by the SWPS3
-// baseline to spread database chunks over host cores (the paper runs SWPS3
-// on four Xeon cores).
+// Thread pool for host-side parallelism: the SWPS3 baseline spreads
+// database chunks over cores with parallel_for, and the gpusim/pipeline
+// layers shard simulated thread blocks, inter-task groups and batch
+// queries with run_indexed. A process-wide pool is available via shared().
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -18,7 +21,14 @@ namespace cusw {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t threads = std::thread::hardware_concurrency()) {
+  /// std::thread::hardware_concurrency(), guarded against the value 0 the
+  /// standard allows when the core count is unknown.
+  static std::size_t default_thread_count() {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+  }
+
+  explicit ThreadPool(std::size_t threads = default_thread_count()) {
     if (threads == 0) threads = 1;
     workers_.reserve(threads);
     for (std::size_t i = 0; i < threads; ++i) {
@@ -38,29 +48,104 @@ class ThreadPool {
     for (auto& w : workers_) w.join();
   }
 
+  /// The process-wide pool (hardware-sized). Callers pick their effective
+  /// worker count per call via run_indexed's `workers` argument, so one
+  /// shared pool serves every parallelism() setting.
+  static ThreadPool& shared() {
+    static ThreadPool pool;
+    return pool;
+  }
+
   std::size_t size() const { return workers_.size(); }
 
   /// Run fn(i) for i in [0, n), blocking until all iterations complete.
   /// Work is handed out in contiguous chunks to keep cache behaviour sane.
+  /// The first exception thrown by any iteration is rethrown here.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
     if (n == 0) return;
     const std::size_t chunks = std::min(n, workers_.size() * 4);
-    std::atomic<std::size_t> done{0};
-    std::mutex done_mu;
-    std::condition_variable done_cv;
-    for (std::size_t c = 0; c < chunks; ++c) {
-      const std::size_t lo = n * c / chunks;
-      const std::size_t hi = n * (c + 1) / chunks;
-      enqueue([&, lo, hi] {
-        for (std::size_t i = lo; i < hi; ++i) fn(i);
-        if (done.fetch_add(1) + 1 == chunks) {
-          std::lock_guard<std::mutex> lk(done_mu);
-          done_cv.notify_one();
+    run_indexed(chunks, chunks,
+                [&](std::size_t /*worker*/, std::size_t c) {
+                  const std::size_t lo = n * c / chunks;
+                  const std::size_t hi = n * (c + 1) / chunks;
+                  for (std::size_t i = lo; i < hi; ++i) fn(i);
+                });
+  }
+
+  /// Run fn(worker, i) for every i in [0, n) on up to `workers` concurrent
+  /// workers, blocking until all iterations complete. The caller itself
+  /// acts as worker 0, so nested calls (a parallel pipeline issuing
+  /// parallel launches) always make progress even when every pool thread
+  /// is busy. Indices are handed out dynamically (one shared counter), so
+  /// imbalanced iterations pack well; `worker` < workers identifies the
+  /// executing worker slot for worker-private scratch state. The first
+  /// exception thrown by any iteration is rethrown in the caller.
+  ///
+  /// With workers <= 1 everything runs serially on the calling thread —
+  /// the serial fallback is the same code path minus the pool.
+  void run_indexed(
+      std::size_t n, std::size_t workers,
+      const std::function<void(std::size_t worker, std::size_t index)>& fn) {
+    if (n == 0) return;
+    if (workers > n) workers = n;
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < n; ++i) fn(0, i);
+      return;
+    }
+
+    // Helpers own the state through a shared_ptr and only count as running
+    // once they actually start: after the caller's own drain() exhausts the
+    // index counter it waits solely for helpers that are mid-iteration. A
+    // helper still sitting in the pool queue at that point wakes up later,
+    // claims nothing and exits — so a nested call whose helpers never get a
+    // pool thread (every worker busy or blocked) cannot deadlock: the
+    // caller does all the work itself and moves on.
+    struct State {
+      std::function<void(std::size_t, std::size_t)> fn;
+      std::size_t n;
+      std::atomic<std::size_t> next{0};
+      std::atomic<bool> failed{false};
+      std::mutex mu;
+      std::condition_variable cv;
+      std::size_t running = 0;  // helpers currently inside drain()
+      std::exception_ptr error;
+
+      void drain(std::size_t worker) {
+        for (;;) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+          if (i >= n) return;
+          try {
+            fn(worker, i);
+          } catch (...) {
+            std::lock_guard<std::mutex> lk(mu);
+            if (!error) error = std::current_exception();
+            failed.store(true, std::memory_order_relaxed);
+          }
         }
+      }
+    };
+    auto st = std::make_shared<State>();
+    st->fn = fn;
+    st->n = n;
+
+    for (std::size_t w = 1; w < workers; ++w) {
+      enqueue([st, w] {
+        {
+          std::lock_guard<std::mutex> lk(st->mu);
+          ++st->running;
+        }
+        st->drain(w);
+        std::lock_guard<std::mutex> lk(st->mu);
+        if (--st->running == 0) st->cv.notify_all();
       });
     }
-    std::unique_lock<std::mutex> lk(done_mu);
-    done_cv.wait(lk, [&] { return done.load() == chunks; });
+    st->drain(0);
+    // next >= n (or failed) here, so helpers that start from now on claim
+    // no index; wait only for the ones already inside drain().
+    std::unique_lock<std::mutex> lk(st->mu);
+    st->cv.wait(lk, [&] { return st->running == 0; });
+    if (st->error) std::rethrow_exception(st->error);
   }
 
   void enqueue(std::function<void()> task) {

@@ -1,0 +1,172 @@
+// Determinism contract of the host-parallel execution model (DESIGN.md §5):
+// SearchReport — scores, every LaunchStats counter, and the simulated
+// seconds — must be bit-identical for any CUSW_THREADS value.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "cudasw/pipeline.h"
+#include "gpusim/device_spec.h"
+#include "seq/generate.h"
+#include "sw/scoring.h"
+
+namespace cusw {
+namespace {
+
+/// Scoped CUSW_THREADS override (restores the previous value on exit).
+class ThreadsGuard {
+ public:
+  explicit ThreadsGuard(const char* value) {
+    const char* prev = std::getenv("CUSW_THREADS");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    setenv("CUSW_THREADS", value, 1);
+  }
+  ~ThreadsGuard() {
+    if (had_prev_)
+      setenv("CUSW_THREADS", prev_.c_str(), 1);
+    else
+      unsetenv("CUSW_THREADS");
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+void expect_counters_eq(const gpusim::SpaceCounters& a,
+                        const gpusim::SpaceCounters& b) {
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.transactions, b.transactions);
+  EXPECT_EQ(a.dram_transactions, b.dram_transactions);
+  EXPECT_EQ(a.dram_bytes, b.dram_bytes);
+  EXPECT_EQ(a.l1_hits, b.l1_hits);
+  EXPECT_EQ(a.l2_hits, b.l2_hits);
+  EXPECT_EQ(a.tex_hits, b.tex_hits);
+}
+
+void expect_stats_eq(const gpusim::LaunchStats& a,
+                     const gpusim::LaunchStats& b) {
+  expect_counters_eq(a.global, b.global);
+  expect_counters_eq(a.local, b.local);
+  expect_counters_eq(a.texture, b.texture);
+  EXPECT_EQ(a.shared_accesses, b.shared_accesses);
+  EXPECT_EQ(a.bank_conflict_cycles, b.bank_conflict_cycles);
+  EXPECT_EQ(a.syncs, b.syncs);
+  EXPECT_EQ(a.windows, b.windows);
+  // EXPECT_EQ on doubles is exact comparison — the contract is
+  // bit-identical, not approximately equal.
+  EXPECT_EQ(a.total_block_cycles, b.total_block_cycles);
+  EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.blocks, b.blocks);
+  EXPECT_EQ(a.concurrent_blocks, b.concurrent_blocks);
+}
+
+void expect_reports_eq(const cudasw::SearchReport& a,
+                       const cudasw::SearchReport& b) {
+  EXPECT_EQ(a.scores, b.scores);
+  EXPECT_EQ(a.inter_seconds, b.inter_seconds);
+  EXPECT_EQ(a.intra_seconds, b.intra_seconds);
+  EXPECT_EQ(a.inter_cells, b.inter_cells);
+  EXPECT_EQ(a.intra_cells, b.intra_cells);
+  EXPECT_EQ(a.inter_sequences, b.inter_sequences);
+  EXPECT_EQ(a.intra_sequences, b.intra_sequences);
+  EXPECT_EQ(a.groups, b.groups);
+  expect_stats_eq(a.inter_stats, b.inter_stats);
+  expect_stats_eq(a.intra_stats, b.intra_stats);
+}
+
+/// One-SM slice (as the benches use) so the scaled database spans several
+/// occupancy-sized inter-task groups — the groups then really launch
+/// concurrently when CUSW_THREADS > 1.
+gpusim::DeviceSpec sliced(const gpusim::DeviceSpec& base) {
+  return base.scaled(1.0 / base.sm_count);
+}
+
+/// Swiss-Prot-profile workload whose threshold routes sequences to both
+/// kernels in every run.
+struct Workload {
+  seq::SequenceDB db = seq::DatabaseProfile::swissprot().synthesize(900, 11);
+  std::vector<seq::Code> query;
+  const sw::ScoringMatrix& matrix = sw::ScoringMatrix::blosum62();
+  cudasw::SearchConfig cfg;
+
+  Workload() {
+    Rng rng(7);
+    query = seq::random_protein(160, rng).residues;
+    // Lower the dispatch threshold so the scaled database exercises the
+    // intra-task kernel with several blocks, not just the planted tail.
+    cfg.threshold = 512;
+  }
+};
+
+cudasw::SearchReport run_at(const Workload& w, const char* threads,
+                            cudasw::IntraKernel kernel) {
+  ThreadsGuard guard(threads);
+  gpusim::Device dev(sliced(gpusim::DeviceSpec::tesla_c1060()));
+  cudasw::SearchConfig cfg = w.cfg;
+  cfg.intra_kernel = kernel;
+  return cudasw::search(dev, w.query, w.db, w.matrix, cfg);
+}
+
+TEST(HostParallel, SearchIsBitIdenticalAcrossThreadCountsImprovedKernel) {
+  const Workload w;
+  const auto serial = run_at(w, "1", cudasw::IntraKernel::kImproved);
+  ASSERT_GT(serial.inter_sequences, 0u);
+  ASSERT_GT(serial.intra_sequences, 0u);
+  ASSERT_GT(serial.groups, 1u);  // several concurrent inter-task launches
+  expect_reports_eq(serial, run_at(w, "2", cudasw::IntraKernel::kImproved));
+  expect_reports_eq(serial, run_at(w, "8", cudasw::IntraKernel::kImproved));
+}
+
+TEST(HostParallel, SearchIsBitIdenticalAcrossThreadCountsOriginalKernel) {
+  const Workload w;
+  const auto serial = run_at(w, "1", cudasw::IntraKernel::kOriginal);
+  ASSERT_GT(serial.intra_sequences, 0u);
+  expect_reports_eq(serial, run_at(w, "2", cudasw::IntraKernel::kOriginal));
+  expect_reports_eq(serial, run_at(w, "8", cudasw::IntraKernel::kOriginal));
+}
+
+TEST(HostParallel, SearchBatchIsBitIdenticalAcrossThreadCounts) {
+  const Workload w;
+  Rng rng(23);
+  std::vector<std::vector<seq::Code>> queries;
+  for (std::size_t len : {96, 144, 192}) {
+    queries.push_back(seq::random_protein(len, rng).residues);
+  }
+
+  const auto run_batch = [&](const char* threads) {
+    ThreadsGuard guard(threads);
+    gpusim::Device dev(sliced(gpusim::DeviceSpec::tesla_c1060()));
+    return cudasw::search_batch(dev, queries, w.db, w.matrix, w.cfg);
+  };
+
+  const auto serial = run_batch("1");
+  ASSERT_EQ(serial.size(), queries.size());
+  for (const char* threads : {"2", "8"}) {
+    const auto parallel = run_batch(threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t q = 0; q < serial.size(); ++q) {
+      expect_reports_eq(serial[q], parallel[q]);
+    }
+  }
+}
+
+TEST(HostParallel, ScoresMatchFermiDeviceAcrossThreadCounts) {
+  // The C2050 path exercises the real L2 (capacity-scaled, cleared per
+  // block) — determinism must hold there too.
+  const Workload w;
+  const auto run = [&](const char* threads) {
+    ThreadsGuard guard(threads);
+    gpusim::Device dev(sliced(gpusim::DeviceSpec::tesla_c2050()));
+    return cudasw::search(dev, w.query, w.db, w.matrix, w.cfg);
+  };
+  const auto serial = run("1");
+  expect_reports_eq(serial, run("8"));
+}
+
+}  // namespace
+}  // namespace cusw

@@ -7,6 +7,7 @@
 
 #include "util/check.h"
 #include "util/cli.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
@@ -149,6 +150,92 @@ TEST(ThreadPool, ParallelForEmptyAndSingle) {
     ++count;
   });
   EXPECT_EQ(count, 1);
+}
+
+TEST(ThreadPool, DefaultThreadCountIsPositive) {
+  EXPECT_GE(ThreadPool::default_thread_count(), 1u);
+  ThreadPool pool(0);  // 0 requested threads still yields a working pool
+  int ran = 0;
+  pool.parallel_for(1, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, RunIndexedVisitsEveryIndexOnceWithValidWorkerIds) {
+  ThreadPool pool(4);
+  const std::size_t workers = 3;
+  std::vector<std::atomic<int>> hits(500);
+  std::atomic<bool> bad_worker{false};
+  pool.run_indexed(500, workers, [&](std::size_t worker, std::size_t i) {
+    if (worker >= workers) bad_worker = true;
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_FALSE(bad_worker.load());
+}
+
+TEST(ThreadPool, RunIndexedSerialFallbackRunsOnCaller) {
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(8);
+  pool.run_indexed(8, 1, [&](std::size_t worker, std::size_t i) {
+    EXPECT_EQ(worker, 0u);
+    seen[i] = std::this_thread::get_id();
+  });
+  for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPool, RunIndexedPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.run_indexed(64, 4,
+                       [](std::size_t, std::size_t i) {
+                         if (i == 5) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, NestedRunIndexedOnSharedPoolCompletes) {
+  // A parallel pipeline issuing parallel launches nests run_indexed calls
+  // on one pool. With a pool smaller than the nesting demands, callers
+  // must make progress themselves rather than deadlock waiting for queued
+  // helpers.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.run_indexed(6, 4, [&](std::size_t, std::size_t) {
+    pool.run_indexed(8, 4,
+                     [&](std::size_t, std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 6 * 8);
+}
+
+TEST(Parallelism, HonorsCuswThreadsEnvVar) {
+  const char* saved = std::getenv("CUSW_THREADS");
+  const std::string restore = saved ? saved : "";
+
+  setenv("CUSW_THREADS", "8", 1);
+  EXPECT_EQ(util::parallelism(), 8u);
+  setenv("CUSW_THREADS", "1", 1);
+  EXPECT_EQ(util::parallelism(), 1u);
+  setenv("CUSW_THREADS", "0", 1);  // 0 = serial fallback
+  EXPECT_EQ(util::parallelism(), 1u);
+  setenv("CUSW_THREADS", "not-a-number", 1);
+  EXPECT_EQ(util::parallelism(), ThreadPool::default_thread_count());
+  unsetenv("CUSW_THREADS");
+  EXPECT_EQ(util::parallelism(), ThreadPool::default_thread_count());
+
+  if (saved)
+    setenv("CUSW_THREADS", restore.c_str(), 1);
+  else
+    unsetenv("CUSW_THREADS");
 }
 
 TEST(Cli, ParsesFlagsAndValues) {
