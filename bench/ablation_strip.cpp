@@ -75,7 +75,7 @@ void run() {
 }  // namespace cusw
 
 int main(int argc, char** argv) {
-  cusw::bench::BenchMain bench_main(argc, argv);
+  cusw::bench::BenchMain bench_main(argc, argv, "ablation_strip");
   cusw::run();
   return 0;
 }

@@ -15,6 +15,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "cudasw/pipeline.h"
 #include "gpusim/device_spec.h"
@@ -39,25 +41,79 @@ inline std::size_t apply_threads_flag(const Cli& cli) {
   return util::parallelism();
 }
 
-/// Bench harness guard: parses --threads and reports host wall-clock on
-/// exit. Construct first in main(). Simulated (GCUPs) numbers never depend
-/// on the thread count — only this wall-clock figure does.
+/// Write `payload` (a complete JSON document) to `BENCH_<name>.json` in
+/// the working directory. Every bench reports through this one sink so the
+/// perf trajectory across PRs is machine-readable.
+inline bool emit_json(const std::string& name, const std::string& payload) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(payload.data(), 1, payload.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+/// Bench harness guard: parses --threads, collects every emitted table,
+/// and on exit reports host wall-clock and writes `BENCH_<name>.json`
+/// mirroring all tables (pass an empty name to skip the JSON — benches
+/// with a custom payload call emit_json() themselves). Construct first in
+/// main(). Simulated (GCUPs) numbers never depend on the thread count —
+/// only the wall-clock figure does.
 class BenchMain {
  public:
-  BenchMain(int argc, char** argv) {
+  BenchMain(int argc, char** argv, std::string name = "")
+      : name_(std::move(name)) {
     Cli cli(argc, argv);
     threads_ = apply_threads_flag(cli);
+    active_slot() = this;
   }
   BenchMain(const BenchMain&) = delete;
   BenchMain& operator=(const BenchMain&) = delete;
   ~BenchMain() {
-    std::printf("host wall-clock: %.3f s (CUSW_THREADS=%zu)\n",
-                timer_.seconds(), threads_);
+    const double wall = timer_.seconds();
+    if (!name_.empty() && !tables_.empty()) {
+      char head[160];
+      std::snprintf(head, sizeof(head),
+                    "{\n  \"bench\": \"%s\",\n  \"threads\": %zu,\n"
+                    "  \"wall_seconds\": %.6f,\n  \"tables\": [",
+                    name_.c_str(), threads_, wall);
+      std::string payload(head);
+      for (std::size_t i = 0; i < tables_.size(); ++i) {
+        payload += i ? ",\n   {" : "\n   {";
+        payload += "\"name\": \"" + util::json_escape(tables_[i].first) +
+                   "\", \"rows\": " + tables_[i].second + "}";
+      }
+      payload += "\n  ]\n}\n";
+      emit_json(name_, payload);
+    }
+    active_slot() = nullptr;
+    std::printf("host wall-clock: %.3f s (CUSW_THREADS=%zu)\n", wall,
+                threads_);
   }
 
+  /// Register one emitted table for the exit-time JSON mirror.
+  void add_table(std::string section, const Table& table) {
+    if (section.empty()) section = "table " + std::to_string(tables_.size());
+    tables_.emplace_back(std::move(section), table.to_json());
+  }
+
+  /// The live harness of this bench process, or nullptr outside main().
+  static BenchMain* active() { return active_slot(); }
+
  private:
+  static BenchMain*& active_slot() {
+    static BenchMain* slot = nullptr;
+    return slot;
+  }
+
   WallTimer timer_;
   std::size_t threads_ = 1;
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> tables_;
 };
 
 /// A proportionally scaled device plus the factor for converting simulated
@@ -93,12 +149,14 @@ inline void print_header(const std::string& title, const std::string& source) {
       "devices are one-SM slices; GCUPs are full-device equivalents\n\n");
 }
 
-inline void emit(const Table& table) {
+inline void emit(const Table& table, std::string section = "") {
   table.print();
   if (const char* csv = std::getenv("CUSW_BENCH_CSV");
       csv && std::string(csv) != "0") {
     std::printf("\n--- csv ---\n%s", table.to_csv().c_str());
   }
+  if (BenchMain* m = BenchMain::active())
+    m->add_table(std::move(section), table);
   std::printf("\n");
 }
 

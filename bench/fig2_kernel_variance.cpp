@@ -72,7 +72,7 @@ void run() {
 }  // namespace cusw
 
 int main(int argc, char** argv) {
-  cusw::bench::BenchMain bench_main(argc, argv);
+  cusw::bench::BenchMain bench_main(argc, argv, "fig2_kernel_variance");
   cusw::run();
   return 0;
 }

@@ -55,7 +55,7 @@ void run() {
 }  // namespace cusw
 
 int main(int argc, char** argv) {
-  cusw::bench::BenchMain bench_main(argc, argv);
+  cusw::bench::BenchMain bench_main(argc, argv, "fig3_threshold_sweep");
   cusw::run();
   return 0;
 }

@@ -77,7 +77,7 @@ void run_sweep(bool caches_enabled) {
 }  // namespace cusw
 
 int main(int argc, char** argv) {
-  cusw::bench::BenchMain bench_main(argc, argv);
+  cusw::bench::BenchMain bench_main(argc, argv, "fig5_threshold_comparison");
   cusw::bench::print_header(
       "Fig. 5 — GCUPs and intra-task time share vs threshold, 4 configs",
       "Hains et al., IPDPS'11, Figure 5(a)/(b)");

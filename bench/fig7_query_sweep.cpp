@@ -63,7 +63,7 @@ void run() {
 }  // namespace cusw
 
 int main(int argc, char** argv) {
-  cusw::bench::BenchMain bench_main(argc, argv);
+  cusw::bench::BenchMain bench_main(argc, argv, "fig7_query_sweep");
   cusw::run();
   return 0;
 }

@@ -149,7 +149,7 @@ void streaming() {
 }  // namespace cusw
 
 int main(int argc, char** argv) {
-  cusw::bench::BenchMain bench_main(argc, argv);
+  cusw::bench::BenchMain bench_main(argc, argv, "futurework_extensions");
   cusw::bench::print_header("§VI future-work extensions, implemented",
                             "Hains et al., IPDPS'11, Section VI");
   cusw::kernel_extensions();

@@ -70,7 +70,7 @@ void run() {
 }  // namespace cusw
 
 int main(int argc, char** argv) {
-  cusw::bench::BenchMain bench_main(argc, argv);
+  cusw::bench::BenchMain bench_main(argc, argv, "table1_memory_transactions");
   cusw::run();
   return 0;
 }

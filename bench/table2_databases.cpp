@@ -71,7 +71,7 @@ void run() {
 }  // namespace cusw
 
 int main(int argc, char** argv) {
-  cusw::bench::BenchMain bench_main(argc, argv);
+  cusw::bench::BenchMain bench_main(argc, argv, "table2_databases");
   cusw::run();
   return 0;
 }

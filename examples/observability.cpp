@@ -1,0 +1,96 @@
+// Observability tour: metrics registry, profiler observer, Chrome trace.
+//
+// Runs one database scan three ways of looking at it:
+//   1. metrics — snapshot/diff of the process-wide registry, printed as a
+//      table and as JSON (what CUSW_METRICS=<path> writes at exit);
+//   2. cusw-prof — the nvprof-style per-kernel summary (CUSW_PROF=1);
+//   3. trace — a Chrome trace-event file with the simulated device
+//      timeline and the wall-clock host timeline (CUSW_TRACE=<path>).
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/observability
+#include <cstdio>
+
+#include "cudasw/pipeline.h"
+#include "gpusim/observer.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
+#include "obs/trace_check.h"
+#include "seq/generate.h"
+
+namespace {
+
+// A custom profiler hook: count barrier windows as they happen. Callbacks
+// fire on worker threads, so state must be atomic or otherwise
+// thread-safe.
+class BarrierCounter final : public cusw::gpusim::LaunchObserver {
+ public:
+  void on_window(const cusw::gpusim::WindowEvent& e) override {
+    if (e.barrier) barriers_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t barriers() const {
+    return barriers_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> barriers_{0};
+};
+
+}  // namespace
+
+int main() {
+  using namespace cusw;
+
+  // Record a trace of everything this process simulates from here on.
+  const char* trace_path = "observability_trace.json";
+  obs::configure_trace(trace_path);
+
+  const auto db = seq::DatabaseProfile::swissprot().synthesize(400, 1);
+  const auto& matrix = sw::ScoringMatrix::blosum62();
+  Rng rng(7);
+  const auto query = seq::random_protein(367, rng).residues;
+
+  gpusim::Device gpu(gpusim::DeviceSpec::tesla_c1060());
+  BarrierCounter hook;
+  gpu.set_observer(&hook);
+
+  // --- 1. metrics: diff the registry around the work -----------------------
+  const obs::Snapshot before = obs::Registry::global().snapshot();
+  cudasw::SearchConfig cfg;
+  const cudasw::SearchReport report =
+      cudasw::search(gpu, query, db, matrix, cfg);
+  const obs::Snapshot delta = obs::Registry::global().snapshot().diff(before);
+
+  std::printf("scan: %.1f GCUPs; observer saw %llu barrier windows\n\n",
+              report.gcups(),
+              static_cast<unsigned long long>(hook.barriers()));
+  std::printf("--- registry delta for this search ---\n%s\n",
+              delta.to_table().c_str());
+
+  // --- 2. cusw-prof: the per-kernel profiler table -------------------------
+  std::printf("--- cusw-prof ---\n%s\n",
+              obs::format_kernel_profile(delta).c_str());
+
+  // --- 3. trace: write, then validate the schema CI checks -----------------
+  const std::string written = obs::flush_trace();
+  if (!written.empty()) {
+    std::printf("trace written to %s (load in chrome://tracing)\n",
+                written.c_str());
+    // Validate what we just wrote, exactly as tests/CI do.
+    std::FILE* f = std::fopen(written.c_str(), "rb");
+    std::string text;
+    if (f != nullptr) {
+      char buf[4096];
+      std::size_t n;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+      std::fclose(f);
+    }
+    const obs::TraceCheck check = obs::validate_chrome_trace(text);
+    std::printf("trace check: %s (%zu spans on %zu tracks)\n",
+                check.ok ? "ok" : check.error.c_str(), check.spans,
+                check.tracks);
+  }
+  return 0;
+}

@@ -53,6 +53,7 @@ KernelRun run_inter_task(gpusim::Device& dev,
   const std::uint64_t f_base = arena.reserve(max_len * s_u * 4);
 
   gpusim::LaunchConfig cfg;
+  cfg.label = "inter_task";
   cfg.blocks = blocks;
   cfg.threads_per_block = tpb;
   cfg.regs_per_thread = params.regs_per_thread;

@@ -63,6 +63,7 @@ KernelRun run_inter_task_simd(gpusim::Device& dev,
       arena.reserve(max_len * static_cast<std::uint64_t>(group.size()));
 
   gpusim::LaunchConfig cfg;
+  cfg.label = "inter_task_simd";
   cfg.blocks = blocks;
   cfg.threads_per_block = tpb;
   cfg.regs_per_thread = params.regs_per_thread;

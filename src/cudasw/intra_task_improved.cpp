@@ -82,6 +82,7 @@ KernelRun run_intra_task_improved(gpusim::Device& dev,
   const bool spill_unroll = !params.unroll_profile_loop;
 
   gpusim::LaunchConfig cfg;
+  cfg.label = "intra_task_improved";
   cfg.blocks = static_cast<int>(longs.size());
   cfg.threads_per_block = n_th;
   cfg.regs_per_thread = params.regs_per_thread;

@@ -48,6 +48,7 @@ KernelRun run_intra_task_original(gpusim::Device& dev,
   const std::uint64_t query_base = arena.reserve((m + 31) & ~std::size_t{31});
 
   gpusim::LaunchConfig cfg;
+  cfg.label = "intra_task_original";
   cfg.blocks = static_cast<int>(longs.size());
   cfg.threads_per_block = tpb;
   cfg.regs_per_thread = params.regs_per_thread;

@@ -2,13 +2,39 @@
 
 #include <algorithm>
 #include <numeric>
+#include <string>
 
 #include "gpusim/occupancy.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/thread_pool.h"
 
 namespace cusw::cudasw {
+
+namespace {
+
+// Mirror a finished search into the metrics registry (once per search —
+// launches publish their own gpusim.* counters). Names follow the dotted
+// scheme in DESIGN.md §7.
+void publish_search_metrics(const SearchReport& report) {
+  auto& reg = obs::Registry::global();
+  reg.counter("pipeline.searches").inc();
+  reg.counter("pipeline.groups").add(report.groups);
+  reg.counter("pipeline.inter.cells").add(report.inter_cells);
+  reg.counter("pipeline.intra.cells").add(report.intra_cells);
+  reg.counter("pipeline.inter.sequences").add(report.inter_sequences);
+  reg.counter("pipeline.intra.sequences").add(report.intra_sequences);
+  reg.gauge("pipeline.inter.seconds").add(report.inter_seconds);
+  reg.gauge("pipeline.intra.seconds").add(report.intra_seconds);
+  reg.histogram("pipeline.search.gcups",
+                {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0})
+      .observe(report.gcups());
+}
+
+}  // namespace
 
 std::size_t inter_task_group_size(const gpusim::DeviceSpec& dev,
                                   const InterTaskParams& params) {
@@ -23,6 +49,7 @@ std::size_t inter_task_group_size(const gpusim::DeviceSpec& dev,
 PreparedDatabase::PreparedDatabase(const seq::SequenceDB& db,
                                    std::size_t threshold)
     : db_(&db), threshold_(threshold) {
+  obs::HostSpan span("pipeline.prepare", "pipeline");
   std::vector<std::size_t> order(db.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(),
@@ -40,6 +67,8 @@ SearchReport search(gpusim::Device& dev, const std::vector<seq::Code>& query,
   CUSW_REQUIRE(!query.empty(), "empty query");
   CUSW_REQUIRE(prepared.threshold() == cfg.threshold,
                "database was prepared with a different threshold");
+  obs::install_process_exports();
+  obs::HostSpan search_span("pipeline.search", "pipeline");
   const seq::SequenceDB& db = prepared.db();
   SearchReport report;
   report.scores.assign(db.size(), 0);
@@ -61,6 +90,8 @@ SearchReport search(gpusim::Device& dev, const std::vector<seq::Code>& query,
   ThreadPool::shared().run_indexed(
       n_groups, std::min(util::parallelism(), n_groups),
       [&](std::size_t /*worker*/, std::size_t g) {
+        obs::HostSpan span("pipeline.inter group " + std::to_string(g),
+                           "pipeline");
         const std::size_t lo = g * group_size;
         const std::size_t hi = std::min(below.size(), lo + group_size);
         runs[g] = run_inter_task(
@@ -81,6 +112,7 @@ SearchReport search(gpusim::Device& dev, const std::vector<seq::Code>& query,
   // Intra-task: a single launch, one block per long sequence (the launch
   // itself shards blocks across host workers).
   if (!above.empty()) {
+    obs::HostSpan span("pipeline.intra", "pipeline");
     const seq::SequenceDBView longs(db, above.data(), above.size());
     KernelRun run =
         cfg.intra_kernel == IntraKernel::kImproved
@@ -94,6 +126,7 @@ SearchReport search(gpusim::Device& dev, const std::vector<seq::Code>& query,
     report.intra_cells += run.cells;
     report.intra_stats += run.stats;
   }
+  publish_search_metrics(report);
   return report;
 }
 
@@ -108,6 +141,8 @@ std::vector<SearchReport> search_batch(
     gpusim::Device& dev, const std::vector<std::vector<seq::Code>>& queries,
     const seq::SequenceDB& db, const sw::ScoringMatrix& matrix,
     const SearchConfig& cfg) {
+  obs::install_process_exports();
+  obs::HostSpan batch_span("pipeline.search_batch", "pipeline");
   const PreparedDatabase prepared(db, cfg.threshold);
   // Queries are independent scans over the shared prepared database; run
   // them concurrently. Each report is written to its own slot, so the
@@ -116,6 +151,7 @@ std::vector<SearchReport> search_batch(
   ThreadPool::shared().run_indexed(
       queries.size(), std::min(util::parallelism(), queries.size()),
       [&](std::size_t /*worker*/, std::size_t q) {
+        obs::HostSpan lane("pipeline.query " + std::to_string(q), "pipeline");
         reports[q] = search(dev, queries[q], prepared, matrix, cfg);
       });
   return reports;

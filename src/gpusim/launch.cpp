@@ -1,8 +1,15 @@
 #include "gpusim/launch.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <queue>
+#include <string>
+#include <utility>
 
+#include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/trace.h"
 #include "util/check.h"
 #include "util/parallel.h"
 #include "util/thread_pool.h"
@@ -36,12 +43,150 @@ void add_block_counters(LaunchStats& into, const LaunchStats& block) {
   into.windows += block.windows;
 }
 
+void publish_space(obs::Registry& reg, const std::string& prefix,
+                   const SpaceCounters& c) {
+  reg.counter(prefix + "requests").add(c.requests);
+  reg.counter(prefix + "transactions").add(c.transactions);
+  reg.counter(prefix + "dram_transactions").add(c.dram_transactions);
+  reg.counter(prefix + "dram_bytes").add(c.dram_bytes);
+  reg.counter(prefix + "l1_hits").add(c.l1_hits);
+  reg.counter(prefix + "l2_hits").add(c.l2_hits);
+  reg.counter(prefix + "tex_hits").add(c.tex_hits);
+}
+
+// Mirror a finished launch into the metrics registry: per-kernel counters
+// under gpusim.kernel.<label>.* (every LaunchStats field, so registry
+// snapshots diff bit-for-bit against the structs) plus the device-wide
+// aggregates. Once per launch — never on the per-window path.
+void publish_launch_metrics(const char* label, const LaunchStats& s) {
+  auto& reg = obs::Registry::global();
+  const std::string p = std::string("gpusim.kernel.") + label + ".";
+  reg.counter(p + "launches").inc();
+  reg.counter(p + "blocks").add(static_cast<std::uint64_t>(s.blocks));
+  reg.counter(p + "windows").add(s.windows);
+  reg.counter(p + "syncs").add(s.syncs);
+  reg.counter(p + "shared.accesses").add(s.shared_accesses);
+  reg.counter(p + "shared.bank_conflict_cycles").add(s.bank_conflict_cycles);
+  publish_space(reg, p + "global.", s.global);
+  publish_space(reg, p + "local.", s.local);
+  publish_space(reg, p + "texture.", s.texture);
+  reg.gauge(p + "seconds").add(s.seconds);
+  reg.gauge(p + "makespan_cycles").add(s.makespan_cycles);
+  reg.gauge(p + "total_block_cycles").add(s.total_block_cycles);
+
+  reg.counter("gpusim.launch.count").inc();
+  reg.gauge("gpusim.launch.seconds").add(s.seconds);
+  reg.histogram("gpusim.launch.occupancy", {0.25, 0.5, 0.75, 1.0})
+      .observe(s.occupancy.occupancy);
+  reg.counter("gpusim.global.transactions").add(s.global.transactions);
+  reg.counter("gpusim.local.transactions").add(s.local.transactions);
+  reg.counter("gpusim.texture.transactions").add(s.texture.transactions);
+  reg.counter("gpusim.global_memory.transactions")
+      .add(s.global_memory_transactions());
+  reg.counter("gpusim.shared.accesses").add(s.shared_accesses);
+}
+
+// When tracing, windows are buffered per block (each block runs on exactly
+// one worker, so slots are written race-free) and replayed onto the
+// device timeline once the scheduler has placed the blocks. Forwards to
+// the user's observer so tracing and external tools compose.
+class TraceCollector final : public LaunchObserver {
+ public:
+  TraceCollector(int blocks, LaunchObserver* user)
+      : windows_(static_cast<std::size_t>(blocks)), user_(user) {}
+
+  void on_window(const WindowEvent& e) override {
+    windows_[static_cast<std::size_t>(e.block_id)].push_back(e);
+    if (user_ != nullptr) user_->on_window(e);
+  }
+  void on_block(const BlockEvent& e) override {
+    if (user_ != nullptr) user_->on_block(e);
+  }
+  void on_launch(const LaunchConfig& cfg, const LaunchStats& s) override {
+    if (user_ != nullptr) user_->on_launch(cfg, s);
+  }
+
+  const std::vector<WindowEvent>& windows(int block) const {
+    return windows_[static_cast<std::size_t>(block)];
+  }
+
+ private:
+  std::vector<std::vector<WindowEvent>> windows_;
+  LaunchObserver* user_;
+};
+
+int next_device_trace_pid() {
+  static std::atomic<int> next{obs::kFirstDevicePid};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Replay one finished launch onto the device's simulated timeline starting
+// at `t0` µs: the launch span on track 0, each block on its SM-slot track
+// (tid = slot + 1), windows nested inside their block span. Timestamps are
+// simulated microseconds (cycles / clock), not wall-clock.
+void emit_device_trace(obs::TraceWriter& tw, int pid, double t0,
+                       const LaunchConfig& cfg, const DeviceSpec& eff,
+                       const LaunchStats& stats,
+                       const std::vector<double>& block_cycles,
+                       const std::vector<int>& block_slot,
+                       const std::vector<double>& block_start,
+                       const TraceCollector& collector) {
+  const double us_per_cycle = 1.0 / (eff.clock_ghz * 1e3);
+
+  obs::TraceEvent launch_ev;
+  launch_ev.name = cfg.label;
+  launch_ev.cat = "launch";
+  launch_ev.pid = pid;
+  launch_ev.tid = 0;
+  launch_ev.ts_us = t0;
+  launch_ev.dur_us = stats.seconds * 1e6;
+  launch_ev.args_json =
+      "\"blocks\": " + std::to_string(cfg.blocks) +
+      ", \"threads_per_block\": " + std::to_string(cfg.threads_per_block) +
+      ", \"occupancy\": " + std::to_string(stats.occupancy.occupancy);
+  tw.span(std::move(launch_ev));
+
+  const double blocks_t0 = t0 + eff.launch_overhead_us;
+  for (int b = 0; b < static_cast<int>(block_cycles.size()); ++b) {
+    const auto bi = static_cast<std::size_t>(b);
+    const int slot = block_slot[bi];
+    tw.name_track(pid, slot + 1, "SM slot " + std::to_string(slot));
+    const double block_ts = blocks_t0 + block_start[bi] * us_per_cycle;
+
+    obs::TraceEvent be;
+    be.name = std::string(cfg.label) + " block " + std::to_string(b);
+    be.cat = "block";
+    be.pid = pid;
+    be.tid = slot + 1;
+    be.ts_us = block_ts;
+    be.dur_us = block_cycles[bi] * us_per_cycle;
+    tw.span(std::move(be));
+
+    for (const WindowEvent& w : collector.windows(b)) {
+      obs::TraceEvent we;
+      we.name = w.barrier ? "window (sync)" : "window";
+      we.cat = "window";
+      we.pid = pid;
+      we.tid = slot + 1;
+      we.ts_us = block_ts + w.start_cycles * us_per_cycle;
+      we.dur_us = w.cycles * us_per_cycle;
+      we.args_json =
+          "\"transactions\": " + std::to_string(w.transactions) +
+          ", \"dram\": " + std::to_string(w.dram_transactions) +
+          ", \"cache_hits\": " + std::to_string(w.cache_hits) +
+          ", \"shared\": " + std::to_string(w.shared_accesses);
+      tw.span(std::move(we));
+    }
+  }
+}
+
 }  // namespace
 
 BlockCtx::BlockCtx(const DeviceSpec& spec, const CostModel& cost,
                    LaunchStats& stats, Cache& l2, Cache& tex_l2,
                    std::size_t l1_bytes, int block_id, int threads,
-                   int resident_per_sm, int concurrent_blocks)
+                   int resident_per_sm, int concurrent_blocks,
+                   LaunchObserver* observer)
     : spec_(&spec),
       cost_(&cost),
       stats_(&stats),
@@ -59,7 +204,8 @@ BlockCtx::BlockCtx(const DeviceSpec& spec, const CostModel& cost,
       lane_compute_(static_cast<std::size_t>(threads), 0.0),
       warp_instr_(static_cast<std::size_t>((threads + 31) / 32), 0.0),
       warp_lat_sum_(warp_instr_.size(), 0.0),
-      warp_txn_(warp_instr_.size(), 0) {}
+      warp_txn_(warp_instr_.size(), 0),
+      observer_(observer) {}
 
 void BlockCtx::shared_access(int lane, std::uint64_t n) {
   stats_->shared_accesses += n;
@@ -286,6 +432,39 @@ void BlockCtx::close_window(bool barrier) {
     stats_->syncs += 1;
   }
   stats_->windows += 1;
+
+  // Profiler hook — a single null check when no observer is attached; the
+  // delta bookkeeping only exists behind it (zero-overhead contract,
+  // DESIGN.md §7).
+  if (observer_ != nullptr) {
+    const LaunchStats& s = *stats_;
+    const LaunchStats& b = window_base_;
+    WindowEvent e;
+    e.block_id = block_id_;
+    e.window_index = s.windows - 1;
+    e.start_cycles = block_cycles_;
+    e.cycles = window;
+    e.barrier = barrier;
+    e.transactions = (s.global.transactions - b.global.transactions) +
+                     (s.local.transactions - b.local.transactions) +
+                     (s.texture.transactions - b.texture.transactions);
+    e.dram_transactions =
+        (s.global.dram_transactions - b.global.dram_transactions) +
+        (s.local.dram_transactions - b.local.dram_transactions) +
+        (s.texture.dram_transactions - b.texture.dram_transactions);
+    e.cache_hits = (s.global.l1_hits - b.global.l1_hits) +
+                   (s.global.l2_hits - b.global.l2_hits) +
+                   (s.local.l1_hits - b.local.l1_hits) +
+                   (s.local.l2_hits - b.local.l2_hits) +
+                   (s.texture.l2_hits - b.texture.l2_hits) +
+                   (s.texture.tex_hits - b.texture.tex_hits);
+    e.shared_accesses = s.shared_accesses - b.shared_accesses;
+    e.bank_conflict_cycles =
+        s.bank_conflict_cycles - b.bank_conflict_cycles;
+    observer_->on_window(e);
+    window_base_ = s;
+  }
+
   block_cycles_ += window;
 }
 
@@ -300,6 +479,7 @@ Device::Device(DeviceSpec spec, CostModel cost)
 LaunchStats Device::launch(const LaunchConfig& cfg,
                            const std::function<void(BlockCtx&)>& body) {
   CUSW_REQUIRE(cfg.blocks >= 0, "negative grid size");
+  obs::install_process_exports();
   LaunchStats stats;
   stats.blocks = cfg.blocks;
   if (cfg.blocks == 0) return stats;
@@ -318,6 +498,8 @@ LaunchStats Device::launch(const LaunchConfig& cfg,
                                       cfg.regs_per_thread);
   CUSW_REQUIRE(stats.occupancy.blocks_per_sm > 0,
                "launch config admits zero resident blocks");
+  stats.occupancy_min = stats.occupancy.occupancy;
+  stats.occupancy_max = stats.occupancy.occupancy;
 
   const int slots = eff.sm_count * stats.occupancy.blocks_per_sm;
   const int concurrent = std::min(cfg.blocks, slots);
@@ -367,6 +549,16 @@ LaunchStats Device::launch(const LaunchConfig& cfg,
                                   // texture cache keeps full capacity.
                                   Cache(eff.tex_l2_bytes, 32, 8)});
   }
+  // Observer wiring: the user's observer, wrapped in a TraceCollector when
+  // a trace is being recorded. With neither, `effective` stays null and
+  // the per-window hot path is one null check inside BlockCtx.
+  LaunchObserver* effective = observer_;
+  std::unique_ptr<TraceCollector> collector;
+  if (obs::trace_enabled()) {
+    collector = std::make_unique<TraceCollector>(cfg.blocks, observer_);
+    effective = collector.get();
+  }
+
   std::vector<LaunchStats> block_stats(static_cast<std::size_t>(cfg.blocks));
   std::vector<double> block_cycles(static_cast<std::size_t>(cfg.blocks), 0.0);
   ThreadPool::shared().run_indexed(
@@ -377,30 +569,74 @@ LaunchStats Device::launch(const LaunchConfig& cfg,
         wc.tex_l2.clear();
         BlockCtx ctx(eff, cost_, block_stats[b], wc.l2, wc.tex_l2, l1_eff,
                      static_cast<int>(b), cfg.threads_per_block,
-                     resident_per_sm, concurrent);
+                     resident_per_sm, concurrent, effective);
         body(ctx);
         block_cycles[b] = ctx.finish();
+        if (effective != nullptr) {
+          BlockEvent ev;
+          ev.block_id = static_cast<int>(b);
+          ev.cycles = block_cycles[b];
+          ev.counters = &block_stats[b];
+          effective->on_block(ev);
+        }
       });
 
   // Serial post-pass in block-index order: reduce the per-block stats and
   // compute the makespan of the block costs over the SM slots with greedy
-  // list scheduling.
-  std::priority_queue<double, std::vector<double>, std::greater<>> slot_ends;
-  for (int s = 0; s < slots; ++s) slot_ends.push(0.0);
+  // list scheduling. The queue carries (end, slot) so the trace can place
+  // blocks on SM-slot tracks; ties break on the lower slot index, which
+  // keeps the placement deterministic and the makespan value unchanged.
+  using SlotEnd = std::pair<double, int>;
+  std::priority_queue<SlotEnd, std::vector<SlotEnd>, std::greater<>> slot_ends;
+  for (int s = 0; s < slots; ++s) slot_ends.push({0.0, s});
+  std::vector<int> block_slot;
+  std::vector<double> block_start;
+  if (collector != nullptr) {
+    block_slot.resize(static_cast<std::size_t>(cfg.blocks), 0);
+    block_start.resize(static_cast<std::size_t>(cfg.blocks), 0.0);
+  }
   double makespan = 0.0;
   for (int b = 0; b < cfg.blocks; ++b) {
     const auto bi = static_cast<std::size_t>(b);
     add_block_counters(stats, block_stats[bi]);
     stats.total_block_cycles += block_cycles[bi];
-    const double start = slot_ends.top();
+    const SlotEnd slot = slot_ends.top();
     slot_ends.pop();
-    const double end = start + block_cycles[bi];
-    slot_ends.push(end);
+    const double end = slot.first + block_cycles[bi];
+    slot_ends.push({end, slot.second});
+    if (collector != nullptr) {
+      block_slot[bi] = slot.second;
+      block_start[bi] = slot.first;
+    }
     makespan = std::max(makespan, end);
   }
   stats.makespan_cycles = makespan;
   stats.seconds = makespan / (eff.clock_ghz * 1e9) +
                   eff.launch_overhead_us * 1e-6;
+
+  publish_launch_metrics(cfg.label, stats);
+  if (effective != nullptr) effective->on_launch(cfg, stats);
+
+  if (collector != nullptr) {
+    if (obs::TraceWriter* tw = obs::trace()) {
+      double t0 = 0.0;
+      {
+        // Assign this device's trace pid lazily and reserve a disjoint
+        // simulated-time interval; concurrent host-side launches serialise
+        // on the cursor, matching the one-queue device model.
+        std::lock_guard<std::mutex> lk(trace_mu_);
+        if (trace_pid_ == 0) {
+          trace_pid_ = next_device_trace_pid();
+          tw->name_process(trace_pid_, spec_.name + " (simulated)");
+          tw->name_track(trace_pid_, 0, "launches");
+        }
+        t0 = trace_cursor_us_;
+        trace_cursor_us_ += stats.seconds * 1e6;
+      }
+      emit_device_trace(*tw, trace_pid_, t0, cfg, eff, stats, block_cycles,
+                        block_slot, block_start, *collector);
+    }
+  }
   return stats;
 }
 

@@ -14,14 +14,17 @@
 // See DESIGN.md §5 and cost_model.h for the calibration story.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <vector>
 
 #include "gpusim/cache.h"
 #include "gpusim/cost_model.h"
 #include "gpusim/device_spec.h"
 #include "gpusim/memory.h"
+#include "gpusim/observer.h"
 #include "gpusim/occupancy.h"
 
 namespace cusw::gpusim {
@@ -34,6 +37,10 @@ struct LaunchConfig {
   /// Fermi only: request the 48 KB L1 / 16 KB shared split instead of the
   /// default 16 KB L1 / 48 KB shared.
   bool prefer_l1 = false;
+  /// Kernel name for observability: the per-kernel metrics prefix
+  /// (`gpusim.kernel.<label>.*`), the cusw-prof report row, and trace
+  /// span names. Must point at a string literal (not owned).
+  const char* label = "kernel";
 };
 
 struct LaunchStats {
@@ -48,6 +55,12 @@ struct LaunchStats {
   double makespan_cycles = 0.0;     // after scheduling onto SM slots
   double seconds = 0.0;             // makespan / clock + launch overhead
   Occupancy occupancy;
+  /// Occupancy range across accumulated launches: a merged report keeps
+  /// the *first* launch's `occupancy` for shape context, and these track
+  /// the spread so merging launches with different configs isn't silently
+  /// misreported as uniform. Single launches have min == max.
+  double occupancy_min = 0.0;
+  double occupancy_max = 0.0;
   int blocks = 0;
   int concurrent_blocks = 0;
 
@@ -72,6 +85,23 @@ struct LaunchStats {
     seconds += o.seconds;
     blocks += o.blocks;
     concurrent_blocks = std::max(concurrent_blocks, o.concurrent_blocks);
+    // Merge the occupancy range; a stats object whose range was never set
+    // contributes its point occupancy (tests build these by hand).
+    if (o.occupancy.blocks_per_sm != 0 || o.occupancy_min != 0.0) {
+      const double lo =
+          o.occupancy_min != 0.0 ? o.occupancy_min : o.occupancy.occupancy;
+      const double hi =
+          o.occupancy_max != 0.0 ? o.occupancy_max : o.occupancy.occupancy;
+      if (occupancy.blocks_per_sm != 0 || occupancy_min != 0.0) {
+        occupancy_min = std::min(
+            occupancy_min != 0.0 ? occupancy_min : occupancy.occupancy, lo);
+        occupancy_max = std::max(
+            occupancy_max != 0.0 ? occupancy_max : occupancy.occupancy, hi);
+      } else {
+        occupancy_min = lo;
+        occupancy_max = hi;
+      }
+    }
     if (occupancy.blocks_per_sm == 0) occupancy = o.occupancy;
     return *this;
   }
@@ -184,7 +214,8 @@ class BlockCtx {
 
   BlockCtx(const DeviceSpec& spec, const CostModel& cost, LaunchStats& stats,
            Cache& l2, Cache& tex_l2, std::size_t l1_bytes, int block_id,
-           int threads, int resident_per_sm, int concurrent_blocks);
+           int threads, int resident_per_sm, int concurrent_blocks,
+           LaunchObserver* observer = nullptr);
 
   void close_window(bool barrier);
   double finish();  // returns total block cycles
@@ -212,6 +243,12 @@ class BlockCtx {
   std::vector<double> warp_lat_sum_;
   std::vector<std::uint32_t> warp_txn_;
   double block_cycles_ = 0.0;
+
+  // Profiler hook. The per-window hot path pays one null check when no
+  // observer is attached; the previous-counter copy for window deltas is
+  // only maintained behind that check.
+  LaunchObserver* observer_ = nullptr;
+  LaunchStats window_base_;  // counters at the last window close
 
   // scratch reused across windows
   struct SegKey {
@@ -260,10 +297,25 @@ class Device {
   LaunchStats launch(const LaunchConfig& cfg,
                      const std::function<void(BlockCtx&)>& body);
 
+  /// Attach a profiler observer (nullptr detaches). Callbacks fire on the
+  /// worker threads executing blocks — see gpusim/observer.h. Not
+  /// synchronised against in-flight launches; attach between launches.
+  void set_observer(LaunchObserver* obs) { observer_ = obs; }
+  LaunchObserver* observer() const { return observer_; }
+
  private:
   DeviceSpec spec_;
   CostModel cost_;
   MemoryArena arena_;
+  LaunchObserver* observer_ = nullptr;
+
+  // Trace state: this device's track group in the trace file and the
+  // simulated-time cursor launches reserve their spans from (launches on
+  // one device serialise, so concurrent host-side launches book disjoint
+  // device-time intervals).
+  std::mutex trace_mu_;
+  int trace_pid_ = 0;
+  double trace_cursor_us_ = 0.0;
 };
 
 }  // namespace cusw::gpusim

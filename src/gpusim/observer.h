@@ -1,0 +1,54 @@
+// Profiler hooks for the simulator: a callback interface tools attach to
+// a Device to see per-window and per-block events (cycles, transactions,
+// cache hits, bank conflicts) as they are produced, without the simulator
+// paying anything when no observer is attached — the hot-path hook is one
+// null-pointer check (see BlockCtx::close_window), never a virtual call.
+#pragma once
+
+#include <cstdint>
+
+namespace cusw::gpusim {
+
+struct LaunchConfig;
+struct LaunchStats;
+
+/// One closed window of one block. Cycle fields are block-local (the
+/// block's execution starts at 0); counter fields are this window's deltas
+/// of the block's `LaunchStats`.
+struct WindowEvent {
+  int block_id = 0;
+  std::uint64_t window_index = 0;  // 0-based within the block
+  double start_cycles = 0.0;       // block-local start of the window
+  double cycles = 0.0;             // cost of this window
+  bool barrier = false;            // closed by sync() rather than flush()
+  std::uint64_t transactions = 0;  // global + local + texture
+  std::uint64_t dram_transactions = 0;
+  std::uint64_t cache_hits = 0;    // l1 + l2 + texture hits, all spaces
+  std::uint64_t shared_accesses = 0;
+  std::uint64_t bank_conflict_cycles = 0;
+};
+
+/// One finished block: its total cost and its private counters (the same
+/// values the launch later reduces in block-index order).
+struct BlockEvent {
+  int block_id = 0;
+  double cycles = 0.0;
+  const LaunchStats* counters = nullptr;  // valid only during the call
+};
+
+/// Observer attached via Device::set_observer(). Callbacks fire on the
+/// host worker threads executing the blocks, possibly concurrently —
+/// implementations must be thread-safe. Observers see events in block
+/// execution order, which is *not* block-index order; reduce on block_id
+/// if deterministic aggregation matters.
+class LaunchObserver {
+ public:
+  virtual ~LaunchObserver() = default;
+
+  virtual void on_window(const WindowEvent&) {}
+  virtual void on_block(const BlockEvent&) {}
+  /// After the launch's ordered reduction, on the launching thread.
+  virtual void on_launch(const LaunchConfig&, const LaunchStats&) {}
+};
+
+}  // namespace cusw::gpusim

@@ -29,8 +29,13 @@ std::string format_launch_report(const LaunchStats& stats,
   std::ostringstream os;
   os << "launch on " << spec.name << ": " << stats.blocks << " blocks x "
      << "(" << stats.occupancy.blocks_per_sm << " resident/SM, occupancy "
-     << std::fixed << std::setprecision(2) << stats.occupancy.occupancy
-     << ")\n";
+     << std::fixed << std::setprecision(2) << stats.occupancy.occupancy;
+  // Merged reports carry an occupancy range; show the spread when the
+  // accumulated launches differed (a single launch has min == max).
+  if (stats.occupancy_min != 0.0 && stats.occupancy_min != stats.occupancy_max) {
+    os << " [" << stats.occupancy_min << ".." << stats.occupancy_max << "]";
+  }
+  os << ")\n";
   os << "  time " << std::scientific << std::setprecision(3) << stats.seconds
      << " s  (" << std::fixed << std::setprecision(0) << stats.makespan_cycles
      << " cycles makespan, " << stats.total_block_cycles

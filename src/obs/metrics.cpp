@@ -1,0 +1,251 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <mutex>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace cusw::obs {
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  CUSW_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must be sorted");
+  counts_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) {
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+const MetricSample* Snapshot::find(std::string_view name) const {
+  const auto it = samples_.find(std::string(name));
+  return it == samples_.end() ? nullptr : &it->second;
+}
+
+std::uint64_t Snapshot::counter(std::string_view name) const {
+  const MetricSample* s = find(name);
+  return s != nullptr && s->kind == MetricKind::kCounter ? s->count : 0;
+}
+
+double Snapshot::gauge(std::string_view name) const {
+  const MetricSample* s = find(name);
+  return s != nullptr && s->kind == MetricKind::kGauge ? s->value : 0.0;
+}
+
+Snapshot Snapshot::diff(const Snapshot& older) const {
+  Snapshot out;
+  for (const auto& [name, s] : samples_) {
+    MetricSample d = s;
+    const auto it = older.samples_.find(name);
+    if (it != older.samples_.end() && it->second.kind == s.kind) {
+      const MetricSample& o = it->second;
+      switch (s.kind) {
+        case MetricKind::kCounter:
+          d.count = s.count - o.count;
+          break;
+        case MetricKind::kGauge:
+          d.value = s.value - o.value;
+          break;
+        case MetricKind::kHistogram:
+          d.count = s.count - o.count;
+          d.value = s.value - o.value;
+          for (std::size_t i = 0;
+               i < d.buckets.size() && i < o.buckets.size(); ++i)
+            d.buckets[i] = s.buckets[i] - o.buckets[i];
+          break;
+      }
+    }
+    out.samples_.emplace(name, std::move(d));
+  }
+  return out;
+}
+
+namespace {
+
+const char* kind_name(MetricKind k) {
+  switch (k) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+void append_double(std::ostringstream& os, double v) {
+  std::ostringstream tmp;
+  tmp.precision(12);
+  tmp << v;
+  os << tmp.str();
+}
+
+}  // namespace
+
+std::string Snapshot::to_json() const {
+  std::ostringstream os;
+  os << "{\n  \"metrics\": [";
+  bool first = true;
+  for (const auto& [name, s] : samples_) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "    {\"name\": \"" << util::json_escape(name) << "\", \"kind\": \""
+       << kind_name(s.kind) << "\", ";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        os << "\"value\": " << s.count;
+        break;
+      case MetricKind::kGauge:
+        os << "\"value\": ";
+        append_double(os, s.value);
+        break;
+      case MetricKind::kHistogram: {
+        os << "\"count\": " << s.count << ", \"sum\": ";
+        append_double(os, s.value);
+        os << ", \"buckets\": [";
+        for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+          os << (i ? ", " : "") << "{\"le\": ";
+          if (i < s.bounds.size()) {
+            append_double(os, s.bounds[i]);
+          } else {
+            os << "\"inf\"";
+          }
+          os << ", \"count\": " << s.buckets[i] << "}";
+        }
+        os << "]";
+        break;
+      }
+    }
+    os << "}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+std::string Snapshot::to_table() const {
+  Table t({"metric", "kind", "value"}, 6);
+  for (const auto& [name, s] : samples_) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        t.add_row({name, std::string("counter"),
+                   static_cast<std::int64_t>(s.count)});
+        break;
+      case MetricKind::kGauge:
+        t.add_row({name, std::string("gauge"), s.value});
+        break;
+      case MetricKind::kHistogram: {
+        std::ostringstream v;
+        v << "count " << s.count << " sum ";
+        append_double(v, s.value);
+        t.add_row({name, std::string("histogram"), v.str()});
+        break;
+      }
+    }
+  }
+  return t.to_string();
+}
+
+Registry& Registry::global() {
+  // Intentionally leaked: atexit reporters (CUSW_PROF / CUSW_METRICS) and
+  // observers on detached threads may read the registry after static
+  // destructors would have run, so it must never be destroyed.
+  static Registry* reg = new Registry;
+  return *reg;
+}
+
+Registry::Metric& Registry::get_or_create(std::string_view name,
+                                          MetricKind kind,
+                                          std::vector<double>* bounds) {
+  {
+    std::shared_lock lk(mu_);
+    const auto it = metrics_.find(name);
+    if (it != metrics_.end()) {
+      CUSW_CHECK(it->second.kind == kind,
+                 "metric registered twice with different kinds");
+      return it->second;
+    }
+  }
+  std::unique_lock lk(mu_);
+  const auto it = metrics_.find(name);
+  if (it != metrics_.end()) {
+    CUSW_CHECK(it->second.kind == kind,
+               "metric registered twice with different kinds");
+    return it->second;
+  }
+  Metric m;
+  m.kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      m.counter = std::make_unique<Counter>();
+      break;
+    case MetricKind::kGauge:
+      m.gauge = std::make_unique<Gauge>();
+      break;
+    case MetricKind::kHistogram:
+      m.histogram = std::make_unique<Histogram>(std::move(*bounds));
+      break;
+  }
+  return metrics_.emplace(std::string(name), std::move(m)).first->second;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  return *get_or_create(name, MetricKind::kCounter, nullptr).counter;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return *get_or_create(name, MetricKind::kGauge, nullptr).gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  return *get_or_create(name, MetricKind::kHistogram, &bounds).histogram;
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot out;
+  std::shared_lock lk(mu_);
+  for (const auto& [name, m] : metrics_) {
+    MetricSample s;
+    s.kind = m.kind;
+    switch (m.kind) {
+      case MetricKind::kCounter:
+        s.count = m.counter->value();
+        break;
+      case MetricKind::kGauge:
+        s.value = m.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        s.count = m.histogram->count();
+        s.value = m.histogram->sum();
+        s.bounds = m.histogram->bounds();
+        s.buckets = m.histogram->buckets();
+        break;
+    }
+    out.samples_.emplace(name, std::move(s));
+  }
+  return out;
+}
+
+std::size_t Registry::metric_count() const {
+  std::shared_lock lk(mu_);
+  return metrics_.size();
+}
+
+}  // namespace cusw::obs

@@ -1,0 +1,149 @@
+// Metrics registry: named counters, gauges and fixed-bucket histograms
+// with cheap atomic updates, the observability layer's equivalent of the
+// profiler counter output the paper's Table I is built from.
+//
+// Names are hierarchical dot-paths ("gpusim.global.transactions",
+// "pipeline.inter.seconds"); the registry owns the metric objects and
+// hands out stable references, so hot paths resolve a name once and then
+// update lock-free. Snapshots capture every metric's value at a point in
+// time and can be diffed, which is how tests compare a run's counters
+// against `LaunchStats` bit-for-bit and how benches report per-run deltas
+// from the process-lifetime totals.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cusw::obs {
+
+/// Monotonic unsigned counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void add(std::uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Double-valued gauge with atomic set and add (CAS loop — atomic
+/// floating-point fetch_add is not portable across our toolchains).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: bucket i counts observations <= bounds[i], the
+/// last implicit bucket counts the overflow. Bounds are set at creation
+/// and immutable, so observe() is a binary search plus one atomic add.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size == bounds().size() + 1 (overflow last).
+  std::vector<std::uint64_t> buckets() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Point-in-time value of one metric (see Registry::snapshot()).
+struct MetricSample {
+  MetricKind kind = MetricKind::kCounter;
+  std::uint64_t count = 0;                // counter value / histogram count
+  double value = 0.0;                     // gauge value / histogram sum
+  std::vector<double> bounds;             // histogram only
+  std::vector<std::uint64_t> buckets;     // histogram only
+};
+
+/// A snapshot of every registered metric, diffable against an older one.
+class Snapshot {
+ public:
+  const std::map<std::string, MetricSample>& samples() const {
+    return samples_;
+  }
+  const MetricSample* find(std::string_view name) const;
+
+  /// Counter of `name`, 0 when absent or not a counter.
+  std::uint64_t counter(std::string_view name) const;
+  /// Gauge of `name`, 0.0 when absent or not a gauge.
+  double gauge(std::string_view name) const;
+
+  /// This snapshot minus an older one: counters and histogram buckets
+  /// subtract, gauges report the newer value minus the older. Metrics
+  /// absent from `older` pass through unchanged.
+  Snapshot diff(const Snapshot& older) const;
+
+  /// {"metrics": [{"name": ..., "kind": ..., ...}, ...]}, sorted by name.
+  std::string to_json() const;
+  /// Aligned ASCII table, one metric per row, sorted by name.
+  std::string to_table() const;
+
+ private:
+  friend class Registry;
+  std::map<std::string, MetricSample> samples_;
+};
+
+/// Named metric registry. Lookups take a shared lock and creation an
+/// exclusive one; metric objects never move or disappear, so references
+/// stay valid for the registry's lifetime and updates are lock-free.
+class Registry {
+ public:
+  /// The process-wide registry gpusim and the pipeline publish into.
+  static Registry& global();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Creates with `bounds` on first use; later calls for the same name
+  /// ignore `bounds` and return the existing histogram.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  Snapshot snapshot() const;
+
+  /// Number of metric objects ever created — the currency of the
+  /// zero-overhead contract: steady-state hot paths (and in particular the
+  /// simulator's per-window path, always) must not grow it.
+  std::size_t metric_count() const;
+
+ private:
+  struct Metric {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Metric& get_or_create(std::string_view name, MetricKind kind,
+                        std::vector<double>* bounds);
+
+  mutable std::shared_mutex mu_;
+  std::map<std::string, Metric, std::less<>> metrics_;
+};
+
+}  // namespace cusw::obs

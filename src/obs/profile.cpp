@@ -1,0 +1,123 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/table.h"
+
+namespace cusw::obs {
+
+namespace {
+
+constexpr std::string_view kKernelPrefix = "gpusim.kernel.";
+
+struct KernelRow {
+  double seconds = 0.0;
+  std::uint64_t launches = 0;
+  std::uint64_t blocks = 0;
+  std::uint64_t global_txns = 0;  // global + local, the profiler's number
+  std::uint64_t dram_txns = 0;
+  std::uint64_t tex_txns = 0;
+  std::uint64_t shared = 0;
+  std::uint64_t syncs = 0;
+};
+
+}  // namespace
+
+std::string format_kernel_profile(const Snapshot& snap) {
+  std::map<std::string, KernelRow> kernels;
+  for (const auto& [name, s] : snap.samples()) {
+    if (name.rfind(kKernelPrefix, 0) != 0) continue;
+    const std::string rest = name.substr(kKernelPrefix.size());
+    const std::size_t dot = rest.find('.');
+    if (dot == std::string::npos) continue;
+    const std::string label = rest.substr(0, dot);
+    const std::string field = rest.substr(dot + 1);
+    KernelRow& row = kernels[label];
+    if (field == "seconds") row.seconds = s.value;
+    if (field == "launches") row.launches = s.count;
+    if (field == "blocks") row.blocks = s.count;
+    if (field == "syncs") row.syncs = s.count;
+    if (field == "shared.accesses") row.shared = s.count;
+    if (field == "global.transactions" || field == "local.transactions")
+      row.global_txns += s.count;
+    if (field == "texture.transactions") row.tex_txns = s.count;
+    if (field == "global.dram_transactions" ||
+        field == "local.dram_transactions" ||
+        field == "texture.dram_transactions")
+      row.dram_txns += s.count;
+  }
+  if (kernels.empty()) return "";
+
+  double total_seconds = 0.0;
+  for (const auto& [label, row] : kernels) total_seconds += row.seconds;
+
+  std::vector<std::pair<std::string, KernelRow>> order(kernels.begin(),
+                                                       kernels.end());
+  std::stable_sort(order.begin(), order.end(), [](const auto& a,
+                                                  const auto& b) {
+    return a.second.seconds > b.second.seconds;
+  });
+
+  Table t({"kernel", "time %", "time s", "launches", "blocks", "global txns",
+           "dram txns", "tex txns", "shared", "syncs"},
+          3);
+  for (const auto& [label, row] : order) {
+    t.add_row({label,
+               total_seconds > 0.0 ? 100.0 * row.seconds / total_seconds : 0.0,
+               row.seconds, static_cast<std::int64_t>(row.launches),
+               static_cast<std::int64_t>(row.blocks),
+               static_cast<std::int64_t>(row.global_txns),
+               static_cast<std::int64_t>(row.dram_txns),
+               static_cast<std::int64_t>(row.tex_txns),
+               static_cast<std::int64_t>(row.shared),
+               static_cast<std::int64_t>(row.syncs)});
+  }
+  return t.to_string();
+}
+
+bool profile_requested() {
+  const char* env = std::getenv("CUSW_PROF");
+  return env != nullptr && *env != '\0' && std::string_view(env) != "0";
+}
+
+namespace {
+
+void export_at_exit() {
+  if (const std::string path = flush_trace(); !path.empty()) {
+    std::printf("cusw-obs: wrote trace to %s\n", path.c_str());
+  }
+  if (const char* path = std::getenv("CUSW_METRICS");
+      path != nullptr && *path != '\0') {
+    const std::string json = Registry::global().snapshot().to_json();
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("cusw-obs: wrote metrics to %s\n", path);
+    }
+  }
+  if (profile_requested()) {
+    const std::string table =
+        format_kernel_profile(Registry::global().snapshot());
+    std::printf("=== cusw-prof: per-kernel summary ===\n%s",
+                table.empty() ? "(no kernel launches recorded)\n"
+                              : table.c_str());
+  }
+}
+
+}  // namespace
+
+void install_process_exports() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    ensure_env_trace();
+    std::atexit(export_at_exit);
+  });
+}
+
+}  // namespace cusw::obs

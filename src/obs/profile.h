@@ -1,0 +1,34 @@
+// cusw-prof: an nvprof-style per-kernel summary for any pipeline run.
+//
+// gpusim::launch publishes per-kernel counters under
+// `gpusim.kernel.<label>.*`; format_kernel_profile() renders them as the
+// familiar profiler table (time %, launches, transactions per space).
+// install_process_exports() arms the process-exit reporting driven by
+// environment variables:
+//   CUSW_PROF=1           print the cusw-prof table to stdout at exit
+//   CUSW_METRICS=<path>   write the full metrics registry as JSON at exit
+//   CUSW_TRACE=<path>     write the Chrome trace at exit (see trace.h)
+// It is called lazily from the simulator and the pipeline, so every
+// binary that runs a search supports the report mode without changes.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cusw::obs {
+
+/// Render the `gpusim.kernel.*` metrics of `snap` as an nvprof-style
+/// table, one row per kernel label, sorted by total time descending.
+/// Returns "" when the snapshot holds no kernel metrics.
+std::string format_kernel_profile(const Snapshot& snap);
+
+/// True when CUSW_PROF requests the exit report (any non-empty value
+/// except "0").
+bool profile_requested();
+
+/// Idempotent, thread-safe: reads CUSW_TRACE and registers the atexit
+/// handler that honours CUSW_PROF / CUSW_METRICS / CUSW_TRACE.
+void install_process_exports();
+
+}  // namespace cusw::obs

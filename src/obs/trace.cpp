@@ -1,0 +1,208 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/json.h"
+#include "util/thread_pool.h"
+
+namespace cusw::obs {
+
+struct TraceWriter::Impl {
+  mutable std::mutex mu;
+  std::vector<TraceEvent> events;
+  // (pid, tid) -> name; tid -1 names the process.
+  std::set<std::pair<int, int>> named;
+  std::vector<TraceEvent> metadata;
+};
+
+TraceWriter::TraceWriter(std::string path)
+    : impl_(std::make_shared<Impl>()), path_(std::move(path)) {}
+
+void TraceWriter::span(TraceEvent e) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->events.push_back(std::move(e));
+}
+
+void TraceWriter::name_process(int pid, std::string name) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  if (!impl_->named.insert({pid, -1}).second) return;
+  TraceEvent e;
+  e.name = "process_name";
+  e.pid = pid;
+  e.args_json = "\"name\": \"" + util::json_escape(name) + "\"";
+  impl_->metadata.push_back(std::move(e));
+}
+
+void TraceWriter::name_track(int pid, int tid, std::string name) {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  if (!impl_->named.insert({pid, tid}).second) return;
+  TraceEvent e;
+  e.name = "thread_name";
+  e.pid = pid;
+  e.tid = tid;
+  e.args_json = "\"name\": \"" + util::json_escape(name) + "\"";
+  impl_->metadata.push_back(std::move(e));
+}
+
+std::size_t TraceWriter::event_count() const {
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  return impl_->events.size();
+}
+
+namespace {
+
+void append_us(std::ostringstream& os, double us) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  os << buf;
+}
+
+}  // namespace
+
+std::string TraceWriter::to_json() const {
+  std::vector<TraceEvent> events, metadata;
+  {
+    std::lock_guard<std::mutex> lk(impl_->mu);
+    events = impl_->events;
+    metadata = impl_->metadata;
+  }
+  // Sort per track by start time, longest span first on ties so enclosing
+  // spans precede their children in the file.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.pid != b.pid) return a.pid < b.pid;
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.dur_us > b.dur_us;
+                   });
+  std::ostringstream os;
+  os << "{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [";
+  bool first = true;
+  const auto emit = [&](const TraceEvent& e, bool meta) {
+    os << (first ? "\n" : ",\n");
+    first = false;
+    os << "{\"name\": \"" << util::json_escape(e.name) << "\", \"ph\": \""
+       << (meta ? 'M' : 'X') << "\", \"pid\": " << e.pid
+       << ", \"tid\": " << e.tid;
+    if (!meta) {
+      if (!e.cat.empty())
+        os << ", \"cat\": \"" << util::json_escape(e.cat) << "\"";
+      os << ", \"ts\": ";
+      append_us(os, e.ts_us);
+      os << ", \"dur\": ";
+      append_us(os, e.dur_us);
+    }
+    if (!e.args_json.empty()) os << ", \"args\": {" << e.args_json << "}";
+    os << "}";
+  };
+  for (const TraceEvent& e : metadata) emit(e, true);
+  for (const TraceEvent& e : events) emit(e, false);
+  os << "\n]\n}\n";
+  return os.str();
+}
+
+bool TraceWriter::write() const {
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = to_json();
+  const std::size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return n == json.size();
+}
+
+namespace {
+
+std::chrono::steady_clock::time_point wall_epoch() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// The active writer. Replaced writers are intentionally kept alive for the
+// process lifetime (reconfiguration is a test/tool operation, not a hot
+// path), so a concurrent span() racing a reconfigure never dereferences a
+// destroyed writer.
+std::mutex g_trace_mu;
+std::vector<std::unique_ptr<TraceWriter>>& trace_writers() {
+  static std::vector<std::unique_ptr<TraceWriter>> writers;
+  return writers;
+}
+std::atomic<TraceWriter*> g_trace{nullptr};
+
+void flush_at_exit() { flush_trace(); }
+
+}  // namespace
+
+double wall_now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - wall_epoch())
+      .count();
+}
+
+TraceWriter* trace() { return g_trace.load(std::memory_order_acquire); }
+
+void configure_trace(std::string path) {
+  std::lock_guard<std::mutex> lk(g_trace_mu);
+  trace_writers().push_back(std::make_unique<TraceWriter>(std::move(path)));
+  TraceWriter* w = trace_writers().back().get();
+  w->name_process(kHostPid, "host");
+  static bool exit_hook = false;
+  if (!exit_hook) {
+    exit_hook = true;
+    std::atexit(flush_at_exit);
+  }
+  g_trace.store(w, std::memory_order_release);
+}
+
+void disable_trace() { g_trace.store(nullptr, std::memory_order_release); }
+
+std::string flush_trace() {
+  std::lock_guard<std::mutex> lk(g_trace_mu);
+  TraceWriter* w = g_trace.load(std::memory_order_acquire);
+  if (w == nullptr) return "";
+  g_trace.store(nullptr, std::memory_order_release);
+  return w->write() ? w->path() : "";
+}
+
+void ensure_env_trace() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (const char* path = std::getenv("CUSW_TRACE");
+        path != nullptr && *path != '\0') {
+      configure_trace(path);
+    }
+  });
+}
+
+HostSpan::HostSpan(std::string name, std::string cat) {
+  if (!trace_enabled()) return;
+  name_ = std::move(name);
+  cat_ = std::move(cat);
+  start_us_ = wall_now_us();
+}
+
+HostSpan::~HostSpan() {
+  if (start_us_ < 0.0) return;
+  TraceWriter* w = trace();
+  if (w == nullptr) return;
+  const int tid = ThreadPool::current_thread_id();
+  w->name_track(kHostPid, tid,
+                tid == 0 ? "main" : "worker " + std::to_string(tid));
+  TraceEvent e;
+  e.name = std::move(name_);
+  e.cat = std::move(cat_);
+  e.pid = kHostPid;
+  e.tid = tid;
+  e.ts_us = start_us_;
+  e.dur_us = wall_now_us() - start_us_;
+  w->span(std::move(e));
+}
+
+}  // namespace cusw::obs

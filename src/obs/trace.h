@@ -1,0 +1,99 @@
+// Scoped-span tracing to Chrome trace-event JSON (load the output in
+// chrome://tracing or Perfetto).
+//
+// Two clock domains share one file, kept apart by process id:
+//   - pid 1, "host": wall-clock spans (thread-pool workers, pipeline
+//     phases, per-query batch lanes), timestamps from a process-wide
+//     steady-clock epoch, track ids from ThreadPool::current_thread_id().
+//   - pid >= 100, "device N (simulated)": the simulated device timeline —
+//     kernel launches, blocks on SM-slot tracks, windows — in *simulated*
+//     microseconds from the gpusim cost model (see gpusim/launch.cpp).
+//
+// The process-wide trace is enabled by CUSW_TRACE=<path> (checked once on
+// first simulator/pipeline use) or explicitly via configure_trace(); the
+// file is written on flush_trace() and automatically at process exit.
+// With no trace configured every hook is a single relaxed atomic load.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace cusw::obs {
+
+/// Trace process ids (Chrome groups tracks by pid).
+inline constexpr int kHostPid = 1;
+inline constexpr int kFirstDevicePid = 100;
+
+struct TraceEvent {
+  std::string name;
+  std::string cat;
+  int pid = 0;
+  int tid = 0;
+  double ts_us = 0.0;   // microseconds in the track's clock domain
+  double dur_us = 0.0;  // complete ("X") event duration
+  std::string args_json;  // pre-rendered `"k": v` pairs, may be empty
+};
+
+/// Collects complete spans and track metadata, then writes one Chrome
+/// trace-event JSON file. Thread safe; events are buffered in memory and
+/// sorted by (pid, tid, ts, -dur) on write so every track is monotonic and
+/// parents precede their children.
+class TraceWriter {
+ public:
+  explicit TraceWriter(std::string path);
+
+  void span(TraceEvent e);
+  /// Idempotent track/process naming (Chrome "M" metadata events).
+  void name_process(int pid, std::string name);
+  void name_track(int pid, int tid, std::string name);
+
+  std::size_t event_count() const;
+  const std::string& path() const { return path_; }
+
+  /// Serialise everything recorded so far (without clearing).
+  std::string to_json() const;
+  /// Write to_json() to path(); returns false on I/O failure.
+  bool write() const;
+
+ private:
+  struct Impl;
+  std::shared_ptr<Impl> impl_;
+  std::string path_;
+};
+
+/// Microseconds of wall-clock since the process-wide trace epoch.
+double wall_now_us();
+
+/// The active trace writer, or nullptr when tracing is disabled.
+TraceWriter* trace();
+inline bool trace_enabled() { return trace() != nullptr; }
+
+/// Enable tracing to `path` (tests and tools; CUSW_TRACE does this on
+/// first simulator use). Replaces any active writer without writing it.
+void configure_trace(std::string path);
+/// Drop the active writer without writing a file.
+void disable_trace();
+/// Write the active trace to its path and disable tracing; returns the
+/// path, or "" when tracing is disabled or the write failed.
+std::string flush_trace();
+/// One-shot: read CUSW_TRACE and configure the process trace from it.
+void ensure_env_trace();
+
+/// RAII wall-clock span on the host timeline; the track id is the calling
+/// thread's ThreadPool id (0 = main, 1..N = pool workers). No-op — one
+/// atomic load — when tracing is disabled.
+class HostSpan {
+ public:
+  explicit HostSpan(std::string name, std::string cat = "host");
+  HostSpan(const HostSpan&) = delete;
+  HostSpan& operator=(const HostSpan&) = delete;
+  ~HostSpan();
+
+ private:
+  std::string name_;
+  std::string cat_;
+  double start_us_ = -1.0;  // < 0: tracing was off at construction
+};
+
+}  // namespace cusw::obs

@@ -1,0 +1,55 @@
+// Chrome-trace schema validation without Python: a minimal JSON parser
+// plus the structural checks CI runs on emitted trace files — required
+// fields per event, non-negative durations, and per-track monotonic,
+// properly nested spans. Tests use it to assert every trace this process
+// writes actually loads in chrome://tracing.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cusw::obs::json {
+
+/// A parsed JSON value. Objects keep insertion order (trace validation
+/// cares about event order, which maps to array order anyway).
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  /// First member of an object value with this key, or nullptr.
+  const Value* find(std::string_view key) const;
+};
+
+/// Parse `text` into `out`. On failure returns false and sets `error` (if
+/// non-null) to a message with a byte offset.
+bool parse(std::string_view text, Value& out, std::string* error);
+
+}  // namespace cusw::obs::json
+
+namespace cusw::obs {
+
+struct TraceCheck {
+  bool ok = false;
+  std::string error;          // first violation, empty when ok
+  std::size_t events = 0;     // all trace events
+  std::size_t spans = 0;      // complete ("X") events
+  std::size_t tracks = 0;     // distinct (pid, tid) with at least one span
+};
+
+/// Validate Chrome trace-event JSON: top-level object with a `traceEvents`
+/// array; every event has name/ph/pid/tid; "X" events carry numeric ts and
+/// dur >= 0; within each (pid, tid) track, spans are monotonically ordered
+/// by start time and properly nested (a span never straddles the end of an
+/// enclosing span).
+TraceCheck validate_chrome_trace(std::string_view text);
+
+}  // namespace cusw::obs

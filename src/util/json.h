@@ -1,0 +1,48 @@
+// Minimal JSON string escaping, shared by the table writer and the
+// observability exporters. Full serialisation stays with the callers —
+// every emitter in this codebase writes its own structure — but escaping
+// must be uniform or the outputs stop being loadable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace cusw::util {
+
+/// Escape `s` for use inside a JSON string literal (quotes not included).
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace cusw::util

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "util/check.h"
+#include "util/json.h"
 
 namespace cusw {
 
@@ -68,6 +69,34 @@ class Table {
         os << (i ? "," : "") << render(row[i]);
       os << '\n';
     }
+    return os.str();
+  }
+
+  /// JSON array of row objects keyed by header, machine-readable mirror
+  /// of the ASCII table (numbers stay numbers; strings are escaped).
+  std::string to_json() const {
+    std::ostringstream os;
+    os << "[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      os << (r ? ",\n " : "\n ") << "{";
+      for (std::size_t i = 0; i < rows_[r].size(); ++i) {
+        os << (i ? ", " : "") << '"' << util::json_escape(headers_[i])
+           << "\": ";
+        const Cell& c = rows_[r][i];
+        if (const auto* s = std::get_if<std::string>(&c)) {
+          os << '"' << util::json_escape(*s) << '"';
+        } else if (const auto* v = std::get_if<std::int64_t>(&c)) {
+          os << *v;
+        } else {
+          std::ostringstream num;
+          num.precision(12);
+          num << std::get<double>(c);
+          os << num.str();
+        }
+      }
+      os << "}";
+    }
+    os << "\n]";
     return os.str();
   }
 

@@ -58,6 +58,14 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// Stable trace-attribution id of the calling thread: pool workers are
+  /// numbered 1..N in spawn order (process-wide, across pools), every
+  /// other thread — including the caller acting as run_indexed's worker
+  /// slot 0 — reports 0. Worker *slots* in run_indexed are per-call and
+  /// reused across nesting levels; this id names the OS thread itself, so
+  /// spans recorded against it are properly nested per track.
+  static int current_thread_id() { return thread_id_slot(); }
+
   /// Run fn(i) for i in [0, n), blocking until all iterations complete.
   /// Work is handed out in contiguous chunks to keep cache behaviour sane.
   /// The first exception thrown by any iteration is rethrown here.
@@ -158,7 +166,14 @@ class ThreadPool {
   }
 
  private:
+  static int& thread_id_slot() {
+    static thread_local int id = 0;
+    return id;
+  }
+
   void worker_loop() {
+    static std::atomic<int> next_id{1};
+    thread_id_slot() = next_id.fetch_add(1, std::memory_order_relaxed);
     for (;;) {
       std::function<void()> task;
       {

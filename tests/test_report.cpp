@@ -1,0 +1,124 @@
+// gpusim/report.cpp: golden-string coverage for the launch report
+// formatters, and the LaunchStats occupancy-range merge they display.
+#include <gtest/gtest.h>
+
+#include "gpusim/device_spec.h"
+#include "gpusim/report.h"
+
+namespace cusw::gpusim {
+namespace {
+
+LaunchStats sample_stats() {
+  LaunchStats s;
+  s.blocks = 4;
+  s.occupancy.blocks_per_sm = 2;
+  s.occupancy.warps_per_sm = 16;
+  s.occupancy.occupancy = 0.25;
+  s.occupancy_min = 0.25;
+  s.occupancy_max = 0.25;
+  s.seconds = 1.25e-3;
+  s.makespan_cycles = 1500.0;
+  s.total_block_cycles = 3000.0;
+  s.global.requests = 10;
+  s.global.transactions = 20;
+  s.global.dram_transactions = 5;
+  s.global.l1_hits = 10;
+  s.shared_accesses = 7;
+  s.bank_conflict_cycles = 3;
+  s.syncs = 2;
+  s.windows = 6;
+  return s;
+}
+
+DeviceSpec named_spec() {
+  DeviceSpec spec = DeviceSpec::tesla_c1060();
+  spec.name = "Test GPU";
+  return spec;
+}
+
+TEST(Report, FormatLaunchReportGolden) {
+  const std::string got = format_launch_report(sample_stats(), named_spec());
+  const std::string want =
+      "launch on Test GPU: 4 blocks x (2 resident/SM, occupancy 0.25)\n"
+      "  time 1.250e-03 s  (1500 cycles makespan, 3000 block-cycles total)\n"
+      "  global   requests           10  transactions           20  dram "
+      "           5  hit-rate 50.0%\n"
+      "  local    requests            0  transactions            0  dram "
+      "           0\n"
+      "  texture  requests            0  transactions            0  dram "
+      "           0\n"
+      "  shared   accesses            7  bank conflicts 3 cycles\n"
+      "  barriers 2 (windows 6)\n";
+  EXPECT_EQ(got, want);
+}
+
+TEST(Report, FormatLaunchReportShowsOccupancyRangeWhenMerged) {
+  LaunchStats s = sample_stats();
+  s.occupancy_min = 0.25;
+  s.occupancy_max = 0.75;
+  const std::string got = format_launch_report(s, named_spec());
+  EXPECT_NE(got.find("occupancy 0.25 [0.25..0.75])"), std::string::npos)
+      << got;
+  // A single launch (min == max) keeps the plain form.
+  const std::string single =
+      format_launch_report(sample_stats(), named_spec());
+  EXPECT_NE(single.find("occupancy 0.25)"), std::string::npos) << single;
+  EXPECT_EQ(single.find(".."), std::string::npos) << single;
+}
+
+TEST(Report, FormatLaunchLineGolden) {
+  const std::string got = format_launch_line("inter", sample_stats());
+  EXPECT_EQ(got,
+            "inter: 1.250e-03 s, global txns 20, tex 0, shared 7, syncs 2");
+}
+
+TEST(Report, OccupancyMergeTracksMinAndMax) {
+  LaunchStats a = sample_stats();  // occupancy 0.25, min == max == 0.25
+  LaunchStats b = sample_stats();
+  b.occupancy.occupancy = 0.75;
+  b.occupancy_min = 0.75;
+  b.occupancy_max = 0.75;
+  a += b;
+  // The first launch's occupancy is kept for shape context...
+  EXPECT_DOUBLE_EQ(a.occupancy.occupancy, 0.25);
+  // ...and the range records the spread instead of dropping it.
+  EXPECT_DOUBLE_EQ(a.occupancy_min, 0.25);
+  EXPECT_DOUBLE_EQ(a.occupancy_max, 0.75);
+
+  LaunchStats c = sample_stats();
+  c.occupancy.occupancy = 0.5;
+  c.occupancy_min = 0.5;
+  c.occupancy_max = 0.5;
+  a += c;  // inside the existing range
+  EXPECT_DOUBLE_EQ(a.occupancy_min, 0.25);
+  EXPECT_DOUBLE_EQ(a.occupancy_max, 0.75);
+}
+
+TEST(Report, OccupancyMergeIntoDefaultAdoptsRange) {
+  LaunchStats sum;  // default-constructed accumulator, as reports build
+  LaunchStats b = sample_stats();
+  b.occupancy.occupancy = 0.75;
+  b.occupancy_min = 0.5;
+  b.occupancy_max = 0.75;
+  sum += b;
+  EXPECT_DOUBLE_EQ(sum.occupancy.occupancy, 0.75);
+  EXPECT_DOUBLE_EQ(sum.occupancy_min, 0.5);
+  EXPECT_DOUBLE_EQ(sum.occupancy_max, 0.75);
+}
+
+TEST(Report, OccupancyMergeFallsBackToPointOccupancy) {
+  // Hand-built stats (tests, tools) often set `occupancy` but not the
+  // range; merging treats them as a point at occupancy.occupancy.
+  LaunchStats a;
+  a.occupancy.blocks_per_sm = 2;
+  a.occupancy.occupancy = 0.25;
+  LaunchStats b;
+  b.occupancy.blocks_per_sm = 4;
+  b.occupancy.occupancy = 1.0;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.occupancy_min, 0.25);
+  EXPECT_DOUBLE_EQ(a.occupancy_max, 1.0);
+}
+
+}  // namespace
+}  // namespace cusw::gpusim
