@@ -102,7 +102,7 @@ void multi_gpu() {
   for (int gpus : {1, 2, 4}) {
     const bench::Gpu slice = bench::c1060();
     const auto r = cudasw::multi_gpu_search(slice.spec, gpus, query, db,
-                                            matrix, {});
+                                            matrix, cudasw::SearchConfig{});
     if (base == 0.0) base = r.seconds;
     t.add_row({static_cast<std::int64_t>(gpus), r.seconds,
                slice.eq(r.gcups()), base / r.seconds});

@@ -1,0 +1,74 @@
+// Fault injection and graceful degradation (DESIGN.md §8).
+//
+// Runs the same multi-GPU scan four ways — clean, with transient transfer
+// faults, with a device loss mid-scan, and with the whole fleet failing —
+// and shows the driver walking the degradation ladder (retry with backoff,
+// reshard onto survivors, fall back to the CPU striped engine) while the
+// scores stay bit-identical to the clean run.
+//
+// The same schedules can be applied to any run without code changes via
+// the environment:
+//   CUSW_FAULTS="seed=7,transfer=0.2,lose=1@3" ./build/examples/quickstart
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/fault_tolerance
+#include <cstdio>
+
+#include "cudasw/multi_gpu.h"
+#include "seq/generate.h"
+
+int main() {
+  using namespace cusw;
+
+  const auto& matrix = sw::ScoringMatrix::blosum62();
+  Rng rng(7);
+  const auto query = seq::random_protein(144, rng).residues;
+  const auto db = seq::DatabaseProfile::swissprot().synthesize(300, 11);
+  const auto spec = gpusim::DeviceSpec::tesla_c1060().scaled(0.25);
+  const int gpus = 3;
+
+  const auto clean = cudasw::multi_gpu_search(spec, gpus, query, db, matrix,
+                                              cudasw::SearchConfig{});
+  std::printf("clean run:        %d GPUs, %.4f sim-s, %.2f GCUPs\n", gpus,
+              clean.seconds, clean.gcups());
+
+  const auto run = [&](const char* label, const char* plan) {
+    cudasw::MultiGpuConfig cfg;
+    cfg.faults = gpusim::FaultPlan::parse(plan);
+    cfg.backoff.max_retries = 8;
+    const auto r = cudasw::multi_gpu_search(spec, gpus, query, db, matrix, cfg);
+    std::printf(
+        "%-17s %.4f sim-s (+%.1f%%), faults %llu/%llu "
+        "(transfer/launch), retries %llu, failovers %llu, lost %llu%s\n",
+        label, r.seconds, 100.0 * (r.seconds / clean.seconds - 1.0),
+        static_cast<unsigned long long>(r.faults.transfer_faults),
+        static_cast<unsigned long long>(r.faults.launch_faults),
+        static_cast<unsigned long long>(r.faults.retries),
+        static_cast<unsigned long long>(r.faults.failovers),
+        static_cast<unsigned long long>(r.faults.devices_lost),
+        r.faults.degraded_to_cpu ? ", DEGRADED TO CPU" : "");
+    std::printf("                  scores %s the clean run\n",
+                r.scores == clean.scores ? "bit-identical to"
+                                         : "DIFFER from (bug!)");
+    return r;
+  };
+
+  // Transient faults: retried under capped exponential backoff; the run
+  // only gets slower.
+  run("flaky transfers:", "seed=42,transfer=0.3");
+
+  // One device dies on its first launch: its shard is resharded over the
+  // survivors.
+  run("device loss:", "seed=42,lose=1@0");
+
+  // Everything fails: retries exhaust on every device and the scan
+  // degrades to the swps3 striped CPU engine — still exact.
+  run("fleet gone:", "seed=42,launch=1.0");
+
+  std::printf(
+      "\nevery fault, retry and failover is also published to the obs layer:\n"
+      "fault.* counters in the metrics registry, instant markers on the\n"
+      "Chrome trace (CUSW_TRACE=<path>).\n");
+  return 0;
+}

@@ -68,9 +68,10 @@ int main(int argc, char** argv) {
 
   // 3. Multi-GPU sharding.
   {
-    const auto one = cudasw::multi_gpu_search(spec, 1, query, db, matrix, {});
-    const auto many =
-        cudasw::multi_gpu_search(spec, gpus, query, db, matrix, {});
+    const auto one = cudasw::multi_gpu_search(spec, 1, query, db, matrix,
+                                              cudasw::SearchConfig{});
+    const auto many = cudasw::multi_gpu_search(spec, gpus, query, db, matrix,
+                                               cudasw::SearchConfig{});
     std::printf("multi-GPU: 1 GPU %.3f sim-s; %d GPUs %.3f sim-s "
                 "(speedup %.2fx, \"almost linear\")\n",
                 one.seconds, gpus, many.seconds, one.seconds / many.seconds);

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "swps3/striped8.h"
 #include "util/check.h"
 
 namespace cusw::cudasw {
@@ -24,6 +28,33 @@ std::uint64_t device_footprint_bytes(std::uint64_t residues,
   (void)cfg;
   return bytes;
 }
+
+namespace {
+
+// Same driver-level fault names multi_gpu_search publishes; kept local to
+// each translation unit to avoid a header for two mirror-only helpers.
+void publish_chunked_fault_stats(const gpusim::FaultStats& s) {
+  auto& reg = obs::Registry::global();
+  reg.counter("fault.retries").add(s.retries);
+  reg.counter("fault.devices_failed").add(s.devices_lost);
+  if (s.degraded_to_cpu) reg.counter("fault.degraded").inc();
+  reg.gauge("fault.backoff_seconds").add(s.backoff_seconds);
+}
+
+// Restores the caller's Device to injector-free on scope exit: the device
+// is borrowed, the injector lives on this driver's stack.
+class FaultScope {
+ public:
+  explicit FaultScope(gpusim::Device& dev) : dev_(dev) {}
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+  ~FaultScope() { dev_.set_fault_injector(nullptr); }
+
+ private:
+  gpusim::Device& dev_;
+};
+
+}  // namespace
 
 ChunkedReport chunked_search(gpusim::Device& dev,
                              const std::vector<seq::Code>& query,
@@ -65,9 +96,29 @@ ChunkedReport chunked_search(gpusim::Device& dev,
   }
   report.chunks = chunks.size();
 
+  const bool faulty = cfg.faults.enabled();
+  gpusim::FaultInjector injector(cfg.faults);
+  std::optional<FaultScope> scope;
+  if (faulty) {
+    dev.set_fault_injector(&injector, 0);
+    scope.emplace(dev);
+  }
+  std::optional<swps3::StripedEngine> cpu;
+  bool device_gone = false;
+
   const double per_byte = 1.0 / (cfg.transfer.pcie_bandwidth_gbs * 1e9);
   double prev_kernel = 0.0;
   for (const auto& [c_lo, c_hi] : chunks) {
+    if (device_gone) {
+      // Degraded: the remaining chunks are scored on the host. Only kernel
+      // and copy work that actually ran stays in the timing fields.
+      if (!cpu) cpu.emplace(query, matrix, cfg.search.gap);
+      for (std::size_t i = c_lo; i < c_hi; ++i) {
+        report.scores[order[i]] = cpu->score(db[order[i]].residues);
+      }
+      continue;
+    }
+
     seq::SequenceDB chunk;
     std::uint64_t bytes = 0;
     for (std::size_t i = c_lo; i < c_hi; ++i) {
@@ -76,23 +127,69 @@ ChunkedReport chunked_search(gpusim::Device& dev,
     }
     const double copy = static_cast<double>(bytes) * per_byte +
                         cfg.transfer.chunk_overhead_us * 1e-6;
-    report.transfer_seconds += copy;
 
-    const SearchReport r = search(dev, query, chunk, matrix, cfg.search);
-    for (std::size_t i = c_lo; i < c_hi; ++i) {
-      report.scores[order[i]] = r.scores[i - c_lo];
+    int attempt = 0;
+    double chunk_copy_seconds = 0.0;  // every attempt's copy is paid for
+    while (true) {
+      try {
+        // The copy attempt costs its time whether or not it faults.
+        chunk_copy_seconds += copy;
+        if (faulty) injector.on_transfer(0);
+        const SearchReport r = search(dev, query, chunk, matrix, cfg.search);
+        for (std::size_t i = c_lo; i < c_hi; ++i) {
+          report.scores[order[i]] = r.scores[i - c_lo];
+        }
+        report.transfer_seconds += chunk_copy_seconds;
+        report.kernel_seconds += r.seconds();
+        if (cfg.overlap_transfers) {
+          // This chunk's copies (including retried ones) overlap the
+          // previous chunk's kernels.
+          report.total_seconds += std::max(chunk_copy_seconds, prev_kernel);
+          prev_kernel = r.seconds();
+        } else {
+          report.total_seconds += chunk_copy_seconds + r.seconds();
+        }
+        break;
+      } catch (const gpusim::TransientFault& f) {
+        if (f.kind() == gpusim::FaultKind::kTransfer) {
+          ++report.faults.transfer_faults;
+        } else {
+          ++report.faults.launch_faults;
+        }
+        if (attempt >= cfg.backoff.max_retries) {
+          // The only device is unusable; same degradation as a hard loss.
+          if (!cfg.allow_cpu_fallback) throw;
+          ++report.faults.devices_lost;
+          device_gone = true;
+          break;
+        }
+        const double delay = cfg.backoff.delay_seconds(attempt);
+        report.faults.backoff_seconds += delay;
+        report.total_seconds += delay;
+        ++report.faults.retries;
+        ++attempt;
+      } catch (const gpusim::DeviceLost&) {
+        if (!cfg.allow_cpu_fallback) throw;
+        ++report.faults.devices_lost;
+        device_gone = true;
+        break;
+      }
     }
-    report.kernel_seconds += r.seconds();
-
-    if (cfg.overlap_transfers) {
-      // This chunk's copy overlaps the previous chunk's kernels.
-      report.total_seconds += std::max(copy, prev_kernel);
-      prev_kernel = r.seconds();
-    } else {
-      report.total_seconds += copy + r.seconds();
+    if (device_gone) {
+      obs::trace_instant("degrade: cpu fallback", "fault",
+                         "\"chunk\": " + std::to_string(c_lo));
+      if (!cpu) cpu.emplace(query, matrix, cfg.search.gap);
+      for (std::size_t i = c_lo; i < c_hi; ++i) {
+        report.scores[order[i]] = cpu->score(db[order[i]].residues);
+      }
+      report.faults.degraded_to_cpu = true;
     }
   }
+  // In overlap mode the last completed chunk's kernels have nothing to
+  // hide behind; on a degraded run prev_kernel is the last chunk the
+  // device finished before it died.
   if (cfg.overlap_transfers) report.total_seconds += prev_kernel;
+  if (faulty) publish_chunked_fault_stats(report.faults);
   return report;
 }
 

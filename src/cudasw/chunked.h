@@ -25,6 +25,14 @@ struct ChunkedConfig {
   std::uint64_t device_memory_bytes = 4ull << 30;
   TransferModel transfer;
   bool overlap_transfers = true;
+  /// Fault schedule (gpusim/fault.h); default-constructed = disabled.
+  /// Chunk copies and chunk scans faulted transiently are retried under
+  /// `backoff` (each re-copy is charged again); a device loss degrades the
+  /// remaining chunks to the striped CPU engine when `allow_cpu_fallback`,
+  /// and rethrows otherwise. Scores are bit-identical either way.
+  gpusim::FaultPlan faults;
+  util::BackoffPolicy backoff;
+  bool allow_cpu_fallback = true;
 };
 
 struct ChunkedReport {
@@ -33,6 +41,7 @@ struct ChunkedReport {
   double kernel_seconds = 0.0;
   double transfer_seconds = 0.0;
   double total_seconds = 0.0;  // with or without overlap per config
+  gpusim::FaultStats faults;
 
   double gcups(std::uint64_t cells) const {
     return total_seconds > 0.0

@@ -1,40 +1,208 @@
 #include "cudasw/multi_gpu.h"
 
 #include <algorithm>
+#include <deque>
+#include <memory>
 #include <numeric>
+#include <optional>
+#include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "swps3/striped8.h"
 #include "util/check.h"
 
 namespace cusw::cudasw {
+
+namespace {
+
+// Driver-level fault metrics: what it took to complete the scan, on top of
+// the per-injection counters the FaultInjector itself publishes. Only
+// called for fault-enabled runs, preserving the zero-overhead contract.
+void publish_fault_stats(const gpusim::FaultStats& s) {
+  auto& reg = obs::Registry::global();
+  reg.counter("fault.retries").add(s.retries);
+  reg.counter("fault.failovers").add(s.failovers);
+  reg.counter("fault.devices_failed").add(s.devices_lost);
+  if (s.degraded_to_cpu) reg.counter("fault.degraded").inc();
+  reg.gauge("fault.backoff_seconds").add(s.backoff_seconds);
+}
+
+}  // namespace
+
+MultiGpuReport multi_gpu_search(const gpusim::DeviceSpec& spec, int gpus,
+                                const std::vector<seq::Code>& query,
+                                const seq::SequenceDB& db,
+                                const sw::ScoringMatrix& matrix,
+                                const MultiGpuConfig& cfg) {
+  CUSW_REQUIRE(gpus > 0, "need at least one GPU");
+  MultiGpuReport out;
+  out.scores.assign(db.size(), 0);
+  if (db.empty()) return out;
+
+  std::vector<std::size_t> order(db.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return db[a].length() < db[b].length();
+                   });
+
+  // A fleet larger than the database leaves the surplus devices without a
+  // shard: every active device gets a non-empty round-robin slice of the
+  // sorted order, so per_gpu stays one report per device that did work.
+  const int active = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(gpus), db.size()));
+
+  const bool faulty = cfg.faults.enabled();
+  gpusim::FaultInjector injector(cfg.faults);
+
+  std::vector<std::unique_ptr<gpusim::Device>> devs;
+  devs.reserve(static_cast<std::size_t>(active));
+  for (int g = 0; g < active; ++g) {
+    devs.push_back(std::make_unique<gpusim::Device>(spec));
+    if (faulty) devs.back()->set_fault_injector(&injector, g);
+  }
+
+  // Work queue of (device, original-order indices) shard assignments.
+  // Failover pushes a dead device's indices back, resharded over the
+  // survivors, so the queue drains exactly when every sequence is scored.
+  struct ShardWork {
+    int g;
+    std::vector<std::size_t> idx;
+  };
+  std::deque<ShardWork> work;
+  {
+    std::vector<std::vector<std::size_t>> shards(
+        static_cast<std::size_t>(active));
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      shards[i % static_cast<std::size_t>(active)].push_back(order[i]);
+    }
+    for (int g = 0; g < active; ++g) {
+      work.push_back(ShardWork{g, std::move(shards[static_cast<std::size_t>(g)])});
+    }
+  }
+
+  std::vector<double> device_seconds(static_cast<std::size_t>(active), 0.0);
+  std::vector<bool> dead(static_cast<std::size_t>(active), false);
+  std::optional<swps3::StripedEngine> cpu;
+
+  const auto score_on_cpu = [&](const std::vector<std::size_t>& idx) {
+    if (!cpu) cpu.emplace(query, matrix, cfg.search.gap);
+    for (const std::size_t i : idx) {
+      out.scores[i] = cpu->score(db[i].residues);
+    }
+    out.faults.degraded_to_cpu = true;
+  };
+
+  // Redistribute `idx` over the surviving devices, or degrade to the CPU
+  // engine when none survive. Returns normally unless the fleet is gone
+  // and the config forbids the CPU path.
+  const auto fail_over = [&](std::vector<std::size_t> idx,
+                             const gpusim::FaultError& cause) {
+    std::vector<int> alive;
+    for (int g = 0; g < active; ++g) {
+      if (!dead[static_cast<std::size_t>(g)]) alive.push_back(g);
+    }
+    if (alive.empty()) {
+      if (!cfg.allow_cpu_fallback) throw cause;
+      obs::trace_instant("degrade: cpu fallback", "fault",
+                         "\"sequences\": " + std::to_string(idx.size()));
+      score_on_cpu(idx);
+      return;
+    }
+    ++out.faults.failovers;
+    obs::trace_instant("failover: reshard", "fault",
+                       "\"sequences\": " + std::to_string(idx.size()) +
+                           ", \"survivors\": " + std::to_string(alive.size()));
+    std::vector<std::vector<std::size_t>> resharded(alive.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+      resharded[i % alive.size()].push_back(idx[i]);
+    }
+    for (std::size_t a = 0; a < alive.size(); ++a) {
+      if (!resharded[a].empty()) {
+        work.push_back(ShardWork{alive[a], std::move(resharded[a])});
+      }
+    }
+  };
+
+  while (!work.empty()) {
+    ShardWork item = std::move(work.front());
+    work.pop_front();
+    if (item.idx.empty()) continue;
+    const auto gi = static_cast<std::size_t>(item.g);
+    if (dead[gi]) {
+      fail_over(std::move(item.idx),
+                gpusim::DeviceLost(gpusim::FaultKind::kDeviceLoss,
+                                   "device already lost", item.g));
+      continue;
+    }
+
+    seq::SequenceDB shard;
+    for (const std::size_t i : item.idx) shard.add(db[i]);
+
+    gpusim::FaultStats shard_stats;
+    int attempt = 0;
+    while (true) {
+      try {
+        // The shard's host-to-device upload, then the scan. Either may
+        // fault; both are retried wholesale, so a completed iteration
+        // always carries a full, clean set of shard scores.
+        if (faulty) injector.on_transfer(item.g);
+        SearchReport r = search(*devs[gi], query, shard, matrix, cfg.search);
+        for (std::size_t k = 0; k < item.idx.size(); ++k) {
+          out.scores[item.idx[k]] = r.scores[k];
+        }
+        r.faults = shard_stats;
+        device_seconds[gi] += r.seconds() + shard_stats.backoff_seconds;
+        out.cells += r.cells();
+        out.faults += shard_stats;
+        out.per_gpu.push_back(std::move(r));
+        break;
+      } catch (const gpusim::TransientFault& f) {
+        if (f.kind() == gpusim::FaultKind::kTransfer) {
+          ++shard_stats.transfer_faults;
+        } else {
+          ++shard_stats.launch_faults;
+        }
+        if (attempt >= cfg.backoff.max_retries) {
+          // Retries exhausted: give up on this device and reshard, the
+          // same path a hard loss takes.
+          dead[gi] = true;
+          ++shard_stats.devices_lost;
+          out.faults += shard_stats;
+          device_seconds[gi] += shard_stats.backoff_seconds;
+          fail_over(std::move(item.idx), f);
+          break;
+        }
+        shard_stats.backoff_seconds += cfg.backoff.delay_seconds(attempt);
+        ++shard_stats.retries;
+        ++attempt;
+      } catch (const gpusim::DeviceLost& f) {
+        dead[gi] = true;
+        ++shard_stats.devices_lost;
+        out.faults += shard_stats;
+        device_seconds[gi] += shard_stats.backoff_seconds;
+        fail_over(std::move(item.idx), f);
+        break;
+      }
+    }
+  }
+
+  out.seconds =
+      *std::max_element(device_seconds.begin(), device_seconds.end());
+  if (faulty) publish_fault_stats(out.faults);
+  return out;
+}
 
 MultiGpuReport multi_gpu_search(const gpusim::DeviceSpec& spec, int gpus,
                                 const std::vector<seq::Code>& query,
                                 const seq::SequenceDB& db,
                                 const sw::ScoringMatrix& matrix,
                                 const SearchConfig& cfg) {
-  CUSW_REQUIRE(gpus > 0, "need at least one GPU");
-  MultiGpuReport out;
-
-  std::vector<std::size_t> order(db.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::stable_sort(order.begin(), order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return db[a].length() < db[b].length();
-                   });
-
-  for (int g = 0; g < gpus; ++g) {
-    seq::SequenceDB shard;
-    for (std::size_t i = static_cast<std::size_t>(g); i < order.size();
-         i += static_cast<std::size_t>(gpus)) {
-      shard.add(db[order[i]]);
-    }
-    gpusim::Device dev(spec);
-    SearchReport r = search(dev, query, shard, matrix, cfg);
-    out.seconds = std::max(out.seconds, r.seconds());
-    out.cells += r.cells();
-    out.per_gpu.push_back(std::move(r));
-  }
-  return out;
+  MultiGpuConfig mc;
+  mc.search = cfg;
+  mc.faults = gpusim::FaultPlan::from_env();
+  return multi_gpu_search(spec, gpus, query, db, matrix, mc);
 }
 
 StreamingReport model_streaming_transfer(std::uint64_t db_bytes,
@@ -44,10 +212,14 @@ StreamingReport model_streaming_transfer(std::uint64_t db_bytes,
   StreamingReport r;
   r.compute_seconds = compute_seconds;
   const double per_byte = 1.0 / (xfer.pcie_bandwidth_gbs * 1e9);
-  r.transfer_seconds = static_cast<double>(db_bytes) * per_byte +
-                       static_cast<double>(chunks) * xfer.chunk_overhead_us * 1e-6;
-  r.blocking_total = static_cast<double>(db_bytes) * per_byte +
-                     xfer.chunk_overhead_us * 1e-6 + compute_seconds;
+  // Both schedules move the same chunked copy plan: db_bytes at PCIe
+  // bandwidth plus one setup overhead per chunk. They differ only in
+  // whether the copies overlap compute, so saved_seconds isolates the
+  // overlap win: min(compute, transfer * (1 - 1/chunks)).
+  r.transfer_seconds =
+      static_cast<double>(db_bytes) * per_byte +
+      static_cast<double>(chunks) * xfer.chunk_overhead_us * 1e-6;
+  r.blocking_total = r.transfer_seconds + compute_seconds;
   // Streamed: the first chunk must land before compute starts; the
   // remaining chunks copy in the background while kernels run.
   const double chunk_seconds =

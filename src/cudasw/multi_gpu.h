@@ -12,26 +12,60 @@
 // performing alignments on those sequences. Then the rest of the database
 // can be copied in the background" — the streaming model compares the
 // all-up-front transfer with the overlapped schedule.
+//
+// The driver also survives injected faults (gpusim/fault.h, DESIGN.md §8):
+// transient transfer/launch faults are retried under a capped exponential
+// backoff, a lost device's shard is redistributed across the survivors,
+// and when no device survives the scan degrades to the striped CPU engine.
+// Scores under any fault plan are bit-identical to the clean run.
 #pragma once
 
 #include <vector>
 
 #include "cudasw/pipeline.h"
+#include "gpusim/fault.h"
+#include "util/backoff.h"
 
 namespace cusw::cudasw {
 
+struct MultiGpuConfig {
+  SearchConfig search;
+  /// Fault schedule; default-constructed = no faults injected.
+  gpusim::FaultPlan faults;
+  util::BackoffPolicy backoff;
+  /// Degrade to swps3::StripedEngine when no device survives; when false,
+  /// an unrecoverable fleet throws the last FaultError instead.
+  bool allow_cpu_fallback = true;
+};
+
 struct MultiGpuReport {
+  /// One report per completed shard search. In a clean run this is one
+  /// entry per active device; failover appends an entry per redistributed
+  /// sub-shard, and CPU-degraded work has no entry here (its scores only
+  /// appear in `scores`).
   std::vector<SearchReport> per_gpu;
-  double seconds = 0.0;  // max over shards
+  /// Combined scores, in original database order.
+  std::vector<int> scores;
+  double seconds = 0.0;  // max over devices (search + modelled backoff)
   std::uint64_t cells = 0;
+  gpusim::FaultStats faults;
 
   double gcups() const {
     return seconds > 0.0 ? static_cast<double>(cells) / seconds * 1e-9 : 0.0;
   }
 };
 
-/// Scan `db` with `gpus` identical devices, sharding round-robin over the
-/// length-sorted order.
+/// Scan `db` with up to `gpus` identical devices, sharding round-robin over
+/// the length-sorted order. At most db.size() devices are instantiated —
+/// surplus GPUs get no shard, no Device and no per_gpu entry.
+MultiGpuReport multi_gpu_search(const gpusim::DeviceSpec& spec, int gpus,
+                                const std::vector<seq::Code>& query,
+                                const seq::SequenceDB& db,
+                                const sw::ScoringMatrix& matrix,
+                                const MultiGpuConfig& cfg);
+
+/// Convenience overload: search config only, fault plan from CUSW_FAULTS
+/// (disabled when unset).
 MultiGpuReport multi_gpu_search(const gpusim::DeviceSpec& spec, int gpus,
                                 const std::vector<seq::Code>& query,
                                 const seq::SequenceDB& db,
@@ -44,7 +78,7 @@ struct TransferModel {
 };
 
 struct StreamingReport {
-  double transfer_seconds = 0.0;  // full database copy time
+  double transfer_seconds = 0.0;  // full chunked database copy time
   double compute_seconds = 0.0;   // kernel time (from a SearchReport)
   double blocking_total = 0.0;    // copy everything, then compute
   double streamed_total = 0.0;    // overlap: first chunk + max(rest, compute)
@@ -53,6 +87,10 @@ struct StreamingReport {
 
 /// Model the host-to-device copy schedule for a database of `db_bytes`
 /// split into `chunks`, overlapped with `compute_seconds` of kernel work.
+/// Both schedules move the same chunked copy plan — db_bytes at PCIe
+/// bandwidth plus `chunks` per-chunk setup overheads — so `saved_seconds`
+/// isolates the effect of overlapping, not of chunking itself:
+/// saved = min(compute_seconds, transfer_seconds * (1 - 1/chunks)).
 StreamingReport model_streaming_transfer(std::uint64_t db_bytes,
                                          double compute_seconds, int chunks,
                                          const TransferModel& xfer = {});

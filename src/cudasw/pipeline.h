@@ -12,6 +12,7 @@
 #include "cudasw/inter_task.h"
 #include "cudasw/intra_task_improved.h"
 #include "cudasw/intra_task_original.h"
+#include "gpusim/fault.h"
 #include "seq/database.h"
 
 namespace cusw::cudasw {
@@ -29,6 +30,11 @@ struct SearchReport {
   std::size_t groups = 0;
   gpusim::LaunchStats inter_stats;
   gpusim::LaunchStats intra_stats;
+  /// Fault events behind this report. search() itself never retries — a
+  /// faulted launch aborts it — so this stays empty unless a fleet driver
+  /// (multi_gpu_search, chunked_search) produced the report and records
+  /// what it took to complete it.
+  gpusim::FaultStats faults;
 
   double seconds() const { return inter_seconds + intra_seconds; }
   std::uint64_t cells() const { return inter_cells + intra_cells; }

@@ -1,0 +1,144 @@
+#include "gpusim/fault.h"
+
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/env.h"
+#include "util/rng.h"
+
+namespace cusw::gpusim {
+
+FaultPlan FaultPlan::parse(std::string_view spec) {
+  FaultPlan plan;
+  for (const auto& [key, value] : util::parse_kv_spec(spec)) {
+    if (key == "seed") {
+      plan.seed = static_cast<std::uint64_t>(
+          util::parse_int(value, "CUSW_FAULTS seed"));
+    } else if (key == "transfer") {
+      plan.transfer_fail_rate =
+          util::parse_double(value, "CUSW_FAULTS transfer");
+    } else if (key == "launch") {
+      plan.launch_fail_rate = util::parse_double(value, "CUSW_FAULTS launch");
+    } else if (key == "lose") {
+      // lose=<device>[@<launch ordinal>]
+      const std::size_t at = value.find('@');
+      plan.lose_device = static_cast<int>(util::parse_int(
+          at == std::string::npos ? value : value.substr(0, at),
+          "CUSW_FAULTS lose device"));
+      plan.lose_at =
+          at == std::string::npos
+              ? 0
+              : static_cast<std::uint64_t>(util::parse_int(
+                    value.substr(at + 1), "CUSW_FAULTS lose ordinal"));
+    } else {
+      throw std::invalid_argument("unknown CUSW_FAULTS key '" + key + "'");
+    }
+  }
+  CUSW_REQUIRE(plan.transfer_fail_rate >= 0.0 && plan.transfer_fail_rate <= 1.0,
+               "transfer fault rate outside [0, 1]");
+  CUSW_REQUIRE(plan.launch_fail_rate >= 0.0 && plan.launch_fail_rate <= 1.0,
+               "launch fault rate outside [0, 1]");
+  return plan;
+}
+
+FaultPlan FaultPlan::from_env() {
+  const char* spec = std::getenv("CUSW_FAULTS");
+  if (spec == nullptr || *spec == '\0') return FaultPlan{};
+  return parse(spec);
+}
+
+FaultInjector::FaultInjector(FaultPlan plan) : plan_(plan) {
+  CUSW_REQUIRE(plan_.lose_device < kMaxDevices,
+               "fault plan device id exceeds the fleet limit");
+}
+
+std::size_t FaultInjector::check_id(int device_id) {
+  CUSW_REQUIRE(device_id >= 0 && device_id < kMaxDevices,
+               "fault injector device id out of range");
+  return static_cast<std::size_t>(device_id);
+}
+
+bool FaultInjector::decide(FaultKind kind, int device_id,
+                          std::uint64_t ordinal, double rate) const {
+  if (rate <= 0.0) return false;
+  if (rate >= 1.0) return true;
+  // Stateless Bernoulli draw: hash (seed, kind, device, ordinal) so the
+  // decision for a given ordinal never depends on who else is drawing.
+  SplitMix64 h(plan_.seed ^
+               (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(kind) + 1)) ^
+               (static_cast<std::uint64_t>(device_id) << 32) ^ ordinal);
+  h.next();
+  const double u =
+      static_cast<double>(h.next() >> 11) * 0x1.0p-53;  // uniform [0, 1)
+  return u < rate;
+}
+
+void FaultInjector::note_injection(FaultKind kind, int device_id,
+                                   std::uint64_t ordinal) {
+  auto& reg = obs::Registry::global();
+  const char* name = kind == FaultKind::kTransfer ? "fault.transfer.injected"
+                     : kind == FaultKind::kLaunch ? "fault.launch.injected"
+                                                  : "fault.device.lost";
+  reg.counter(name).inc();
+  const char* label = kind == FaultKind::kTransfer ? "fault: transfer"
+                      : kind == FaultKind::kLaunch ? "fault: launch"
+                                                   : "fault: device lost";
+  obs::trace_instant(label, "fault",
+                     "\"device\": " + std::to_string(device_id) +
+                         ", \"ordinal\": " + std::to_string(ordinal));
+}
+
+void FaultInjector::on_launch(int device_id) {
+  const std::size_t id = check_id(device_id);
+  if (lost_[id].load(std::memory_order_relaxed)) {
+    throw DeviceLost(FaultKind::kDeviceLoss,
+                     "device " + std::to_string(device_id) + " is lost",
+                     device_id);
+  }
+  const std::uint64_t ordinal =
+      launch_ordinal_[id].fetch_add(1, std::memory_order_relaxed);
+  if (device_id == plan_.lose_device && ordinal >= plan_.lose_at) {
+    // Sticky: first loser wins; later launches hit the check above.
+    if (!lost_[id].exchange(true, std::memory_order_relaxed)) {
+      note_injection(FaultKind::kDeviceLoss, device_id, ordinal);
+    }
+    throw DeviceLost(FaultKind::kDeviceLoss,
+                     "device " + std::to_string(device_id) + " lost at launch " +
+                         std::to_string(ordinal),
+                     device_id);
+  }
+  if (decide(FaultKind::kLaunch, device_id, ordinal, plan_.launch_fail_rate)) {
+    injected_launch_.fetch_add(1, std::memory_order_relaxed);
+    note_injection(FaultKind::kLaunch, device_id, ordinal);
+    throw TransientFault(FaultKind::kLaunch,
+                         "transient launch fault on device " +
+                             std::to_string(device_id) + " (launch " +
+                             std::to_string(ordinal) + ")",
+                         device_id);
+  }
+}
+
+void FaultInjector::on_transfer(int device_id) {
+  const std::size_t id = check_id(device_id);
+  if (lost_[id].load(std::memory_order_relaxed)) {
+    throw DeviceLost(FaultKind::kDeviceLoss,
+                     "device " + std::to_string(device_id) + " is lost",
+                     device_id);
+  }
+  const std::uint64_t ordinal =
+      transfer_ordinal_[id].fetch_add(1, std::memory_order_relaxed);
+  if (decide(FaultKind::kTransfer, device_id, ordinal,
+             plan_.transfer_fail_rate)) {
+    injected_transfer_.fetch_add(1, std::memory_order_relaxed);
+    note_injection(FaultKind::kTransfer, device_id, ordinal);
+    throw TransientFault(FaultKind::kTransfer,
+                         "transient transfer fault to device " +
+                             std::to_string(device_id) + " (copy " +
+                             std::to_string(ordinal) + ")",
+                         device_id);
+  }
+}
+
+}  // namespace cusw::gpusim

@@ -1,0 +1,157 @@
+// Seeded, deterministic fault injection for the simulated device fleet.
+//
+// A FaultPlan describes what can go wrong in a run: transient host-to-device
+// transfer failures, transient kernel-launch faults, and the permanent loss
+// of one device after a given number of launches. A FaultInjector attached
+// to a Device (Device::set_fault_injector) turns the plan into thrown
+// exceptions at the launch and transfer hook points; the fleet drivers
+// (multi_gpu_search, chunked_search) catch them and walk the degradation
+// ladder — retry with capped exponential backoff, redistribute the dead
+// device's shard, or fall back to the striped CPU engine.
+//
+// Determinism: each decision hashes (seed, fault kind, device id, ordinal)
+// through SplitMix64, where the ordinal is a per-(device, kind) atomic
+// counter. Concurrent launches may consume ordinals in any order, but the
+// *set* of ordinals spent by n launches is always {0..n-1}, so the number
+// of faults injected for a given amount of work — and, by the drivers'
+// retry-until-clean structure, the final scores — do not depend on the host
+// thread schedule. Scores under any fault plan are bit-identical to the
+// clean run (DESIGN.md §8).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace cusw::gpusim {
+
+enum class FaultKind { kTransfer, kLaunch, kDeviceLoss };
+
+/// Base of everything the injector throws.
+class FaultError : public std::runtime_error {
+ public:
+  FaultError(FaultKind kind, const std::string& what, int device_id)
+      : std::runtime_error(what), kind_(kind), device_id_(device_id) {}
+  FaultKind kind() const { return kind_; }
+  int device_id() const { return device_id_; }
+
+ private:
+  FaultKind kind_;
+  int device_id_;
+};
+
+/// Retryable: the operation may succeed when reissued.
+class TransientFault : public FaultError {
+  using FaultError::FaultError;
+};
+
+/// Permanent: the device is gone; all further operations on it throw too.
+class DeviceLost : public FaultError {
+  using FaultError::FaultError;
+};
+
+/// What can go wrong in a run. Default-constructed plans are disabled and
+/// cost nothing.
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  double transfer_fail_rate = 0.0;  // per transfer attempt, in [0, 1]
+  double launch_fail_rate = 0.0;    // per kernel launch, in [0, 1]
+  int lose_device = -1;             // fleet id of the device to lose, or -1
+  std::uint64_t lose_at = 0;        // launch ordinal at which it dies
+
+  bool enabled() const {
+    return transfer_fail_rate > 0.0 || launch_fail_rate > 0.0 ||
+           lose_device >= 0;
+  }
+
+  /// Parse a spec like "seed=42,transfer=0.1,launch=0.05,lose=1@3" (any
+  /// subset of keys; `lose=<device>` defaults to `@0`). Throws
+  /// std::invalid_argument on unknown keys or malformed values.
+  static FaultPlan parse(std::string_view spec);
+
+  /// Plan from the CUSW_FAULTS environment variable; disabled when unset
+  /// or empty.
+  static FaultPlan from_env();
+};
+
+/// Per-run fault bookkeeping, aggregated up the report chain.
+struct FaultStats {
+  std::uint64_t transfer_faults = 0;  // transient transfer faults seen
+  std::uint64_t launch_faults = 0;    // transient launch faults seen
+  std::uint64_t retries = 0;          // retry attempts issued by a driver
+  std::uint64_t failovers = 0;        // shards moved off a dead device
+  std::uint64_t devices_lost = 0;
+  bool degraded_to_cpu = false;
+  double backoff_seconds = 0.0;  // modelled retry delay, part of seconds
+
+  bool any() const {
+    return transfer_faults + launch_faults + retries + failovers +
+                   devices_lost !=
+               0 ||
+           degraded_to_cpu;
+  }
+
+  FaultStats& operator+=(const FaultStats& o) {
+    transfer_faults += o.transfer_faults;
+    launch_faults += o.launch_faults;
+    retries += o.retries;
+    failovers += o.failovers;
+    devices_lost += o.devices_lost;
+    degraded_to_cpu = degraded_to_cpu || o.degraded_to_cpu;
+    backoff_seconds += o.backoff_seconds;
+    return *this;
+  }
+};
+
+/// Turns a FaultPlan into thrown faults. One injector is shared by every
+/// device of a fleet; devices are told their fleet id via
+/// Device::set_fault_injector(injector, id). Thread safe; decisions are
+/// hashed, not drawn from mutable RNG state.
+class FaultInjector {
+ public:
+  static constexpr int kMaxDevices = 64;
+
+  explicit FaultInjector(FaultPlan plan);
+
+  /// Launch hook, called by Device::launch before any work. Throws
+  /// DeviceLost (sticky) or TransientFault; publishes fault.*.injected
+  /// metrics and a trace instant per injection.
+  void on_launch(int device_id);
+
+  /// Transfer hook, called by drivers before charging a host-to-device
+  /// copy. Throws DeviceLost if the device is gone, TransientFault on an
+  /// injected copy failure.
+  void on_transfer(int device_id);
+
+  bool device_lost(int device_id) const {
+    return lost_[check_id(device_id)].load(std::memory_order_relaxed);
+  }
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Injections so far (all devices). Monotonic, thread safe.
+  std::uint64_t injected_transfer_faults() const {
+    return injected_transfer_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t injected_launch_faults() const {
+    return injected_launch_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static std::size_t check_id(int device_id);
+  bool decide(FaultKind kind, int device_id, std::uint64_t ordinal,
+              double rate) const;
+  void note_injection(FaultKind kind, int device_id, std::uint64_t ordinal);
+
+  FaultPlan plan_;
+  std::array<std::atomic<std::uint64_t>, kMaxDevices> launch_ordinal_{};
+  std::array<std::atomic<std::uint64_t>, kMaxDevices> transfer_ordinal_{};
+  std::array<std::atomic<bool>, kMaxDevices> lost_{};
+  std::atomic<std::uint64_t> injected_transfer_{0};
+  std::atomic<std::uint64_t> injected_launch_{0};
+};
+
+}  // namespace cusw::gpusim

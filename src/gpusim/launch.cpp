@@ -1,5 +1,7 @@
 #include "gpusim/launch.h"
 
+#include "gpusim/fault.h"
+
 #include <algorithm>
 #include <atomic>
 #include <memory>
@@ -479,6 +481,9 @@ Device::Device(DeviceSpec spec, CostModel cost)
 LaunchStats Device::launch(const LaunchConfig& cfg,
                            const std::function<void(BlockCtx&)>& body) {
   CUSW_REQUIRE(cfg.blocks >= 0, "negative grid size");
+  // Fault hook: consulted before any work so an injected fault aborts the
+  // launch with no partial state and the caller can reissue it wholesale.
+  if (fault_ != nullptr) fault_->on_launch(fault_device_id_);
   obs::install_process_exports();
   LaunchStats stats;
   stats.blocks = cfg.blocks;

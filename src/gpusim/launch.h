@@ -29,6 +29,8 @@
 
 namespace cusw::gpusim {
 
+class FaultInjector;
+
 struct LaunchConfig {
   int blocks = 1;
   int threads_per_block = 256;
@@ -303,11 +305,25 @@ class Device {
   void set_observer(LaunchObserver* obs) { observer_ = obs; }
   LaunchObserver* observer() const { return observer_; }
 
+  /// Attach a fault injector (nullptr detaches) and tell the device its
+  /// fleet id. Every launch() then consults the injector before doing any
+  /// work: a TransientFault or DeviceLost (see gpusim/fault.h) is thrown
+  /// out of launch() with no partial side effects, so callers can retry
+  /// the launch wholesale. Attach between launches, like set_observer.
+  void set_fault_injector(FaultInjector* f, int device_id = 0) {
+    fault_ = f;
+    fault_device_id_ = device_id;
+  }
+  FaultInjector* fault_injector() const { return fault_; }
+  int fault_device_id() const { return fault_device_id_; }
+
  private:
   DeviceSpec spec_;
   CostModel cost_;
   MemoryArena arena_;
   LaunchObserver* observer_ = nullptr;
+  FaultInjector* fault_ = nullptr;
+  int fault_device_id_ = 0;
 
   // Trace state: this device's track group in the trace file and the
   // simulated-time cursor launches reserve their spans from (launches on

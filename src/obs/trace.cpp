@@ -31,6 +31,13 @@ void TraceWriter::span(TraceEvent e) {
   impl_->events.push_back(std::move(e));
 }
 
+void TraceWriter::instant(TraceEvent e) {
+  e.ph = 'i';
+  e.dur_us = 0.0;
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->events.push_back(std::move(e));
+}
+
 void TraceWriter::name_process(int pid, std::string name) {
   std::lock_guard<std::mutex> lk(impl_->mu);
   if (!impl_->named.insert({pid, -1}).second) return;
@@ -90,15 +97,19 @@ std::string TraceWriter::to_json() const {
     os << (first ? "\n" : ",\n");
     first = false;
     os << "{\"name\": \"" << util::json_escape(e.name) << "\", \"ph\": \""
-       << (meta ? 'M' : 'X') << "\", \"pid\": " << e.pid
+       << (meta ? 'M' : e.ph) << "\", \"pid\": " << e.pid
        << ", \"tid\": " << e.tid;
     if (!meta) {
       if (!e.cat.empty())
         os << ", \"cat\": \"" << util::json_escape(e.cat) << "\"";
       os << ", \"ts\": ";
       append_us(os, e.ts_us);
-      os << ", \"dur\": ";
-      append_us(os, e.dur_us);
+      if (e.ph == 'i') {
+        os << ", \"s\": \"t\"";  // thread-scoped instant
+      } else {
+        os << ", \"dur\": ";
+        append_us(os, e.dur_us);
+      }
     }
     if (!e.args_json.empty()) os << ", \"args\": {" << e.args_json << "}";
     os << "}";
@@ -179,6 +190,22 @@ void ensure_env_trace() {
       configure_trace(path);
     }
   });
+}
+
+void trace_instant(std::string name, std::string cat, std::string args_json) {
+  TraceWriter* w = trace();
+  if (w == nullptr) return;
+  const int tid = ThreadPool::current_thread_id();
+  w->name_track(kHostPid, tid,
+                tid == 0 ? "main" : "worker " + std::to_string(tid));
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = std::move(cat);
+  e.pid = kHostPid;
+  e.tid = tid;
+  e.ts_us = wall_now_us();
+  e.args_json = std::move(args_json);
+  w->instant(std::move(e));
 }
 
 HostSpan::HostSpan(std::string name, std::string cat) {

@@ -31,8 +31,9 @@ struct TraceEvent {
   int pid = 0;
   int tid = 0;
   double ts_us = 0.0;   // microseconds in the track's clock domain
-  double dur_us = 0.0;  // complete ("X") event duration
+  double dur_us = 0.0;  // complete ("X") event duration; unused for "i"
   std::string args_json;  // pre-rendered `"k": v` pairs, may be empty
+  char ph = 'X';          // 'X' complete span or 'i' instant
 };
 
 /// Collects complete spans and track metadata, then writes one Chrome
@@ -44,6 +45,8 @@ class TraceWriter {
   explicit TraceWriter(std::string path);
 
   void span(TraceEvent e);
+  /// Zero-duration instant ("i") event at e.ts_us; dur_us is ignored.
+  void instant(TraceEvent e);
   /// Idempotent track/process naming (Chrome "M" metadata events).
   void name_process(int pid, std::string name);
   void name_track(int pid, int tid, std::string name);
@@ -79,6 +82,13 @@ void disable_trace();
 std::string flush_trace();
 /// One-shot: read CUSW_TRACE and configure the process trace from it.
 void ensure_env_trace();
+
+/// Record an instant event on the host timeline at the current wall clock,
+/// on the calling thread's track — used for point-in-time markers such as
+/// injected faults, retries and failovers. No-op (one atomic load) when
+/// tracing is disabled.
+void trace_instant(std::string name, std::string cat,
+                   std::string args_json = "");
 
 /// RAII wall-clock span on the host timeline; the track id is the calling
 /// thread's ThreadPool id (0 = main, 1..N = pool workers). No-op — one

@@ -307,11 +307,35 @@ TraceCheck validate_chrome_trace(std::string_view text) {
     }
     ++out.events;
     if (ph->string == "M") continue;  // metadata carries no timestamps
-    if (ph->string != "X") {
+    if (ph->string != "X" && ph->string != "i") {
       out.error = event_err(i, "unexpected phase '" + ph->string + "'");
       return out;
     }
     const json::Value* ts = e.find("ts");
+    if (ph->string == "i") {
+      if (ts == nullptr || ts->kind != json::Value::Kind::kNumber) {
+        out.error = event_err(i, "instant missing numeric ts");
+        return out;
+      }
+      if (e.find("dur") != nullptr) {
+        out.error = event_err(i, "instant carries a dur");
+        return out;
+      }
+      ++out.instants;
+      const std::pair<int, int> track{static_cast<int>(pid->number),
+                                      static_cast<int>(tid->number)};
+      const auto [it, fresh] = last_ts.emplace(track, ts->number);
+      if (!fresh) {
+        if (ts->number + kEps < it->second) {
+          out.error = event_err(
+              i, "instant precedes its track's previous event ('" +
+                     name->string + "')");
+          return out;
+        }
+        it->second = std::max(it->second, ts->number);
+      }
+      continue;
+    }
     const json::Value* dur = e.find("dur");
     if (ts == nullptr || ts->kind != json::Value::Kind::kNumber ||
         dur == nullptr || dur->kind != json::Value::Kind::kNumber) {

@@ -42,14 +42,16 @@ struct TraceCheck {
   std::string error;          // first violation, empty when ok
   std::size_t events = 0;     // all trace events
   std::size_t spans = 0;      // complete ("X") events
+  std::size_t instants = 0;   // instant ("i") events
   std::size_t tracks = 0;     // distinct (pid, tid) with at least one span
 };
 
 /// Validate Chrome trace-event JSON: top-level object with a `traceEvents`
 /// array; every event has name/ph/pid/tid; "X" events carry numeric ts and
-/// dur >= 0; within each (pid, tid) track, spans are monotonically ordered
-/// by start time and properly nested (a span never straddles the end of an
-/// enclosing span).
+/// dur >= 0; "i" instants carry a numeric ts (and never a dur); within each
+/// (pid, tid) track, spans are monotonically ordered by start time and
+/// properly nested (a span never straddles the end of an enclosing span).
+/// Instants obey track monotonicity but do not participate in nesting.
 TraceCheck validate_chrome_trace(std::string_view text);
 
 }  // namespace cusw::obs

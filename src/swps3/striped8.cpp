@@ -23,10 +23,13 @@ StripedProfile8::StripedProfile8(const std::vector<seq::Code>& query,
         const std::size_t pos = j + static_cast<std::size_t>(k) * seglen_;
         // Padding lanes get score 0 (biased: == bias with the bias later
         // subtracted), i.e. a zero contribution that the local floor keeps
-        // from ever mattering.
+        // from ever mattering. Charging them min_score instead would still
+        // produce correct scores (padding cells only feed other padding
+        // cells), but the decayed padding H keeps the lazy-F loop's
+        // any_gt() test alive for ~f/ext extra iterations per column.
         const int s = pos < length_
                           ? matrix.score(query[pos], static_cast<seq::Code>(a))
-                          : matrix.min_score();
+                          : 0;
         v.lane[k] = static_cast<std::uint8_t>(s + bias_);
       }
       vectors_[a * seglen_ + j] = v;
@@ -47,11 +50,16 @@ Striped8Result striped8_sw_score(const StripedProfile8& profile,
       checked_narrow<std::uint8_t>(gap.open_cost()));
   const Vec8 v_ext = Vec8::splat(checked_narrow<std::uint8_t>(gap.extend));
   const Vec8 v_zero = Vec8::zero();
+  const Vec8 v_limit = Vec8::splat(255);
 
   std::vector<Vec8> h_store(seglen, v_zero);
   std::vector<Vec8> h_load(seglen, v_zero);
   std::vector<Vec8> e(seglen, v_zero);
   Vec8 v_max = v_zero;
+  // Accumulates, per lane, how far any biased add exceeded 255. Non-zero
+  // anywhere at the end means a saturating add clamped a true sum — the
+  // exact condition under which the 8-bit scores can be wrong.
+  Vec8 v_excess = v_zero;
 
   for (const seq::Code d : target) {
     const Vec8* prof = profile.row(d);
@@ -60,6 +68,9 @@ Striped8Result striped8_sw_score(const StripedProfile8& profile,
     std::swap(h_store, h_load);
 
     for (std::size_t j = 0; j < seglen; ++j) {
+      // Saturation detection at the add itself: the add clamps iff
+      // v_h > 255 - prof, and subs() leaves exactly that overshoot.
+      v_excess = max(v_excess, subs(v_h, subs(v_limit, prof[j])));
       // Biased add then unbias; saturation at zero is the local floor.
       v_h = subs(adds(v_h, prof[j]), v_bias);
       v_h = max(v_h, e[j]);
@@ -80,6 +91,7 @@ Striped8Result striped8_sw_score(const StripedProfile8& profile,
       std::size_t j = 0;
       int wraps = 0;
       while (any_gt(v_f, subs(h_store[j], v_open))) {
+        ++out.lazy_f_iterations;
         const Vec8 raised = max(h_store[j], v_f);
         h_store[j] = raised;
         v_max = max(v_max, raised);
@@ -94,14 +106,15 @@ Striped8Result striped8_sw_score(const StripedProfile8& profile,
     }
   }
 
-  const int peak = horizontal_max(v_max);
-  // Conservative overflow test: anything that could have saturated during
-  // the biased adds forces the exact 16-bit path.
-  if (peak + profile.bias() >= 255) {
+  // Overflow iff some biased add actually clamped. (The previous test,
+  // `peak + bias >= 255`, inspected only the final running maximum: it was
+  // equivalent in the clamping cases but also flagged exact, unclamped
+  // scores of 255 - bias, forcing needless 16-bit fallbacks.)
+  if (horizontal_max(v_excess) > 0) {
     out.overflow = true;
     return out;
   }
-  out.score = peak;
+  out.score = horizontal_max(v_max);
   return out;
 }
 

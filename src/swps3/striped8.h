@@ -6,8 +6,9 @@
 //
 // The unsigned trick: profile scores are stored biased by -min_score so
 // every addition is non-negative, and saturating-subtract-at-zero doubles
-// as the local-alignment floor. A pair overflows when the running maximum
-// saturates at 255.
+// as the local-alignment floor. A pair overflows when a biased add
+// saturates at 255 and clamps its true sum — detected per add, so any
+// score up to 255 - bias that never clamped stays exact.
 #pragma once
 
 #include "swps3/striped_sw.h"
@@ -39,10 +40,19 @@ class StripedProfile8 {
 struct Striped8Result {
   int score = 0;       // valid only if !overflow
   bool overflow = false;
+  /// Lazy-F correction steps taken across the whole target — a cost
+  /// diagnostic. Padding lanes charged a negative score (instead of the
+  /// intended zero contribution) used to keep the correction loop spinning
+  /// on non-multiple-of-16 queries; tests bound this counter to pin the
+  /// fix.
+  std::uint64_t lazy_f_iterations = 0;
 };
 
-/// 8-bit pass. Returns overflow=true when the score saturates (score >=
-/// 255 - bias is reported as overflow to stay conservative).
+/// 8-bit pass. Returns overflow=true exactly when a biased add saturated
+/// (the true sum exceeded 255), i.e. when clamping may have corrupted the
+/// score; any score up to 255 - bias that never clamped is reported
+/// exactly. Detection happens at each add, not by inspecting the final
+/// peak, so saturation can never be masked by later arithmetic.
 Striped8Result striped8_sw_score(const StripedProfile8& profile,
                                  const std::vector<seq::Code>& target,
                                  sw::GapPenalty gap);

@@ -1,0 +1,40 @@
+// Capped exponential backoff for retrying transient failures.
+//
+// The fleet drivers do not sleep: retried work lives inside the simulated
+// timeline, so the delay for attempt k is *charged* to the run's modelled
+// seconds (and to the fault.backoff_seconds gauge), keeping faulted runs
+// deterministic and fast to execute.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace cusw::util {
+
+struct BackoffPolicy {
+  /// Retries after the first attempt; attempt indices are 0-based, so a
+  /// unit of work runs at most `max_retries + 1` times.
+  int max_retries = 4;
+  double base_seconds = 1e-3;
+  double multiplier = 2.0;
+  double max_seconds = 0.1;
+
+  /// Delay charged before retry `attempt` (0 = first retry), capped.
+  double delay_seconds(int attempt) const {
+    double d = base_seconds;
+    for (int i = 0; i < attempt; ++i) {
+      d *= multiplier;
+      if (d >= max_seconds) break;
+    }
+    return std::min(d, max_seconds);
+  }
+
+  /// Total delay charged by a unit of work that retried `retries` times.
+  double total_delay_seconds(int retries) const {
+    double total = 0.0;
+    for (int a = 0; a < retries; ++a) total += delay_seconds(a);
+    return total;
+  }
+};
+
+}  // namespace cusw::util

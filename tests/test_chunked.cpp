@@ -2,6 +2,8 @@
 // gpusim profiler report and bank-conflict model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cudasw/chunked.h"
 #include "gpusim/report.h"
 #include "test_helpers.h"
@@ -61,6 +63,47 @@ TEST(Chunked, OverlapNeverSlowerThanBlocking) {
   const auto rb = chunked_search(dev, query, db, matrix, blocking);
   EXPECT_EQ(ro.scores, rb.scores);
   EXPECT_LE(ro.total_seconds, rb.total_seconds * 1.0001);
+}
+
+TEST(Chunked, TinyBudgetDegradesToOneSequencePerChunk) {
+  // Arbitrarily small budgets must still make progress: one sequence per
+  // chunk, scores untouched.
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c1060().scaled(0.1));
+  const auto query = test::random_codes(50, 9);
+  const auto db = seq::uniform_db(25, 80, 200, 10);
+  const auto& matrix = ScoringMatrix::blosum62();
+
+  ChunkedConfig cfg;
+  cfg.device_memory_bytes = 1;
+  const auto r = chunked_search(dev, query, db, matrix, cfg);
+  EXPECT_EQ(r.chunks, db.size());
+  EXPECT_EQ(r.scores,
+            test::reference_scores(query, db, matrix, cfg.search.gap));
+}
+
+TEST(Chunked, TimingAccountingPins) {
+  gpusim::Device dev(gpusim::DeviceSpec::tesla_c1060().scaled(0.1));
+  const auto query = test::random_codes(70, 11);
+  const auto db = seq::uniform_db(250, 120, 350, 12);
+  const auto& matrix = ScoringMatrix::blosum62();
+  ChunkedConfig overlapped, blocking;
+  overlapped.device_memory_bytes = blocking.device_memory_bytes =
+      std::uint64_t{1} << 18;
+  blocking.overlap_transfers = false;
+  const auto ro = chunked_search(dev, query, db, matrix, overlapped);
+  const auto rb = chunked_search(dev, query, db, matrix, blocking);
+  ASSERT_GT(rb.chunks, 1u);
+  // Blocking is exactly serial: every copy, then every kernel.
+  EXPECT_NEAR(rb.total_seconds, rb.transfer_seconds + rb.kernel_seconds,
+              1e-12 * rb.total_seconds);
+  // Overlap can hide copies behind kernels but can never beat either the
+  // total copy time or the total kernel time.
+  EXPECT_GE(ro.total_seconds,
+            std::max(ro.transfer_seconds, ro.kernel_seconds) * (1 - 1e-12));
+  EXPECT_LE(ro.total_seconds, rb.total_seconds * (1 + 1e-12));
+  // Same work either way.
+  EXPECT_EQ(ro.kernel_seconds, rb.kernel_seconds);
+  EXPECT_EQ(ro.transfer_seconds, rb.transfer_seconds);
 }
 
 TEST(Chunked, FootprintGrowsWithWorkload) {

@@ -2,6 +2,8 @@
 // streamed host-to-device transfer model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "cudasw/autotune.h"
 #include "cudasw/multi_gpu.h"
 #include "cudasw/pipeline.h"
@@ -85,6 +87,38 @@ TEST(MultiGpu, ScalesNearLinearlyAndPreservesScores) {
   EXPECT_EQ(total, db.size());
 }
 
+TEST(MultiGpu, MoreGpusThanSequences) {
+  // Regression: a fleet larger than the database used to hand every surplus
+  // device an empty shard and run a full (empty) search on it. Now only
+  // min(gpus, db.size()) devices are instantiated, each with a non-empty
+  // shard, and the scores still cover the whole database.
+  const auto spec = gpusim::DeviceSpec::tesla_c1060().scaled(0.1);
+  const auto query = test::random_codes(40, 7);
+  seq::SequenceDB db;
+  db.add(seq::Sequence("a", test::random_codes(90, 8)));
+  db.add(seq::Sequence("b", test::random_codes(140, 9)));
+  db.add(seq::Sequence("c", test::random_codes(60, 10)));
+  const auto& matrix = ScoringMatrix::blosum62();
+  SearchConfig cfg;
+
+  const auto r = cudasw::multi_gpu_search(spec, 8, query, db, matrix, cfg);
+  EXPECT_EQ(r.scores, test::reference_scores(query, db, matrix, cfg.gap));
+  ASSERT_EQ(r.per_gpu.size(), 3u);  // one shard per sequence, no idle device
+  for (const auto& shard : r.per_gpu) EXPECT_EQ(shard.scores.size(), 1u);
+  EXPECT_GT(r.seconds, 0.0);
+}
+
+TEST(MultiGpu, EmptyDatabase) {
+  const auto spec = gpusim::DeviceSpec::tesla_c1060().scaled(0.1);
+  const auto query = test::random_codes(30, 11);
+  const auto r = cudasw::multi_gpu_search(spec, 4, query, seq::SequenceDB{},
+                                          ScoringMatrix::blosum62(),
+                                          SearchConfig{});
+  EXPECT_TRUE(r.scores.empty());
+  EXPECT_TRUE(r.per_gpu.empty());
+  EXPECT_EQ(r.seconds, 0.0);
+}
+
 TEST(Streaming, OverlapSavesTimeWhenComputeDominates) {
   // 100 MB database, 1 s of compute: the copy (~18 ms) hides entirely.
   const auto r = cudasw::model_streaming_transfer(100'000'000, 1.0, 16);
@@ -98,6 +132,28 @@ TEST(Streaming, TransferBoundWhenComputeIsTiny) {
   // Total can never beat the raw copy time.
   EXPECT_GE(r.streamed_total, r.transfer_seconds * 0.99);
   EXPECT_LE(r.streamed_total, r.blocking_total);
+}
+
+TEST(Streaming, ChunkOverheadChargedConsistently) {
+  // Regression: the blocking schedule used to charge the per-chunk setup
+  // overhead once while transfer_seconds charged it per chunk, so the two
+  // schedules compared different copy plans. Both now move the same plan,
+  // and saved_seconds isolates the overlap alone.
+  const cudasw::TransferModel xfer;
+  const double compute = 0.05;
+  const auto one = cudasw::model_streaming_transfer(1'000'000'000, compute, 1,
+                                                    xfer);
+  const auto four = cudasw::model_streaming_transfer(1'000'000'000, compute, 4,
+                                                     xfer);
+  EXPECT_NEAR(four.transfer_seconds - one.transfer_seconds,
+              3.0 * xfer.chunk_overhead_us * 1e-6, 1e-12);
+  EXPECT_DOUBLE_EQ(one.blocking_total, one.transfer_seconds + compute);
+  EXPECT_DOUBLE_EQ(four.blocking_total, four.transfer_seconds + compute);
+  // saved = min(compute, transfer * (1 - 1/chunks)); one chunk overlaps
+  // nothing.
+  EXPECT_NEAR(one.saved_seconds, 0.0, 1e-15);
+  EXPECT_NEAR(four.saved_seconds,
+              std::min(compute, four.transfer_seconds * 0.75), 1e-12);
 }
 
 TEST(Streaming, RejectsZeroChunks) {

@@ -1,0 +1,461 @@
+// Fault injection and graceful degradation (DESIGN.md §8): the FaultPlan
+// spec, the deterministic injector, backoff, and the fleet drivers'
+// retry / failover / CPU-degradation ladder. The load-bearing invariant —
+// any fault schedule yields bit-identical scores to the clean run — is
+// asserted on every scenario.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "cudasw/chunked.h"
+#include "cudasw/multi_gpu.h"
+#include "gpusim/fault.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_check.h"
+#include "test_helpers.h"
+#include "util/backoff.h"
+#include "util/env.h"
+
+namespace cusw {
+namespace {
+
+using cudasw::ChunkedConfig;
+using cudasw::MultiGpuConfig;
+using cudasw::SearchConfig;
+using gpusim::DeviceLost;
+using gpusim::FaultError;
+using gpusim::FaultInjector;
+using gpusim::FaultKind;
+using gpusim::FaultPlan;
+using gpusim::TransientFault;
+using sw::ScoringMatrix;
+
+struct TraceGuard {
+  ~TraceGuard() { obs::disable_trace(); }
+};
+
+struct EnvGuard {
+  ~EnvGuard() { unsetenv("CUSW_FAULTS"); }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+gpusim::DeviceSpec mini_spec() {
+  return gpusim::DeviceSpec::tesla_c1060().scaled(0.1);
+}
+
+// ---------------------------------------------------------------- FaultPlan
+
+TEST(FaultPlan, DefaultIsDisabled) {
+  const FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  EXPECT_EQ(plan.lose_device, -1);
+}
+
+TEST(FaultPlan, ParsesFullSpec) {
+  const auto plan = FaultPlan::parse("seed=42,transfer=0.25,launch=0.1,lose=1@3");
+  EXPECT_EQ(plan.seed, 42u);
+  EXPECT_DOUBLE_EQ(plan.transfer_fail_rate, 0.25);
+  EXPECT_DOUBLE_EQ(plan.launch_fail_rate, 0.1);
+  EXPECT_EQ(plan.lose_device, 1);
+  EXPECT_EQ(plan.lose_at, 3u);
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST(FaultPlan, LoseWithoutOrdinalMeansImmediately) {
+  const auto plan = FaultPlan::parse("lose=2");
+  EXPECT_EQ(plan.lose_device, 2);
+  EXPECT_EQ(plan.lose_at, 0u);
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST(FaultPlan, RejectsMalformedSpecs) {
+  EXPECT_THROW(FaultPlan::parse("bogus=1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("transfer=notanumber"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("transfer=1.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("launch=-0.1"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("=3"), std::invalid_argument);
+}
+
+TEST(FaultPlan, FromEnvReadsAndDefaultsOff) {
+  EnvGuard guard;
+  unsetenv("CUSW_FAULTS");
+  EXPECT_FALSE(FaultPlan::from_env().enabled());
+  setenv("CUSW_FAULTS", "seed=9,transfer=0.5", 1);
+  const auto plan = FaultPlan::from_env();
+  EXPECT_EQ(plan.seed, 9u);
+  EXPECT_DOUBLE_EQ(plan.transfer_fail_rate, 0.5);
+}
+
+TEST(KvSpec, TrimsSkipsAndRejects) {
+  const auto kv = util::parse_kv_spec(" a=1 , b = two ,, c=3 ");
+  ASSERT_EQ(kv.size(), 3u);
+  EXPECT_EQ(kv[0].first, "a");
+  EXPECT_EQ(kv[1].second, "two");
+  EXPECT_EQ(kv[2].first, "c");
+  EXPECT_THROW(util::parse_kv_spec("=oops"), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ Backoff
+
+TEST(Backoff, GrowsGeometricallyAndCaps) {
+  util::BackoffPolicy p;
+  p.base_seconds = 1e-3;
+  p.multiplier = 2.0;
+  p.max_seconds = 5e-3;
+  EXPECT_DOUBLE_EQ(p.delay_seconds(0), 1e-3);
+  EXPECT_DOUBLE_EQ(p.delay_seconds(1), 2e-3);
+  EXPECT_DOUBLE_EQ(p.delay_seconds(2), 4e-3);
+  EXPECT_DOUBLE_EQ(p.delay_seconds(3), 5e-3);   // capped
+  EXPECT_DOUBLE_EQ(p.delay_seconds(10), 5e-3);  // stays capped
+  EXPECT_DOUBLE_EQ(p.total_delay_seconds(3), 1e-3 + 2e-3 + 4e-3);
+}
+
+// ----------------------------------------------------------------- Injector
+
+TEST(FaultInjector, ZeroRatesNeverFault) {
+  FaultInjector inj(FaultPlan{});
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NO_THROW(inj.on_transfer(0));
+    EXPECT_NO_THROW(inj.on_launch(0));
+  }
+  EXPECT_EQ(inj.injected_transfer_faults(), 0u);
+  EXPECT_EQ(inj.injected_launch_faults(), 0u);
+}
+
+TEST(FaultInjector, RateOneFaultsEveryTime) {
+  FaultPlan plan;
+  plan.transfer_fail_rate = 1.0;
+  FaultInjector inj(plan);
+  for (int i = 0; i < 10; ++i) {
+    try {
+      inj.on_transfer(3);
+      FAIL() << "expected a transfer fault";
+    } catch (const TransientFault& f) {
+      EXPECT_EQ(f.kind(), FaultKind::kTransfer);
+      EXPECT_EQ(f.device_id(), 3);
+    }
+  }
+  EXPECT_EQ(inj.injected_transfer_faults(), 10u);
+}
+
+TEST(FaultInjector, DecisionsAreSeedDeterministic) {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.transfer_fail_rate = 0.4;
+  const auto pattern = [&] {
+    FaultInjector inj(plan);
+    std::string bits;
+    for (int i = 0; i < 200; ++i) {
+      try {
+        inj.on_transfer(0);
+        bits += '.';
+      } catch (const TransientFault&) {
+        bits += 'F';
+      }
+    }
+    return bits;
+  };
+  const std::string a = pattern();
+  const std::string b = pattern();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find('F'), std::string::npos);
+  EXPECT_NE(a.find('.'), std::string::npos);
+
+  plan.seed = 1235;  // a different seed draws a different schedule
+  FaultInjector other(plan);
+  std::string c;
+  for (int i = 0; i < 200; ++i) {
+    try {
+      other.on_transfer(0);
+      c += '.';
+    } catch (const TransientFault&) {
+      c += 'F';
+    }
+  }
+  EXPECT_NE(a, c);
+}
+
+TEST(FaultInjector, DeviceLossIsStickyAcrossHooks) {
+  FaultPlan plan;
+  plan.lose_device = 0;
+  plan.lose_at = 2;
+  FaultInjector inj(plan);
+  EXPECT_NO_THROW(inj.on_launch(0));
+  EXPECT_NO_THROW(inj.on_launch(0));
+  EXPECT_THROW(inj.on_launch(0), DeviceLost);
+  EXPECT_TRUE(inj.device_lost(0));
+  // Once lost, every operation on the device fails, transfers included.
+  EXPECT_THROW(inj.on_transfer(0), DeviceLost);
+  EXPECT_THROW(inj.on_launch(0), DeviceLost);
+  // Other devices are unaffected.
+  EXPECT_NO_THROW(inj.on_launch(1));
+  EXPECT_FALSE(inj.device_lost(1));
+}
+
+TEST(FaultInjector, RejectsOutOfRangeDeviceIds) {
+  FaultInjector inj(FaultPlan{});
+  EXPECT_THROW(inj.on_launch(-1), std::invalid_argument);
+  EXPECT_THROW(inj.on_launch(FaultInjector::kMaxDevices),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- multi_gpu_search
+
+TEST(MultiGpuFault, TransientAndLossYieldIdenticalScores) {
+  const auto spec = mini_spec();
+  const auto query = test::random_codes(48, 11);
+  const auto db = seq::lognormal_db(40, 160, 90, 12);
+  const auto& matrix = ScoringMatrix::blosum62();
+
+  const auto clean =
+      cudasw::multi_gpu_search(spec, 3, query, db, matrix, SearchConfig{});
+
+  MultiGpuConfig cfg;
+  cfg.faults = FaultPlan::parse("seed=7,transfer=0.5,lose=1@0");
+  cfg.backoff.max_retries = 10;
+  const auto faulted = cudasw::multi_gpu_search(spec, 3, query, db, matrix, cfg);
+
+  EXPECT_EQ(faulted.scores, clean.scores);
+  EXPECT_EQ(faulted.faults.devices_lost, 1u);
+  EXPECT_GE(faulted.faults.failovers, 1u);
+  EXPECT_GE(faulted.faults.retries, 1u);
+  EXPECT_GE(faulted.faults.transfer_faults, 1u);
+  EXPECT_FALSE(faulted.faults.degraded_to_cpu);
+  EXPECT_GT(faulted.faults.backoff_seconds, 0.0);
+  // Faults only ever cost time; they never un-count cells.
+  EXPECT_EQ(faulted.cells, clean.cells);
+  EXPECT_GE(faulted.seconds, clean.seconds);
+}
+
+TEST(MultiGpuFault, FaultedRunsAreDeterministic) {
+  const auto spec = mini_spec();
+  const auto query = test::random_codes(40, 21);
+  const auto db = seq::uniform_db(30, 80, 160, 22);
+  const auto& matrix = ScoringMatrix::blosum62();
+
+  MultiGpuConfig cfg;
+  cfg.faults = FaultPlan::parse("seed=99,transfer=0.4,lose=0@1");
+  cfg.backoff.max_retries = 10;
+  const auto a = cudasw::multi_gpu_search(spec, 2, query, db, matrix, cfg);
+  const auto b = cudasw::multi_gpu_search(spec, 2, query, db, matrix, cfg);
+  EXPECT_EQ(a.scores, b.scores);
+  EXPECT_EQ(a.faults.transfer_faults, b.faults.transfer_faults);
+  EXPECT_EQ(a.faults.retries, b.faults.retries);
+  EXPECT_EQ(a.faults.failovers, b.faults.failovers);
+  EXPECT_EQ(a.faults.devices_lost, b.faults.devices_lost);
+  EXPECT_DOUBLE_EQ(a.faults.backoff_seconds, b.faults.backoff_seconds);
+  EXPECT_DOUBLE_EQ(a.seconds, b.seconds);
+}
+
+TEST(MultiGpuFault, FullLadderDegradesToCpuWithExactScores) {
+  const auto spec = mini_spec();
+  const auto query = test::random_codes(36, 31);
+  const auto db = seq::uniform_db(20, 60, 140, 32);
+  const auto& matrix = ScoringMatrix::blosum62();
+
+  const auto clean =
+      cudasw::multi_gpu_search(spec, 2, query, db, matrix, SearchConfig{});
+
+  // Every kernel launch faults: retries exhaust on each device, failover
+  // finds no survivor, and the whole scan lands on the CPU engine.
+  MultiGpuConfig cfg;
+  cfg.faults = FaultPlan::parse("seed=1,launch=1.0");
+  cfg.backoff.max_retries = 1;
+  const auto faulted = cudasw::multi_gpu_search(spec, 2, query, db, matrix, cfg);
+
+  EXPECT_EQ(faulted.scores, clean.scores);
+  EXPECT_TRUE(faulted.faults.degraded_to_cpu);
+  EXPECT_EQ(faulted.faults.devices_lost, 2u);
+  EXPECT_GE(faulted.faults.launch_faults, 2u);
+  EXPECT_TRUE(faulted.per_gpu.empty());  // no shard ever completed on-device
+}
+
+TEST(MultiGpuFault, ThrowsWhenFallbackForbidden) {
+  const auto spec = mini_spec();
+  const auto query = test::random_codes(30, 41);
+  const auto db = seq::uniform_db(10, 50, 100, 42);
+  MultiGpuConfig cfg;
+  cfg.faults = FaultPlan::parse("launch=1.0");
+  cfg.backoff.max_retries = 0;
+  cfg.allow_cpu_fallback = false;
+  EXPECT_THROW(cudasw::multi_gpu_search(spec, 2, query, db,
+                                        ScoringMatrix::blosum62(), cfg),
+               FaultError);
+}
+
+TEST(MultiGpuFault, PublishesFaultMetrics) {
+  const auto spec = mini_spec();
+  const auto query = test::random_codes(32, 51);
+  const auto db = seq::uniform_db(24, 70, 150, 52);
+  const auto& matrix = ScoringMatrix::blosum62();
+
+  MultiGpuConfig cfg;
+  cfg.faults = FaultPlan::parse("seed=5,transfer=0.5,lose=1@0");
+  cfg.backoff.max_retries = 10;
+
+  const auto before = obs::Registry::global().snapshot();
+  const auto r = cudasw::multi_gpu_search(spec, 2, query, db, matrix, cfg);
+  const auto delta = obs::Registry::global().snapshot().diff(before);
+
+  EXPECT_EQ(delta.counter("fault.retries"), r.faults.retries);
+  EXPECT_EQ(delta.counter("fault.failovers"), r.faults.failovers);
+  EXPECT_EQ(delta.counter("fault.devices_failed"), r.faults.devices_lost);
+  EXPECT_GE(delta.counter("fault.transfer.injected"),
+            r.faults.transfer_faults);
+  EXPECT_EQ(delta.counter("fault.device.lost"), 1u);
+  EXPECT_NEAR(delta.gauge("fault.backoff_seconds"), r.faults.backoff_seconds,
+              1e-12);
+}
+
+TEST(MultiGpuFault, CleanRunsPublishNothing) {
+  const auto spec = mini_spec();
+  const auto query = test::random_codes(32, 61);
+  const auto db = seq::uniform_db(10, 60, 120, 62);
+  const auto before = obs::Registry::global().snapshot();
+  (void)cudasw::multi_gpu_search(spec, 2, query, db,
+                                 ScoringMatrix::blosum62(), SearchConfig{});
+  const auto delta = obs::Registry::global().snapshot().diff(before);
+  EXPECT_EQ(delta.counter("fault.retries"), 0u);
+  EXPECT_EQ(delta.counter("fault.transfer.injected"), 0u);
+}
+
+TEST(MultiGpuFault, EnvSpecDrivesConvenienceOverload) {
+  EnvGuard guard;
+  const auto spec = mini_spec();
+  const auto query = test::random_codes(28, 71);
+  const auto db = seq::uniform_db(16, 60, 120, 72);
+  const auto& matrix = ScoringMatrix::blosum62();
+
+  const auto clean =
+      cudasw::multi_gpu_search(spec, 2, query, db, matrix, SearchConfig{});
+  setenv("CUSW_FAULTS", "seed=3,transfer=0.5", 1);
+  const auto faulted =
+      cudasw::multi_gpu_search(spec, 2, query, db, matrix, SearchConfig{});
+  unsetenv("CUSW_FAULTS");
+
+  EXPECT_EQ(faulted.scores, clean.scores);
+  EXPECT_GE(faulted.faults.transfer_faults, 1u);
+  EXPECT_GE(faulted.faults.retries, 1u);
+}
+
+TEST(MultiGpuFault, FaultedRunEmitsTraceInstants) {
+  TraceGuard guard;
+  const std::string path = testing::TempDir() + "cusw_fault_trace.json";
+  obs::configure_trace(path);
+
+  const auto spec = mini_spec();
+  const auto query = test::random_codes(32, 81);
+  const auto db = seq::uniform_db(20, 70, 140, 82);
+  MultiGpuConfig cfg;
+  cfg.faults = FaultPlan::parse("seed=7,transfer=0.9,lose=1@0");
+  cfg.backoff.max_retries = 40;
+  (void)cudasw::multi_gpu_search(spec, 2, query, db,
+                                 ScoringMatrix::blosum62(), cfg);
+
+  ASSERT_EQ(obs::flush_trace(), path);
+  const std::string text = read_file(path);
+  const obs::TraceCheck check = obs::validate_chrome_trace(text);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_GE(check.instants, 2u);  // injected faults + failover markers
+  EXPECT_NE(text.find("fault: transfer"), std::string::npos);
+  EXPECT_NE(text.find("failover: reshard"), std::string::npos);
+}
+
+// --------------------------------------------------------- chunked_search
+
+TEST(ChunkedFault, TransferRetriesPreserveScoreOrder) {
+  gpusim::Device dev(mini_spec());
+  const auto query = test::random_codes(50, 91);
+  // Shuffled lengths: the length-sorted chunk order differs from the
+  // database order, so any merge slip under retry shows up as a mismatch.
+  const auto db = seq::lognormal_db(60, 170, 100, 92);
+  const auto& matrix = ScoringMatrix::blosum62();
+
+  ChunkedConfig clean_cfg;
+  clean_cfg.device_memory_bytes = std::uint64_t{1} << 16;
+  const auto clean = cudasw::chunked_search(dev, query, db, matrix, clean_cfg);
+  ASSERT_GT(clean.chunks, 1u);
+
+  ChunkedConfig cfg = clean_cfg;
+  cfg.faults = FaultPlan::parse("seed=13,transfer=0.5");
+  cfg.backoff.max_retries = 20;
+  const auto faulted = cudasw::chunked_search(dev, query, db, matrix, cfg);
+
+  EXPECT_EQ(faulted.scores, clean.scores);
+  EXPECT_EQ(faulted.scores, test::reference_scores(query, db, matrix,
+                                                   clean_cfg.search.gap));
+  EXPECT_GE(faulted.faults.retries, 1u);
+  EXPECT_GE(faulted.faults.transfer_faults, 1u);
+  // Every retried copy is paid for again.
+  EXPECT_GT(faulted.transfer_seconds, clean.transfer_seconds);
+  EXPECT_GT(faulted.total_seconds, clean.total_seconds);
+}
+
+TEST(ChunkedFault, MidRunDeviceLossDegradesToCpu) {
+  gpusim::Device dev(mini_spec());
+  const auto query = test::random_codes(44, 101);
+  const auto db = seq::uniform_db(80, 80, 200, 102);
+  const auto& matrix = ScoringMatrix::blosum62();
+
+  ChunkedConfig clean_cfg;
+  clean_cfg.device_memory_bytes = std::uint64_t{1} << 16;
+  const auto clean = cudasw::chunked_search(dev, query, db, matrix, clean_cfg);
+  ASSERT_GT(clean.chunks, 2u);
+
+  ChunkedConfig cfg = clean_cfg;
+  // One kernel launch per chunk on this workload: the device survives the
+  // first two chunks and dies scanning the third.
+  cfg.faults = FaultPlan::parse("lose=0@2");
+  const auto faulted = cudasw::chunked_search(dev, query, db, matrix, cfg);
+
+  EXPECT_EQ(faulted.scores, clean.scores);
+  EXPECT_TRUE(faulted.faults.degraded_to_cpu);
+  EXPECT_EQ(faulted.faults.devices_lost, 1u);
+  // Some chunks completed on the device before it died.
+  EXPECT_GT(faulted.kernel_seconds, 0.0);
+  EXPECT_LT(faulted.kernel_seconds, clean.kernel_seconds);
+}
+
+TEST(ChunkedFault, ThrowsWhenFallbackForbidden) {
+  gpusim::Device dev(mini_spec());
+  const auto query = test::random_codes(30, 111);
+  const auto db = seq::uniform_db(10, 60, 120, 112);
+  ChunkedConfig cfg;
+  cfg.faults = FaultPlan::parse("lose=0@0");
+  cfg.allow_cpu_fallback = false;
+  EXPECT_THROW(cudasw::chunked_search(dev, query, db,
+                                      ScoringMatrix::blosum62(), cfg),
+               FaultError);
+}
+
+TEST(ChunkedFault, InjectorDetachesFromBorrowedDevice) {
+  // chunked_search borrows the caller's Device; after a faulted run the
+  // device must be injector-free so later clean scans see no faults.
+  gpusim::Device dev(mini_spec());
+  const auto query = test::random_codes(30, 121);
+  const auto db = seq::uniform_db(12, 60, 120, 122);
+  const auto& matrix = ScoringMatrix::blosum62();
+
+  ChunkedConfig cfg;
+  cfg.faults = FaultPlan::parse("seed=2,launch=0.3");
+  cfg.backoff.max_retries = 20;
+  const auto faulted = cudasw::chunked_search(dev, query, db, matrix, cfg);
+  EXPECT_EQ(dev.fault_injector(), nullptr);
+
+  const auto clean = cudasw::chunked_search(dev, query, db, matrix,
+                                            ChunkedConfig{});
+  EXPECT_EQ(clean.scores, faulted.scores);
+  EXPECT_EQ(clean.faults.retries, 0u);
+}
+
+}  // namespace
+}  // namespace cusw

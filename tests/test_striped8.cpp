@@ -50,6 +50,91 @@ TEST(Striped8, LazyFNeededForGappyOptima) {
   }
 }
 
+TEST(Striped8, PaddingLanesStayNeutralOnShortQueries) {
+  // Regression: the profile's padding lanes used to carry matrix.min_score()
+  // instead of the neutral biased zero. Scores were never wrong — a padding
+  // lane can only lose to the real lanes — but the negative values kept the
+  // lazy-F correction loop spinning on queries that are not a multiple of
+  // 16 lanes. The pin is therefore the iteration counter: this workload
+  // takes ~331k correction steps pre-fix and ~142k post-fix.
+  const auto& m = ScoringMatrix::blosum62();
+  const GapPenalty gap{1, 1};
+  std::uint64_t total = 0;
+  for (int seed = 0; seed < 200; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) + 17);
+    std::vector<seq::Code> q, t;
+    for (int k = 0; k < 17; ++k) {
+      q.push_back(static_cast<seq::Code>(
+          rng.uniform_u64(3) == 0 ? 19 : rng.uniform_u64(20)));
+    }
+    for (int k = 0; k < 120; ++k) {
+      t.push_back(static_cast<seq::Code>(
+          rng.uniform_u64(3) == 0 ? 19 : rng.uniform_u64(20)));
+    }
+    const StripedProfile8 prof(q, m);
+    const auto r = striped8_sw_score(prof, t, gap);
+    if (!r.overflow) {
+      ASSERT_EQ(r.score, sw::sw_score(q, t, m, gap)) << seed;
+    }
+    total += r.lazy_f_iterations;
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_LT(total, 220000u);
+}
+
+TEST(Striped8, ExactScoreAtSaturationBoundary) {
+  // Regression: overflow used to be decided by inspecting the final peak
+  // (peak + bias >= 255), which conservatively rejected the exact,
+  // never-clamped score 251 = 255 - bias. Detection now happens at each
+  // add, so the full representable range stays exact.
+  const auto& m = ScoringMatrix::blosum62();
+  const seq::Code w = m.alphabet().encode('W');
+  const seq::Code c = m.alphabet().encode('C');
+  std::vector<seq::Code> q(22, w);
+  q.push_back(c);  // self-alignment: 22 * 11 + 9 = 251
+  ASSERT_EQ(sw::sw_score(q, q, m, {10, 2}), 251);
+  const StripedProfile8 prof(q, m);
+  ASSERT_EQ(255 - prof.bias(), 251);
+  const auto r = striped8_sw_score(prof, q, {10, 2});
+  EXPECT_FALSE(r.overflow);
+  EXPECT_EQ(r.score, 251);
+}
+
+TEST(Striped8, SaturationBoundaryFuzz) {
+  // Near the 8-bit ceiling the kernel must be exactly right in both
+  // directions: a score that fits (<= 255 - bias) is reported exactly with
+  // no overflow, and a score past the ceiling always raises overflow (the
+  // optimal path's adds must clamp).
+  const auto& m = ScoringMatrix::blosum62();
+  const GapPenalty gap{10, 2};
+  int exact = 0, overflowed = 0;
+  for (int seed = 0; seed < 400 && (exact < 10 || overflowed < 10); ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 104729 + 7);
+    const auto q = seq::random_protein(40 + rng.uniform_u64(40), rng).residues;
+    auto t = q;
+    for (auto& code : t) {
+      if (rng.uniform01() < 0.3) {
+        code = static_cast<seq::Code>(rng.uniform_u64(20));
+      }
+    }
+    const int want = sw::sw_score(q, t, m, gap);
+    if (want < 200 || want > 320) continue;
+    const StripedProfile8 prof(q, m);
+    const int limit = 255 - prof.bias();
+    const auto r = striped8_sw_score(prof, t, gap);
+    if (want > limit) {
+      EXPECT_TRUE(r.overflow) << "seed " << seed << " score " << want;
+      ++overflowed;
+    } else {
+      EXPECT_FALSE(r.overflow) << "seed " << seed << " score " << want;
+      EXPECT_EQ(r.score, want) << "seed " << seed;
+      ++exact;
+    }
+  }
+  EXPECT_GE(exact, 10);
+  EXPECT_GE(overflowed, 10);
+}
+
 TEST(StripedEngine, FallsBackExactlyWhenNeeded) {
   const auto& m = ScoringMatrix::blosum62();
   const GapPenalty gap{10, 2};
