@@ -13,7 +13,14 @@
 // ratio structure: a much larger original/improved gap at 567 (one strip,
 // no intermediate rows) than at 5478 (five strips), and roughly 10^7 vs
 // 10^6 accesses per 1024 query symbols.
+//
+// The JSON mirror goes beyond the printed table: each kernel/query entry
+// embeds the per-site attribution rows (gpusim::site_breakdown_json), so
+// the aggregate ratio can be decomposed into wavefront vs database vs
+// strip-boundary traffic without rerunning anything.
 #include "bench_common.h"
+#include "gpusim/report.h"
+#include "util/json.h"
 
 namespace cusw {
 namespace {
@@ -34,9 +41,11 @@ void run() {
   Table t({"kernel", "query 567", "query 5478", "ratio orig/imp @567",
            "ratio @5478"},
           1);
+  const std::size_t qlens[2] = {567, 5478};
   std::uint64_t txn[2][2] = {};
+  std::string query_json;
   for (int qi = 0; qi < 2; ++qi) {
-    const std::size_t qlen = qi == 0 ? 567 : 5478;
+    const std::size_t qlen = qlens[qi];
     Rng rng(qlen);
     const auto query = seq::random_protein(qlen, rng).residues;
     const auto imp =
@@ -45,6 +54,33 @@ void run() {
         cudasw::run_intra_task_original(dev, query, longs, matrix, gap, {});
     txn[0][qi] = imp.stats.global_memory_transactions();
     txn[1][qi] = orig.stats.global_memory_transactions();
+
+    const auto kernel_json = [](const char* name,
+                                const cudasw::KernelRun& run) {
+      return util::JsonFields()
+          .field("kernel", std::string_view(name))
+          .field("global_transactions",
+                 run.stats.global_memory_transactions())
+          .field("dram_bytes", run.stats.global.dram_bytes +
+                                   run.stats.local.dram_bytes +
+                                   run.stats.texture.dram_bytes)
+          .field("cells", run.cells)
+          .raw("sites", gpusim::site_breakdown_json(run.stats))
+          .object();
+    };
+    std::string kernels = "[";
+    kernels += kernel_json("intra_task_improved", imp);
+    kernels += ", ";
+    kernels += kernel_json("intra_task_original", orig);
+    kernels += "]";
+    if (qi) query_json += ",\n  ";
+    query_json += util::JsonFields()
+                      .field("query_length", static_cast<std::uint64_t>(qlen))
+                      .field("ratio_orig_over_imp",
+                             static_cast<double>(txn[1][qi]) /
+                                 static_cast<double>(txn[0][qi]))
+                      .raw("kernels", kernels)
+                      .object();
   }
   t.add_row({std::string("Imp. Kernel"), static_cast<std::int64_t>(txn[0][0]),
              static_cast<std::int64_t>(txn[0][1]),
@@ -53,6 +89,21 @@ void run() {
   t.add_row({std::string("Orig. Kernel"), static_cast<std::int64_t>(txn[1][0]),
              static_cast<std::int64_t>(txn[1][1]), 0.0, 0.0});
   bench::emit(t);
+
+  std::string queries = "[";
+  queries += query_json;
+  queries += "]";
+  std::string payload =
+      util::JsonFields()
+          .field("bench", std::string_view("table1_memory_transactions"))
+          .field("database_sequences",
+                 static_cast<std::uint64_t>(longs.size()))
+          .field("database_residues", longs.total_residues())
+          .raw("queries", queries)
+          .raw("table", t.to_json())
+          .object();
+  payload += "\n";
+  bench::emit_json("table1_memory_transactions", payload);
 
   // The paper's per-strip framing: accesses per 1024 query symbols.
   const double cells_5478 =
@@ -70,7 +121,7 @@ void run() {
 }  // namespace cusw
 
 int main(int argc, char** argv) {
-  cusw::bench::BenchMain bench_main(argc, argv, "table1_memory_transactions");
+  cusw::bench::BenchMain bench_main(argc, argv);
   cusw::run();
   return 0;
 }

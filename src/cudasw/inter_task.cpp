@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cusw::cudasw {
@@ -51,6 +52,13 @@ KernelRun run_inter_task(gpusim::Device& dev,
   const std::uint64_t db_base = arena.reserve(max_len * s_u);
   const std::uint64_t h_base = arena.reserve(max_len * s_u * 4);
   const std::uint64_t f_base = arena.reserve(max_len * s_u * 4);
+
+  // Attribution sites, interned once per run (see gpusim/site.h).
+  const gpusim::SiteId kSiteProfile = gpusim::intern_site("profile.tex_fetch");
+  const gpusim::SiteId kSiteDb = gpusim::intern_site("db.symbol_load");
+  const gpusim::SiteId kSiteRowLoad = gpusim::intern_site("row.load");
+  const gpusim::SiteId kSiteRowStore = gpusim::intern_site("row.store");
+  const gpusim::SiteId kSiteScore = gpusim::intern_site("score.store");
 
   gpusim::LaunchConfig cfg;
   cfg.label = "inter_task";
@@ -140,7 +148,7 @@ KernelRun run_inter_task(gpusim::Device& dev,
                       static_cast<std::size_t>(tile_cols) *
                       static_cast<std::size_t>(tile_cols)
                 : n * rows;
-        ctx.note_requests(gpusim::Space::Texture, fetches);
+        ctx.note_requests(gpusim::Space::Texture, fetches, kSiteProfile);
         ctx.charge(l, static_cast<double>(fetches) * kTexFetchCycles);
       }
 
@@ -174,18 +182,19 @@ KernelRun run_inter_task(gpusim::Device& dev,
             const auto cov4 = static_cast<std::uint64_t>(active) * 4;
             // Database symbols for this column.
             ctx.warp_access(gpusim::Space::Global, w, db_base + elem,
-                            static_cast<std::uint64_t>(active), false);
+                            static_cast<std::uint64_t>(active), false,
+                            kSiteDb);
             if (!first_row) {
               ctx.warp_access(gpusim::Space::Global, w, h_base + elem * 4,
-                              cov4, false);
+                              cov4, false, kSiteRowLoad);
               ctx.warp_access(gpusim::Space::Global, w, f_base + elem * 4,
-                              cov4, false);
+                              cov4, false, kSiteRowLoad);
             }
             if (!last_row) {
               ctx.warp_access(gpusim::Space::Global, w, h_base + elem * 4,
-                              cov4, true);
+                              cov4, true, kSiteRowStore);
               ctx.warp_access(gpusim::Space::Global, w, f_base + elem * 4,
-                              cov4, true);
+                              cov4, true, kSiteRowStore);
             }
           }
         }
@@ -199,9 +208,12 @@ KernelRun run_inter_task(gpusim::Device& dev,
       // Final score write-back.
       ctx.access(gpusim::Space::Global, l,
                  h_base + static_cast<std::uint64_t>(base_seq + l) * 4, 4,
-                 true);
+                 true, kSiteScore);
     }
   });
+  obs::Registry::global()
+      .counter(std::string("gpusim.kernel.") + cfg.label + ".cells")
+      .add(out.cells);
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "gpusim/occupancy.h"
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cusw::cudasw {
@@ -61,6 +62,11 @@ KernelRun run_inter_task_simd(gpusim::Device& dev,
   gpusim::MemoryArena arena;
   const std::uint64_t db_base =
       arena.reserve(max_len * static_cast<std::uint64_t>(group.size()));
+
+  // Attribution sites, interned once per run (see gpusim/site.h).
+  const gpusim::SiteId kSiteProfile = gpusim::intern_site("profile.tex_fetch");
+  const gpusim::SiteId kSiteDb = gpusim::intern_site("db.symbol_load");
+  const gpusim::SiteId kSiteScore = gpusim::intern_site("score.store");
 
   gpusim::LaunchConfig cfg;
   cfg.label = "inter_task_simd";
@@ -161,7 +167,8 @@ KernelRun run_inter_task_simd(gpusim::Device& dev,
           ctx.charge(lane, static_cast<double>(rows) * cell_cycles +
                                static_cast<double>(rows) * kTexFetchCycles /
                                    4.0);
-          ctx.note_requests(gpusim::Space::Texture, (rows + 3) / 4);
+          ctx.note_requests(gpusim::Space::Texture, (rows + 3) / 4,
+                            kSiteProfile);
           ctx.shared_access(lane, 2 + (j > 0 ? 2 : 0));
         }
         // Database symbol for this quad's current columns: one byte per
@@ -172,7 +179,7 @@ KernelRun run_inter_task_simd(gpusim::Device& dev,
                      db_base + (k % max_len) *
                                    static_cast<std::uint64_t>(group.size()) +
                          static_cast<std::uint64_t>(base_seq + q),
-                     1, false);
+                     1, false, kSiteDb);
         }
       }
       if (active_lanes == 0) break;
@@ -183,9 +190,12 @@ KernelRun run_inter_task_simd(gpusim::Device& dev,
           best[static_cast<std::size_t>(q)];
       ctx.access(gpusim::Space::Global, q * kLanes,
                  db_base + static_cast<std::uint64_t>(base_seq + q) * 4, 4,
-                 true);
+                 true, kSiteScore);
     }
   });
+  obs::Registry::global()
+      .counter(std::string("gpusim.kernel.") + cfg.label + ".cells")
+      .add(out.cells);
   return out;
 }
 

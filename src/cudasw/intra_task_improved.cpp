@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cusw::cudasw {
@@ -80,6 +81,16 @@ KernelRun run_intra_task_improved(gpusim::Device& dev,
 
   const bool spill_swap = !params.deep_swap;
   const bool spill_unroll = !params.unroll_profile_loop;
+
+  // Access sites for the memory-hierarchy attribution profiler, interned
+  // once here (never in per-cell loops — interning takes a lock).
+  const gpusim::SiteId kSiteProfile = gpusim::intern_site("profile.tex_fetch");
+  const gpusim::SiteId kSiteDb = gpusim::intern_site("db.symbol_load");
+  const gpusim::SiteId kSiteSpill = gpusim::intern_site("local.spill");
+  const gpusim::SiteId kSiteStripLoad =
+      gpusim::intern_site("strip.boundary_load");
+  const gpusim::SiteId kSiteStripStore =
+      gpusim::intern_site("strip.boundary_store");
 
   gpusim::LaunchConfig cfg;
   cfg.label = "intra_task_improved";
@@ -184,7 +195,8 @@ KernelRun run_intra_task_improved(gpusim::Device& dev,
               for (std::size_t r4 = 0; r4 < rows; r4 += 4) {
                 const std::size_t block_idx = (r0 + r4) / 4;
                 const sw::Packed4 word{ctx.tex(
-                    packed_tex, packed.texel_index(d, block_idx), t)};
+                    packed_tex, packed.texel_index(d, block_idx), t,
+                    kSiteProfile)};
                 for (int lane = 0; lane < 4 && r4 + static_cast<std::size_t>(
                                                     lane) < rows;
                      ++lane)
@@ -194,7 +206,8 @@ KernelRun run_intra_task_improved(gpusim::Device& dev,
             } else {
               for (std::size_t r = 0; r < rows; ++r) {
                 score_col[r] = ctx.tex(
-                    plain_tex, static_cast<std::size_t>(d) * m + r0 + r, t);
+                    plain_tex, static_cast<std::size_t>(d) * m + r0 + r, t,
+                    kSiteProfile);
               }
             }
 
@@ -255,25 +268,29 @@ KernelRun run_intra_task_improved(gpusim::Device& dev,
               const auto off = static_cast<std::uint64_t>(c_off);
               ctx.warp_access(gpusim::Space::Global, w,
                               db_base + db_offset[blk] + c_min + off,
-                              span > off ? span - off : 1, false);
+                              span > off ? span - off : 1, false, kSiteDb);
             }
             // §III-A spill variants: tile register arrays demoted to local
             // memory, read+written once per element per tile.
             if (spill_swap) {
               ctx.warp_access(gpusim::Space::Local, w, spill_base,
-                              static_cast<std::uint64_t>(2 * th * 4 * 32), false);
+                              static_cast<std::uint64_t>(2 * th * 4 * 32),
+                              false, kSiteSpill);
               ctx.warp_access(gpusim::Space::Local, w, spill_base,
-                              static_cast<std::uint64_t>(2 * th * 4 * 32), true);
+                              static_cast<std::uint64_t>(2 * th * 4 * 32),
+                              true, kSiteSpill);
             }
             if (spill_unroll) {
               ctx.warp_access(gpusim::Space::Local, w,
                               spill_base + static_cast<std::uint64_t>(
                                                2 * th * 4 * n_th),
-                              static_cast<std::uint64_t>(th * 4 * 32), false);
+                              static_cast<std::uint64_t>(th * 4 * 32), false,
+                              kSiteSpill);
               ctx.warp_access(gpusim::Space::Local, w,
                               spill_base + static_cast<std::uint64_t>(
                                                2 * th * 4 * n_th),
-                              static_cast<std::uint64_t>(th * 4 * 32), true);
+                              static_cast<std::uint64_t>(th * 4 * 32), true,
+                              kSiteSpill);
             }
           }
 
@@ -288,9 +305,11 @@ KernelRun run_intra_task_improved(gpusim::Device& dev,
               const std::uint64_t a =
                   (row_offset[blk] + c_first) * 4;
               ctx.access(gpusim::Space::Global, 0, row_h_base + a,
-                         static_cast<std::uint32_t>(4 * tw), false);
+                         static_cast<std::uint32_t>(4 * tw), false,
+                         kSiteStripLoad);
               ctx.access(gpusim::Space::Global, 0, row_f_base + a,
-                         static_cast<std::uint32_t>(4 * tw), false);
+                         static_cast<std::uint32_t>(4 * tw), false,
+                         kSiteStripLoad);
             }
           }
           if (t_hi == live_threads - 1 && pass + 1 < passes) {
@@ -307,18 +326,20 @@ KernelRun run_intra_task_improved(gpusim::Device& dev,
                 // One warp cooperatively flushes 32 columns of H and F.
                 const std::uint64_t a = (row_offset[blk] + c_last) * 4;
                 ctx.warp_access(gpusim::Space::Global, t_hi / 32,
-                                row_h_base + a, 32 * 4, true);
+                                row_h_base + a, 32 * 4, true, kSiteStripStore);
                 ctx.warp_access(gpusim::Space::Global, t_hi / 32,
-                                row_f_base + a, 32 * 4, true);
+                                row_f_base + a, 32 * 4, true, kSiteStripStore);
                 ctx.shared_access(t_hi, 2 * 2);  // re-read staged values
                 staged_io = 0;
               }
             } else {
               const std::uint64_t a = (row_offset[blk] + c_last) * 4;
               ctx.access(gpusim::Space::Global, t_hi, row_h_base + a,
-                         static_cast<std::uint32_t>(4 * tw), true);
+                         static_cast<std::uint32_t>(4 * tw), true,
+                         kSiteStripStore);
               ctx.access(gpusim::Space::Global, t_hi, row_f_base + a,
-                         static_cast<std::uint32_t>(4 * tw), true);
+                         static_cast<std::uint32_t>(4 * tw), true,
+                         kSiteStripStore);
             }
           }
         }
@@ -336,6 +357,9 @@ KernelRun run_intra_task_improved(gpusim::Device& dev,
     }
     out.scores[blk] = best;
   });
+  obs::Registry::global()
+      .counter(std::string("gpusim.kernel.") + cfg.label + ".cells")
+      .add(out.cells);
   return out;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cusw::cudasw {
@@ -46,6 +47,12 @@ KernelRun run_intra_task_original(gpusim::Device& dev,
   }
   const std::uint64_t db_base = arena.reserve(db_total);
   const std::uint64_t query_base = arena.reserve((m + 31) & ~std::size_t{31});
+
+  // Attribution sites, interned once per run (see gpusim/site.h).
+  const gpusim::SiteId kSiteWaveLoad = gpusim::intern_site("wavefront.load");
+  const gpusim::SiteId kSiteWaveStore = gpusim::intern_site("wavefront.store");
+  const gpusim::SiteId kSiteQuery = gpusim::intern_site("query.symbol_load");
+  const gpusim::SiteId kSiteDb = gpusim::intern_site("db.symbol_load");
 
   gpusim::LaunchConfig cfg;
   cfg.label = "intra_task_original";
@@ -119,30 +126,33 @@ KernelRun run_intra_task_original(gpusim::Device& dev,
           const int ep = 3 + static_cast<int>((d + 1) % 2);
           const int fp = 5 + static_cast<int>((d + 1) % 2);
           ctx.warp_access(gpusim::Space::Global, w, bank_addr(hp, i0), b4,
-                          false);
+                          false, kSiteWaveLoad);
           // H[d-1][i-1], F[d-1][i-1]: shifted reads, distinct transactions
           // at the warp boundary.
           ctx.warp_access(gpusim::Space::Global, w,
-                          bank_addr(hp, i0 > 0 ? i0 - 1 : 0), b4, false);
+                          bank_addr(hp, i0 > 0 ? i0 - 1 : 0), b4, false,
+                          kSiteWaveLoad);
           ctx.warp_access(gpusim::Space::Global, w,
-                          bank_addr(hp2, i0 > 0 ? i0 - 1 : 0), b4, false);
+                          bank_addr(hp2, i0 > 0 ? i0 - 1 : 0), b4, false,
+                          kSiteWaveLoad);
           ctx.warp_access(gpusim::Space::Global, w, bank_addr(ep, i0), b4,
-                          false);
+                          false, kSiteWaveLoad);
           ctx.warp_access(gpusim::Space::Global, w,
-                          bank_addr(fp, i0 > 0 ? i0 - 1 : 0), b4, false);
+                          bank_addr(fp, i0 > 0 ? i0 - 1 : 0), b4, false,
+                          kSiteWaveLoad);
           ctx.warp_access(gpusim::Space::Global, w, bank_addr(h_bank, i0), b4,
-                          true);
+                          true, kSiteWaveStore);
           ctx.warp_access(gpusim::Space::Global, w, bank_addr(e_bank, i0), b4,
-                          true);
+                          true, kSiteWaveStore);
           ctx.warp_access(gpusim::Space::Global, w, bank_addr(f_bank, i0), b4,
-                          true);
+                          true, kSiteWaveStore);
           // Query symbol (by i) and database symbol (by j = d - i).
           ctx.warp_access(gpusim::Space::Global, w, query_base + i0, span,
-                          false);
+                          false, kSiteQuery);
           const std::uint64_t j_hi = d - i0;  // j for the first lane
           ctx.warp_access(gpusim::Space::Global, w,
                           db_base + db_offset[blk] + (j_hi >= span ? j_hi - span + 1 : 0),
-                          span, false);
+                          span, false, kSiteDb);
         }
         ctx.sync();
       }
@@ -154,6 +164,9 @@ KernelRun run_intra_task_original(gpusim::Device& dev,
     }
     out.scores[blk] = best;
   });
+  obs::Registry::global()
+      .counter(std::string("gpusim.kernel.") + cfg.label + ".cells")
+      .add(out.cells);
   return out;
 }
 

@@ -13,6 +13,7 @@
 #include "obs/profile.h"
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/json.h"
 #include "util/parallel.h"
 #include "util/thread_pool.h"
 
@@ -39,21 +40,22 @@ void add_block_counters(LaunchStats& into, const LaunchStats& block) {
   into.global += block.global;
   into.local += block.local;
   into.texture += block.texture;
+  for (const SiteCounters& sc : block.sites)
+    into.site_counters(sc.site, sc.space) += sc.counters;
   into.shared_accesses += block.shared_accesses;
   into.bank_conflict_cycles += block.bank_conflict_cycles;
   into.syncs += block.syncs;
   into.windows += block.windows;
 }
 
+// Mirror one SpaceCounters into the registry. Iterates the canonical field
+// visitor so a field added to the struct is published (and, through the
+// same visitor, tested) without touching this file.
 void publish_space(obs::Registry& reg, const std::string& prefix,
                    const SpaceCounters& c) {
-  reg.counter(prefix + "requests").add(c.requests);
-  reg.counter(prefix + "transactions").add(c.transactions);
-  reg.counter(prefix + "dram_transactions").add(c.dram_transactions);
-  reg.counter(prefix + "dram_bytes").add(c.dram_bytes);
-  reg.counter(prefix + "l1_hits").add(c.l1_hits);
-  reg.counter(prefix + "l2_hits").add(c.l2_hits);
-  reg.counter(prefix + "tex_hits").add(c.tex_hits);
+  for_each_space_counter_field(c, [&](const char* field, std::uint64_t v) {
+    reg.counter(prefix + field).add(v);
+  });
 }
 
 // Mirror a finished launch into the metrics registry: per-kernel counters
@@ -72,6 +74,13 @@ void publish_launch_metrics(const char* label, const LaunchStats& s) {
   publish_space(reg, p + "global.", s.global);
   publish_space(reg, p + "local.", s.local);
   publish_space(reg, p + "texture.", s.texture);
+  // Per-site attribution rows under <label>.site.<site>.<space>.* — the
+  // same field set as the space totals, to which they sum exactly.
+  for (const SiteCounters& sc : s.sites) {
+    publish_space(reg, p + "site." + site_name(sc.site) + "." +
+                           space_name(sc.space) + ".",
+                  sc.counters);
+  }
   reg.gauge(p + "seconds").add(s.seconds);
   reg.gauge(p + "makespan_cycles").add(s.makespan_cycles);
   reg.gauge(p + "total_block_cycles").add(s.total_block_cycles);
@@ -142,10 +151,11 @@ void emit_device_trace(obs::TraceWriter& tw, int pid, double t0,
   launch_ev.tid = 0;
   launch_ev.ts_us = t0;
   launch_ev.dur_us = stats.seconds * 1e6;
-  launch_ev.args_json =
-      "\"blocks\": " + std::to_string(cfg.blocks) +
-      ", \"threads_per_block\": " + std::to_string(cfg.threads_per_block) +
-      ", \"occupancy\": " + std::to_string(stats.occupancy.occupancy);
+  launch_ev.args_json = util::JsonFields()
+                            .field("blocks", cfg.blocks)
+                            .field("threads_per_block", cfg.threads_per_block)
+                            .field("occupancy", stats.occupancy.occupancy)
+                            .list();
   tw.span(std::move(launch_ev));
 
   const double blocks_t0 = t0 + eff.launch_overhead_us;
@@ -172,11 +182,15 @@ void emit_device_trace(obs::TraceWriter& tw, int pid, double t0,
       we.tid = slot + 1;
       we.ts_us = block_ts + w.start_cycles * us_per_cycle;
       we.dur_us = w.cycles * us_per_cycle;
-      we.args_json =
-          "\"transactions\": " + std::to_string(w.transactions) +
-          ", \"dram\": " + std::to_string(w.dram_transactions) +
-          ", \"cache_hits\": " + std::to_string(w.cache_hits) +
-          ", \"shared\": " + std::to_string(w.shared_accesses);
+      // `requests` rides along so per-window coalescing efficiency
+      // (requests / transactions) is computable straight from the trace.
+      we.args_json = util::JsonFields()
+                         .field("requests", w.requests)
+                         .field("transactions", w.transactions)
+                         .field("dram", w.dram_transactions)
+                         .field("cache_hits", w.cache_hits)
+                         .field("shared", w.shared_accesses)
+                         .list();
       tw.span(std::move(we));
     }
   }
@@ -241,14 +255,14 @@ void BlockCtx::shared_access_strided(int lane, std::uint64_t n,
 }
 
 void BlockCtx::access(Space space, int lane, std::uint64_t addr,
-                      std::uint32_t bytes, bool write) {
+                      std::uint32_t bytes, bool write, SiteId site) {
   records_.push_back(Record{addr, bytes, static_cast<std::uint16_t>(lane / 32),
-                            space, write});
+                            site, space, write});
   warp_instr_[static_cast<std::size_t>(lane / 32)] += 1.0 / 32.0;
 }
 
 void BlockCtx::warp_access(Space space, int warp, std::uint64_t addr,
-                           std::uint64_t bytes, bool write) {
+                           std::uint64_t bytes, bool write, SiteId site) {
   warp_instr_[static_cast<std::size_t>(warp)] += 1.0;
   // Split long cooperative runs so a single record never spans more than
   // 1 GiB (records store 32-bit lengths); typical runs are far smaller.
@@ -256,14 +270,15 @@ void BlockCtx::warp_access(Space space, int warp, std::uint64_t addr,
     const std::uint32_t chunk = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(bytes, 1u << 30));
     records_.push_back(Record{addr, chunk, static_cast<std::uint16_t>(warp),
-                              space, write});
+                              site, space, write});
     addr += chunk;
     bytes -= chunk;
   }
 }
 
 void BlockCtx::local_access(int lane, int array_id, std::uint32_t index,
-                            std::uint32_t elem_bytes, bool write) {
+                            std::uint32_t elem_bytes, bool write,
+                            SiteId site) {
   // nvcc interleaves local arrays across threads: element i of thread t
   // lives at base + (i * threads + t) * elem_bytes, so lockstep accesses
   // from a warp are contiguous.
@@ -274,8 +289,8 @@ void BlockCtx::local_access(int lane, int array_id, std::uint32_t index,
        static_cast<std::uint64_t>(lane)) *
           elem_bytes;
   records_.push_back(Record{addr, elem_bytes,
-                            static_cast<std::uint16_t>(lane / 32), Space::Local,
-                            write});
+                            static_cast<std::uint16_t>(lane / 32), site,
+                            Space::Local, write});
 }
 
 void BlockCtx::close_window(bool barrier) {
@@ -311,6 +326,7 @@ void BlockCtx::close_window(bool barrier) {
   segs_.clear();
   for (const Record& r : records_) {
     stats_->requests_for(r.space) += 1;
+    stats_->site_counters(r.site, r.space).requests += 1;
     const std::uint64_t first = r.addr / 128;
     const std::uint64_t last = (r.addr + r.bytes - 1) / 128;
     for (std::uint64_t s = first; s <= last; ++s) {
@@ -319,17 +335,24 @@ void BlockCtx::close_window(bool barrier) {
       const std::uint32_t covered = static_cast<std::uint32_t>(
           std::min<std::uint64_t>(r.addr + r.bytes, seg_hi) -
           std::max<std::uint64_t>(r.addr, seg_lo));
-      segs_.push_back(SegKey{s, covered, r.warp, r.space, r.write});
+      segs_.push_back(SegKey{s, covered, r.warp, r.site, r.space, r.write});
     }
   }
   records_.clear();
 
-  std::sort(segs_.begin(), segs_.end(), [](const SegKey& a, const SegKey& b) {
-    if (a.warp != b.warp) return a.warp < b.warp;
-    if (a.space != b.space) return a.space < b.space;
-    if (a.write != b.write) return a.write < b.write;
-    return a.seg < b.seg;
-  });
+  // Stable sort: the site is *not* part of the merge key (two sites
+  // touching the same segment in one window still coalesce into one
+  // transaction, as on hardware), so the merged transaction is attributed
+  // to the site whose record was issued first. Stability makes that
+  // attribution follow kernel program order — deterministic for any host
+  // thread count and across runs.
+  std::stable_sort(segs_.begin(), segs_.end(),
+                   [](const SegKey& a, const SegKey& b) {
+                     if (a.warp != b.warp) return a.warp < b.warp;
+                     if (a.space != b.space) return a.space < b.space;
+                     if (a.write != b.write) return a.write < b.write;
+                     return a.seg < b.seg;
+                   });
 
   // ---- cache filtering + latency chains ----------------------------------
   std::uint64_t window_dram_bytes = 0;
@@ -352,22 +375,32 @@ void BlockCtx::close_window(bool barrier) {
     const std::uint32_t txn_bytes = size_class(covered);
     const std::uint64_t addr = k.seg * 128;
     SpaceCounters& ctr = stats_->counters_for(k.space);
+    // Attribution row of the owning site: every transaction, hit and DRAM
+    // byte below is counted into both the space total and exactly one
+    // site, so per-site rows sum to the totals bit for bit.
+    SpaceCounters& sctr = stats_->site_counters(k.site, k.space);
     ctr.transactions += 1;
+    sctr.transactions += 1;
     warp_txn += 1;
 
     if (k.space == Space::Texture) {
       if (tex_cache_.access(addr)) {
         ctr.tex_hits += 1;
+        sctr.tex_hits += 1;
         warp_latency += spec_->tex_hit_latency;
       } else if (tex_l2_->enabled() && tex_l2_->access(addr)) {
         ctr.l2_hits += 1;
+        sctr.l2_hits += 1;
         warp_latency += spec_->l2_latency;
       } else if (spec_->has_l2 && l2_->access(addr)) {
         ctr.l2_hits += 1;
+        sctr.l2_hits += 1;
         warp_latency += spec_->l2_latency;
       } else {
         ctr.dram_transactions += 1;
+        sctr.dram_transactions += 1;
         ctr.dram_bytes += 32;  // texture line fill
+        sctr.dram_bytes += 32;
         window_dram_bytes += 32;
         warp_latency += spec_->dram_latency;
       }
@@ -381,20 +414,26 @@ void BlockCtx::close_window(bool barrier) {
       if (spec_->has_l1) l1_.invalidate(addr);
       if (spec_->has_l2) l2_->access(addr);
       ctr.dram_transactions += 1;
+      sctr.dram_transactions += 1;
       ctr.dram_bytes += txn_bytes;
+      sctr.dram_bytes += txn_bytes;
       window_dram_bytes += txn_bytes;
       continue;
     }
 
     if (spec_->has_l1 && l1_.access(addr)) {
       ctr.l1_hits += 1;
+      sctr.l1_hits += 1;
       warp_latency += spec_->l1_latency;
     } else if (spec_->has_l2 && l2_->access(addr)) {
       ctr.l2_hits += 1;
+      sctr.l2_hits += 1;
       warp_latency += spec_->l2_latency;
     } else {
       ctr.dram_transactions += 1;
+      sctr.dram_transactions += 1;
       ctr.dram_bytes += txn_bytes;
+      sctr.dram_bytes += txn_bytes;
       window_dram_bytes += txn_bytes;
       warp_latency += spec_->dram_latency;
     }
@@ -447,6 +486,9 @@ void BlockCtx::close_window(bool barrier) {
     e.start_cycles = block_cycles_;
     e.cycles = window;
     e.barrier = barrier;
+    e.requests = (s.global.requests - b.global.requests) +
+                 (s.local.requests - b.local.requests) +
+                 (s.texture.requests - b.texture.requests);
     e.transactions = (s.global.transactions - b.global.transactions) +
                      (s.local.transactions - b.local.transactions) +
                      (s.texture.transactions - b.texture.transactions);

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <functional>
 #include <mutex>
+#include <string_view>
 #include <vector>
 
 #include "gpusim/cache.h"
@@ -26,6 +27,7 @@
 #include "gpusim/memory.h"
 #include "gpusim/observer.h"
 #include "gpusim/occupancy.h"
+#include "gpusim/site.h"
 
 namespace cusw::gpusim {
 
@@ -45,10 +47,24 @@ struct LaunchConfig {
   const char* label = "kernel";
 };
 
+/// Per-(site, space) slice of a launch's counters: the attribution rows
+/// behind the space totals. Each transaction, hit and DRAM byte is
+/// attributed to exactly one site, so summing `counters` over all entries
+/// of one space reproduces that space's `SpaceCounters` bit for bit.
+struct SiteCounters {
+  SiteId site = kSiteUnattributed;
+  Space space = Space::Global;
+  SpaceCounters counters;
+};
+
 struct LaunchStats {
   SpaceCounters global;
   SpaceCounters local;
   SpaceCounters texture;
+  /// Per-site attribution rows, in first-touch order (reduced in
+  /// block-index order, so the order — like every value — is independent
+  /// of the host thread count). Typically ~a dozen entries per kernel.
+  std::vector<SiteCounters> sites;
   std::uint64_t shared_accesses = 0;
   std::uint64_t bank_conflict_cycles = 0;
   std::uint64_t syncs = 0;
@@ -78,6 +94,8 @@ struct LaunchStats {
     global += o.global;
     local += o.local;
     texture += o.texture;
+    for (const SiteCounters& sc : o.sites)
+      site_counters(sc.site, sc.space) += sc.counters;
     shared_accesses += o.shared_accesses;
     bank_conflict_cycles += o.bank_conflict_cycles;
     syncs += o.syncs;
@@ -119,7 +137,30 @@ struct LaunchStats {
     }
     return global;  // unreachable
   }
+  const SpaceCounters& counters_for(Space s) const {
+    return const_cast<LaunchStats*>(this)->counters_for(s);
+  }
   std::uint64_t& requests_for(Space s) { return counters_for(s).requests; }
+
+  /// Attribution row for (site, space), created on first touch. Linear
+  /// scan: launches carry ~a dozen sites, and the per-window path scans
+  /// sorted runs so consecutive lookups mostly hit the same entry.
+  SpaceCounters& site_counters(SiteId site, Space space) {
+    for (SiteCounters& sc : sites) {
+      if (sc.site == site && sc.space == space) return sc.counters;
+    }
+    sites.push_back(SiteCounters{site, space, {}});
+    return sites.back().counters;
+  }
+
+  /// Attribution row by site *name* (stable across runs), or nullptr.
+  const SpaceCounters* find_site(std::string_view name, Space space) const {
+    for (const SiteCounters& sc : sites) {
+      if (sc.space == space && site_name(sc.site) == name)
+        return &sc.counters;
+    }
+    return nullptr;
+  }
 };
 
 class Device;
@@ -154,45 +195,59 @@ class BlockCtx {
   static int bank_conflict_degree(int word_stride);
 
   // ---- memory access records -------------------------------------------
+  // Every record may carry an interned access-site label (gpusim/site.h);
+  // the profiler attributes the resulting requests, transactions and cache
+  // hits to that site (kSiteUnattributed when omitted). Intern sites once
+  // at launch setup, never inside per-cell loops.
+
   /// Record a contiguous per-lane access run of `bytes` at device address
   /// `addr`. Runs from lanes of the same warp coalesce into 128 B segments.
   void access(Space space, int lane, std::uint64_t addr, std::uint32_t bytes,
-              bool write);
+              bool write, SiteId site = kSiteUnattributed);
 
   /// Record a run accessed cooperatively by a whole warp (already
   /// coalesced); cheaper than 32 per-lane records.
   void warp_access(Space space, int warp, std::uint64_t addr,
-                   std::uint64_t bytes, bool write);
+                   std::uint64_t bytes, bool write,
+                   SiteId site = kSiteUnattributed);
 
   /// CUDA local-memory access: per-thread array `array_id`, element
   /// `index` of `elem_bytes`. Addresses are interleaved across threads the
   /// way nvcc lays local memory out, so lockstep accesses coalesce — yet
   /// the traffic still goes to DRAM, reproducing the §III-A penalty.
   void local_access(int lane, int array_id, std::uint32_t index,
-                    std::uint32_t elem_bytes, bool write);
+                    std::uint32_t elem_bytes, bool write,
+                    SiteId site = kSiteUnattributed);
 
   // ---- functional + accounted element accesses --------------------------
   template <class T>
-  T ld(const Buffer<T>& buf, std::size_t i, int lane) {
-    access(Space::Global, lane, buf.device_addr(i), sizeof(T), false);
+  T ld(const Buffer<T>& buf, std::size_t i, int lane,
+       SiteId site = kSiteUnattributed) {
+    access(Space::Global, lane, buf.device_addr(i), sizeof(T), false, site);
     return buf[i];
   }
 
   template <class T>
-  void st(Buffer<T>& buf, std::size_t i, T v, int lane) {
-    access(Space::Global, lane, buf.device_addr(i), sizeof(T), true);
+  void st(Buffer<T>& buf, std::size_t i, T v, int lane,
+          SiteId site = kSiteUnattributed) {
+    access(Space::Global, lane, buf.device_addr(i), sizeof(T), true, site);
     buf[i] = v;
   }
 
   template <class T>
-  T tex(const TextureBuffer<T>& buf, std::size_t i, int lane) {
-    access(Space::Texture, lane, buf.device_addr(i), sizeof(T), false);
+  T tex(const TextureBuffer<T>& buf, std::size_t i, int lane,
+        SiteId site = kSiteUnattributed) {
+    access(Space::Texture, lane, buf.device_addr(i), sizeof(T), false, site);
     return buf[i];
   }
 
   /// Bump a space's request counter without simulating addresses — for
   /// traffic that is modelled statistically (documented per call site).
-  void note_requests(Space s, std::uint64_t n) { stats_->requests_for(s) += n; }
+  void note_requests(Space s, std::uint64_t n,
+                     SiteId site = kSiteUnattributed) {
+    stats_->requests_for(s) += n;
+    stats_->site_counters(site, s).requests += n;
+  }
 
   // ---- window control ----------------------------------------------------
   /// Barrier: close the window and charge the barrier cost.
@@ -210,6 +265,7 @@ class BlockCtx {
     std::uint64_t addr;
     std::uint32_t bytes;
     std::uint16_t warp;
+    SiteId site;
     Space space;
     bool write;
   };
@@ -257,6 +313,7 @@ class BlockCtx {
     std::uint64_t seg;
     std::uint32_t bytes;
     std::uint16_t warp;
+    SiteId site;
     Space space;
     bool write;
   };

@@ -16,6 +16,20 @@ namespace cusw::gpusim {
 
 enum class Space : std::uint8_t { Global, Local, Texture };
 
+/// Stable lowercase name of a memory space ("global" / "local" /
+/// "texture"), used in metric paths and counter reports.
+inline const char* space_name(Space s) {
+  switch (s) {
+    case Space::Global:
+      return "global";
+    case Space::Local:
+      return "local";
+    case Space::Texture:
+      return "texture";
+  }
+  return "global";  // unreachable
+}
+
 struct SpaceCounters {
   std::uint64_t requests = 0;      // access records before coalescing
   std::uint64_t transactions = 0;  // post-coalescing memory transactions
@@ -36,6 +50,25 @@ struct SpaceCounters {
     return *this;
   }
 };
+
+/// Visit every SpaceCounters field as (name, value reference). This is the
+/// single source of truth for the counter schema: the registry mirror in
+/// gpusim::launch, the bit-for-bit mirror test, and the cusw-counters
+/// report all iterate it, so a field added here is automatically
+/// published, reported and tested. The static_assert below trips when a
+/// field is added to the struct without extending the visitor.
+template <class C, class F>
+inline void for_each_space_counter_field(C&& c, F&& f) {
+  static_assert(sizeof(SpaceCounters) == 7 * sizeof(std::uint64_t),
+                "SpaceCounters changed: extend for_each_space_counter_field");
+  f("requests", c.requests);
+  f("transactions", c.transactions);
+  f("dram_transactions", c.dram_transactions);
+  f("dram_bytes", c.dram_bytes);
+  f("l1_hits", c.l1_hits);
+  f("l2_hits", c.l2_hits);
+  f("tex_hits", c.tex_hits);
+}
 
 /// A device allocation. Functional storage plus a stable device address.
 template <class T>

@@ -21,6 +21,7 @@ struct WindowEvent {
   double start_cycles = 0.0;       // block-local start of the window
   double cycles = 0.0;             // cost of this window
   bool barrier = false;            // closed by sync() rather than flush()
+  std::uint64_t requests = 0;      // pre-coalescing records, all spaces
   std::uint64_t transactions = 0;  // global + local + texture
   std::uint64_t dram_transactions = 0;
   std::uint64_t cache_hits = 0;    // l1 + l2 + texture hits, all spaces

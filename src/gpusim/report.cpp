@@ -1,7 +1,10 @@
 #include "gpusim/report.h"
 
+#include <algorithm>
 #include <iomanip>
 #include <sstream>
+
+#include "util/json.h"
 
 namespace cusw::gpusim {
 
@@ -58,6 +61,39 @@ std::string format_launch_line(const std::string& label,
      << stats.texture.transactions << ", shared " << stats.shared_accesses
      << ", syncs " << stats.syncs;
   return os.str();
+}
+
+std::string site_breakdown_json(const LaunchStats& stats) {
+  std::vector<SiteCounters> rows = stats.sites;
+  std::sort(rows.begin(), rows.end(),
+            [](const SiteCounters& a, const SiteCounters& b) {
+              const std::string& an = site_name(a.site);
+              const std::string& bn = site_name(b.site);
+              if (an != bn) return an < bn;
+              return static_cast<int>(a.space) < static_cast<int>(b.space);
+            });
+  std::string out = "[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    util::JsonFields f;
+    f.field("site", std::string_view(site_name(rows[i].site)));
+    f.field("space", std::string_view(space_name(rows[i].space)));
+    const SpaceCounters& c = rows[i].counters;
+    for_each_space_counter_field(c, [&](const char* field, std::uint64_t v) {
+      f.field(field, v);
+    });
+    if (c.transactions > 0) {
+      f.field("coalescing_efficiency",
+              static_cast<double>(c.requests) /
+                  static_cast<double>(c.transactions));
+      f.field("hit_rate",
+              static_cast<double>(c.l1_hits + c.l2_hits + c.tex_hits) /
+                  static_cast<double>(c.transactions));
+    }
+    out += i ? ",\n   " : "\n   ";
+    out += f.object();
+  }
+  out += "\n  ]";
+  return out;
 }
 
 }  // namespace cusw::gpusim

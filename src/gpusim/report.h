@@ -18,4 +18,11 @@ std::string format_launch_report(const LaunchStats& stats,
 std::string format_launch_line(const std::string& label,
                                const LaunchStats& stats);
 
+/// The launch's per-site attribution rows as a JSON array
+/// (`[{"site": ..., "space": ..., counters..., "coalescing_efficiency":
+/// ..., "hit_rate": ...}, ...]`), sorted by (site name, space) so the
+/// output is stable across runs regardless of interning order. Benches
+/// embed this next to their aggregate numbers.
+std::string site_breakdown_json(const LaunchStats& stats);
+
 }  // namespace cusw::gpusim

@@ -1,0 +1,61 @@
+#include "gpusim/site.h"
+
+#include <deque>
+#include <map>
+#include <mutex>
+
+#include "util/check.h"
+
+namespace cusw::gpusim {
+
+namespace {
+
+// The interner: names live in a deque so references never move, the map
+// keys view into it. Guarded by a plain mutex — interning happens at
+// launch setup, never on the per-record path.
+struct SiteTable {
+  std::mutex mu;
+  std::deque<std::string> names;
+  std::map<std::string, SiteId, std::less<>> ids;
+
+  SiteTable() {
+    names.emplace_back("unattributed");
+    ids.emplace(names.back(), kSiteUnattributed);
+  }
+};
+
+SiteTable& table() {
+  // Leaked intentionally: atexit reporters resolve site names after static
+  // destructors would have run (same contract as obs::Registry::global).
+  static SiteTable* t = new SiteTable;
+  return *t;
+}
+
+}  // namespace
+
+SiteId intern_site(std::string_view name) {
+  SiteTable& t = table();
+  std::lock_guard<std::mutex> lk(t.mu);
+  const auto it = t.ids.find(name);
+  if (it != t.ids.end()) return it->second;
+  CUSW_CHECK(t.names.size() < 0xFFFF, "site table overflow");
+  const auto id = static_cast<SiteId>(t.names.size());
+  t.names.emplace_back(name);
+  t.ids.emplace(t.names.back(), id);
+  return id;
+}
+
+const std::string& site_name(SiteId id) {
+  SiteTable& t = table();
+  std::lock_guard<std::mutex> lk(t.mu);
+  if (id >= t.names.size()) return t.names.front();
+  return t.names[id];
+}
+
+std::size_t site_count() {
+  SiteTable& t = table();
+  std::lock_guard<std::mutex> lk(t.mu);
+  return t.names.size();
+}
+
+}  // namespace cusw::gpusim

@@ -1,0 +1,38 @@
+// Access-site interning: the per-source-site attribution labels carried by
+// gpusim access records (DESIGN.md §9). A site names one memory-access
+// statement in a kernel ("profile.tex_fetch", "strip.boundary_store"); the
+// profiler attributes every request, transaction and cache hit to the site
+// that issued it, the way Nsight Compute attributes SASS memory
+// instructions to source lines.
+//
+// Sites are interned once, at kernel-launch setup time, into small dense
+// ids; the per-record hot path carries only the id. Interning is process
+// global so the same label always maps to the same id within a run, and
+// reports always key on the *name*, which is stable across runs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cusw::gpusim {
+
+using SiteId = std::uint16_t;
+
+/// Id 0 is pre-registered as "unattributed": the site of every access
+/// record whose call site predates attribution (or chooses not to label).
+inline constexpr SiteId kSiteUnattributed = 0;
+
+/// Intern `name`, returning its stable id (allocating one on first use).
+/// Thread-safe; cheap enough for launch setup, not for per-cell loops —
+/// kernels intern once and reuse the id.
+SiteId intern_site(std::string_view name);
+
+/// Name of an interned site. References stay valid for the process
+/// lifetime. Unknown ids report as "unattributed".
+const std::string& site_name(SiteId id);
+
+/// Number of interned sites (including the pre-registered id 0).
+std::size_t site_count();
+
+}  // namespace cusw::gpusim

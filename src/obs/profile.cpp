@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/counters.h"
 #include "obs/trace.h"
 #include "util/table.h"
 
@@ -100,6 +101,20 @@ void export_at_exit() {
       std::fclose(f);
       std::printf("cusw-obs: wrote metrics to %s\n", path);
     }
+  }
+  if (const char* path = std::getenv("CUSW_COUNTERS");
+      path != nullptr && *path != '\0') {
+    const Snapshot snap = Registry::global().snapshot();
+    const std::string json = counters_to_json(snap);
+    if (std::FILE* f = std::fopen(path, "w")) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("cusw-obs: wrote per-site counters to %s\n", path);
+    }
+    const std::string table = format_counters_table(snap);
+    std::printf("=== cusw-counters: per-site attribution ===\n%s",
+                table.empty() ? "(no kernel launches recorded)\n"
+                              : table.c_str());
   }
   if (profile_requested()) {
     const std::string table =

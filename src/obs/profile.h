@@ -8,6 +8,8 @@
 //   CUSW_PROF=1           print the cusw-prof table to stdout at exit
 //   CUSW_METRICS=<path>   write the full metrics registry as JSON at exit
 //   CUSW_TRACE=<path>     write the Chrome trace at exit (see trace.h)
+//   CUSW_COUNTERS=<path>  write the per-site counter JSON and print the
+//                         cusw-counters table at exit (see counters.h)
 // It is called lazily from the simulator and the pipeline, so every
 // binary that runs a search supports the report mode without changes.
 #pragma once

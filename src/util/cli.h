@@ -14,15 +14,15 @@ class Cli {
  public:
   Cli(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
-      std::string arg = argv[i];
-      CUSW_REQUIRE(arg.rfind("--", 0) == 0,
-                   "arguments must look like --key=value or --flag: " + arg);
-      arg = arg.substr(2);
+      const std::string raw = argv[i];
+      CUSW_REQUIRE(raw.rfind("--", 0) == 0,
+                   "arguments must look like --key=value or --flag: " + raw);
+      const std::string arg = raw.substr(2);
       const auto eq = arg.find('=');
       if (eq == std::string::npos) {
-        kv_[arg] = "1";
+        kv_.insert_or_assign(arg, std::string("1"));
       } else {
-        kv_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        kv_.insert_or_assign(arg.substr(0, eq), arg.substr(eq + 1));
       }
     }
   }

@@ -1,9 +1,12 @@
-// Minimal JSON string escaping, shared by the table writer and the
-// observability exporters. Full serialisation stays with the callers —
-// every emitter in this codebase writes its own structure — but escaping
-// must be uniform or the outputs stop being loadable.
+// Minimal JSON string escaping plus a tiny field-list builder, shared by
+// the table writer and the observability exporters. Full document
+// structure stays with the callers — every emitter in this codebase
+// writes its own shape — but escaping, number formatting and the
+// `"key": value` comma discipline must be uniform or the outputs stop
+// being loadable.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <string_view>
@@ -44,5 +47,62 @@ inline std::string json_escape(std::string_view s) {
   }
   return out;
 }
+
+/// Format a double the way every JSON emitter here should: shortest form
+/// that round-trips well enough for counters ("%.12g"), never locale
+/// dependent beyond snprintf's "C" behaviour for %g.
+inline std::string json_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+/// Comma-disciplined builder for a JSON field list (`"k": v, ...`).
+/// Produces either the bare list (for callers splicing fields into a
+/// hand-written shell, e.g. trace-event args) or a braced object.
+class JsonFields {
+ public:
+  JsonFields& field(std::string_view key, std::uint64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonFields& field(std::string_view key, std::int64_t v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonFields& field(std::string_view key, int v) {
+    return raw(key, std::to_string(v));
+  }
+  JsonFields& field(std::string_view key, double v) {
+    return raw(key, json_number(v));
+  }
+  JsonFields& field(std::string_view key, bool v) {
+    return raw(key, v ? "true" : "false");
+  }
+  JsonFields& field(std::string_view key, std::string_view v) {
+    std::string quoted;
+    quoted.reserve(v.size() + 2);
+    quoted += '"';
+    quoted += json_escape(v);
+    quoted += '"';
+    return raw(key, quoted);
+  }
+  /// Splice pre-serialised JSON (an object, array or number) as a value.
+  JsonFields& raw(std::string_view key, std::string_view json) {
+    if (!out_.empty()) out_ += ", ";
+    out_ += "\"";
+    out_ += json_escape(key);
+    out_ += "\": ";
+    out_ += json;
+    return *this;
+  }
+
+  bool empty() const { return out_.empty(); }
+  /// The bare `"k": v, ...` list, no braces.
+  const std::string& list() const { return out_; }
+  /// The braced `{...}` object.
+  std::string object() const { return "{" + out_ + "}"; }
+
+ private:
+  std::string out_;
+};
 
 }  // namespace cusw::util

@@ -1,0 +1,138 @@
+// The counter baseline gate (tools/counter_diff): tolerance resolution,
+// diff semantics, baseline round-trip, and the end-to-end check against
+// the checked-in baselines — including that a perturbed baseline fails.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "tools/counter_diff_lib.h"
+
+#ifndef CUSW_BASELINE_DIR
+#error "CUSW_BASELINE_DIR must point at the checked-in baselines directory"
+#endif
+
+namespace cusw::tools {
+namespace {
+
+TEST(CounterDiff, ToleranceLongestSubstringWins) {
+  const std::map<std::string, double> tol = {
+      {"default", 0.0},
+      {"derived.", 0.02},
+      {"derived.q567.", 0.10},
+  };
+  EXPECT_DOUBLE_EQ(tolerance_for(tol, "q567.intra.global.transactions"), 0.0);
+  EXPECT_DOUBLE_EQ(tolerance_for(tol, "derived.q1500.global_txn_ratio"), 0.02);
+  // Both "derived." and "derived.q567." match; the longer key wins.
+  EXPECT_DOUBLE_EQ(tolerance_for(tol, "derived.q567.global_txn_ratio"), 0.10);
+  // "default" is a fallback, never a substring match.
+  EXPECT_DOUBLE_EQ(tolerance_for(tol, "contains.default.inside"), 0.0);
+  EXPECT_DOUBLE_EQ(tolerance_for({}, "anything"), 0.0);
+}
+
+TEST(CounterDiff, DiffPassesWithinToleranceAndFailsOutside) {
+  const std::map<std::string, double> base = {{"a.x", 100.0}, {"b.y", 2.0}};
+  const std::map<std::string, double> tol = {{"default", 0.0}, {"b.", 0.05}};
+
+  auto r = diff_counters(base, base, tol);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.compared, 2u);
+
+  // Within the 5% tolerance on b.*.
+  r = diff_counters({{"a.x", 100.0}, {"b.y", 2.08}}, base, tol);
+  EXPECT_TRUE(r.ok) << (r.failures.empty() ? "" : r.failures.front());
+
+  // Exact key drifts by one count: fail.
+  r = diff_counters({{"a.x", 101.0}, {"b.y", 2.0}}, base, tol);
+  EXPECT_FALSE(r.ok);
+  ASSERT_EQ(r.failures.size(), 1u);
+  EXPECT_NE(r.failures.front().find("a.x"), std::string::npos);
+}
+
+TEST(CounterDiff, MissingKeysCompareAsZeroOnEitherSide) {
+  const std::map<std::string, double> tol = {{"default", 0.0}};
+  // Site disappears from the current run: fail.
+  auto r = diff_counters({}, {{"gone.site", 7.0}}, tol);
+  EXPECT_FALSE(r.ok);
+  // New site appears that the baseline has never seen: fail too.
+  r = diff_counters({{"new.site", 7.0}}, {}, tol);
+  EXPECT_FALSE(r.ok);
+  // Zero baseline + zero current is fine.
+  r = diff_counters({{"z", 0.0}}, {}, tol);
+  EXPECT_TRUE(r.ok);
+}
+
+TEST(CounterDiff, BaselineJsonRoundTrips) {
+  const std::map<std::string, double> counters = {
+      {"q567.intra_task_improved.global.transactions", 226197.0},
+      {"derived.q567.global_txn_ratio", 36.5},
+  };
+  const std::map<std::string, double> tol = default_tolerances();
+  const std::string text = baseline_to_json(counters, tol);
+
+  std::map<std::string, double> counters2, tol2;
+  std::string error;
+  ASSERT_TRUE(load_baseline(text, counters2, tol2, &error)) << error;
+  EXPECT_EQ(counters2, counters);
+  EXPECT_EQ(tol2, tol);
+
+  std::map<std::string, double> c3, t3;
+  EXPECT_FALSE(load_baseline("not json", c3, t3, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(CounterDiff, CanonicalWorkloadMatchesCheckedInBaseline) {
+  std::map<std::string, double> base, tol;
+  std::string error;
+  const std::string path =
+      std::string(CUSW_BASELINE_DIR) + "/counter_baseline.json";
+  ASSERT_TRUE(load_baseline(read_file(path), base, tol, &error))
+      << path << ": " << error;
+  ASSERT_FALSE(base.empty());
+
+  const auto current = run_canonical_workload();
+  const DiffResult r = diff_counters(current, base, tol);
+  std::string joined;
+  for (const auto& f : r.failures) joined += f + "\n";
+  EXPECT_TRUE(r.ok) << joined;
+  EXPECT_EQ(r.compared, base.size());
+  EXPECT_GT(current.count("derived.q567.global_txn_ratio"), 0u);
+  EXPECT_GT(current.count("derived.q1500.global_txn_ratio"), 0u);
+}
+
+TEST(CounterDiff, PerturbedBaselineFails) {
+  std::map<std::string, double> base, tol;
+  std::string error;
+  const std::string path =
+      std::string(CUSW_BASELINE_DIR) + "/counter_baseline.json";
+  ASSERT_TRUE(load_baseline(read_file(path), base, tol, &error)) << error;
+
+  // Pretend the improved kernel used to emit 30% fewer global
+  // transactions — today's run must trip the gate.
+  const std::string key = "q567.intra_task_improved.global.transactions";
+  ASSERT_GT(base.count(key), 0u);
+  base[key] *= 0.7;
+  // And drift the headline ratio past its 2% window.
+  base["derived.q567.global_txn_ratio"] *= 1.5;
+
+  const DiffResult r = diff_counters(run_canonical_workload(), base, tol);
+  EXPECT_FALSE(r.ok);
+  std::string joined;
+  for (const auto& f : r.failures) joined += f + "\n";
+  EXPECT_NE(joined.find(key), std::string::npos) << joined;
+  EXPECT_NE(joined.find("derived.q567.global_txn_ratio"), std::string::npos)
+      << joined;
+}
+
+}  // namespace
+}  // namespace cusw::tools

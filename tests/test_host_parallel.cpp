@@ -5,9 +5,11 @@
 
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "cudasw/pipeline.h"
+#include "gpusim/launch.h"
 #include "gpusim/device_spec.h"
 #include "seq/generate.h"
 #include "sw/scoring.h"
@@ -38,13 +40,15 @@ class ThreadsGuard {
 
 void expect_counters_eq(const gpusim::SpaceCounters& a,
                         const gpusim::SpaceCounters& b) {
-  EXPECT_EQ(a.requests, b.requests);
-  EXPECT_EQ(a.transactions, b.transactions);
-  EXPECT_EQ(a.dram_transactions, b.dram_transactions);
-  EXPECT_EQ(a.dram_bytes, b.dram_bytes);
-  EXPECT_EQ(a.l1_hits, b.l1_hits);
-  EXPECT_EQ(a.l2_hits, b.l2_hits);
-  EXPECT_EQ(a.tex_hits, b.tex_hits);
+  gpusim::for_each_space_counter_field(a, [&](const char* field,
+                                              std::uint64_t av) {
+    gpusim::for_each_space_counter_field(b, [&](const char* bf,
+                                                std::uint64_t bv) {
+      if (std::string_view(field) == bf) {
+        EXPECT_EQ(av, bv) << field;
+      }
+    });
+  });
 }
 
 void expect_stats_eq(const gpusim::LaunchStats& a,
@@ -52,6 +56,15 @@ void expect_stats_eq(const gpusim::LaunchStats& a,
   expect_counters_eq(a.global, b.global);
   expect_counters_eq(a.local, b.local);
   expect_counters_eq(a.texture, b.texture);
+  // Site attribution rows are part of the contract too: same rows in the
+  // same (first-touch, block-index-order) order, same values bit for bit.
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  for (std::size_t i = 0; i < a.sites.size(); ++i) {
+    EXPECT_EQ(gpusim::site_name(a.sites[i].site),
+              gpusim::site_name(b.sites[i].site));
+    EXPECT_EQ(a.sites[i].space, b.sites[i].space);
+    expect_counters_eq(a.sites[i].counters, b.sites[i].counters);
+  }
   EXPECT_EQ(a.shared_accesses, b.shared_accesses);
   EXPECT_EQ(a.bank_conflict_cycles, b.bank_conflict_cycles);
   EXPECT_EQ(a.syncs, b.syncs);

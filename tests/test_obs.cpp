@@ -56,24 +56,28 @@ seq::SequenceDB small_db(std::uint64_t seed) {
 }
 
 // A tiny kernel touching every counter family: global loads, a barrier,
-// shared accesses with a conflicting stride, texture reads.
+// shared accesses with a conflicting stride, texture reads. Texture and
+// local traffic carries attribution sites; the global loads stay
+// unattributed so both site paths are exercised.
 gpusim::LaunchStats run_unit_kernel(gpusim::Device& dev, const char* label,
                                     int blocks = 4) {
   gpusim::LaunchConfig cfg;
   cfg.blocks = blocks;
   cfg.threads_per_block = 64;
   cfg.label = label;
+  const gpusim::SiteId tex_site = gpusim::intern_site("unit.tex");
+  const gpusim::SiteId spill_site = gpusim::intern_site("unit.spill");
   auto tex = dev.make_texture(std::vector<int>(256, 1));
   return dev.launch(cfg, [&](gpusim::BlockCtx& ctx) {
     for (int lane = 0; lane < ctx.threads(); ++lane) {
       ctx.access(gpusim::Space::Global, lane,
                  0x10000 + static_cast<std::uint64_t>(lane) * 4, 4, false);
-      ctx.tex(tex, static_cast<std::size_t>(lane % 256), lane);
+      ctx.tex(tex, static_cast<std::size_t>(lane % 256), lane, tex_site);
     }
     ctx.sync();
     for (int lane = 0; lane < ctx.threads(); ++lane) {
       ctx.shared_access_strided(lane, 2, 2);
-      ctx.local_access(lane, 0, 0, 4, true);
+      ctx.local_access(lane, 0, 0, 4, true, spill_site);
     }
     ctx.charge_uniform(5.0);
   });
@@ -177,20 +181,34 @@ TEST(Metrics, LaunchPublishesStatsBitForBit) {
   EXPECT_EQ(d.counter(p + "shared.accesses"), stats.shared_accesses);
   EXPECT_EQ(d.counter(p + "shared.bank_conflict_cycles"),
             stats.bank_conflict_cycles);
+  // Iterate the canonical field visitor rather than naming fields by
+  // hand: a field added to SpaceCounters is published and checked here
+  // without touching either file (the visitor's static_assert pins the
+  // struct size, so it cannot silently fall behind).
   const auto expect_space = [&](const std::string& prefix,
                                 const gpusim::SpaceCounters& c) {
-    EXPECT_EQ(d.counter(prefix + "requests"), c.requests) << prefix;
-    EXPECT_EQ(d.counter(prefix + "transactions"), c.transactions) << prefix;
-    EXPECT_EQ(d.counter(prefix + "dram_transactions"), c.dram_transactions)
-        << prefix;
-    EXPECT_EQ(d.counter(prefix + "dram_bytes"), c.dram_bytes) << prefix;
-    EXPECT_EQ(d.counter(prefix + "l1_hits"), c.l1_hits) << prefix;
-    EXPECT_EQ(d.counter(prefix + "l2_hits"), c.l2_hits) << prefix;
-    EXPECT_EQ(d.counter(prefix + "tex_hits"), c.tex_hits) << prefix;
+    gpusim::for_each_space_counter_field(
+        c, [&](const char* field, std::uint64_t v) {
+          EXPECT_EQ(d.counter(prefix + field), v) << prefix << field;
+        });
   };
   expect_space(p + "global.", stats.global);
   expect_space(p + "local.", stats.local);
   expect_space(p + "texture.", stats.texture);
+  // Per-site attribution rows mirror field-for-field under the same
+  // visitor; the unit kernel produces attributed texture/local rows plus
+  // the unattributed global row.
+  ASSERT_FALSE(stats.sites.empty());
+  bool saw_attributed = false, saw_unattributed = false;
+  for (const gpusim::SiteCounters& sc : stats.sites) {
+    expect_space(p + "site." + gpusim::site_name(sc.site) + "." +
+                     gpusim::space_name(sc.space) + ".",
+                 sc.counters);
+    (sc.site == gpusim::kSiteUnattributed ? saw_unattributed
+                                          : saw_attributed) = true;
+  }
+  EXPECT_TRUE(saw_attributed);
+  EXPECT_TRUE(saw_unattributed);
   // The per-kernel seconds gauge started from zero (unique label), so one
   // launch leaves exactly stats.seconds in it.
   EXPECT_EQ(d.gauge(p + "seconds"), stats.seconds);

@@ -1,0 +1,300 @@
+// Per-site memory-hierarchy attribution (gpusim/site.h): interning
+// semantics, the exact sum invariant (site rows reproduce the space
+// totals bit for bit) for all four CUDASW++ kernels serial and parallel,
+// and the cusw-counters report built from the registry mirror.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cudasw/inter_task.h"
+#include "cudasw/inter_task_simd.h"
+#include "cudasw/intra_task_improved.h"
+#include "cudasw/intra_task_original.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/launch.h"
+#include "gpusim/report.h"
+#include "gpusim/site.h"
+#include "obs/counters.h"
+#include "obs/metrics.h"
+#include "obs/trace_check.h"
+#include "seq/generate.h"
+#include "test_helpers.h"
+
+namespace cusw {
+namespace {
+
+class ThreadsGuard {
+ public:
+  explicit ThreadsGuard(const char* value) {
+    const char* prev = std::getenv("CUSW_THREADS");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    setenv("CUSW_THREADS", value, 1);
+  }
+  ~ThreadsGuard() {
+    if (had_prev_)
+      setenv("CUSW_THREADS", prev_.c_str(), 1);
+    else
+      unsetenv("CUSW_THREADS");
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+std::vector<std::pair<std::string, std::uint64_t>> fields(
+    const gpusim::SpaceCounters& c) {
+  std::vector<std::pair<std::string, std::uint64_t>> v;
+  gpusim::for_each_space_counter_field(
+      c, [&](const char* n, std::uint64_t x) { v.emplace_back(n, x); });
+  return v;
+}
+
+/// The tentpole invariant: for every space, summing the site attribution
+/// rows reproduces the space totals exactly, field for field.
+void expect_sites_sum_to_totals(const gpusim::LaunchStats& s) {
+  for (const gpusim::Space sp :
+       {gpusim::Space::Global, gpusim::Space::Local, gpusim::Space::Texture}) {
+    gpusim::SpaceCounters sum;
+    for (const gpusim::SiteCounters& sc : s.sites) {
+      if (sc.space == sp) sum += sc.counters;
+    }
+    EXPECT_EQ(fields(sum), fields(s.counters_for(sp)))
+        << gpusim::space_name(sp);
+  }
+}
+
+void expect_site_present(const gpusim::LaunchStats& s, const char* name,
+                         gpusim::Space sp) {
+  const gpusim::SpaceCounters* c = s.find_site(name, sp);
+  ASSERT_NE(c, nullptr) << name << " in " << gpusim::space_name(sp);
+  EXPECT_GT(c->requests, 0u) << name;
+}
+
+gpusim::Device one_sm_c1060() {
+  auto spec = gpusim::DeviceSpec::tesla_c1060();
+  return gpusim::Device(spec.scaled(1.0 / spec.sm_count));
+}
+
+/// A few over-threshold sequences for the intra-task kernels.
+seq::SequenceDB long_db(std::uint64_t seed) {
+  seq::SequenceDB db;
+  Rng rng(seed);
+  for (const std::size_t len : {3200, 4000, 4800, 3600})
+    db.add(seq::random_protein(len, rng));
+  return db;
+}
+
+/// A short-sequence group for the inter-task kernels.
+seq::SequenceDB short_db(std::uint64_t seed) {
+  seq::SequenceDB db = seq::lognormal_db(64, 180, 60, seed);
+  db.sort_by_length();
+  return db;
+}
+
+TEST(Sites, InterningIsStableAndNamed) {
+  const gpusim::SiteId a = gpusim::intern_site("test.site_a");
+  const gpusim::SiteId b = gpusim::intern_site("test.site_b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, gpusim::intern_site("test.site_a"));
+  EXPECT_EQ(gpusim::site_name(a), "test.site_a");
+  EXPECT_EQ(gpusim::site_name(gpusim::kSiteUnattributed), "unattributed");
+  EXPECT_GE(gpusim::site_count(), 3u);
+}
+
+TEST(Sites, ImprovedIntraKernelSitesSumToTotals) {
+  auto dev = one_sm_c1060();
+  const auto db = long_db(41);
+  const auto query = test::random_codes(1500, 42);  // two strips
+  const auto run = cudasw::run_intra_task_improved(
+      dev, query, db, sw::ScoringMatrix::blosum62(), {10, 2}, {});
+  expect_sites_sum_to_totals(run.stats);
+  expect_site_present(run.stats, "profile.tex_fetch", gpusim::Space::Texture);
+  expect_site_present(run.stats, "db.symbol_load", gpusim::Space::Global);
+  expect_site_present(run.stats, "strip.boundary_load", gpusim::Space::Global);
+  expect_site_present(run.stats, "strip.boundary_store",
+                      gpusim::Space::Global);
+  // The default configuration spills nothing to local memory.
+  EXPECT_EQ(run.stats.find_site("local.spill", gpusim::Space::Local), nullptr);
+  EXPECT_EQ(run.stats.local.transactions, 0u);
+}
+
+TEST(Sites, ImprovedIntraSpillVariantAttributesLocalTraffic) {
+  auto dev = one_sm_c1060();
+  const auto db = long_db(43);
+  const auto query = test::random_codes(600, 44);
+  cudasw::ImprovedIntraParams params;
+  params.deep_swap = false;  // §III-A: registers demoted to local memory
+  const auto run = cudasw::run_intra_task_improved(
+      dev, query, db, sw::ScoringMatrix::blosum62(), {10, 2}, params);
+  expect_sites_sum_to_totals(run.stats);
+  expect_site_present(run.stats, "local.spill", gpusim::Space::Local);
+  const gpusim::SpaceCounters* spill =
+      run.stats.find_site("local.spill", gpusim::Space::Local);
+  // The spill site owns ALL local traffic: its row equals the space total.
+  EXPECT_EQ(fields(*spill), fields(run.stats.local));
+}
+
+TEST(Sites, OriginalIntraKernelSitesSumToTotals) {
+  auto dev = one_sm_c1060();
+  const auto db = long_db(45);
+  const auto query = test::random_codes(567, 46);
+  const auto run = cudasw::run_intra_task_original(
+      dev, query, db, sw::ScoringMatrix::blosum62(), {10, 2}, {});
+  expect_sites_sum_to_totals(run.stats);
+  expect_site_present(run.stats, "wavefront.load", gpusim::Space::Global);
+  expect_site_present(run.stats, "wavefront.store", gpusim::Space::Global);
+  expect_site_present(run.stats, "query.symbol_load", gpusim::Space::Global);
+  expect_site_present(run.stats, "db.symbol_load", gpusim::Space::Global);
+  // The wavefront working set dominates, as Table I reports.
+  const auto* load =
+      run.stats.find_site("wavefront.load", gpusim::Space::Global);
+  const auto* db_site =
+      run.stats.find_site("db.symbol_load", gpusim::Space::Global);
+  EXPECT_GT(load->transactions, db_site->transactions);
+}
+
+TEST(Sites, InterTaskKernelSitesSumToTotals) {
+  auto dev = one_sm_c1060();
+  const auto db = short_db(47);
+  const auto query = test::random_codes(120, 48);
+  const auto run = cudasw::run_inter_task(
+      dev, query, db, sw::ScoringMatrix::blosum62(), {10, 2}, {});
+  expect_sites_sum_to_totals(run.stats);
+  expect_site_present(run.stats, "profile.tex_fetch", gpusim::Space::Texture);
+  expect_site_present(run.stats, "db.symbol_load", gpusim::Space::Global);
+  expect_site_present(run.stats, "row.load", gpusim::Space::Global);
+  expect_site_present(run.stats, "row.store", gpusim::Space::Global);
+  expect_site_present(run.stats, "score.store", gpusim::Space::Global);
+}
+
+TEST(Sites, InterTaskSimdKernelSitesSumToTotals) {
+  auto dev = one_sm_c1060();
+  const auto db = short_db(49);
+  const auto query = test::random_codes(100, 50);
+  const auto run = cudasw::run_inter_task_simd(
+      dev, query, db, sw::ScoringMatrix::blosum62(), {10, 2}, {});
+  expect_sites_sum_to_totals(run.stats);
+  expect_site_present(run.stats, "profile.tex_fetch", gpusim::Space::Texture);
+  expect_site_present(run.stats, "db.symbol_load", gpusim::Space::Global);
+  expect_site_present(run.stats, "score.store", gpusim::Space::Global);
+}
+
+TEST(Sites, SiteCountersAreBitIdenticalAcrossThreadCounts) {
+  const auto db = long_db(51);
+  const auto query = test::random_codes(1500, 52);
+  const auto run_at = [&](const char* threads) {
+    ThreadsGuard guard(threads);
+    auto dev = one_sm_c1060();
+    return cudasw::run_intra_task_improved(
+        dev, query, db, sw::ScoringMatrix::blosum62(), {10, 2}, {});
+  };
+  const auto serial = run_at("1");
+  expect_sites_sum_to_totals(serial.stats);
+  for (const char* threads : {"2", "8"}) {
+    const auto parallel = run_at(threads);
+    // Same rows in the same order (block-index-order reduction), same
+    // values bit for bit — attribution is part of the determinism
+    // contract, not just the aggregates.
+    ASSERT_EQ(parallel.stats.sites.size(), serial.stats.sites.size());
+    for (std::size_t i = 0; i < serial.stats.sites.size(); ++i) {
+      EXPECT_EQ(parallel.stats.sites[i].site, serial.stats.sites[i].site);
+      EXPECT_EQ(parallel.stats.sites[i].space, serial.stats.sites[i].space);
+      EXPECT_EQ(fields(parallel.stats.sites[i].counters),
+                fields(serial.stats.sites[i].counters));
+    }
+  }
+}
+
+TEST(Sites, BreakdownJsonIsValidAndSorted) {
+  auto dev = one_sm_c1060();
+  const auto db = long_db(53);
+  const auto query = test::random_codes(1500, 54);
+  const auto run = cudasw::run_intra_task_improved(
+      dev, query, db, sw::ScoringMatrix::blosum62(), {10, 2}, {});
+  const std::string json = gpusim::site_breakdown_json(run.stats);
+  obs::json::Value v;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(json, v, &error)) << error << "\n" << json;
+  ASSERT_EQ(v.kind, obs::json::Value::Kind::kArray);
+  ASSERT_EQ(v.array.size(), run.stats.sites.size());
+  std::string prev;
+  for (const auto& row : v.array) {
+    const obs::json::Value* site = row.find("site");
+    ASSERT_NE(site, nullptr);
+    EXPECT_GE(site->string, prev);  // sorted by site name
+    prev = site->string;
+    ASSERT_NE(row.find("transactions"), nullptr);
+    ASSERT_NE(row.find("requests"), nullptr);
+  }
+}
+
+// The acceptance gate: the CUSW_COUNTERS report (built from the registry
+// mirror, not from LaunchStats) shows per-site rows for both intra-task
+// kernels, and summing them per space is bit-identical to the aggregate
+// LaunchStats.
+TEST(Sites, CountersReportMatchesLaunchStatsForBothIntraKernels) {
+  auto dev = one_sm_c1060();
+  const auto db = long_db(55);
+  const auto query = test::random_codes(1500, 56);
+  const auto& matrix = sw::ScoringMatrix::blosum62();
+
+  const obs::Snapshot before = obs::Registry::global().snapshot();
+  const auto imp =
+      cudasw::run_intra_task_improved(dev, query, db, matrix, {10, 2}, {});
+  const auto orig =
+      cudasw::run_intra_task_original(dev, query, db, matrix, {10, 2}, {});
+  const obs::Snapshot delta = obs::Registry::global().snapshot().diff(before);
+
+  // The JSON document parses and covers both kernels.
+  const std::string json = obs::counters_to_json(delta);
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(json, doc, &error)) << error;
+  EXPECT_NE(json.find("intra_task_improved"), std::string::npos);
+  EXPECT_NE(json.find("intra_task_original"), std::string::npos);
+  EXPECT_NE(json.find("profile.tex_fetch"), std::string::npos);
+  EXPECT_NE(json.find("wavefront.load"), std::string::npos);
+
+  // Reassembled per-site counters sum to the LaunchStats aggregates.
+  const auto check = [&](const std::string& label,
+                         const gpusim::LaunchStats& stats) {
+    for (const obs::KernelCounters& k : obs::collect_kernel_counters(delta)) {
+      if (k.label != label) continue;
+      EXPECT_EQ(k.cells, label == "intra_task_improved" ? imp.cells
+                                                        : orig.cells);
+      for (const gpusim::Space sp : {gpusim::Space::Global,
+                                     gpusim::Space::Local,
+                                     gpusim::Space::Texture}) {
+        std::map<std::string, std::uint64_t> sum;
+        for (const auto& [key, f] : k.sites) {
+          if (key.second != gpusim::space_name(sp)) continue;
+          for (const auto& [fname, v] : f) sum[fname] += v;
+        }
+        gpusim::for_each_space_counter_field(
+            stats.counters_for(sp), [&](const char* n, std::uint64_t v) {
+              EXPECT_EQ(sum[n], v) << label << " " << gpusim::space_name(sp)
+                                   << " " << n;
+            });
+      }
+      return;
+    }
+    FAIL() << label << " missing from counters report";
+  };
+  check("intra_task_improved", imp.stats);
+  check("intra_task_original", orig.stats);
+
+  // The ncu-style table renders rows for the annotated sites.
+  const std::string table = obs::format_counters_table(delta);
+  EXPECT_NE(table.find("db.symbol_load"), std::string::npos) << table;
+  EXPECT_NE(table.find("(total)"), std::string::npos) << table;
+}
+
+}  // namespace
+}  // namespace cusw

@@ -1,0 +1,64 @@
+// counter_diff: compare the canonical workload's per-site counters
+// against checked-in golden baselines (baselines/counter_baseline.json).
+//
+// The canonical workload is a fixed Table I slice — both intra-task
+// kernels on a one-SM C1060 against the synthesized Swiss-Prot
+// over-threshold subset, queries 567 and 1500 — whose coalescer counters
+// are bit-deterministic (per-run arena addresses, per-block cold caches,
+// block-index-order reduction). Counters therefore compare exactly by
+// default; derived metrics (the original/improved transaction ratio) get
+// an explicit drift tolerance so the paper's headline result is gated as
+// a ratio, not as two brittle absolutes.
+//
+// Keys are flat dotted paths, e.g.
+//   q567.intra_task_improved.global.transactions
+//   q567.intra_task_improved.site.profile.tex_fetch.texture.requests
+//   derived.q567.global_txn_ratio
+// Tolerances match by substring (longest tolerance key contained in the
+// counter key wins; "default" is the fallback) and compare relatively:
+//   |current - baseline| <= tol * max(|baseline|, eps).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cusw::tools {
+
+/// Run the canonical workload and return its flat counter map, including
+/// the derived ratio keys. Deterministic for any CUSW_THREADS.
+std::map<std::string, double> run_canonical_workload();
+
+/// Resolve the tolerance for `key`: the longest tolerance-map key that is
+/// a substring of `key` wins; falls back to "default", then to 0.
+double tolerance_for(const std::map<std::string, double>& tolerances,
+                     const std::string& key);
+
+struct DiffResult {
+  bool ok = true;
+  std::size_t compared = 0;
+  std::vector<std::string> failures;  // one human-readable line each
+};
+
+/// Compare `current` against `baseline` under `tolerances`. A key missing
+/// from one side is treated as 0 on that side (so dropping traffic from a
+/// site fails just like adding it).
+DiffResult diff_counters(const std::map<std::string, double>& current,
+                         const std::map<std::string, double>& baseline,
+                         const std::map<std::string, double>& tolerances);
+
+/// Parse a baseline document ({"tolerances": {...}, "counters": {...}}).
+bool load_baseline(const std::string& text,
+                   std::map<std::string, double>& counters,
+                   std::map<std::string, double>& tolerances,
+                   std::string* error);
+
+/// Serialise a baseline document (sorted keys, one counter per line — the
+/// file is checked in, so diffs must be reviewable).
+std::string baseline_to_json(const std::map<std::string, double>& counters,
+                             const std::map<std::string, double>& tolerances);
+
+/// Tolerances for a fresh baseline: exact counters, 2% on derived ratios.
+std::map<std::string, double> default_tolerances();
+
+}  // namespace cusw::tools

@@ -1,0 +1,92 @@
+// counter_diff CLI — the CI gate behind `ctest -R counter_baseline`.
+//
+//   counter_diff [--baselines <dir>] [--update]
+//
+// Without --update: run the canonical workload, compare its counters
+// against <dir>/counter_baseline.json, print any violations and exit
+// non-zero. With --update: regenerate the baseline file in place,
+// preserving its tolerances (run this after an intentional counter
+// change and commit the result).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tools/counter_diff_lib.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "baselines";
+  bool update = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update") == 0) {
+      update = true;
+    } else if (std::strcmp(argv[i], "--baselines") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: counter_diff [--baselines <dir>] [--update]\n");
+      return 2;
+    }
+  }
+  const std::string path = dir + "/counter_baseline.json";
+
+  std::printf("counter_diff: running canonical workload...\n");
+  const auto current = cusw::tools::run_canonical_workload();
+
+  std::map<std::string, double> base, tol;
+  std::string text, error;
+  const bool have_file = read_file(path, text);
+  if (have_file && !cusw::tools::load_baseline(text, base, tol, &error)) {
+    std::fprintf(stderr, "counter_diff: cannot parse %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  if (update) {
+    if (!have_file || tol.empty()) tol = cusw::tools::default_tolerances();
+    const std::string json = cusw::tools::baseline_to_json(current, tol);
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "counter_diff: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    out << json;
+    std::printf("counter_diff: wrote %zu counters to %s\n", current.size(),
+                path.c_str());
+    return 0;
+  }
+
+  if (!have_file) {
+    std::fprintf(stderr,
+                 "counter_diff: missing %s (generate it with --update)\n",
+                 path.c_str());
+    return 2;
+  }
+  const auto r = cusw::tools::diff_counters(current, base, tol);
+  for (const std::string& f : r.failures)
+    std::fprintf(stderr, "counter_diff: FAIL %s\n", f.c_str());
+  if (!r.ok) {
+    std::fprintf(stderr,
+                 "counter_diff: %zu of %zu counters outside tolerance "
+                 "(intentional? rerun with --update and commit)\n",
+                 r.failures.size(), r.compared);
+    return 1;
+  }
+  std::printf("counter_diff: %zu counters within tolerance of %s\n",
+              r.compared, path.c_str());
+  return 0;
+}
