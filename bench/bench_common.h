@@ -20,6 +20,7 @@
 
 #include "cudasw/pipeline.h"
 #include "gpusim/device_spec.h"
+#include "gpusim/stall.h"
 #include "seq/generate.h"
 #include "util/cli.h"
 #include "util/parallel.h"
@@ -41,17 +42,49 @@ inline std::size_t apply_threads_flag(const Cli& cli) {
   return util::parallelism();
 }
 
+/// Device-slice factor of the most recent slice_of() call (1.0 until a
+/// bench builds a device). Stamped into every BENCH_*.json so a reader
+/// can convert raw simulated rates to full-device equivalents without
+/// knowing which device the bench sliced.
+inline double& slice_factor_slot() {
+  static double factor = 1.0;
+  return factor;
+}
+
+/// Schema of the BENCH_*.json documents; bump when the stamped header or
+/// table mirror changes shape.
+inline constexpr int kBenchJsonSchemaVersion = 1;
+
 /// Write `payload` (a complete JSON document) to `BENCH_<name>.json` in
 /// the working directory. Every bench reports through this one sink so the
-/// perf trajectory across PRs is machine-readable.
+/// perf trajectory across PRs is machine-readable. A provenance stamp —
+/// schema version, effective worker threads, device-slice factor — is
+/// inserted at the head of the top-level object so every emitted document
+/// carries it, custom payloads included.
 inline bool emit_json(const std::string& name, const std::string& payload) {
+  std::string stamped = payload;
+  const std::size_t brace = stamped.find('{');
+  std::size_t body = brace == std::string::npos ? std::string::npos : brace + 1;
+  while (body != std::string::npos && body < stamped.size() &&
+         (stamped[body] == ' ' || stamped[body] == '\n'))
+    ++body;
+  if (body != std::string::npos && body < stamped.size() &&
+      stamped[body] != '}') {
+    char stamp[160];
+    std::snprintf(stamp, sizeof(stamp),
+                  "\n  \"schema_version\": %d,\n  \"threads\": %zu,\n"
+                  "  \"slice_factor\": %.12g,",
+                  kBenchJsonSchemaVersion, util::parallelism(),
+                  slice_factor_slot());
+    stamped.insert(brace + 1, stamp);
+  }
   const std::string path = "BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
     return false;
   }
-  std::fwrite(payload.data(), 1, payload.size(), f);
+  std::fwrite(stamped.data(), 1, stamped.size(), f);
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
   return true;
@@ -76,11 +109,13 @@ class BenchMain {
   ~BenchMain() {
     const double wall = timer_.seconds();
     if (!name_.empty() && !tables_.empty()) {
+      // `threads` is stamped by emit_json() along with the schema version
+      // and slice factor, so the head carries only bench-specific fields.
       char head[160];
       std::snprintf(head, sizeof(head),
-                    "{\n  \"bench\": \"%s\",\n  \"threads\": %zu,\n"
+                    "{\n  \"bench\": \"%s\",\n"
                     "  \"wall_seconds\": %.6f,\n  \"tables\": [",
-                    name_.c_str(), threads_, wall);
+                    name_.c_str(), wall);
       std::string payload(head);
       for (std::size_t i = 0; i < tables_.size(); ++i) {
         payload += i ? ",\n   {" : "\n   {";
@@ -132,7 +167,9 @@ struct Gpu {
 
 inline Gpu slice_of(const gpusim::DeviceSpec& base) {
   gpusim::DeviceSpec s = base.scaled(1.0 / base.sm_count);  // one SM
-  return {s, static_cast<double>(s.sm_count) / base.sm_count};
+  Gpu g{s, static_cast<double>(s.sm_count) / base.sm_count};
+  slice_factor_slot() = g.factor;
+  return g;
 }
 
 inline Gpu c1060() { return slice_of(gpusim::DeviceSpec::tesla_c1060()); }
@@ -158,6 +195,38 @@ inline void emit(const Table& table, std::string section = "") {
   if (BenchMain* m = BenchMain::active())
     m->add_table(std::move(section), table);
   std::printf("\n");
+}
+
+/// Stall waterfall: decompose the simulated-cycle gap between a baseline
+/// kernel (the paper's original) and an improved one by stall reason, so
+/// the orig→improved speedup is attributed to the resources it came from
+/// (fewer txn-issue cycles, less exposed latency, ...). One row per
+/// reason plus a "(charged)" total row; "gap share %" is each reason's
+/// cycle delta over the total charged-cycle delta (signed: a reason the
+/// improved kernel spends *more* on shows a negative share).
+inline Table stall_waterfall(const gpusim::StallBreakdown& orig,
+                             const gpusim::StallBreakdown& improved) {
+  std::vector<std::pair<const char*, std::uint64_t>> o, n;
+  gpusim::for_each_stall_reason(
+      orig, [&](const char* r, std::uint64_t v) { o.emplace_back(r, v); });
+  gpusim::for_each_stall_reason(
+      improved, [&](const char* r, std::uint64_t v) { n.emplace_back(r, v); });
+  const double gap = gpusim::stall_ticks_to_cycles(orig.charged) -
+                     gpusim::stall_ticks_to_cycles(improved.charged);
+  Table t({"reason", "orig cycles", "improved cycles", "delta cycles",
+           "gap share %"},
+          1);
+  for (std::size_t i = 0; i < o.size(); ++i) {
+    const double oc = gpusim::stall_ticks_to_cycles(o[i].second);
+    const double ic = gpusim::stall_ticks_to_cycles(n[i].second);
+    t.add_row({std::string(o[i].first), oc, ic, oc - ic,
+               gap != 0.0 ? 100.0 * (oc - ic) / gap : 0.0});
+  }
+  t.add_row({std::string("(charged)"),
+             gpusim::stall_ticks_to_cycles(orig.charged),
+             gpusim::stall_ticks_to_cycles(improved.charged), gap,
+             gap != 0.0 ? 100.0 : 0.0});
+  return t;
 }
 
 /// Query lengths from the original CUDASW++ study ("ranges from 144 to

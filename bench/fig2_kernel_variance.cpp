@@ -33,6 +33,7 @@ void run() {
   Table t({"stddev", "mean_len", "inter-task", "intra-task (orig)",
            "intra-task (improved)"},
           2);
+  gpusim::StallBreakdown last_orig, last_imp, last_inter;
   for (double stddev : {100.0, 300.0, 500.0, 700.0, 900.0, 1100.0, 1300.0,
                         1500.0}) {
     // As in the paper, the mean rises with the deviation ("the mean varies
@@ -59,8 +60,21 @@ void run() {
                gpu.eq(cudasw::kernel_gcups(inter)),
                gpu.eq(cudasw::kernel_gcups(orig)),
                gpu.eq(cudasw::kernel_gcups(imp))});
+    last_orig = orig.stats.stall;
+    last_imp = imp.stats.stall;
+    last_inter = inter.stats.stall;
   }
   bench::emit(t);
+
+  // The crossover explained by resource: at the highest variance, where
+  // does the original intra-task kernel spend the cycles the improved one
+  // does not, and what dominates the (variance-crippled) inter-task run?
+  std::printf("stall waterfall @ stddev 1500 (intra orig -> improved):\n");
+  bench::emit(bench::stall_waterfall(last_orig, last_imp),
+              "stall_waterfall_intra");
+  std::printf("stall waterfall @ stddev 1500 (inter-task -> intra improved):\n");
+  bench::emit(bench::stall_waterfall(last_inter, last_imp),
+              "stall_waterfall_inter");
   std::printf(
       "expected shape: inter-task falls steeply with variance; both\n"
       "intra-task kernels stay nearly flat; the improved intra-task curve\n"

@@ -55,6 +55,13 @@ void run() {
     txn[0][qi] = imp.stats.global_memory_transactions();
     txn[1][qi] = orig.stats.global_memory_transactions();
 
+    // Where did the transaction savings go? Decompose the orig→improved
+    // cycle gap by stall reason (the paper's Table I explains the *count*
+    // gap; the waterfall shows which resource the counts were costing).
+    std::printf("stall waterfall, query %zu (orig -> improved):\n", qlen);
+    Table waterfall = bench::stall_waterfall(orig.stats.stall, imp.stats.stall);
+    bench::emit(waterfall, "stall_waterfall_q" + std::to_string(qlen));
+
     const auto kernel_json = [](const char* name,
                                 const cudasw::KernelRun& run) {
       return util::JsonFields()
@@ -80,6 +87,7 @@ void run() {
                              static_cast<double>(txn[1][qi]) /
                                  static_cast<double>(txn[0][qi]))
                       .raw("kernels", kernels)
+                      .raw("stall_waterfall", waterfall.to_json())
                       .object();
   }
   t.add_row({std::string("Imp. Kernel"), static_cast<std::int64_t>(txn[0][0]),

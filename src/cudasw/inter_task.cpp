@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <limits>
 
-#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cusw::cudasw {
@@ -62,6 +61,7 @@ KernelRun run_inter_task(gpusim::Device& dev,
 
   gpusim::LaunchConfig cfg;
   cfg.label = "inter_task";
+  cfg.cells = out.cells;
   cfg.blocks = blocks;
   cfg.threads_per_block = tpb;
   cfg.regs_per_thread = params.regs_per_thread;
@@ -211,9 +211,6 @@ KernelRun run_inter_task(gpusim::Device& dev,
                  true, kSiteScore);
     }
   });
-  obs::Registry::global()
-      .counter(std::string("gpusim.kernel.") + cfg.label + ".cells")
-      .add(out.cells);
   return out;
 }
 

@@ -5,7 +5,6 @@
 #include <limits>
 
 #include "gpusim/occupancy.h"
-#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cusw::cudasw {
@@ -70,6 +69,7 @@ KernelRun run_inter_task_simd(gpusim::Device& dev,
 
   gpusim::LaunchConfig cfg;
   cfg.label = "inter_task_simd";
+  cfg.cells = out.cells;
   cfg.blocks = blocks;
   cfg.threads_per_block = tpb;
   cfg.regs_per_thread = params.regs_per_thread;
@@ -193,9 +193,6 @@ KernelRun run_inter_task_simd(gpusim::Device& dev,
                  true, kSiteScore);
     }
   });
-  obs::Registry::global()
-      .counter(std::string("gpusim.kernel.") + cfg.label + ".cells")
-      .add(out.cells);
   return out;
 }
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <limits>
 
-#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cusw::cudasw {
@@ -94,6 +93,7 @@ KernelRun run_intra_task_improved(gpusim::Device& dev,
 
   gpusim::LaunchConfig cfg;
   cfg.label = "intra_task_improved";
+  cfg.cells = out.cells;
   cfg.blocks = static_cast<int>(longs.size());
   cfg.threads_per_block = n_th;
   cfg.regs_per_thread = params.regs_per_thread;
@@ -357,9 +357,6 @@ KernelRun run_intra_task_improved(gpusim::Device& dev,
     }
     out.scores[blk] = best;
   });
-  obs::Registry::global()
-      .counter(std::string("gpusim.kernel.") + cfg.label + ".cells")
-      .add(out.cells);
   return out;
 }
 

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <limits>
 
-#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace cusw::cudasw {
@@ -56,6 +55,7 @@ KernelRun run_intra_task_original(gpusim::Device& dev,
 
   gpusim::LaunchConfig cfg;
   cfg.label = "intra_task_original";
+  cfg.cells = out.cells;
   cfg.blocks = static_cast<int>(longs.size());
   cfg.threads_per_block = tpb;
   cfg.regs_per_thread = params.regs_per_thread;
@@ -164,9 +164,6 @@ KernelRun run_intra_task_original(gpusim::Device& dev,
     }
     out.scores[blk] = best;
   });
-  obs::Registry::global()
-      .counter(std::string("gpusim.kernel.") + cfg.label + ".cells")
-      .add(out.cells);
   return out;
 }
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <memory>
 #include <queue>
 #include <string>
@@ -33,6 +34,14 @@ std::uint32_t size_class(std::uint32_t covered) {
   return 128;
 }
 
+// Cycles -> stall ticks, rounded to nearest (gpusim/stall.h fixed point).
+std::uint64_t to_ticks(double cycles) {
+  return cycles <= 0.0
+             ? 0
+             : static_cast<std::uint64_t>(std::llround(
+                   cycles * static_cast<double>(kStallTicksPerCycle)));
+}
+
 // Fold one block's counters into the launch total. Only the fields a
 // BlockCtx mutates are added here; occupancy, block counts and the
 // scheduling-derived cycle figures belong to the launch, not to blocks.
@@ -42,6 +51,7 @@ void add_block_counters(LaunchStats& into, const LaunchStats& block) {
   into.texture += block.texture;
   for (const SiteCounters& sc : block.sites)
     into.site_counters(sc.site, sc.space) += sc.counters;
+  into.stall += block.stall;
   into.shared_accesses += block.shared_accesses;
   into.bank_conflict_cycles += block.bank_conflict_cycles;
   into.syncs += block.syncs;
@@ -62,15 +72,22 @@ void publish_space(obs::Registry& reg, const std::string& prefix,
 // under gpusim.kernel.<label>.* (every LaunchStats field, so registry
 // snapshots diff bit-for-bit against the structs) plus the device-wide
 // aggregates. Once per launch — never on the per-window path.
-void publish_launch_metrics(const char* label, const LaunchStats& s) {
+void publish_launch_metrics(const LaunchConfig& cfg, const LaunchStats& s) {
   auto& reg = obs::Registry::global();
-  const std::string p = std::string("gpusim.kernel.") + label + ".";
+  const std::string p = std::string("gpusim.kernel.") + cfg.label + ".";
   reg.counter(p + "launches").inc();
   reg.counter(p + "blocks").add(static_cast<std::uint64_t>(s.blocks));
   reg.counter(p + "windows").add(s.windows);
   reg.counter(p + "syncs").add(s.syncs);
+  reg.counter(p + "cells").add(cfg.cells);
   reg.counter(p + "shared.accesses").add(s.shared_accesses);
   reg.counter(p + "shared.bank_conflict_cycles").add(s.bank_conflict_cycles);
+  // Stall attribution in raw ticks: integer counters, so registry
+  // snapshots diff bit-for-bit against LaunchStats::stall.
+  for_each_stall_reason(s.stall, [&](const char* reason, std::uint64_t v) {
+    reg.counter(p + "stall." + reason).add(v);
+  });
+  reg.counter(p + "stall.charged").add(s.stall.charged);
   publish_space(reg, p + "global.", s.global);
   publish_space(reg, p + "local.", s.local);
   publish_space(reg, p + "texture.", s.texture);
@@ -131,10 +148,24 @@ int next_device_trace_pid() {
   return next.fetch_add(1, std::memory_order_relaxed);
 }
 
+// Append a stall breakdown to trace-event args: the charged total plus
+// one `stall_<reason>` entry per nonzero reason, in simulated cycles. The
+// validator (obs/trace_check) rechecks the sum invariant on every span.
+void stall_args(util::JsonFields& f, const StallBreakdown& st) {
+  f.field("charged_cycles", stall_ticks_to_cycles(st.charged));
+  for_each_stall_reason(st, [&](const char* reason, std::uint64_t v) {
+    if (v != 0)
+      f.field(std::string("stall_") + reason, stall_ticks_to_cycles(v));
+  });
+}
+
 // Replay one finished launch onto the device's simulated timeline starting
 // at `t0` µs: the launch span on track 0, each block on its SM-slot track
 // (tid = slot + 1), windows nested inside their block span. Timestamps are
-// simulated microseconds (cycles / clock), not wall-clock.
+// simulated microseconds (cycles / clock), not wall-clock. Counter tracks
+// ("C" events) render the device's GCUPS and stall-fraction timelines: a
+// sample at launch start holds the launch's level, a zero sample at launch
+// end drops it, so serial launches draw as a step chart.
 void emit_device_trace(obs::TraceWriter& tw, int pid, double t0,
                        const LaunchConfig& cfg, const DeviceSpec& eff,
                        const LaunchStats& stats,
@@ -151,12 +182,51 @@ void emit_device_trace(obs::TraceWriter& tw, int pid, double t0,
   launch_ev.tid = 0;
   launch_ev.ts_us = t0;
   launch_ev.dur_us = stats.seconds * 1e6;
-  launch_ev.args_json = util::JsonFields()
-                            .field("blocks", cfg.blocks)
-                            .field("threads_per_block", cfg.threads_per_block)
-                            .field("occupancy", stats.occupancy.occupancy)
-                            .list();
+  {
+    util::JsonFields f;
+    f.field("blocks", cfg.blocks)
+        .field("threads_per_block", cfg.threads_per_block)
+        .field("occupancy", stats.occupancy.occupancy);
+    stall_args(f, stats.stall);
+    launch_ev.args_json = f.list();
+  }
+  const double launch_end_us = t0 + launch_ev.dur_us;
   tw.span(std::move(launch_ev));
+
+  // GCUPS counter track: this launch's simulated throughput while it runs.
+  const auto emit_counter = [&](const char* name, double ts,
+                                const std::string& args) {
+    obs::TraceEvent c;
+    c.name = name;
+    c.cat = "counter";
+    c.pid = pid;
+    c.tid = 0;
+    c.ts_us = ts;
+    c.args_json = args;
+    tw.counter(std::move(c));
+  };
+  const double gcups =
+      cfg.cells != 0 && stats.seconds > 0.0
+          ? static_cast<double>(cfg.cells) / stats.seconds * 1e-9
+          : 0.0;
+  emit_counter("GCUPS", t0,
+               util::JsonFields().field("gcups", gcups).list());
+  emit_counter("GCUPS", launch_end_us,
+               util::JsonFields().field("gcups", 0.0).list());
+
+  // Stall-fraction counter track: share of the launch's charged cycles per
+  // reason (sums to 1 while a launch runs — a stacked chart in Perfetto).
+  if (stats.stall.charged > 0) {
+    const double charged = static_cast<double>(stats.stall.charged);
+    util::JsonFields lvl, zero;
+    for_each_stall_reason(stats.stall,
+                          [&](const char* reason, std::uint64_t v) {
+                            lvl.field(reason, static_cast<double>(v) / charged);
+                            zero.field(reason, 0.0);
+                          });
+    emit_counter("stall fraction", t0, lvl.list());
+    emit_counter("stall fraction", launch_end_us, zero.list());
+  }
 
   const double blocks_t0 = t0 + eff.launch_overhead_us;
   for (int b = 0; b < static_cast<int>(block_cycles.size()); ++b) {
@@ -184,13 +254,14 @@ void emit_device_trace(obs::TraceWriter& tw, int pid, double t0,
       we.dur_us = w.cycles * us_per_cycle;
       // `requests` rides along so per-window coalescing efficiency
       // (requests / transactions) is computable straight from the trace.
-      we.args_json = util::JsonFields()
-                         .field("requests", w.requests)
-                         .field("transactions", w.transactions)
-                         .field("dram", w.dram_transactions)
-                         .field("cache_hits", w.cache_hits)
-                         .field("shared", w.shared_accesses)
-                         .list();
+      util::JsonFields wf;
+      wf.field("requests", w.requests)
+          .field("transactions", w.transactions)
+          .field("dram", w.dram_transactions)
+          .field("cache_hits", w.cache_hits)
+          .field("shared", w.shared_accesses);
+      stall_args(wf, w.stall);
+      we.args_json = wf.list();
       tw.span(std::move(we));
     }
   }
@@ -355,6 +426,19 @@ void BlockCtx::close_window(bool barrier) {
                    });
 
   // ---- cache filtering + latency chains ----------------------------------
+  // Stall-attribution weights: every transaction contributes its observed
+  // latency plus its issue cost to its (site, space) row; the window's
+  // memory-reason ticks are later split proportionally over these weights.
+  site_weights_.clear();
+  const auto add_weight = [this](SiteId site, Space space, double w) {
+    for (SiteWeight& sw : site_weights_) {
+      if (sw.site == site && sw.space == space) {
+        sw.weight += w;
+        return;
+      }
+    }
+    site_weights_.push_back(SiteWeight{site, space, w});
+  };
   std::uint64_t window_dram_bytes = 0;
   std::size_t i = 0;
   while (i < segs_.size()) {
@@ -371,6 +455,7 @@ void BlockCtx::close_window(bool barrier) {
     i = j;
     double& warp_latency = warp_lat_sum_[k.warp];
     std::uint32_t& warp_txn = warp_txn_[k.warp];
+    const double lat_before = warp_latency;
 
     const std::uint32_t txn_bytes = size_class(covered);
     const std::uint64_t addr = k.seg * 128;
@@ -404,6 +489,8 @@ void BlockCtx::close_window(bool barrier) {
         window_dram_bytes += 32;
         warp_latency += spec_->dram_latency;
       }
+      add_weight(k.site, k.space,
+                 warp_latency - lat_before + cost_->txn_issue_cycles);
       continue;
     }
 
@@ -418,6 +505,7 @@ void BlockCtx::close_window(bool barrier) {
       ctr.dram_bytes += txn_bytes;
       sctr.dram_bytes += txn_bytes;
       window_dram_bytes += txn_bytes;
+      add_weight(k.site, k.space, cost_->txn_issue_cycles);
       continue;
     }
 
@@ -437,6 +525,8 @@ void BlockCtx::close_window(bool barrier) {
       window_dram_bytes += txn_bytes;
       warp_latency += spec_->dram_latency;
     }
+    add_weight(k.site, k.space,
+               warp_latency - lat_before + cost_->txn_issue_cycles);
   }
   // Latency chain of the slowest warp: each memory *instruction* stalls the
   // warp for the average observed latency of its transactions, plus the
@@ -444,13 +534,22 @@ void BlockCtx::close_window(bool barrier) {
   // expensive); MLP lets a few stalls overlap.
   double max_warp_chain = 0.0;
   double instr_issue_sum = 0.0;
+  // The slowest warp's chain components, kept apart so a latency-bound
+  // window can be attributed between exposed latency and issue throughput.
+  double max_chain_lat_part = 0.0;
+  double max_chain_issue_part = 0.0;
   for (std::size_t w = 0; w < warp_instr_.size(); ++w) {
     const double txns = static_cast<double>(warp_txn_[w]);
     if (txns == 0.0 && warp_instr_[w] == 0.0) continue;
     const double avg_lat = txns > 0.0 ? warp_lat_sum_[w] / txns : 0.0;
-    const double chain =
-        warp_instr_[w] * avg_lat + txns * cost_->txn_issue_cycles;
-    max_warp_chain = std::max(max_warp_chain, chain);
+    const double lat_part = warp_instr_[w] * avg_lat;
+    const double issue_part = txns * cost_->txn_issue_cycles;
+    const double chain = lat_part + issue_part;
+    if (chain > max_warp_chain) {
+      max_warp_chain = chain;
+      max_chain_lat_part = lat_part;
+      max_chain_issue_part = issue_part;
+    }
     instr_issue_sum += warp_instr_[w];
     warp_instr_[w] = 0.0;
     warp_lat_sum_[w] = 0.0;
@@ -473,6 +572,85 @@ void BlockCtx::close_window(bool barrier) {
     stats_->syncs += 1;
   }
   stats_->windows += 1;
+
+  // ---- stall attribution --------------------------------------------------
+  // Partition this window's ticks among the reasons of gpusim/stall.h.
+  // Each step takes min(share, remainder) and the final component takes
+  // what is left, so the parts sum to total_ticks exactly — in integers,
+  // hence bit-identically for any block/thread interleaving.
+  const std::uint64_t total_ticks = to_ticks(window);
+  StallBreakdown ws;
+  ws.charged = total_ticks;
+  std::uint64_t rem = total_ticks;
+  if (barrier) {
+    ws.sync = std::min(rem, to_ticks(cost_->sync_cycles));
+    rem -= ws.sync;
+  }
+  const double ci_term = compute_term + issue_term;
+  if (ci_term >= bw_term && ci_term >= lat_term) {
+    // Compute/issue-bound window: split off the memory-instruction issue
+    // slots and the bank-conflict serialisation; the rest is arithmetic.
+    ws.mem_issue = std::min(rem, to_ticks(issue_term));
+    rem -= ws.mem_issue;
+    const double conflict_delta =
+        static_cast<double>(stats_->bank_conflict_cycles - conflict_base_) *
+        32.0 / cores_eff;
+    ws.bank_conflict = std::min(rem, to_ticks(conflict_delta));
+    rem -= ws.bank_conflict;
+    ws.compute = rem;
+  } else if (bw_term >= lat_term) {
+    // DRAM-bandwidth-bound: every cycle waits on transaction throughput.
+    ws.txn_issue = rem;
+  } else {
+    // Latency-bound: split the winning warp's chain between the latency
+    // MLP failed to hide and the per-transaction issue cost.
+    const double denom = max_chain_lat_part + max_chain_issue_part;
+    if (denom > 0.0) {
+      ws.txn_issue = std::min(
+          rem, static_cast<std::uint64_t>(std::llround(
+                   static_cast<double>(rem) * max_chain_issue_part / denom)));
+    }
+    ws.exposed_latency = rem - ws.txn_issue;
+  }
+  conflict_base_ = stats_->bank_conflict_cycles;
+
+  // Distribute the memory-reason ticks over the (site, space) rows whose
+  // transactions this window issued, proportional to observed latency +
+  // issue weight. Sequential cumulative rounding with a last-row
+  // remainder keeps Σ site rows == Σ space totals exact per field.
+  const std::uint64_t mem_ticks = ws.memory_ticks();
+  if (mem_ticks > 0) {
+    double total_weight = 0.0;
+    for (const SiteWeight& sw : site_weights_) total_weight += sw.weight;
+    if (total_weight <= 0.0) {
+      // No transactions observed (statistical-only traffic): keep the
+      // invariant by attributing to the unattributed global row.
+      stats_->counters_for(Space::Global).stall_ticks += mem_ticks;
+      stats_->site_counters(kSiteUnattributed, Space::Global).stall_ticks +=
+          mem_ticks;
+    } else {
+      std::uint64_t allocated = 0;
+      double cum_weight = 0.0;
+      for (std::size_t s = 0; s < site_weights_.size(); ++s) {
+        const SiteWeight& sw = site_weights_[s];
+        cum_weight += sw.weight;
+        std::uint64_t target =
+            s + 1 == site_weights_.size()
+                ? mem_ticks
+                : std::min(mem_ticks,
+                           static_cast<std::uint64_t>(std::llround(
+                               static_cast<double>(mem_ticks) * cum_weight /
+                               total_weight)));
+        target = std::max(target, allocated);
+        const std::uint64_t share = target - allocated;
+        allocated = target;
+        if (share == 0) continue;
+        stats_->counters_for(sw.space).stall_ticks += share;
+        stats_->site_counters(sw.site, sw.space).stall_ticks += share;
+      }
+    }
+  }
+  stats_->stall += ws;
 
   // Profiler hook — a single null check when no observer is attached; the
   // delta bookkeeping only exists behind it (zero-overhead contract,
@@ -505,6 +683,7 @@ void BlockCtx::close_window(bool barrier) {
     e.shared_accesses = s.shared_accesses - b.shared_accesses;
     e.bank_conflict_cycles =
         s.bank_conflict_cycles - b.bank_conflict_cycles;
+    e.stall = ws;
     observer_->on_window(e);
     window_base_ = s;
   }
@@ -661,7 +840,17 @@ LaunchStats Device::launch(const LaunchConfig& cfg,
   stats.seconds = makespan / (eff.clock_ghz * 1e9) +
                   eff.launch_overhead_us * 1e-6;
 
-  publish_launch_metrics(cfg.label, stats);
+  // Occupancy idle: ticks the concurrently occupied SM slots spend empty
+  // between their last block retiring and the launch's end. A launch-level
+  // reason — blocks never see it — folded into the charged total so the
+  // stall breakdown accounts for device time, not just block time.
+  const double idle_cycles =
+      makespan * static_cast<double>(concurrent) - stats.total_block_cycles;
+  const std::uint64_t idle_ticks = to_ticks(idle_cycles);
+  stats.stall.occupancy_idle = idle_ticks;
+  stats.stall.charged += idle_ticks;
+
+  publish_launch_metrics(cfg, stats);
   if (effective != nullptr) effective->on_launch(cfg, stats);
 
   if (collector != nullptr) {

@@ -28,6 +28,7 @@
 #include "gpusim/observer.h"
 #include "gpusim/occupancy.h"
 #include "gpusim/site.h"
+#include "gpusim/stall.h"
 
 namespace cusw::gpusim {
 
@@ -45,6 +46,11 @@ struct LaunchConfig {
   /// (`gpusim.kernel.<label>.*`), the cusw-prof report row, and trace
   /// span names. Must point at a string literal (not owned).
   const char* label = "kernel";
+  /// SW cell updates this launch will perform, when the kernel knows it
+  /// up front (all four CUDASW++ kernels do). Feeds the per-kernel
+  /// `cells` counter, the GCUPS trace timeline and the roofline verdict;
+  /// zero simply disables those.
+  std::uint64_t cells = 0;
 };
 
 /// Per-(site, space) slice of a launch's counters: the attribution rows
@@ -65,6 +71,11 @@ struct LaunchStats {
   /// block-index order, so the order — like every value — is independent
   /// of the host thread count). Typically ~a dozen entries per kernel.
   std::vector<SiteCounters> sites;
+  /// Per-reason attribution of every charged cycle (gpusim/stall.h):
+  /// the seven reasons sum to `stall.charged` exactly, and
+  /// `stall.charged - stall.occupancy_idle` is total_block_cycles in
+  /// ticks (up to half-a-tick rounding per window).
+  StallBreakdown stall;
   std::uint64_t shared_accesses = 0;
   std::uint64_t bank_conflict_cycles = 0;
   std::uint64_t syncs = 0;
@@ -96,6 +107,7 @@ struct LaunchStats {
     texture += o.texture;
     for (const SiteCounters& sc : o.sites)
       site_counters(sc.site, sc.space) += sc.counters;
+    stall += o.stall;
     shared_accesses += o.shared_accesses;
     bank_conflict_cycles += o.bank_conflict_cycles;
     syncs += o.syncs;
@@ -318,6 +330,19 @@ class BlockCtx {
     bool write;
   };
   std::vector<SegKey> segs_;
+
+  // Stall-attribution scratch: per-window (site, space) weights — observed
+  // latency plus issue cost per transaction — over which the window's
+  // memory-reason ticks are distributed (gpusim/stall.h).
+  struct SiteWeight {
+    SiteId site;
+    Space space;
+    double weight;
+  };
+  std::vector<SiteWeight> site_weights_;
+  // Launch-total bank-conflict cycles at the last window close, so the
+  // window's conflict delta can be split out of the compute term.
+  std::uint64_t conflict_base_ = 0;
 };
 
 class Device {

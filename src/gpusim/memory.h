@@ -38,6 +38,11 @@ struct SpaceCounters {
   std::uint64_t l1_hits = 0;
   std::uint64_t l2_hits = 0;
   std::uint64_t tex_hits = 0;
+  /// Memory-stall ticks (gpusim/stall.h fixed point) attributed to this
+  /// space/site: each window's memory-reason ticks are distributed over
+  /// the (site, space) rows that issued its transactions, weighted by
+  /// observed latency + issue cost.
+  std::uint64_t stall_ticks = 0;
 
   SpaceCounters& operator+=(const SpaceCounters& o) {
     requests += o.requests;
@@ -47,6 +52,7 @@ struct SpaceCounters {
     l1_hits += o.l1_hits;
     l2_hits += o.l2_hits;
     tex_hits += o.tex_hits;
+    stall_ticks += o.stall_ticks;
     return *this;
   }
 };
@@ -59,7 +65,7 @@ struct SpaceCounters {
 /// field is added to the struct without extending the visitor.
 template <class C, class F>
 inline void for_each_space_counter_field(C&& c, F&& f) {
-  static_assert(sizeof(SpaceCounters) == 7 * sizeof(std::uint64_t),
+  static_assert(sizeof(SpaceCounters) == 8 * sizeof(std::uint64_t),
                 "SpaceCounters changed: extend for_each_space_counter_field");
   f("requests", c.requests);
   f("transactions", c.transactions);
@@ -68,6 +74,7 @@ inline void for_each_space_counter_field(C&& c, F&& f) {
   f("l1_hits", c.l1_hits);
   f("l2_hits", c.l2_hits);
   f("tex_hits", c.tex_hits);
+  f("stall_ticks", c.stall_ticks);
 }
 
 /// A device allocation. Functional storage plus a stable device address.

@@ -7,6 +7,8 @@
 
 #include <cstdint>
 
+#include "gpusim/stall.h"
+
 namespace cusw::gpusim {
 
 struct LaunchConfig;
@@ -27,6 +29,9 @@ struct WindowEvent {
   std::uint64_t cache_hits = 0;    // l1 + l2 + texture hits, all spaces
   std::uint64_t shared_accesses = 0;
   std::uint64_t bank_conflict_cycles = 0;
+  /// Per-reason decomposition of this window's `cycles` (gpusim/stall.h);
+  /// occupancy_idle is always zero at window scope.
+  StallBreakdown stall;
 };
 
 /// One finished block: its total cost and its private counters (the same

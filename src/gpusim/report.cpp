@@ -49,6 +49,20 @@ std::string format_launch_report(const LaunchStats& stats,
   os << "  shared   accesses " << std::setw(12) << stats.shared_accesses
      << "  bank conflicts " << stats.bank_conflict_cycles << " cycles\n";
   os << "  barriers " << stats.syncs << " (windows " << stats.windows << ")\n";
+  // Stall attribution (absent for hand-built stats with no breakdown, so
+  // pre-stall reports — and their golden strings — are unchanged).
+  if (stats.stall.charged > 0) {
+    const double charged = static_cast<double>(stats.stall.charged);
+    os << "  stall   ";
+    for_each_stall_reason(stats.stall,
+                          [&](const char* reason, std::uint64_t v) {
+                            os << " " << reason << " " << std::fixed
+                               << std::setprecision(1)
+                               << 100.0 * static_cast<double>(v) / charged
+                               << "%";
+                          });
+    os << "\n";
+  }
   return os.str();
 }
 
@@ -81,14 +95,20 @@ std::string site_breakdown_json(const LaunchStats& stats) {
     for_each_space_counter_field(c, [&](const char* field, std::uint64_t v) {
       f.field(field, v);
     });
-    if (c.transactions > 0) {
-      f.field("coalescing_efficiency",
-              static_cast<double>(c.requests) /
-                  static_cast<double>(c.transactions));
-      f.field("hit_rate",
-              static_cast<double>(c.l1_hits + c.l2_hits + c.tex_hits) /
-                  static_cast<double>(c.transactions));
-    }
+    // Derived ratios are always present and guarded: a site with zero
+    // transactions (request-only statistical traffic) reports 0.0, never
+    // NaN, so downstream JSON consumers need no special cases.
+    f.field("coalescing_efficiency",
+            c.transactions > 0
+                ? static_cast<double>(c.requests) /
+                      static_cast<double>(c.transactions)
+                : 0.0);
+    f.field("hit_rate",
+            c.transactions > 0
+                ? static_cast<double>(c.l1_hits + c.l2_hits + c.tex_hits) /
+                      static_cast<double>(c.transactions)
+                : 0.0);
+    f.field("stall_cycles", stall_ticks_to_cycles(c.stall_ticks));
     out += i ? ",\n   " : "\n   ";
     out += f.object();
   }

@@ -1,0 +1,82 @@
+// Simulated-cycle stall attribution: every cycle the cost model charges
+// to a launch is tagged with the reason it was spent.
+//
+// The window cost model (launch.cpp, DESIGN.md §5) prices each window as
+//   max(compute + issue, bandwidth, latency) + sync
+// so a window's cycles are decomposed by which term won the max and, for
+// the winner, by its additive components. DESIGN.md §10 maps each reason
+// to the CostModel constant behind it.
+//
+// Breakdowns are kept in fixed-point integer *ticks* (1024 per simulated
+// cycle) rather than doubles: every window's tick total is partitioned
+// exactly (the last component takes the remainder), and integer addition
+// is associative, so the per-reason sums equal the charged total exactly
+// and the whole breakdown is bit-identical for any CUSW_THREADS value —
+// the same determinism contract the memory counters already honour.
+#pragma once
+
+#include <cstdint>
+
+namespace cusw::gpusim {
+
+/// Fixed-point scale of stall accounting: ticks per simulated cycle.
+inline constexpr std::uint64_t kStallTicksPerCycle = 1024;
+
+/// Convert a tick count back to (approximate) simulated cycles.
+inline double stall_ticks_to_cycles(std::uint64_t ticks) {
+  return static_cast<double>(ticks) /
+         static_cast<double>(kStallTicksPerCycle);
+}
+
+/// Per-reason cycle attribution of a launch (or of one window, in which
+/// case occupancy_idle is zero — idle slots exist only at launch scope).
+/// Invariant: the seven reasons sum to `charged` exactly.
+struct StallBreakdown {
+  std::uint64_t compute = 0;          // arithmetic + shared-memory work
+  std::uint64_t mem_issue = 0;        // memory-instruction issue slots
+  std::uint64_t txn_issue = 0;        // transaction throughput (coalescing)
+  std::uint64_t exposed_latency = 0;  // latency MLP could not hide
+  std::uint64_t sync = 0;             // __syncthreads barriers
+  std::uint64_t bank_conflict = 0;    // shared-memory bank serialisation
+  std::uint64_t occupancy_idle = 0;   // SM slots idle before launch end
+  /// Total ticks charged: Σ windows (+ occupancy idle at launch scope).
+  std::uint64_t charged = 0;
+
+  /// Ticks attributed to the memory system — the portion distributed over
+  /// per-site attribution rows (SpaceCounters::stall_ticks).
+  std::uint64_t memory_ticks() const {
+    return mem_issue + txn_issue + exposed_latency;
+  }
+
+  StallBreakdown& operator+=(const StallBreakdown& o) {
+    compute += o.compute;
+    mem_issue += o.mem_issue;
+    txn_issue += o.txn_issue;
+    exposed_latency += o.exposed_latency;
+    sync += o.sync;
+    bank_conflict += o.bank_conflict;
+    occupancy_idle += o.occupancy_idle;
+    charged += o.charged;
+    return *this;
+  }
+};
+
+/// Visit every stall reason as (name, value reference) — the single
+/// source of truth for the reason list, iterated by the registry mirror,
+/// the counters report, the trace args and the sum-invariant tests. The
+/// static_assert trips when a reason is added without extending it
+/// (`charged` is deliberately not visited: it is the sum, not a reason).
+template <class B, class F>
+inline void for_each_stall_reason(B&& b, F&& f) {
+  static_assert(sizeof(StallBreakdown) == 8 * sizeof(std::uint64_t),
+                "StallBreakdown changed: extend for_each_stall_reason");
+  f("compute", b.compute);
+  f("mem_issue", b.mem_issue);
+  f("txn_issue", b.txn_issue);
+  f("exposed_latency", b.exposed_latency);
+  f("sync", b.sync);
+  f("bank_conflict", b.bank_conflict);
+  f("occupancy_idle", b.occupancy_idle);
+}
+
+}  // namespace cusw::gpusim

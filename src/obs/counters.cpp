@@ -27,6 +27,27 @@ double ratio(std::uint64_t num, std::uint64_t den) {
   return den == 0 ? 0.0 : static_cast<double>(num) / static_cast<double>(den);
 }
 
+// Fixed-point scale of the stall metrics, mirroring
+// gpusim::kStallTicksPerCycle (obs parses metric names only and stays
+// independent of the simulator headers).
+constexpr double kStallTicksPerCycle = 1024.0;
+
+/// Roofline verdict from a kernel's stall breakdown: which resource the
+/// charged cycles say the kernel is limited by. "unknown" when no stall
+/// metrics were published (e.g. a snapshot from an older run).
+std::string bound_verdict(
+    const std::map<std::string, std::uint64_t>& stall) {
+  const std::uint64_t compute =
+      field_sum(stall, "compute") + field_sum(stall, "bank_conflict");
+  const std::uint64_t throughput =
+      field_sum(stall, "mem_issue") + field_sum(stall, "txn_issue");
+  const std::uint64_t latency = field_sum(stall, "exposed_latency");
+  if (compute == 0 && throughput == 0 && latency == 0) return "unknown";
+  if (latency >= compute && latency >= throughput) return "latency-bound";
+  if (throughput >= compute) return "throughput-bound";
+  return "compute-bound";
+}
+
 /// Append the derived metrics every counter row gets: coalescing
 /// efficiency and per-level hit rates, all against transactions.
 void derived_fields(util::JsonFields& f,
@@ -81,6 +102,8 @@ std::vector<KernelCounters> collect_kernel_counters(const Snapshot& snap) {
       k.seconds = s.value;
     } else if (field == "total_block_cycles") {
       k.total_block_cycles = s.value;
+    } else if (field.rfind("stall.", 0) == 0) {
+      k.stall[field.substr(6)] = s.count;
     } else {
       const std::size_t s_dot = field.find('.');
       if (s_dot == std::string::npos) continue;
@@ -110,6 +133,14 @@ std::string counters_to_json(const Snapshot& snap) {
     f.field("seconds", k.seconds);
     f.field("shared_accesses", k.shared_accesses);
     f.field("bank_conflict_cycles", k.bank_conflict_cycles);
+
+    // Stall attribution, converted from ticks back to simulated cycles
+    // (exact: ticks are multiples of 1/1024 cycle).
+    util::JsonFields st;
+    for (const auto& [reason, ticks] : k.stall)
+      st.field(reason + "_cycles",
+               static_cast<double>(ticks) / kStallTicksPerCycle);
+    f.raw("stall", st.object());
 
     util::JsonFields spaces;
     std::uint64_t dram_bytes = 0;
@@ -150,6 +181,11 @@ std::string counters_to_json(const Snapshot& snap) {
                 ? static_cast<double>(k.bank_conflict_cycles) /
                       k.total_block_cycles
                 : 0.0);
+    d.field("gcups", k.seconds > 0.0
+                         ? static_cast<double>(k.cells) / k.seconds / 1e9
+                         : 0.0);
+    const std::string bound = bound_verdict(k.stall);
+    d.field("bound", std::string_view(bound));
     f.raw("derived", d.object());
 
     out += first_kernel ? "\n " : ",\n ";
@@ -168,13 +204,17 @@ std::string format_counters_table(const Snapshot& snap) {
     std::uint64_t dram_bytes = 0;
     for (const auto& [space, fields] : k.spaces)
       dram_bytes += field_sum(fields, "dram_bytes");
-    char head[256];
+    char head[320];
     std::snprintf(head, sizeof(head),
-                  "%s: %llu launches, %llu cells, %.3g GB/s DRAM, "
-                  "AI %.3g cells/B, bank-conflict share %.3g\n",
+                  "%s: %llu launches, %llu cells, %.3g GCUPS, "
+                  "%.3g GB/s DRAM, AI %.3g cells/B, "
+                  "bank-conflict share %.3g, %s\n",
                   k.label.c_str(),
                   static_cast<unsigned long long>(k.launches),
                   static_cast<unsigned long long>(k.cells),
+                  k.seconds > 0.0
+                      ? static_cast<double>(k.cells) / k.seconds / 1e9
+                      : 0.0,
                   k.seconds > 0.0
                       ? static_cast<double>(dram_bytes) / k.seconds / 1e9
                       : 0.0,
@@ -182,11 +222,13 @@ std::string format_counters_table(const Snapshot& snap) {
                   k.total_block_cycles > 0.0
                       ? static_cast<double>(k.bank_conflict_cycles) /
                             k.total_block_cycles
-                      : 0.0);
+                      : 0.0,
+                  bound_verdict(k.stall).c_str());
     out += head;
 
+    const std::uint64_t charged = field_sum(k.stall, "charged");
     Table t({"site", "space", "requests", "transactions", "coalesce",
-             "dram txns", "dram bytes", "hit %"},
+             "dram txns", "dram bytes", "hit %", "cycles", "stall %"},
             2);
     auto add = [&](const std::string& site, const std::string& space,
                    const std::map<std::string, std::uint64_t>& c) {
@@ -194,13 +236,16 @@ std::string format_counters_table(const Snapshot& snap) {
       const std::uint64_t hits = field_sum(c, "l1_hits") +
                                  field_sum(c, "l2_hits") +
                                  field_sum(c, "tex_hits");
+      const std::uint64_t st = field_sum(c, "stall_ticks");
       t.add_row({site, space,
                  static_cast<std::int64_t>(field_sum(c, "requests")),
                  static_cast<std::int64_t>(txns),
                  ratio(field_sum(c, "requests"), txns),
                  static_cast<std::int64_t>(field_sum(c, "dram_transactions")),
                  static_cast<std::int64_t>(field_sum(c, "dram_bytes")),
-                 100.0 * ratio(hits, txns)});
+                 100.0 * ratio(hits, txns),
+                 static_cast<double>(st) / kStallTicksPerCycle,
+                 100.0 * ratio(st, charged)});
     };
     for (const auto& [key, fields] : k.sites) add(key.first, key.second, fields);
     for (const auto& [space, fields] : k.spaces)

@@ -10,6 +10,9 @@
 //   - achieved DRAM bandwidth (dram_bytes / kernel seconds)
 //   - bank-conflict cycle share (conflict cycles / total block cycles)
 //   - roofline arithmetic intensity (cell updates / dram_bytes)
+//   - GCUPS (cell updates / kernel seconds / 1e9) and a roofline verdict
+//     (compute- vs memory-throughput- vs latency-bound) from the stall
+//     breakdown gpusim::launch attributes per charged cycle
 // The JSON is what tools/counter_diff compares against the checked-in
 // baselines; enable it at process exit with CUSW_COUNTERS=<path> (wired
 // through install_process_exports(), like CUSW_PROF / CUSW_METRICS).
@@ -37,6 +40,9 @@ struct KernelCounters {
   std::uint64_t cells = 0;
   double seconds = 0.0;
   double total_block_cycles = 0.0;
+  /// stall reason -> fixed-point ticks (gpusim/stall.h), plus the
+  /// "charged" total; the reasons sum to "charged" exactly.
+  std::map<std::string, std::uint64_t> stall;
   /// space name -> field name -> value (the SpaceCounters fields).
   std::map<std::string, std::map<std::string, std::uint64_t>> spaces;
   /// (site name, space name) -> field name -> value. Site rows of one

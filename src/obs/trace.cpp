@@ -38,6 +38,13 @@ void TraceWriter::instant(TraceEvent e) {
   impl_->events.push_back(std::move(e));
 }
 
+void TraceWriter::counter(TraceEvent e) {
+  e.ph = 'C';
+  e.dur_us = 0.0;
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->events.push_back(std::move(e));
+}
+
 void TraceWriter::name_process(int pid, std::string name) {
   std::lock_guard<std::mutex> lk(impl_->mu);
   if (!impl_->named.insert({pid, -1}).second) return;
@@ -106,7 +113,7 @@ std::string TraceWriter::to_json() const {
       append_us(os, e.ts_us);
       if (e.ph == 'i') {
         os << ", \"s\": \"t\"";  // thread-scoped instant
-      } else {
+      } else if (e.ph != 'C') {  // counters carry only ts + args
         os << ", \"dur\": ";
         append_us(os, e.dur_us);
       }

@@ -31,9 +31,9 @@ struct TraceEvent {
   int pid = 0;
   int tid = 0;
   double ts_us = 0.0;   // microseconds in the track's clock domain
-  double dur_us = 0.0;  // complete ("X") event duration; unused for "i"
+  double dur_us = 0.0;  // complete ("X") event duration; unused for "i"/"C"
   std::string args_json;  // pre-rendered `"k": v` pairs, may be empty
-  char ph = 'X';          // 'X' complete span or 'i' instant
+  char ph = 'X';  // 'X' complete span, 'i' instant, or 'C' counter sample
 };
 
 /// Collects complete spans and track metadata, then writes one Chrome
@@ -47,6 +47,10 @@ class TraceWriter {
   void span(TraceEvent e);
   /// Zero-duration instant ("i") event at e.ts_us; dur_us is ignored.
   void instant(TraceEvent e);
+  /// Counter-track sample ("C") at e.ts_us: every numeric `args` entry is
+  /// one series of the counter named e.name (Chrome renders a stacked
+  /// area chart per (pid, name)). dur_us is ignored.
+  void counter(TraceEvent e);
   /// Idempotent track/process naming (Chrome "M" metadata events).
   void name_process(int pid, std::string name);
   void name_track(int pid, int tid, std::string name);

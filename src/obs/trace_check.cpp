@@ -307,11 +307,48 @@ TraceCheck validate_chrome_trace(std::string_view text) {
     }
     ++out.events;
     if (ph->string == "M") continue;  // metadata carries no timestamps
-    if (ph->string != "X" && ph->string != "i") {
+    if (ph->string != "X" && ph->string != "i" && ph->string != "C") {
       out.error = event_err(i, "unexpected phase '" + ph->string + "'");
       return out;
     }
     const json::Value* ts = e.find("ts");
+    if (ph->string == "C") {
+      if (ts == nullptr || ts->kind != json::Value::Kind::kNumber) {
+        out.error = event_err(i, "counter missing numeric ts");
+        return out;
+      }
+      if (e.find("dur") != nullptr) {
+        out.error = event_err(i, "counter carries a dur");
+        return out;
+      }
+      const json::Value* cargs = e.find("args");
+      if (cargs == nullptr || cargs->kind != json::Value::Kind::kObject ||
+          cargs->object.empty()) {
+        out.error = event_err(i, "counter missing args object");
+        return out;
+      }
+      for (const auto& [k, v] : cargs->object) {
+        if (v.kind != json::Value::Kind::kNumber) {
+          out.error =
+              event_err(i, "counter series '" + k + "' is not numeric");
+          return out;
+        }
+      }
+      ++out.counters;
+      const std::pair<int, int> track{static_cast<int>(pid->number),
+                                      static_cast<int>(tid->number)};
+      const auto [it, fresh] = last_ts.emplace(track, ts->number);
+      if (!fresh) {
+        if (ts->number + kEps < it->second) {
+          out.error = event_err(
+              i, "counter precedes its track's previous event ('" +
+                     name->string + "')");
+          return out;
+        }
+        it->second = std::max(it->second, ts->number);
+      }
+      continue;
+    }
     if (ph->string == "i") {
       if (ts == nullptr || ts->kind != json::Value::Kind::kNumber) {
         out.error = event_err(i, "instant missing numeric ts");
@@ -347,6 +384,31 @@ TraceCheck validate_chrome_trace(std::string_view text) {
       return out;
     }
     ++out.spans;
+
+    // Stall breakdowns ride on span args: the per-reason `stall_*` cycles
+    // must never exceed the span's `charged_cycles` total (the simulator
+    // partitions the charge exactly; exceeding it means a corrupt trace).
+    // Slack covers only %.12g printing of the cycle values.
+    const json::Value* args = e.find("args");
+    if (args != nullptr && args->kind == json::Value::Kind::kObject) {
+      const json::Value* charged = args->find("charged_cycles");
+      if (charged != nullptr &&
+          charged->kind == json::Value::Kind::kNumber) {
+        double stall_sum = 0.0;
+        for (const auto& [k, v] : args->object) {
+          if (k.rfind("stall_", 0) == 0 &&
+              v.kind == json::Value::Kind::kNumber) {
+            stall_sum += v.number;
+          }
+        }
+        if (stall_sum > charged->number * (1.0 + 1e-9) + kEps) {
+          out.error = event_err(
+              i, "span '" + name->string +
+                     "' stall cycles exceed charged_cycles");
+          return out;
+        }
+      }
+    }
 
     const std::pair<int, int> track{static_cast<int>(pid->number),
                                     static_cast<int>(tid->number)};

@@ -43,15 +43,22 @@ struct TraceCheck {
   std::size_t events = 0;     // all trace events
   std::size_t spans = 0;      // complete ("X") events
   std::size_t instants = 0;   // instant ("i") events
+  std::size_t counters = 0;   // counter ("C") samples
   std::size_t tracks = 0;     // distinct (pid, tid) with at least one span
 };
 
 /// Validate Chrome trace-event JSON: top-level object with a `traceEvents`
 /// array; every event has name/ph/pid/tid; "X" events carry numeric ts and
-/// dur >= 0; "i" instants carry a numeric ts (and never a dur); within each
+/// dur >= 0; "i" instants carry a numeric ts (and never a dur); "C"
+/// counter samples carry a numeric ts, no dur, and an args object whose
+/// values are all numeric (each is one counter series); within each
 /// (pid, tid) track, spans are monotonically ordered by start time and
 /// properly nested (a span never straddles the end of an enclosing span).
-/// Instants obey track monotonicity but do not participate in nesting.
+/// Instants and counters obey track monotonicity but do not participate in
+/// nesting. A span whose args carry a stall breakdown (`stall_*` keys plus
+/// `charged_cycles`) is rejected when the stall sum exceeds the charged
+/// total — the simulator's per-window sum invariant, rechecked end to end
+/// on the emitted file.
 TraceCheck validate_chrome_trace(std::string_view text);
 
 }  // namespace cusw::obs

@@ -1,0 +1,113 @@
+// The bench JSON sink (bench/bench_common.h): every emitted
+// BENCH_<name>.json carries the provenance stamp — schema version,
+// effective worker threads, device-slice factor — and stays valid JSON.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "obs/trace_check.h"
+#include "util/parallel.h"
+
+namespace cusw {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class EmitGuard {
+ public:
+  explicit EmitGuard(std::string name)
+      : path_("BENCH_" + std::move(name) + ".json") {}
+  ~EmitGuard() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+TEST(BenchJson, EmitJsonStampsProvenanceHeader) {
+  bench::slice_factor_slot() = 1.0 / 30.0;  // as a C1060 slice would set
+  EmitGuard guard("test_stamp");
+  ASSERT_TRUE(bench::emit_json(
+      "test_stamp", "{\n  \"bench\": \"unit\",\n  \"tables\": []\n}\n"));
+
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(read_file(guard.path()), doc, &error))
+      << error;
+
+  const obs::json::Value* version = doc.find("schema_version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->number, bench::kBenchJsonSchemaVersion);
+
+  const obs::json::Value* threads = doc.find("threads");
+  ASSERT_NE(threads, nullptr);
+  EXPECT_EQ(threads->number, static_cast<double>(util::parallelism()));
+
+  const obs::json::Value* factor = doc.find("slice_factor");
+  ASSERT_NE(factor, nullptr);
+  EXPECT_NEAR(factor->number, 1.0 / 30.0, 1e-12);
+
+  // The original payload survives around the stamp.
+  ASSERT_NE(doc.find("bench"), nullptr);
+  EXPECT_EQ(doc.find("bench")->string, "unit");
+  bench::slice_factor_slot() = 1.0;
+}
+
+TEST(BenchJson, EmitJsonLeavesEmptyObjectsAlone) {
+  EmitGuard guard("test_empty");
+  ASSERT_TRUE(bench::emit_json("test_empty", "{}\n"));
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(read_file(guard.path()), doc, &error))
+      << error;
+  EXPECT_EQ(doc.find("schema_version"), nullptr);
+}
+
+TEST(BenchJson, StallWaterfallAttributesTheFullGap) {
+  gpusim::StallBreakdown orig, improved;
+  orig.compute = 4096 * 1024;
+  orig.txn_issue = 2048 * 1024;
+  orig.charged = orig.compute + orig.txn_issue;
+  improved.compute = 4096 * 1024;
+  improved.txn_issue = 512 * 1024;
+  improved.charged = improved.compute + improved.txn_issue;
+
+  const Table t = bench::stall_waterfall(orig, improved);
+  const std::string json = t.to_json();
+  obs::json::Value rows;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(json, rows, &error)) << error;
+  // Seven reasons plus the "(charged)" total row.
+  ASSERT_EQ(rows.array.size(), 8u);
+
+  double share_sum = 0.0;
+  for (const auto& row : rows.array) {
+    const obs::json::Value* reason = row.find("reason");
+    ASSERT_NE(reason, nullptr);
+    const obs::json::Value* share = row.find("gap share %");
+    ASSERT_NE(share, nullptr);
+    if (reason->string == "(charged)") {
+      EXPECT_DOUBLE_EQ(share->number, 100.0);
+      EXPECT_DOUBLE_EQ(row.find("delta cycles")->number, 1536.0);
+    } else {
+      share_sum += share->number;
+      if (reason->string == "txn_issue") {
+        EXPECT_DOUBLE_EQ(share->number, 100.0);
+      }
+    }
+  }
+  // The per-reason shares partition the gap.
+  EXPECT_NEAR(share_sum, 100.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cusw

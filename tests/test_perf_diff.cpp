@@ -1,0 +1,109 @@
+// The perf-regression gate (tools/perf_diff): workload determinism and
+// round-trip, the end-to-end check against the checked-in
+// perf_baseline.json, and — the acceptance criterion — that perturbing a
+// single CostModel constant trips the gate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "gpusim/cost_model.h"
+#include "tools/counter_diff_lib.h"
+#include "tools/perf_diff_lib.h"
+
+#ifndef CUSW_BASELINE_DIR
+#error "CUSW_BASELINE_DIR must point at the checked-in baselines directory"
+#endif
+
+namespace cusw::tools {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(PerfDiff, WorkloadRoundTripsThroughBaselineJson) {
+  const auto current = run_perf_workload();
+  ASSERT_FALSE(current.empty());
+  // Every headline key the doc promises exists.
+  EXPECT_GT(current.count("raw.table1.intra_task_improved.stall_cycles.charged"),
+            0u);
+  EXPECT_GT(current.count("raw.fig2.inter_task.makespan_cycles"), 0u);
+  EXPECT_GT(current.count("rate.table1.intra_task_original.gcups"), 0u);
+  EXPECT_GT(current.count("rate.fig2.inter_task_simd.stall_share.compute"),
+            0u);
+  // Raw keys are whole cycle counts, so %.12g serialisation is lossless.
+  for (const auto& [key, value] : current) {
+    if (key.rfind("raw.", 0) == 0) {
+      EXPECT_EQ(value, std::floor(value)) << key;
+    }
+  }
+
+  const auto tol = default_perf_tolerances();
+  const std::string text = baseline_to_json(current, tol);
+  std::map<std::string, double> current2, tol2;
+  std::string error;
+  ASSERT_TRUE(load_baseline(text, current2, tol2, &error)) << error;
+  EXPECT_EQ(tol2, tol);
+  ASSERT_EQ(current2.size(), current.size());
+  // Raw integer-cycle keys survive the %.12g serialisation bit for bit;
+  // rate keys may lose trailing bits, which their tolerance absorbs.
+  for (const auto& [key, value] : current) {
+    if (key.rfind("raw.", 0) == 0) {
+      ASSERT_GT(current2.count(key), 0u) << key;
+      EXPECT_EQ(current2.at(key), value) << key;
+    }
+  }
+
+  // Lossless round-trip means the self-diff passes at tolerance 0.
+  const DiffResult r = diff_counters(current2, current, tol);
+  EXPECT_TRUE(r.ok) << (r.failures.empty() ? "" : r.failures.front());
+  EXPECT_EQ(r.compared, current.size());
+}
+
+TEST(PerfDiff, CanonicalWorkloadMatchesCheckedInBaseline) {
+  std::map<std::string, double> base, tol;
+  std::string error;
+  const std::string path =
+      std::string(CUSW_BASELINE_DIR) + "/perf_baseline.json";
+  ASSERT_TRUE(load_baseline(read_file(path), base, tol, &error))
+      << path << ": " << error;
+  ASSERT_FALSE(base.empty());
+
+  const DiffResult r = diff_counters(run_perf_workload(), base, tol);
+  std::string joined;
+  for (const auto& f : r.failures) joined += f + "\n";
+  EXPECT_TRUE(r.ok) << joined;
+  EXPECT_EQ(r.compared, base.size());
+}
+
+TEST(PerfDiff, PerturbedCostModelTripsTheGate) {
+  std::map<std::string, double> base, tol;
+  std::string error;
+  const std::string path =
+      std::string(CUSW_BASELINE_DIR) + "/perf_baseline.json";
+  ASSERT_TRUE(load_baseline(read_file(path), base, tol, &error)) << error;
+
+  // One extra cycle per memory transaction — the kind of "small" cost
+  // model tweak the gate exists to catch. The transaction-heavy original
+  // kernel's raw charged cycles must drift outside tolerance 0.
+  gpusim::CostModel cost;
+  cost.txn_issue_cycles += 1.0;
+  const DiffResult r = diff_counters(run_perf_workload(cost), base, tol);
+  EXPECT_FALSE(r.ok);
+  std::string joined;
+  for (const auto& f : r.failures) joined += f + "\n";
+  EXPECT_NE(
+      joined.find("raw.table1.intra_task_original.stall_cycles.charged"),
+      std::string::npos)
+      << joined;
+}
+
+}  // namespace
+}  // namespace cusw::tools

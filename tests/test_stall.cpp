@@ -1,0 +1,362 @@
+// Simulated-cycle stall attribution (gpusim/stall.h): the exact sum
+// invariant (per-reason ticks sum to the charged total) for all four
+// CUDASW++ kernels serial and parallel, bit-identical breakdowns across
+// CUSW_THREADS, the per-site stall distribution, the registry mirror,
+// the GCUPS / stall-fraction counter tracks in emitted traces, and the
+// roofline verdict in the CUSW_COUNTERS report.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cudasw/inter_task.h"
+#include "cudasw/inter_task_simd.h"
+#include "cudasw/intra_task_improved.h"
+#include "cudasw/intra_task_original.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/launch.h"
+#include "gpusim/report.h"
+#include "obs/counters.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_check.h"
+#include "seq/generate.h"
+#include "test_helpers.h"
+
+namespace cusw {
+namespace {
+
+class ThreadsGuard {
+ public:
+  explicit ThreadsGuard(const char* value) {
+    const char* prev = std::getenv("CUSW_THREADS");
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    setenv("CUSW_THREADS", value, 1);
+  }
+  ~ThreadsGuard() {
+    if (had_prev_)
+      setenv("CUSW_THREADS", prev_.c_str(), 1);
+    else
+      unsetenv("CUSW_THREADS");
+  }
+
+ private:
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+struct TraceGuard {
+  ~TraceGuard() { obs::disable_trace(); }
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+gpusim::Device one_sm_c1060() {
+  auto spec = gpusim::DeviceSpec::tesla_c1060();
+  return gpusim::Device(spec.scaled(1.0 / spec.sm_count));
+}
+
+seq::SequenceDB long_db(std::uint64_t seed) {
+  seq::SequenceDB db;
+  Rng rng(seed);
+  for (const std::size_t len : {3200, 4000, 4800, 3600})
+    db.add(seq::random_protein(len, rng));
+  return db;
+}
+
+seq::SequenceDB short_db(std::uint64_t seed) {
+  seq::SequenceDB db = seq::lognormal_db(64, 180, 60, seed);
+  db.sort_by_length();
+  return db;
+}
+
+std::vector<std::uint64_t> reasons(const gpusim::StallBreakdown& b) {
+  std::vector<std::uint64_t> v;
+  gpusim::for_each_stall_reason(
+      b, [&](const char*, std::uint64_t x) { v.push_back(x); });
+  return v;
+}
+
+std::uint64_t reason_sum(const gpusim::StallBreakdown& b) {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t v : reasons(b)) sum += v;
+  return sum;
+}
+
+/// The tentpole invariants, checked on one kernel run:
+///  1. the seven reasons sum to `charged` exactly;
+///  2. per-space stall_ticks sum to the launch's memory ticks exactly;
+///  3. per-site stall_ticks sum to their space's total exactly
+///     (covered field-for-field by test_sites too; restated here so a
+///     stall-specific regression fails in the stall suite).
+void expect_stall_invariants(const gpusim::LaunchStats& s) {
+  EXPECT_GT(s.stall.charged, 0u);
+  EXPECT_EQ(reason_sum(s.stall), s.stall.charged);
+
+  const std::uint64_t space_ticks = s.global.stall_ticks +
+                                    s.local.stall_ticks +
+                                    s.texture.stall_ticks;
+  EXPECT_EQ(space_ticks, s.stall.memory_ticks());
+
+  for (const gpusim::Space sp :
+       {gpusim::Space::Global, gpusim::Space::Local, gpusim::Space::Texture}) {
+    std::uint64_t site_ticks = 0;
+    for (const gpusim::SiteCounters& sc : s.sites) {
+      if (sc.space == sp) site_ticks += sc.counters.stall_ticks;
+    }
+    EXPECT_EQ(site_ticks, s.counters_for(sp).stall_ticks)
+        << gpusim::space_name(sp);
+  }
+}
+
+const sw::ScoringMatrix& blosum() { return sw::ScoringMatrix::blosum62(); }
+
+TEST(Stall, ReasonsSumToChargedForAllFourKernels) {
+  for (const char* threads : {"1", "8"}) {
+    ThreadsGuard guard(threads);
+    auto dev = one_sm_c1060();
+    const auto longs = long_db(61);
+    const auto shorts = short_db(62);
+    const auto query = test::random_codes(567, 63);
+    const auto short_query = test::random_codes(120, 64);
+
+    expect_stall_invariants(
+        cudasw::run_intra_task_improved(dev, query, longs, blosum(), {10, 2},
+                                        {})
+            .stats);
+    expect_stall_invariants(
+        cudasw::run_intra_task_original(dev, query, longs, blosum(), {10, 2},
+                                        {})
+            .stats);
+    expect_stall_invariants(
+        cudasw::run_inter_task(dev, short_query, shorts, blosum(), {10, 2},
+                               {})
+            .stats);
+    expect_stall_invariants(
+        cudasw::run_inter_task_simd(dev, short_query, shorts, blosum(),
+                                    {10, 2}, {})
+            .stats);
+  }
+}
+
+TEST(Stall, BreakdownIsBitIdenticalAcrossThreadCounts) {
+  const auto db = long_db(65);
+  const auto query = test::random_codes(1500, 66);
+  const auto run_at = [&](const char* threads) {
+    ThreadsGuard guard(threads);
+    auto dev = one_sm_c1060();
+    return cudasw::run_intra_task_improved(dev, query, db, blosum(), {10, 2},
+                                           {});
+  };
+  const auto serial = run_at("1");
+  expect_stall_invariants(serial.stats);
+  for (const char* threads : {"2", "8"}) {
+    const auto parallel = run_at(threads);
+    EXPECT_EQ(reasons(parallel.stats.stall), reasons(serial.stats.stall))
+        << threads << " threads";
+    EXPECT_EQ(parallel.stats.stall.charged, serial.stats.stall.charged);
+    ASSERT_EQ(parallel.stats.sites.size(), serial.stats.sites.size());
+    for (std::size_t i = 0; i < serial.stats.sites.size(); ++i) {
+      EXPECT_EQ(parallel.stats.sites[i].counters.stall_ticks,
+                serial.stats.sites[i].counters.stall_ticks);
+    }
+  }
+}
+
+TEST(Stall, ChargedMinusIdleMatchesTotalBlockCycles) {
+  auto dev = one_sm_c1060();
+  const auto run = cudasw::run_intra_task_improved(
+      dev, test::random_codes(567, 67), long_db(68), blosum(), {10, 2}, {});
+  const gpusim::LaunchStats& s = run.stats;
+  ASSERT_GE(s.stall.charged, s.stall.occupancy_idle);
+  // Per-window llround loses at most half a tick, so the reassembled
+  // block cycles match to windows/2 ticks (plus one for the idle round).
+  const double block_cycles =
+      gpusim::stall_ticks_to_cycles(s.stall.charged - s.stall.occupancy_idle);
+  const double tol =
+      (static_cast<double>(s.windows) * 0.5 + 1.0) /
+      static_cast<double>(gpusim::kStallTicksPerCycle);
+  EXPECT_NEAR(block_cycles, s.total_block_cycles, tol);
+}
+
+TEST(Stall, RegistryMirrorsBreakdownAndCells) {
+  auto dev = one_sm_c1060();
+  const auto db = long_db(69);
+  const auto query = test::random_codes(567, 70);
+  const obs::Snapshot before = obs::Registry::global().snapshot();
+  const auto run =
+      cudasw::run_intra_task_improved(dev, query, db, blosum(), {10, 2}, {});
+  const obs::Snapshot delta = obs::Registry::global().snapshot().diff(before);
+
+  const std::string p = "gpusim.kernel.intra_task_improved.";
+  EXPECT_EQ(delta.counter(p + "cells"), run.cells);
+  std::uint64_t mirrored = 0;
+  gpusim::for_each_stall_reason(
+      run.stats.stall, [&](const char* reason, std::uint64_t v) {
+        EXPECT_EQ(delta.counter(p + "stall." + reason), v) << reason;
+        mirrored += delta.counter(p + "stall." + reason);
+      });
+  EXPECT_EQ(delta.counter(p + "stall.charged"), run.stats.stall.charged);
+  EXPECT_EQ(mirrored, run.stats.stall.charged);
+}
+
+TEST(Stall, LaunchReportShowsBreakdownAndJsonIsGuarded) {
+  auto dev = one_sm_c1060();
+  const auto run = cudasw::run_intra_task_improved(
+      dev, test::random_codes(567, 71), long_db(72), blosum(), {10, 2}, {});
+  const std::string report =
+      gpusim::format_launch_report(run.stats, dev.spec());
+  EXPECT_NE(report.find("stall"), std::string::npos) << report;
+  EXPECT_NE(report.find("compute"), std::string::npos) << report;
+
+  const std::string json = gpusim::site_breakdown_json(run.stats);
+  EXPECT_EQ(json.find("nan"), std::string::npos) << json;
+  EXPECT_EQ(json.find("inf"), std::string::npos) << json;
+  obs::json::Value v;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(json, v, &error)) << error;
+  for (const auto& row : v.array) {
+    // Derived ratios are always present (0.0 for request-only rows) and
+    // every row carries its stall cycles.
+    ASSERT_NE(row.find("coalescing_efficiency"), nullptr);
+    ASSERT_NE(row.find("hit_rate"), nullptr);
+    ASSERT_NE(row.find("stall_cycles"), nullptr);
+  }
+}
+
+TEST(Stall, CountersReportCarriesGcupsVerdictAndStallColumns) {
+  auto dev = one_sm_c1060();
+  const auto db = long_db(73);
+  const auto query = test::random_codes(567, 74);
+  const obs::Snapshot before = obs::Registry::global().snapshot();
+  cudasw::run_intra_task_improved(dev, query, db, blosum(), {10, 2}, {});
+  cudasw::run_intra_task_original(dev, query, db, blosum(), {10, 2}, {});
+  const obs::Snapshot delta = obs::Registry::global().snapshot().diff(before);
+
+  const std::string json = obs::counters_to_json(delta);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(json, doc, &error)) << error;
+  const obs::json::Value* kernels = doc.find("kernels");
+  ASSERT_NE(kernels, nullptr);
+  bool saw_kernel = false;
+  for (const auto& k : kernels->array) {
+    const obs::json::Value* label = k.find("label");
+    if (label == nullptr || label->string.rfind("intra_task", 0) != 0)
+      continue;
+    saw_kernel = true;
+    const obs::json::Value* derived = k.find("derived");
+    ASSERT_NE(derived, nullptr) << label->string;
+    const obs::json::Value* gcups = derived->find("gcups");
+    ASSERT_NE(gcups, nullptr);
+    EXPECT_GT(gcups->number, 0.0);
+    const obs::json::Value* bound = derived->find("bound");
+    ASSERT_NE(bound, nullptr);
+    EXPECT_NE(bound->string, "unknown") << label->string;
+    const obs::json::Value* stall = k.find("stall");
+    ASSERT_NE(stall, nullptr);
+    EXPECT_NE(stall->find("charged_cycles"), nullptr);
+  }
+  EXPECT_TRUE(saw_kernel);
+
+  const std::string table = obs::format_counters_table(delta);
+  EXPECT_NE(table.find("GCUPS"), std::string::npos) << table;
+  EXPECT_NE(table.find("-bound"), std::string::npos) << table;
+  EXPECT_NE(table.find("stall %"), std::string::npos) << table;
+  EXPECT_EQ(table.find("nan"), std::string::npos) << table;
+}
+
+TEST(Stall, DeviceTraceCarriesCounterTracksAndValidates) {
+  TraceGuard guard;
+  const std::string path = testing::TempDir() + "cusw_stall_trace.json";
+  obs::configure_trace(path);
+  {
+    auto dev = one_sm_c1060();
+    cudasw::run_intra_task_improved(dev, test::random_codes(567, 75),
+                                    long_db(76), blosum(), {10, 2}, {});
+  }
+  ASSERT_EQ(obs::flush_trace(), path);
+  const std::string text = read_file(path);
+  ASSERT_FALSE(text.empty());
+
+  const obs::TraceCheck check = obs::validate_chrome_trace(text);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_GT(check.spans, 0u);
+  // GCUPS level + drop, stall-fraction level + drop.
+  EXPECT_GE(check.counters, 4u);
+  EXPECT_NE(text.find("\"GCUPS\""), std::string::npos);
+  EXPECT_NE(text.find("\"stall fraction\""), std::string::npos);
+  EXPECT_NE(text.find("charged_cycles"), std::string::npos);
+}
+
+TEST(TraceCheck, AcceptsCounterEvents) {
+  const char* text = R"({"traceEvents": [
+    {"name": "GCUPS", "ph": "C", "pid": 100, "tid": 0, "ts": 0.0,
+     "args": {"gcups": 1.5}},
+    {"name": "GCUPS", "ph": "C", "pid": 100, "tid": 0, "ts": 10.0,
+     "args": {"gcups": 0.0}}
+  ]})";
+  const obs::TraceCheck check = obs::validate_chrome_trace(text);
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.counters, 2u);
+  EXPECT_EQ(check.spans, 0u);
+}
+
+TEST(TraceCheck, RejectsMalformedCounterEvents) {
+  // Counter with a dur.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+                   R"({"traceEvents": [{"name": "c", "ph": "C", "pid": 1,
+                       "tid": 0, "ts": 0, "dur": 5, "args": {"v": 1}}]})")
+                   .ok);
+  // Counter without args.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+                   R"({"traceEvents": [{"name": "c", "ph": "C", "pid": 1,
+                       "tid": 0, "ts": 0}]})")
+                   .ok);
+  // Counter with a non-numeric series.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+                   R"({"traceEvents": [{"name": "c", "ph": "C", "pid": 1,
+                       "tid": 0, "ts": 0, "args": {"v": "high"}}]})")
+                   .ok);
+  // Counter that travels back in time on its track.
+  EXPECT_FALSE(obs::validate_chrome_trace(
+                   R"({"traceEvents": [
+                     {"name": "c", "ph": "C", "pid": 1, "tid": 0, "ts": 9,
+                      "args": {"v": 1}},
+                     {"name": "c", "ph": "C", "pid": 1, "tid": 0, "ts": 2,
+                      "args": {"v": 0}}]})")
+                   .ok);
+}
+
+TEST(TraceCheck, RejectsSpanWhoseStallSumExceedsCharged) {
+  // stall_compute + stall_sync = 12 > charged_cycles = 10: corrupt.
+  const obs::TraceCheck bad = obs::validate_chrome_trace(
+      R"({"traceEvents": [{"name": "k", "ph": "X", "pid": 1, "tid": 0,
+          "ts": 0, "dur": 5,
+          "args": {"charged_cycles": 10, "stall_compute": 8,
+                   "stall_sync": 4}}]})");
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("stall"), std::string::npos) << bad.error;
+  // An exact partition passes.
+  const obs::TraceCheck good = obs::validate_chrome_trace(
+      R"({"traceEvents": [{"name": "k", "ph": "X", "pid": 1, "tid": 0,
+          "ts": 0, "dur": 5,
+          "args": {"charged_cycles": 10, "stall_compute": 8,
+                   "stall_sync": 2}}]})");
+  EXPECT_TRUE(good.ok) << good.error;
+}
+
+}  // namespace
+}  // namespace cusw

@@ -1,0 +1,110 @@
+#include "tools/perf_diff_lib.h"
+
+#include <cmath>
+
+#include "cudasw/inter_task_simd.h"
+#include "cudasw/intra_task_improved.h"
+#include "cudasw/intra_task_original.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/stall.h"
+#include "seq/generate.h"
+#include "util/rng.h"
+
+namespace cusw::tools {
+
+namespace {
+
+/// Flatten one kernel run's perf profile under `raw.<prefix>.` /
+/// `rate.<prefix>.`. Raw cycle values are llround'ed to integers: the
+/// underlying ticks are exact multiples of 1/1024 cycle, so the rounding
+/// is deterministic and the integers re-read from a %.12g baseline
+/// compare exactly.
+void flatten_perf(const std::string& prefix, const cudasw::KernelRun& run,
+                  std::map<std::string, double>& out) {
+  const gpusim::LaunchStats& s = run.stats;
+  const std::string raw = "raw." + prefix + ".";
+  const std::string rate = "rate." + prefix + ".";
+  const auto cycles = [](std::uint64_t ticks) {
+    return static_cast<double>(
+        std::llround(gpusim::stall_ticks_to_cycles(ticks)));
+  };
+  gpusim::for_each_stall_reason(
+      s.stall, [&](const char* reason, std::uint64_t v) {
+        out[raw + "stall_cycles." + reason] = cycles(v);
+      });
+  out[raw + "stall_cycles.charged"] = cycles(s.stall.charged);
+  out[raw + "makespan_cycles"] =
+      static_cast<double>(std::llround(s.makespan_cycles));
+  out[raw + "windows"] = static_cast<double>(s.windows);
+
+  if (s.seconds > 0.0) {
+    out[rate + "gcups"] =
+        static_cast<double>(run.cells) / s.seconds / 1e9;
+  }
+  if (s.stall.charged > 0) {
+    const double charged = static_cast<double>(s.stall.charged);
+    gpusim::for_each_stall_reason(
+        s.stall, [&](const char* reason, std::uint64_t v) {
+          out[rate + "stall_share." + reason] =
+              static_cast<double>(v) / charged;
+        });
+  }
+}
+
+}  // namespace
+
+std::map<std::string, double> run_perf_workload() {
+  return run_perf_workload(gpusim::CostModel{});
+}
+
+std::map<std::string, double> run_perf_workload(
+    const gpusim::CostModel& cost) {
+  const auto& matrix = sw::ScoringMatrix::blosum62();
+  const sw::GapPenalty gap{10, 2};
+
+  // One-SM slice of the C1060, as every bench runs (bench_common.h).
+  gpusim::DeviceSpec spec = gpusim::DeviceSpec::tesla_c1060();
+  spec = spec.scaled(1.0 / spec.sm_count);
+
+  Rng rng(567);
+  const auto query = seq::random_protein(567, rng).residues;
+
+  std::map<std::string, double> out;
+
+  // Table I slice: the intra-task pair on the over-threshold subset.
+  {
+    const auto db =
+        seq::DatabaseProfile::swissprot().synthesize(2400, 0xAB1E);
+    const auto longs = db.split_by_threshold(3072).second;
+    gpusim::Device dev(spec, cost);
+    flatten_perf(
+        "table1.intra_task_improved",
+        cudasw::run_intra_task_improved(dev, query, longs, matrix, gap, {}),
+        out);
+    flatten_perf(
+        "table1.intra_task_original",
+        cudasw::run_intra_task_original(dev, query, longs, matrix, gap, {}),
+        out);
+  }
+
+  // Fig. 2 slice: the inter-task pair on a high-variance log-normal
+  // database (stddev 1500, the paper's worst case for the SIMT kernel).
+  {
+    auto db = seq::lognormal_db(256, 4000.0, 1500.0, 0xF162, 32, 40000);
+    db.sort_by_length();
+    gpusim::Device dev(spec, cost);
+    flatten_perf("fig2.inter_task",
+                 cudasw::run_inter_task(dev, query, db, matrix, gap, {}),
+                 out);
+    flatten_perf(
+        "fig2.inter_task_simd",
+        cudasw::run_inter_task_simd(dev, query, db, matrix, gap, {}), out);
+  }
+  return out;
+}
+
+std::map<std::string, double> default_perf_tolerances() {
+  return {{"default", 0.0}, {"rate.", 0.02}};
+}
+
+}  // namespace cusw::tools

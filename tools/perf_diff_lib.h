@@ -1,0 +1,46 @@
+// perf_diff: compare the canonical workloads' simulated-performance
+// profile — charged cycles, per-reason stall attribution, makespan and
+// derived rates — against checked-in golden baselines
+// (baselines/perf_baseline.json). The memory-counter twin of
+// counter_diff_lib.h; the generic machinery (tolerance matching, diffing,
+// baseline (de)serialisation) is shared from there.
+//
+// The workload replays one-SM slices of the paper's two headline
+// experiments:
+//   - Table I: both intra-task kernels, query 567, against the
+//     synthesized Swiss-Prot over-threshold subset (C1060 slice);
+//   - Fig. 2: both inter-task kernels (SIMT and virtualised SIMD),
+//     query 567, against a high-variance log-normal database.
+// All cycle quantities are fixed-point deterministic for any CUSW_THREADS
+// (gpusim/stall.h), so raw keys compare exactly; derived rates (GCUPS,
+// stall shares) get a drift tolerance.
+//
+// Keys are flat dotted paths:
+//   raw.table1.intra_task_improved.stall_cycles.txn_issue
+//   raw.fig2.inter_task.makespan_cycles
+//   rate.table1.intra_task_original.gcups
+//   rate.fig2.inter_task_simd.stall_share.exposed_latency
+// Raw values are integers (rounded cycles), so they survive the %.12g
+// baseline serialisation bit for bit at tolerance 0.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "gpusim/cost_model.h"
+
+namespace cusw::tools {
+
+/// Run the canonical perf workloads and return the flat perf-counter map.
+/// Deterministic for any CUSW_THREADS.
+std::map<std::string, double> run_perf_workload();
+
+/// Same workloads under an explicit cost model — the regression test uses
+/// this to prove that perturbing one CostModel constant trips the gate.
+std::map<std::string, double> run_perf_workload(
+    const gpusim::CostModel& cost);
+
+/// Tolerances for a fresh perf baseline: exact raw cycles, 2% on rates.
+std::map<std::string, double> default_perf_tolerances();
+
+}  // namespace cusw::tools

@@ -1,0 +1,93 @@
+// perf_diff CLI — the CI gate behind `ctest -R perf_baseline`.
+//
+//   perf_diff [--baselines <dir>] [--update]
+//
+// Without --update: replay the canonical Table I / Fig 2 one-SM slices,
+// compare their simulated-performance profile (charged cycles, stall
+// attribution, makespan, GCUPS) against <dir>/perf_baseline.json, print
+// any violations and exit non-zero. With --update: regenerate the
+// baseline file in place, preserving its tolerances (run this after an
+// intentional cost-model or kernel change and commit the result).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tools/counter_diff_lib.h"
+#include "tools/perf_diff_lib.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir = "baselines";
+  bool update = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--update") == 0) {
+      update = true;
+    } else if (std::strcmp(argv[i], "--baselines") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: perf_diff [--baselines <dir>] [--update]\n");
+      return 2;
+    }
+  }
+  const std::string path = dir + "/perf_baseline.json";
+
+  std::printf("perf_diff: replaying canonical perf workloads...\n");
+  const auto current = cusw::tools::run_perf_workload();
+
+  std::map<std::string, double> base, tol;
+  std::string text, error;
+  const bool have_file = read_file(path, text);
+  if (have_file && !cusw::tools::load_baseline(text, base, tol, &error)) {
+    std::fprintf(stderr, "perf_diff: cannot parse %s: %s\n", path.c_str(),
+                 error.c_str());
+    return 2;
+  }
+
+  if (update) {
+    if (!have_file || tol.empty()) tol = cusw::tools::default_perf_tolerances();
+    const std::string json = cusw::tools::baseline_to_json(current, tol);
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      std::fprintf(stderr, "perf_diff: cannot write %s\n", path.c_str());
+      return 2;
+    }
+    out << json;
+    std::printf("perf_diff: wrote %zu perf counters to %s\n", current.size(),
+                path.c_str());
+    return 0;
+  }
+
+  if (!have_file) {
+    std::fprintf(stderr, "perf_diff: missing %s (generate it with --update)\n",
+                 path.c_str());
+    return 2;
+  }
+  const auto r = cusw::tools::diff_counters(current, base, tol);
+  for (const std::string& f : r.failures)
+    std::fprintf(stderr, "perf_diff: FAIL %s\n", f.c_str());
+  if (!r.ok) {
+    std::fprintf(stderr,
+                 "perf_diff: %zu of %zu perf counters outside tolerance "
+                 "(intentional? rerun with --update and commit)\n",
+                 r.failures.size(), r.compared);
+    return 1;
+  }
+  std::printf("perf_diff: %zu perf counters within tolerance of %s\n",
+              r.compared, path.c_str());
+  return 0;
+}
