@@ -91,6 +91,7 @@ void run() {
 
 int main(int argc, char** argv) {
   cusw::bench::BenchMain bench_main(argc, argv, "ablation_incremental");
+  cusw::bench::note_seed(0xAB7A);  // primary workload seed, stamped into the JSON
   cusw::run();
   return 0;
 }

@@ -76,6 +76,7 @@ void run() {
 
 int main(int argc, char** argv) {
   cusw::bench::BenchMain bench_main(argc, argv, "ablation_strip");
+  cusw::bench::note_seed(0x57B1);  // primary workload seed, stamped into the JSON
   cusw::run();
   return 0;
 }

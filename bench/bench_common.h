@@ -12,6 +12,7 @@
 // table to CSV on stdout.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -23,6 +24,7 @@
 #include "gpusim/stall.h"
 #include "seq/generate.h"
 #include "util/cli.h"
+#include "util/json.h"
 #include "util/parallel.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
@@ -51,9 +53,32 @@ inline double& slice_factor_slot() {
   return factor;
 }
 
+/// Device-spec name of the most recent slice_of() call ("" until a bench
+/// builds a device). Stamped into every BENCH_*.json alongside the slice
+/// factor so the document names the hardware it modelled.
+inline std::string& device_name_slot() {
+  static std::string name;
+  return name;
+}
+
+/// The bench's primary workload RNG seed, stamped into every BENCH_*.json
+/// so a run is reproducible from its own file. Benches declare it once up
+/// front with note_seed(); 0 means "no seed declared".
+inline std::uint64_t& rng_seed_slot() {
+  static std::uint64_t seed = 0;
+  return seed;
+}
+
+/// Declare the seed that generated this bench's workloads (first call
+/// wins — the primary seed; derived per-table seeds stay in the tables).
+inline void note_seed(std::uint64_t seed) {
+  if (rng_seed_slot() == 0) rng_seed_slot() = seed;
+}
+
 /// Schema of the BENCH_*.json documents; bump when the stamped header or
-/// table mirror changes shape.
-inline constexpr int kBenchJsonSchemaVersion = 1;
+/// table mirror changes shape. v2 added the `seed` and `device`
+/// provenance fields.
+inline constexpr int kBenchJsonSchemaVersion = 2;
 
 /// Write `payload` (a complete JSON document) to `BENCH_<name>.json` in
 /// the working directory. Every bench reports through this one sink so the
@@ -70,12 +95,15 @@ inline bool emit_json(const std::string& name, const std::string& payload) {
     ++body;
   if (body != std::string::npos && body < stamped.size() &&
       stamped[body] != '}') {
-    char stamp[160];
+    char stamp[320];
     std::snprintf(stamp, sizeof(stamp),
                   "\n  \"schema_version\": %d,\n  \"threads\": %zu,\n"
-                  "  \"slice_factor\": %.12g,",
+                  "  \"slice_factor\": %.12g,\n  \"seed\": %llu,\n"
+                  "  \"device\": \"%s\",",
                   kBenchJsonSchemaVersion, util::parallelism(),
-                  slice_factor_slot());
+                  slice_factor_slot(),
+                  static_cast<unsigned long long>(rng_seed_slot()),
+                  util::json_escape(device_name_slot()).c_str());
     stamped.insert(brace + 1, stamp);
   }
   const std::string path = "BENCH_" + name + ".json";
@@ -169,6 +197,7 @@ inline Gpu slice_of(const gpusim::DeviceSpec& base) {
   gpusim::DeviceSpec s = base.scaled(1.0 / base.sm_count);  // one SM
   Gpu g{s, static_cast<double>(s.sm_count) / base.sm_count};
   slice_factor_slot() = g.factor;
+  device_name_slot() = base.name;
   return g;
 }
 

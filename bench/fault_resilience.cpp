@@ -77,6 +77,7 @@ void device_loss_sweep() {
 
 int main(int argc, char** argv) {
   cusw::bench::BenchMain bench_main(argc, argv, "fault_resilience");
+  cusw::bench::note_seed(0xFA17);  // primary workload seed, stamped into the JSON
   cusw::bench::print_header(
       "Fault-injection resilience: overhead of retries, failover and "
       "degradation",

@@ -87,6 +87,7 @@ void run() {
 
 int main(int argc, char** argv) {
   cusw::bench::BenchMain bench_main(argc, argv, "fig2_kernel_variance");
+  cusw::bench::note_seed(0xF162);  // primary workload seed, stamped into the JSON
   cusw::run();
   return 0;
 }

@@ -56,6 +56,7 @@ void run() {
 
 int main(int argc, char** argv) {
   cusw::bench::BenchMain bench_main(argc, argv, "fig3_threshold_sweep");
+  cusw::bench::note_seed(0xF163);  // primary workload seed, stamped into the JSON
   cusw::run();
   return 0;
 }

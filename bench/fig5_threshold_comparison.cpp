@@ -78,6 +78,7 @@ void run_sweep(bool caches_enabled) {
 
 int main(int argc, char** argv) {
   cusw::bench::BenchMain bench_main(argc, argv, "fig5_threshold_comparison");
+  cusw::bench::note_seed(0xF165);  // primary workload seed, stamped into the JSON
   cusw::bench::print_header(
       "Fig. 5 — GCUPs and intra-task time share vs threshold, 4 configs",
       "Hains et al., IPDPS'11, Figure 5(a)/(b)");

@@ -86,6 +86,7 @@ void run() {
 
 int main(int argc, char** argv) {
   cusw::bench::BenchMain bench_main(argc, argv, "fig6_cache_off");
+  cusw::bench::note_seed(0xF165);  // primary workload seed, stamped into the JSON
   cusw::run();
   return 0;
 }

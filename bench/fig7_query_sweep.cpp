@@ -64,6 +64,7 @@ void run() {
 
 int main(int argc, char** argv) {
   cusw::bench::BenchMain bench_main(argc, argv, "fig7_query_sweep");
+  cusw::bench::note_seed(0xF167);  // primary workload seed, stamped into the JSON
   cusw::run();
   return 0;
 }

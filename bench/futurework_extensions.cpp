@@ -150,6 +150,7 @@ void streaming() {
 
 int main(int argc, char** argv) {
   cusw::bench::BenchMain bench_main(argc, argv, "futurework_extensions");
+  cusw::bench::note_seed(0xF0BB);  // primary workload seed, stamped into the JSON
   cusw::bench::print_header("§VI future-work extensions, implemented",
                             "Hains et al., IPDPS'11, Section VI");
   cusw::kernel_extensions();

@@ -125,6 +125,7 @@ void run(std::size_t parallel_threads, int repeat) {
 }  // namespace cusw
 
 int main(int argc, char** argv) {
+  cusw::bench::note_seed(0x51AB);  // primary workload seed, stamped into the JSON
   cusw::Cli cli(argc, argv);
   const auto threads = static_cast<long>(cli.get_int("threads", 0));
   const std::size_t parallel_threads =

@@ -130,6 +130,7 @@ void run() {
 
 int main(int argc, char** argv) {
   cusw::bench::BenchMain bench_main(argc, argv);
+  cusw::bench::note_seed(0xAB1E);  // primary workload seed, stamped into the JSON
   cusw::run();
   return 0;
 }

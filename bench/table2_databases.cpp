@@ -72,6 +72,7 @@ void run() {
 
 int main(int argc, char** argv) {
   cusw::bench::BenchMain bench_main(argc, argv, "table2_databases");
+  cusw::bench::note_seed(0x7AB2E);  // primary workload seed, stamped into the JSON
   cusw::run();
   return 0;
 }

@@ -1,0 +1,138 @@
+#include "obs/log_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/json.h"
+
+namespace cusw::obs {
+
+LogHistogram::LogHistogram(double min_value, double max_value,
+                           double relative_error)
+    : min_value_(min_value), max_value_(max_value), rel_err_(relative_error) {
+  CUSW_REQUIRE(min_value > 0.0 && max_value > min_value,
+               "log histogram needs 0 < min < max");
+  CUSW_REQUIRE(relative_error > 0.0 && relative_error < 1.0,
+               "log histogram relative error must be in (0, 1)");
+  // Growth factor b = (1 + e)^2: the geometric midpoint lo*sqrt(b) of a
+  // bucket [lo, lo*b) is within a factor (1 + e) of both ends.
+  const double log_base = 2.0 * std::log1p(relative_error);
+  log_base_inv_ = 1.0 / log_base;
+  const double span = std::log(max_value / min_value);
+  const auto n = static_cast<std::size_t>(std::ceil(span / log_base));
+  counts_.assign(std::max<std::size_t>(n, 1), 0);
+}
+
+std::size_t LogHistogram::bucket_index(double v) const {
+  const double t = std::log(v / min_value_) * log_base_inv_;
+  auto idx = static_cast<std::int64_t>(t);  // v >= min_value_ => t >= 0
+  // Floating rounding at the last bucket boundary can land one past the
+  // end even for v < max_value; keep it in range.
+  if (idx >= static_cast<std::int64_t>(counts_.size()))
+    idx = static_cast<std::int64_t>(counts_.size()) - 1;
+  if (idx < 0) idx = 0;
+  return static_cast<std::size_t>(idx);
+}
+
+void LogHistogram::record(double v) {
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+  if (v < min_value_) {
+    ++underflow_;
+    return;
+  }
+  if (v >= max_value_) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[bucket_index(v)];
+}
+
+double LogHistogram::bucket_lo(std::size_t i) const {
+  return min_value_ * std::exp(static_cast<double>(i) / log_base_inv_);
+}
+
+double LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t seen = underflow_;
+  if (rank <= seen) return min_;  // exact: the recorded minimum bounds it
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    seen += counts_[i];
+    if (rank <= seen) {
+      // Geometric bucket midpoint: within rel_err_ of any member.
+      return bucket_lo(i) * (1.0 + rel_err_);
+    }
+  }
+  return max_;  // overflow bucket: the recorded maximum is its upper bound
+}
+
+void LogHistogram::merge(const LogHistogram& o) {
+  CUSW_REQUIRE(min_value_ == o.min_value_ && max_value_ == o.max_value_ &&
+                   rel_err_ == o.rel_err_,
+               "merging log histograms with different geometry");
+  if (o.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = o.min_;
+    max_ = o.max_;
+  } else {
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+  }
+  count_ += o.count_;
+  sum_ += o.sum_;
+  underflow_ += o.underflow_;
+  overflow_ += o.overflow_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += o.counts_[i];
+}
+
+bool LogHistogram::operator==(const LogHistogram& o) const {
+  return min_value_ == o.min_value_ && max_value_ == o.max_value_ &&
+         rel_err_ == o.rel_err_ && counts_ == o.counts_ &&
+         count_ == o.count_ && underflow_ == o.underflow_ &&
+         overflow_ == o.overflow_ && sum_ == o.sum_ &&
+         (count_ == 0 || (min_ == o.min_ && max_ == o.max_));
+}
+
+std::string LogHistogram::to_json() const {
+  util::JsonFields f;
+  f.field("count", count_)
+      .field("underflow", underflow_)
+      .field("overflow", overflow_)
+      .field("sum", sum_)
+      .field("min", min_recorded())
+      .field("max", max_recorded())
+      .field("relative_error", rel_err_)
+      .field("p50", quantile(0.50))
+      .field("p90", quantile(0.90))
+      .field("p99", quantile(0.99))
+      .field("p999", quantile(0.999));
+  std::ostringstream buckets;
+  buckets << "[";
+  bool first = true;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    buckets << (first ? "" : ", ") << "{\"lo\": "
+            << util::json_number(bucket_lo(i))
+            << ", \"hi\": " << util::json_number(bucket_hi(i))
+            << ", \"n\": " << counts_[i] << "}";
+    first = false;
+  }
+  buckets << "]";
+  f.raw("buckets", buckets.str());
+  return f.object();
+}
+
+}  // namespace cusw::obs

@@ -1,0 +1,97 @@
+// Log-bucketed (HDR-style) histogram with a bounded relative error on
+// every reported quantile.
+//
+// The registry's obs::Histogram needs explicit bucket bounds chosen up
+// front and util::Histogram is fixed-width over a closed range — neither
+// can answer "what is p99.9 of a latency distribution whose tail we did
+// not predict" without either huge bucket tables or unbounded error. This
+// histogram covers [min_value, max_value) with geometrically spaced
+// buckets sized so the bucket midpoint is within `relative_error` of any
+// sample that landed in the bucket; quantiles are therefore trustworthy
+// at the tail, which is the whole point of SLO accounting (DESIGN.md §11).
+//
+// Out-of-range samples are never clamped into edge buckets: they are
+// counted in explicit underflow/overflow buckets and the exact recorded
+// min/max stand in as their representatives, so outliers stay visible and
+// count() always equals underflow + Σ buckets + overflow.
+//
+// Recording is a pure function of the sample sequence — no wall clock, no
+// allocation after construction — so two runs that record the same values
+// in the same order produce bit-identical histograms (the serve layer's
+// determinism contract rides on this).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cusw::obs {
+
+class LogHistogram {
+ public:
+  /// Geometric buckets over [min_value, max_value) with bucket growth
+  /// factor (1 + relative_error)^2, so the geometric bucket midpoint is
+  /// within `relative_error` of every in-range sample. Requires
+  /// 0 < min_value < max_value and relative_error in (0, 1).
+  LogHistogram(double min_value, double max_value, double relative_error);
+
+  void record(double v);
+
+  /// Total samples recorded, including underflow and overflow.
+  std::uint64_t count() const { return count_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  double sum() const { return sum_; }
+  /// Exact extremes of everything recorded (0 when empty).
+  double min_recorded() const { return count_ ? min_ : 0.0; }
+  double max_recorded() const { return count_ ? max_ : 0.0; }
+
+  /// Value at quantile q in [0, 1] under the rank definition
+  /// rank = max(1, ceil(q * count)): the bucket midpoint for in-range
+  /// samples (within relative_error() of the exact order statistic), the
+  /// exact recorded min/max for samples that landed in the underflow or
+  /// overflow bucket, and 0 for an empty histogram.
+  double quantile(double q) const;
+
+  /// The advertised bound: for any quantile whose order statistic was an
+  /// in-range sample, |quantile(q) - exact| / exact <= relative_error().
+  double relative_error() const { return rel_err_; }
+  double min_value() const { return min_value_; }
+  double max_value() const { return max_value_; }
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_[i]; }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const { return bucket_lo(i + 1); }
+
+  /// Merge another histogram with identical geometry (same min/max/error).
+  void merge(const LogHistogram& o);
+
+  /// Exact structural equality — the bit-identity the determinism tests
+  /// assert across thread counts.
+  bool operator==(const LogHistogram& o) const;
+  bool operator!=(const LogHistogram& o) const { return !(*this == o); }
+
+  /// {"count": ..., "underflow": ..., "overflow": ..., "p50": ..., ...,
+  ///  "buckets": [{"lo": ..., "hi": ..., "n": ...}, ...]} — only non-empty
+  /// buckets are listed.
+  std::string to_json() const;
+
+ private:
+  std::size_t bucket_index(double v) const;
+
+  double min_value_ = 0.0;
+  double max_value_ = 0.0;
+  double rel_err_ = 0.0;
+  double log_base_inv_ = 0.0;  // 1 / ln(growth factor)
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace cusw::obs

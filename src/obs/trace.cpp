@@ -45,6 +45,27 @@ void TraceWriter::counter(TraceEvent e) {
   impl_->events.push_back(std::move(e));
 }
 
+void TraceWriter::async_begin(TraceEvent e) {
+  e.ph = 'b';
+  e.dur_us = 0.0;
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->events.push_back(std::move(e));
+}
+
+void TraceWriter::async_instant(TraceEvent e) {
+  e.ph = 'n';
+  e.dur_us = 0.0;
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->events.push_back(std::move(e));
+}
+
+void TraceWriter::async_end(TraceEvent e) {
+  e.ph = 'e';
+  e.dur_us = 0.0;
+  std::lock_guard<std::mutex> lk(impl_->mu);
+  impl_->events.push_back(std::move(e));
+}
+
 void TraceWriter::name_process(int pid, std::string name) {
   std::lock_guard<std::mutex> lk(impl_->mu);
   if (!impl_->named.insert({pid, -1}).second) return;
@@ -113,6 +134,9 @@ std::string TraceWriter::to_json() const {
       append_us(os, e.ts_us);
       if (e.ph == 'i') {
         os << ", \"s\": \"t\"";  // thread-scoped instant
+      } else if (e.ph == 'b' || e.ph == 'n' || e.ph == 'e') {
+        // Async events are matched by (cat, id); no dur.
+        os << ", \"id\": \"" << e.async_id << "\"";
       } else if (e.ph != 'C') {  // counters carry only ts + args
         os << ", \"dur\": ";
         append_us(os, e.dur_us);

@@ -33,7 +33,11 @@ struct TraceEvent {
   double ts_us = 0.0;   // microseconds in the track's clock domain
   double dur_us = 0.0;  // complete ("X") event duration; unused for "i"/"C"
   std::string args_json;  // pre-rendered `"k": v` pairs, may be empty
-  char ph = 'X';  // 'X' complete span, 'i' instant, or 'C' counter sample
+  char ph = 'X';  // 'X' complete, 'i' instant, 'C' counter, 'b'/'n'/'e' async
+  /// Async lane id: events with the same (cat, id) form one async lane
+  /// (Chrome matches "b"/"n"/"e" by category + id). Ignored for other
+  /// phases.
+  std::uint64_t async_id = 0;
 };
 
 /// Collects complete spans and track metadata, then writes one Chrome
@@ -51,6 +55,13 @@ class TraceWriter {
   /// one series of the counter named e.name (Chrome renders a stacked
   /// area chart per (pid, name)). dur_us is ignored.
   void counter(TraceEvent e);
+  /// Async ("b"/"n"/"e") events: one lane per (cat, async_id), used for
+  /// request-scoped spans that cross threads and batches (the serve
+  /// layer's per-request lanes). Begin/end pairs must balance per lane
+  /// and nest LIFO — obs/trace_check enforces it on the emitted file.
+  void async_begin(TraceEvent e);
+  void async_instant(TraceEvent e);
+  void async_end(TraceEvent e);
   /// Idempotent track/process naming (Chrome "M" metadata events).
   void name_process(int pid, std::string name);
   void name_track(int pid, int tid, std::string name);

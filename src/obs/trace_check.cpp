@@ -4,6 +4,9 @@
 #include <cstdlib>
 #include <map>
 #include <sstream>
+#include <tuple>
+
+#include "util/json.h"
 
 namespace cusw::obs::json {
 
@@ -288,6 +291,19 @@ TraceCheck validate_chrome_trace(std::string_view text) {
   std::map<std::pair<int, int>, std::vector<Span>> stacks;
   std::map<std::pair<int, int>, double> last_ts;
 
+  // Async lanes: one per (pid, cat, id). `open` is the stack of unclosed
+  // begins; `closed` flips when the outermost span ends, after which the
+  // lane must stay silent.
+  struct AsyncOpen {
+    std::string name;
+    double ts;
+  };
+  struct AsyncLane {
+    std::vector<AsyncOpen> open;
+    bool closed = false;
+  };
+  std::map<std::tuple<int, std::string, std::string>, AsyncLane> lanes;
+
   for (std::size_t i = 0; i < events->array.size(); ++i) {
     const json::Value& e = events->array[i];
     if (e.kind != json::Value::Kind::kObject) {
@@ -307,11 +323,83 @@ TraceCheck validate_chrome_trace(std::string_view text) {
     }
     ++out.events;
     if (ph->string == "M") continue;  // metadata carries no timestamps
-    if (ph->string != "X" && ph->string != "i" && ph->string != "C") {
+    if (ph->string != "X" && ph->string != "i" && ph->string != "C" &&
+        ph->string != "b" && ph->string != "n" && ph->string != "e") {
       out.error = event_err(i, "unexpected phase '" + ph->string + "'");
       return out;
     }
     const json::Value* ts = e.find("ts");
+    if (ph->string == "b" || ph->string == "n" || ph->string == "e") {
+      if (ts == nullptr || ts->kind != json::Value::Kind::kNumber) {
+        out.error = event_err(i, "async event missing numeric ts");
+        return out;
+      }
+      if (e.find("dur") != nullptr) {
+        out.error = event_err(i, "async event carries a dur");
+        return out;
+      }
+      const json::Value* cat = e.find("cat");
+      if (cat == nullptr || cat->kind != json::Value::Kind::kString ||
+          cat->string.empty()) {
+        out.error = event_err(i, "async event missing cat");
+        return out;
+      }
+      const json::Value* id = e.find("id");
+      std::string lane_id;
+      if (id != nullptr && id->kind == json::Value::Kind::kString) {
+        lane_id = id->string;
+      } else if (id != nullptr && id->kind == json::Value::Kind::kNumber) {
+        lane_id = util::json_number(id->number);
+      } else {
+        out.error = event_err(i, "async event missing id");
+        return out;
+      }
+      ++out.asyncs;
+      AsyncLane& lane = lanes[{static_cast<int>(pid->number), cat->string,
+                               lane_id}];
+      if (lane.closed) {
+        out.error = event_err(
+            i, "async event '" + name->string +
+                   "' after its lane's outermost span closed (id " +
+                   lane_id + ")");
+        return out;
+      }
+      if (ph->string == "b") {
+        lane.open.push_back({name->string, ts->number});
+      } else if (ph->string == "n") {
+        if (lane.open.empty()) {
+          out.error = event_err(i, "async instant '" + name->string +
+                                       "' outside any open span");
+          return out;
+        }
+        if (ts->number + kEps < lane.open.back().ts) {
+          out.error = event_err(i, "async instant '" + name->string +
+                                       "' precedes its enclosing span");
+          return out;
+        }
+      } else {  // "e"
+        if (lane.open.empty()) {
+          out.error = event_err(
+              i, "async end '" + name->string + "' without a begin");
+          return out;
+        }
+        if (lane.open.back().name != name->string) {
+          out.error = event_err(
+              i, "async end '" + name->string + "' does not match open '" +
+                     lane.open.back().name + "' (phases must nest in their "
+                     "lane)");
+          return out;
+        }
+        if (ts->number + kEps < lane.open.back().ts) {
+          out.error = event_err(
+              i, "async span '" + name->string + "' ends before it begins");
+          return out;
+        }
+        lane.open.pop_back();
+        if (lane.open.empty()) lane.closed = true;
+      }
+      continue;
+    }
     if (ph->string == "C") {
       if (ts == nullptr || ts->kind != json::Value::Kind::kNumber) {
         out.error = event_err(i, "counter missing numeric ts");
@@ -434,7 +522,15 @@ TraceCheck validate_chrome_trace(std::string_view text) {
     }
     stack.push_back({start, end});
   }
+  for (const auto& [key, lane] : lanes) {
+    if (!lane.open.empty()) {
+      out.error = "async span '" + lane.open.back().name +
+                  "' (lane id " + std::get<2>(key) + ") never ends";
+      return out;
+    }
+  }
   out.tracks = last_ts.size();
+  out.lanes = lanes.size();
   out.ok = true;
   return out;
 }

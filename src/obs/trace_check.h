@@ -44,6 +44,8 @@ struct TraceCheck {
   std::size_t spans = 0;      // complete ("X") events
   std::size_t instants = 0;   // instant ("i") events
   std::size_t counters = 0;   // counter ("C") samples
+  std::size_t asyncs = 0;     // async ("b"/"n"/"e") events
+  std::size_t lanes = 0;      // distinct async (pid, cat, id) lanes
   std::size_t tracks = 0;     // distinct (pid, tid) with at least one span
 };
 
@@ -59,6 +61,15 @@ struct TraceCheck {
 /// `charged_cycles`) is rejected when the stall sum exceeds the charged
 /// total — the simulator's per-window sum invariant, rechecked end to end
 /// on the emitted file.
+///
+/// Async events ("b" begin / "n" instant / "e" end) carry a numeric ts, a
+/// non-empty cat and an id (string or number); each (pid, cat, id) triple
+/// is one lane (a per-request lane in the serve layer). Within a lane the
+/// checker enforces: every "e" matches the most recent unclosed "b" by
+/// name (LIFO nesting — phase spans stay confined inside their request
+/// span), no span ends before it begins, "n" instants only occur inside
+/// an open span, every "b" is closed by the end of the file, and once a
+/// lane's outermost span has closed no further events may use that lane.
 TraceCheck validate_chrome_trace(std::string_view text);
 
 }  // namespace cusw::obs

@@ -1,0 +1,46 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace cusw::serve {
+
+AdmissionController::AdmissionController(const AdmissionConfig& cfg)
+    : cfg_(cfg) {
+  CUSW_REQUIRE(cfg.cells_per_second >= 0.0,
+               "cell budget rate must be >= 0");
+  tokens_ = cfg_.effective_burst();  // start with a full bucket
+}
+
+void AdmissionController::refill(double now_ms) {
+  if (cfg_.cells_per_second <= 0.0) return;
+  const double dt_s = (now_ms - last_refill_ms_) / 1000.0;
+  if (dt_s > 0.0) {
+    tokens_ = std::min(cfg_.effective_burst(),
+                       tokens_ + dt_s * cfg_.cells_per_second);
+    last_refill_ms_ = now_ms;
+  }
+}
+
+double AdmissionController::tokens(double now_ms) {
+  refill(now_ms);
+  return tokens_;
+}
+
+Outcome AdmissionController::admit(double now_ms, std::uint64_t cells,
+                                   std::size_t queued, std::size_t inflight) {
+  if (cfg_.max_queue > 0 && queued >= cfg_.max_queue)
+    return Outcome::kRejectedQueue;
+  if (cfg_.max_inflight > 0 && inflight >= cfg_.max_inflight)
+    return Outcome::kRejectedConcurrency;
+  if (cfg_.cells_per_second > 0.0) {
+    refill(now_ms);
+    if (static_cast<double>(cells) > tokens_)
+      return Outcome::kRejectedBudget;
+    tokens_ -= static_cast<double>(cells);
+  }
+  return Outcome::kPending;  // admitted; the scheduler sets the final outcome
+}
+
+}  // namespace cusw::serve

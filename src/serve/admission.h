@@ -1,0 +1,55 @@
+// Admission control: the service's reject-on-overload front door.
+//
+// Three independent gates, all deterministic functions of the simulated
+// clock and the request stream:
+//   - queue cap: bounded waiting room (classic M/G/1/K loss behaviour);
+//   - concurrency cap: bound on admitted-but-unfinished requests, which
+//     also bounds the worst-case latency a queued request can see;
+//   - cell token budget: a token bucket refilled in DP cells per second,
+//     so an expensive long query spends proportionally more budget than a
+//     short one (GCUPS-denominated rate limiting, not request counting).
+#pragma once
+
+#include <cstdint>
+
+#include "serve/request.h"
+
+namespace cusw::serve {
+
+struct AdmissionConfig {
+  std::size_t max_queue = 64;      // waiting requests; 0 = unbounded
+  std::size_t max_inflight = 256;  // admitted but unfinished; 0 = unbounded
+  /// Token bucket refill rate in DP cells per simulated second; 0 disables
+  /// the budget gate.
+  double cells_per_second = 0.0;
+  /// Bucket capacity in cells; <= 0 defaults to one second of refill.
+  double cell_burst = 0.0;
+
+  double effective_burst() const {
+    return cell_burst > 0.0 ? cell_burst : cells_per_second;
+  }
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionConfig& cfg);
+
+  /// Decide a request arriving at `now_ms` needing `cells` of budget while
+  /// `queued` requests wait and `inflight` are admitted-but-unfinished.
+  /// Gates are checked queue -> concurrency -> budget; tokens are only
+  /// spent when the request is admitted.
+  Outcome admit(double now_ms, std::uint64_t cells, std::size_t queued,
+                std::size_t inflight);
+
+  /// Current token level after refilling to `now_ms` (for dashboards).
+  double tokens(double now_ms);
+
+ private:
+  void refill(double now_ms);
+
+  AdmissionConfig cfg_;
+  double tokens_ = 0.0;
+  double last_refill_ms_ = 0.0;
+};
+
+}  // namespace cusw::serve

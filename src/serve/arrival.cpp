@@ -1,0 +1,62 @@
+#include "serve/arrival.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "util/check.h"
+
+namespace cusw::serve {
+
+const char* arrival_kind_name(ArrivalConfig::Kind k) {
+  return k == ArrivalConfig::Kind::kPoisson ? "poisson" : "bursty";
+}
+
+ArrivalConfig::Kind parse_arrival_kind(std::string_view name) {
+  if (name == "poisson") return ArrivalConfig::Kind::kPoisson;
+  if (name == "bursty") return ArrivalConfig::Kind::kBursty;
+  throw std::invalid_argument("unknown arrival kind '" + std::string(name) +
+                              "' (expected poisson or bursty)");
+}
+
+ArrivalProcess::ArrivalProcess(const ArrivalConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+  CUSW_REQUIRE(cfg.rate_rps > 0.0, "arrival rate must be > 0");
+  if (cfg_.kind == ArrivalConfig::Kind::kBursty) {
+    CUSW_REQUIRE(cfg.mean_burst_ms > 0.0 && cfg.mean_calm_ms > 0.0,
+                 "bursty state dwell times must be > 0");
+    // Start in the calm state with a fresh exponential dwell.
+    state_left_ms_ = exponential_ms(1000.0 / cfg_.mean_calm_ms);
+  }
+}
+
+double ArrivalProcess::exponential_ms(double rate_rps) {
+  // Inverse-CDF sampling; uniform01() < 1 so the log argument is > 0.
+  const double u = rng_.uniform01();
+  return -std::log(1.0 - u) / rate_rps * 1000.0;
+}
+
+double ArrivalProcess::next_gap_ms() {
+  if (cfg_.kind == ArrivalConfig::Kind::kPoisson)
+    return exponential_ms(cfg_.rate_rps);
+
+  // Markov-modulated Poisson: draw a gap at the current state's rate; if
+  // it crosses the state boundary, advance to the boundary, flip state,
+  // and redraw (memorylessness makes the redraw exact, not approximate).
+  double elapsed = 0.0;
+  for (;;) {
+    const double rate =
+        burst_ ? cfg_.effective_burst_rate() : cfg_.rate_rps;
+    const double gap = exponential_ms(rate);
+    if (gap <= state_left_ms_) {
+      state_left_ms_ -= gap;
+      return elapsed + gap;
+    }
+    elapsed += state_left_ms_;
+    burst_ = !burst_;
+    const double dwell = burst_ ? cfg_.mean_burst_ms : cfg_.mean_calm_ms;
+    state_left_ms_ = exponential_ms(1000.0 / dwell);
+  }
+}
+
+}  // namespace cusw::serve

@@ -1,0 +1,59 @@
+// Synthetic arrival processes driving the service scheduler on the
+// simulated clock: Poisson (memoryless, the M/G/1 baseline) and bursty
+// (Markov-modulated Poisson — a two-state chain alternating calm and
+// burst rates, the standard model for flash-crowd traffic).
+//
+// Deterministic by construction: a process is a pure function of
+// (config, seed), so the same seed yields the same arrival instants on
+// any host and any CUSW_THREADS.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace cusw::serve {
+
+struct ArrivalConfig {
+  enum class Kind { kPoisson, kBursty };
+  Kind kind = Kind::kPoisson;
+  /// Mean arrival rate (Poisson), or the calm-state rate (bursty).
+  double rate_rps = 100.0;
+  /// Burst-state arrival rate; defaults to 4x the calm rate when <= 0.
+  double burst_rate_rps = 0.0;
+  /// Mean dwell times of the two states (exponentially distributed).
+  double mean_burst_ms = 50.0;
+  double mean_calm_ms = 200.0;
+
+  double effective_burst_rate() const {
+    return burst_rate_rps > 0.0 ? burst_rate_rps : 4.0 * rate_rps;
+  }
+};
+
+const char* arrival_kind_name(ArrivalConfig::Kind k);
+/// "poisson" or "bursty"; throws std::invalid_argument otherwise.
+ArrivalConfig::Kind parse_arrival_kind(std::string_view name);
+
+/// Generates successive inter-arrival gaps in simulated milliseconds.
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const ArrivalConfig& cfg, std::uint64_t seed);
+
+  /// The gap to the next arrival, > 0.
+  double next_gap_ms();
+
+  /// Whether the modulating chain is currently in the burst state (always
+  /// false for Poisson).
+  bool in_burst() const { return burst_; }
+
+ private:
+  double exponential_ms(double rate_rps);
+
+  ArrivalConfig cfg_;
+  Rng rng_;
+  bool burst_ = false;
+  double state_left_ms_ = 0.0;  // sim time left in the current state
+};
+
+}  // namespace cusw::serve

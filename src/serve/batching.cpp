@@ -1,0 +1,72 @@
+#include "serve/batching.h"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+
+#include "util/check.h"
+
+namespace cusw::serve {
+
+const char* batch_policy_name(BatchPolicy p) {
+  switch (p) {
+    case BatchPolicy::kFifo:
+      return "fifo";
+    case BatchPolicy::kShortestFirst:
+      return "sqf";
+    case BatchPolicy::kDeadline:
+      return "edf";
+  }
+  return "?";
+}
+
+BatchPolicy parse_batch_policy(std::string_view name) {
+  if (name == "fifo") return BatchPolicy::kFifo;
+  if (name == "sqf") return BatchPolicy::kShortestFirst;
+  if (name == "edf") return BatchPolicy::kDeadline;
+  throw std::invalid_argument("unknown batch policy '" + std::string(name) +
+                              "' (expected fifo, sqf or edf)");
+}
+
+BatchQueue::BatchQueue(BatchPolicy policy, std::size_t max_batch)
+    : policy_(policy), max_batch_(max_batch) {
+  CUSW_REQUIRE(max_batch > 0, "batch size must be > 0");
+}
+
+void BatchQueue::push(const Request& r) { q_.push_back(r); }
+
+std::vector<Request> BatchQueue::pop_batch() {
+  const std::size_t n = std::min(max_batch_, q_.size());
+  if (n == 0) return {};
+  switch (policy_) {
+    case BatchPolicy::kFifo:
+      break;  // q_ is already in arrival (= id) order
+    case BatchPolicy::kShortestFirst:
+      std::stable_sort(q_.begin(), q_.end(),
+                       [](const Request& a, const Request& b) {
+                         return std::tie(a.query_length, a.id) <
+                                std::tie(b.query_length, b.id);
+                       });
+      break;
+    case BatchPolicy::kDeadline:
+      std::stable_sort(q_.begin(), q_.end(),
+                       [](const Request& a, const Request& b) {
+                         // No deadline sorts after every deadline.
+                         const double da = a.deadline_ms > 0.0
+                                               ? a.deadline_ms
+                                               : std::numeric_limits<double>::max();
+                         const double db = b.deadline_ms > 0.0
+                                               ? b.deadline_ms
+                                               : std::numeric_limits<double>::max();
+                         return std::tie(da, a.id) < std::tie(db, b.id);
+                       });
+      break;
+  }
+  std::vector<Request> batch(q_.begin(), q_.begin() + static_cast<long>(n));
+  q_.erase(q_.begin(), q_.begin() + static_cast<long>(n));
+  return batch;
+}
+
+}  // namespace cusw::serve

@@ -1,0 +1,50 @@
+// Pluggable batching policies: which waiting requests form the next batch
+// when the fleet goes idle.
+//
+//   - FIFO: arrival order — fair, but a long query at the head convoys
+//     everything behind it.
+//   - shortest-query-first: picks the cheapest work first, the classic
+//     SJF mean-latency optimum (at the cost of long-query starvation
+//     under sustained load).
+//   - deadline-aware: earliest absolute deadline first (EDF); requests
+//     without a deadline sort last, among themselves by arrival.
+//
+// Selection is deterministic: every ordering breaks ties by request id,
+// which is itself assigned in arrival order.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace cusw::serve {
+
+enum class BatchPolicy { kFifo, kShortestFirst, kDeadline };
+
+const char* batch_policy_name(BatchPolicy p);
+/// "fifo", "sqf" or "edf"; throws std::invalid_argument otherwise.
+BatchPolicy parse_batch_policy(std::string_view name);
+
+/// The admitted-but-unscheduled waiting room.
+class BatchQueue {
+ public:
+  BatchQueue(BatchPolicy policy, std::size_t max_batch);
+
+  void push(const Request& r);
+  /// Remove and return up to max_batch requests per the policy; empty when
+  /// the queue is empty.
+  std::vector<Request> pop_batch();
+
+  std::size_t size() const { return q_.size(); }
+  bool empty() const { return q_.empty(); }
+  BatchPolicy policy() const { return policy_; }
+
+ private:
+  BatchPolicy policy_;
+  std::size_t max_batch_;
+  std::vector<Request> q_;  // arrival order
+};
+
+}  // namespace cusw::serve

@@ -1,0 +1,90 @@
+// Request model for the search-as-a-service layer (DESIGN.md §11).
+//
+// A request is one query arriving at the service at a simulated instant;
+// its life is arrival → admit → queue → execute (batched onto the fleet)
+// → reduce → done, or an admission rejection. Every transition is
+// timestamped on the simulated clock, which is what makes the latency
+// telemetry deterministic: the same seed produces the same arrivals, the
+// same admission decisions and the same (simulated) service times for any
+// CUSW_THREADS.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace cusw::serve {
+
+using RequestId = std::uint64_t;
+
+enum class Outcome {
+  kPending,             // still in flight (never in a final report)
+  kCompleted,           // scored and reduced
+  kRejectedQueue,       // admission: queue full
+  kRejectedConcurrency, // admission: too many admitted-but-unfinished
+  kRejectedBudget,      // admission: cell token budget exhausted
+};
+
+inline const char* outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::kPending:
+      return "pending";
+    case Outcome::kCompleted:
+      return "completed";
+    case Outcome::kRejectedQueue:
+      return "rejected_queue";
+    case Outcome::kRejectedConcurrency:
+      return "rejected_concurrency";
+    case Outcome::kRejectedBudget:
+      return "rejected_budget";
+  }
+  return "?";
+}
+
+/// A live request in the scheduler.
+struct Request {
+  RequestId id = 0;
+  double arrival_ms = 0.0;
+  std::size_t query_index = 0;   // into the service's query pool
+  std::size_t query_length = 0;  // residues
+  std::uint64_t cells = 0;       // estimated DP cells (query_len * db residues)
+  double deadline_ms = 0.0;      // absolute sim deadline; 0 = none
+};
+
+inline constexpr std::size_t kNoBatch = std::numeric_limits<std::size_t>::max();
+
+/// The full timestamped life of one request, as reported.
+struct RequestRecord {
+  RequestId id = 0;
+  std::size_t query_index = 0;
+  std::size_t query_length = 0;
+  std::uint64_t cells = 0;
+  Outcome outcome = Outcome::kPending;
+  std::size_t batch = kNoBatch;
+
+  double arrival_ms = 0.0;
+  double start_ms = -1.0;  // batch execution start; < 0 until scheduled
+  double end_ms = -1.0;    // batch execution end
+  double done_ms = -1.0;   // after the reduce phase; completion
+  double deadline_ms = 0.0;
+
+  bool completed() const { return outcome == Outcome::kCompleted; }
+  bool rejected() const {
+    return outcome == Outcome::kRejectedQueue ||
+           outcome == Outcome::kRejectedConcurrency ||
+           outcome == Outcome::kRejectedBudget;
+  }
+  /// End-to-end latency (arrival to done); only valid when completed.
+  double latency_ms() const { return done_ms - arrival_ms; }
+  /// Time spent queued before its batch started executing.
+  double queue_delay_ms() const { return start_ms - arrival_ms; }
+  /// Completed in time (always false for rejections; deadline 0 = no
+  /// deadline, any completion is good).
+  bool within_deadline() const {
+    return completed() && (deadline_ms <= 0.0 || done_ms <= deadline_ms);
+  }
+
+  bool operator==(const RequestRecord& o) const = default;
+};
+
+}  // namespace cusw::serve

@@ -1,0 +1,619 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/env.h"
+#include "util/json.h"
+#include "util/table.h"
+
+namespace cusw::serve {
+
+// ---------------------------------------------------------------- Executor
+
+Executor::Executor(const gpusim::DeviceSpec& spec, int gpus,
+                   const seq::SequenceDB& db, const sw::ScoringMatrix& matrix,
+                   const cudasw::MultiGpuConfig& cfg)
+    : spec_(spec), gpus_(gpus), db_(&db), matrix_(&matrix), cfg_(cfg) {
+  CUSW_REQUIRE(gpus >= 1, "executor needs at least one device");
+  db_residues_ = db.total_residues();
+}
+
+const Executor::Result& Executor::run(std::size_t query_index,
+                                      const std::vector<seq::Code>& query) {
+  if (query_index >= memo_.size()) {
+    memo_.resize(query_index + 1);
+    ready_.resize(query_index + 1, false);
+  }
+  if (!ready_[query_index]) {
+    const cudasw::MultiGpuReport rep =
+        cudasw::multi_gpu_search(spec_, gpus_, query, *db_, *matrix_, cfg_);
+    Result r;
+    r.seconds = rep.seconds;
+    r.cells = rep.cells;
+    r.best_score = 0;
+    for (const int s : rep.scores) r.best_score = std::max(r.best_score, s);
+    r.degraded_to_cpu = rep.faults.degraded_to_cpu;
+    r.failovers = rep.faults.failovers;
+    memo_[query_index] = r;
+    ready_[query_index] = true;
+  }
+  return memo_[query_index];
+}
+
+// ----------------------------------------------------------- ServiceConfig
+
+void ServiceConfig::apply_spec(std::string_view spec) {
+  for (const auto& [key, value] : util::parse_kv_spec(spec)) {
+    if (key == "arrivals") {
+      arrival.kind = parse_arrival_kind(value);
+    } else if (key == "rate") {
+      arrival.rate_rps = util::parse_double(value, "serve rate");
+    } else if (key == "burst_rate") {
+      arrival.burst_rate_rps = util::parse_double(value, "serve burst_rate");
+    } else if (key == "burst_ms") {
+      arrival.mean_burst_ms = util::parse_double(value, "serve burst_ms");
+    } else if (key == "calm_ms") {
+      arrival.mean_calm_ms = util::parse_double(value, "serve calm_ms");
+    } else if (key == "queue") {
+      admission.max_queue =
+          static_cast<std::size_t>(util::parse_int(value, "serve queue"));
+    } else if (key == "inflight") {
+      admission.max_inflight =
+          static_cast<std::size_t>(util::parse_int(value, "serve inflight"));
+    } else if (key == "cells_per_s") {
+      admission.cells_per_second =
+          util::parse_double(value, "serve cells_per_s");
+    } else if (key == "cell_burst") {
+      admission.cell_burst = util::parse_double(value, "serve cell_burst");
+    } else if (key == "policy") {
+      policy = parse_batch_policy(value);
+    } else if (key == "batch") {
+      max_batch =
+          static_cast<std::size_t>(util::parse_int(value, "serve batch"));
+    } else if (key == "deadline_ms") {
+      deadline_ms = util::parse_double(value, "serve deadline_ms");
+    } else if (key == "requests") {
+      num_requests =
+          static_cast<std::size_t>(util::parse_int(value, "serve requests"));
+    } else if (key == "seed") {
+      seed = static_cast<std::uint64_t>(
+          util::parse_int(value, "serve seed"));
+    } else if (key == "window_ms") {
+      window_ms = util::parse_double(value, "serve window_ms");
+    } else if (key == "reduce_ms") {
+      reduce_ms = util::parse_double(value, "serve reduce_ms");
+    } else if (key == "batch_overhead_ms") {
+      batch_overhead_ms =
+          util::parse_double(value, "serve batch_overhead_ms");
+    } else {
+      throw std::invalid_argument("unknown CUSW_SERVE key '" + key + "'");
+    }
+  }
+}
+
+void ServiceConfig::apply_env() {
+  if (const char* spec = std::getenv("CUSW_SERVE");
+      spec != nullptr && *spec != '\0') {
+    apply_spec(spec);
+  }
+  const SloSpec env_slo = SloSpec::from_env();
+  if (env_slo.enabled()) slo = env_slo;
+}
+
+// ----------------------------------------------------------- ServiceReport
+
+namespace {
+
+// Latency/queue-delay histograms: 1 us .. 10^7 ms at 1% relative error.
+// Queue delays of exactly 0 (dispatched on arrival) land in the underflow
+// bucket, whose representative is the exact recorded minimum.
+obs::LogHistogram latency_histogram() {
+  return obs::LogHistogram(1e-3, 1e7, 0.01);
+}
+
+}  // namespace
+
+ServiceReport::ServiceReport()
+    : latency_ms(latency_histogram()),
+      queue_delay_ms(latency_histogram()),
+      batch_size(obs::LogHistogram(1.0, 4096.0, 0.01)) {}
+
+double ServiceReport::goodput() const {
+  if (arrivals == 0) return 0.0;
+  std::uint64_t good = completed - deadline_misses;
+  return static_cast<double>(good) / static_cast<double>(arrivals);
+}
+
+std::string ServiceReport::dashboard() const {
+  std::ostringstream os;
+  Table summary({"metric", "value"}, 3);
+  summary.add_row({std::string("arrivals"),
+                   static_cast<std::int64_t>(arrivals)});
+  summary.add_row({std::string("admitted"),
+                   static_cast<std::int64_t>(admitted)});
+  summary.add_row({std::string("rejected (queue/conc/budget)"),
+                   std::to_string(rejected_queue) + "/" +
+                       std::to_string(rejected_concurrency) + "/" +
+                       std::to_string(rejected_budget)});
+  summary.add_row({std::string("completed"),
+                   static_cast<std::int64_t>(completed)});
+  summary.add_row({std::string("deadline misses"),
+                   static_cast<std::int64_t>(deadline_misses)});
+  summary.add_row({std::string("goodput"), goodput()});
+  summary.add_row({std::string("GCUPS"), gcups()});
+  summary.add_row({std::string("latency p50 (ms)"), latency_ms.quantile(0.50)});
+  summary.add_row({std::string("latency p90 (ms)"), latency_ms.quantile(0.90)});
+  summary.add_row({std::string("latency p99 (ms)"), latency_ms.quantile(0.99)});
+  summary.add_row(
+      {std::string("latency p99.9 (ms)"), latency_ms.quantile(0.999)});
+  summary.add_row({std::string("queue delay p99 (ms)"),
+                   queue_delay_ms.quantile(0.99)});
+  summary.add_row({std::string("batches"),
+                   static_cast<std::int64_t>(batches)});
+  summary.add_row({std::string("sim seconds"), sim_seconds});
+  summary.add_row({std::string("degraded to CPU"),
+                   std::string(degraded_to_cpu ? "yes" : "no")});
+  os << summary.to_string();
+
+  if (!slo.empty()) {
+    Table st({"objective", "observed", "bound", "burn rate", "status"}, 3);
+    for (const SloStatus& s : slo) {
+      st.add_row({s.label, s.observed, s.bound, s.burn_rate,
+                  std::string(s.ok ? "ok" : "VIOLATED")});
+    }
+    os << st.to_string();
+  }
+
+  if (!windows.empty()) {
+    Table wt({"window (ms)", "arrivals", "rejected", "completed", "p99 (ms)",
+              "goodput", "GCUPS", "queue", "max burn"},
+             2);
+    for (const WindowStats& w : windows) {
+      double max_burn = 0.0;
+      for (const double b : w.burn) max_burn = std::max(max_burn, b);
+      std::ostringstream range;
+      range << static_cast<long long>(w.start_ms) << ".."
+            << static_cast<long long>(w.end_ms);
+      wt.add_row({range.str(), static_cast<std::int64_t>(w.arrivals),
+                  static_cast<std::int64_t>(w.rejected),
+                  static_cast<std::int64_t>(w.completed), w.p99_ms,
+                  w.goodput, w.gcups,
+                  static_cast<std::int64_t>(w.queue_depth_end), max_burn});
+    }
+    os << wt.to_string();
+  }
+  return os.str();
+}
+
+std::string ServiceReport::to_json() const {
+  util::JsonFields f;
+  f.field("arrivals", arrivals)
+      .field("admitted", admitted)
+      .field("rejected_queue", rejected_queue)
+      .field("rejected_concurrency", rejected_concurrency)
+      .field("rejected_budget", rejected_budget)
+      .field("completed", completed)
+      .field("deadline_misses", deadline_misses)
+      .field("batches", static_cast<std::uint64_t>(batches))
+      .field("cells", cells)
+      .field("sim_seconds", sim_seconds)
+      .field("goodput", goodput())
+      .field("gcups", gcups())
+      .field("degraded_to_cpu", degraded_to_cpu)
+      .field("failovers", failovers);
+  f.raw("latency_ms", latency_ms.to_json());
+  f.raw("queue_delay_ms", queue_delay_ms.to_json());
+  f.raw("batch_size", batch_size.to_json());
+
+  std::ostringstream slos;
+  slos << "[";
+  for (std::size_t i = 0; i < slo.size(); ++i) {
+    util::JsonFields sf;
+    sf.field("objective", slo[i].label)
+        .field("observed", slo[i].observed)
+        .field("bound", slo[i].bound)
+        .field("burn_rate", slo[i].burn_rate)
+        .field("ok", slo[i].ok);
+    slos << (i ? ", " : "") << sf.object();
+  }
+  slos << "]";
+  f.raw("slo", slos.str());
+
+  std::ostringstream ws;
+  ws << "[";
+  for (std::size_t i = 0; i < windows.size(); ++i) {
+    const WindowStats& w = windows[i];
+    util::JsonFields wf;
+    wf.field("start_ms", w.start_ms)
+        .field("end_ms", w.end_ms)
+        .field("arrivals", w.arrivals)
+        .field("rejected", w.rejected)
+        .field("completed", w.completed)
+        .field("deadline_misses", w.deadline_misses)
+        .field("queue_depth_end", static_cast<std::uint64_t>(w.queue_depth_end))
+        .field("p99_ms", w.p99_ms)
+        .field("goodput", w.goodput)
+        .field("gcups", w.gcups);
+    std::ostringstream burn;
+    burn << "[";
+    for (std::size_t b = 0; b < w.burn.size(); ++b)
+      burn << (b ? ", " : "") << util::json_number(w.burn[b]);
+    burn << "]";
+    wf.raw("burn", burn.str());
+    ws << (i ? ",\n " : "\n ") << wf.object();
+  }
+  ws << "\n]";
+  f.raw("windows", ws.str());
+  return f.object();
+}
+
+// ------------------------------------------------------------------ Service
+
+Service::Service(const ServiceConfig& cfg, Executor& exec,
+                 const std::vector<std::vector<seq::Code>>& queries)
+    : cfg_(cfg), exec_(&exec), queries_(&queries) {
+  CUSW_REQUIRE(!queries.empty(), "service needs a non-empty query pool");
+  CUSW_REQUIRE(cfg.num_requests > 0, "service needs at least one request");
+  CUSW_REQUIRE(cfg.window_ms > 0.0, "service window must be > 0");
+}
+
+namespace {
+
+/// A registry-safe name for an SLO objective ("p99" / "goodput").
+std::string objective_key(const SloObjective& o) {
+  if (o.kind == SloObjective::Kind::kGoodput) return "goodput";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "p%.6g", o.quantile * 100.0);
+  return buf;
+}
+
+struct Running {
+  std::vector<Request> batch;
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  std::size_t batch_id = 0;
+};
+
+}  // namespace
+
+ServiceReport Service::run() {
+  ServiceReport rep;
+  SplitMix64 sm(cfg_.seed);
+  ArrivalProcess arrivals(cfg_.arrival, sm.next());
+  Rng pick(sm.next());
+  AdmissionController adm(cfg_.admission);
+  BatchQueue queue(cfg_.policy, cfg_.max_batch);
+
+  std::vector<RequestRecord>& recs = rep.requests;
+  recs.reserve(cfg_.num_requests);
+
+  std::optional<Running> running;
+  std::size_t generated = 0;
+  std::size_t unfinished = 0;  // admitted but not completed
+  std::size_t next_batch_id = 0;
+  double next_arrival_ms = arrivals.next_gap_ms();
+  double max_done_ms = 0.0;
+
+  const auto dispatch = [&](double now_ms) {
+    if (running.has_value() || queue.empty()) return;
+    Running r;
+    r.batch = queue.pop_batch();
+    r.batch_id = next_batch_id++;
+    r.start_ms = now_ms;
+    double dur_ms = cfg_.batch_overhead_ms;
+    for (const Request& q : r.batch) {
+      const Executor::Result& res =
+          exec_->run(q.query_index, (*queries_)[q.query_index]);
+      dur_ms += res.seconds * 1000.0;
+    }
+    r.end_ms = now_ms + dur_ms;
+    for (const Request& q : r.batch) {
+      recs[q.id - 1].start_ms = now_ms;
+      recs[q.id - 1].batch = r.batch_id;
+    }
+    rep.batch_size.record(static_cast<double>(r.batch.size()));
+    running = std::move(r);
+  };
+
+  while (generated < cfg_.num_requests || running.has_value() ||
+         !queue.empty()) {
+    const bool more_arrivals = generated < cfg_.num_requests;
+    if (running.has_value() &&
+        (!more_arrivals || running->end_ms <= next_arrival_ms)) {
+      const double now_ms = running->end_ms;
+      for (const Request& q : running->batch) {
+        RequestRecord& rec = recs[q.id - 1];
+        rec.end_ms = now_ms;
+        rec.done_ms = now_ms + cfg_.reduce_ms;
+        rec.outcome = Outcome::kCompleted;
+        const Executor::Result& res =
+            exec_->run(q.query_index, (*queries_)[q.query_index]);
+        rec.cells = res.cells;
+        rep.cells += res.cells;
+        ++rep.completed;
+        rep.latency_ms.record(rec.latency_ms());
+        rep.queue_delay_ms.record(rec.queue_delay_ms());
+        if (!rec.within_deadline()) ++rep.deadline_misses;
+        max_done_ms = std::max(max_done_ms, rec.done_ms);
+        --unfinished;
+      }
+      ++rep.batches;
+      running.reset();
+      dispatch(now_ms);
+      continue;
+    }
+    if (more_arrivals) {
+      const double now_ms = next_arrival_ms;
+      next_arrival_ms = now_ms + arrivals.next_gap_ms();
+      Request q;
+      q.id = static_cast<RequestId>(++generated);  // ids start at 1
+      q.arrival_ms = now_ms;
+      q.query_index = pick.uniform_u64(queries_->size());
+      q.query_length = (*queries_)[q.query_index].size();
+      q.cells = static_cast<std::uint64_t>(q.query_length) *
+                exec_->db_residues();
+      q.deadline_ms = cfg_.deadline_ms > 0.0 ? now_ms + cfg_.deadline_ms : 0.0;
+
+      RequestRecord rec;
+      rec.id = q.id;
+      rec.query_index = q.query_index;
+      rec.query_length = q.query_length;
+      rec.cells = q.cells;
+      rec.arrival_ms = now_ms;
+      rec.deadline_ms = q.deadline_ms;
+      recs.push_back(rec);
+
+      ++rep.arrivals;
+      const Outcome verdict =
+          adm.admit(now_ms, q.cells, queue.size(), unfinished);
+      if (verdict == Outcome::kPending) {
+        ++rep.admitted;
+        ++unfinished;
+        queue.push(q);
+        dispatch(now_ms);
+      } else {
+        recs[q.id - 1].outcome = verdict;
+        switch (verdict) {
+          case Outcome::kRejectedQueue:
+            ++rep.rejected_queue;
+            break;
+          case Outcome::kRejectedConcurrency:
+            ++rep.rejected_concurrency;
+            break;
+          default:
+            ++rep.rejected_budget;
+            break;
+        }
+        max_done_ms = std::max(max_done_ms, now_ms);
+      }
+      continue;
+    }
+    break;  // unreachable: an idle executor never leaves the queue non-empty
+  }
+
+  rep.sim_seconds = max_done_ms / 1000.0;
+  {
+    // Fleet health over the distinct scans this run actually executed.
+    std::vector<bool> seen(queries_->size(), false);
+    for (const RequestRecord& rec : recs) {
+      if (!rec.completed() || seen[rec.query_index]) continue;
+      seen[rec.query_index] = true;
+      const Executor::Result& res =
+          exec_->run(rec.query_index, (*queries_)[rec.query_index]);
+      rep.degraded_to_cpu = rep.degraded_to_cpu || res.degraded_to_cpu;
+      rep.failovers += res.failovers;
+    }
+  }
+
+  // ---- per-window telemetry (post-hoc over the timestamped records).
+  const double horizon_ms = std::max(max_done_ms, cfg_.window_ms);
+  const auto nwin = static_cast<std::size_t>(
+      std::ceil(horizon_ms / cfg_.window_ms));
+  rep.windows.assign(nwin, WindowStats{});
+  std::vector<std::vector<double>> win_latencies(nwin);
+  std::vector<std::vector<std::uint64_t>> win_violations(
+      nwin, std::vector<std::uint64_t>(cfg_.slo.objectives.size(), 0));
+  std::vector<std::uint64_t> win_good(nwin, 0);
+  for (std::size_t i = 0; i < nwin; ++i) {
+    rep.windows[i].start_ms = static_cast<double>(i) * cfg_.window_ms;
+    rep.windows[i].end_ms = rep.windows[i].start_ms + cfg_.window_ms;
+  }
+  const auto window_of = [&](double t_ms) {
+    auto w = static_cast<std::size_t>(t_ms / cfg_.window_ms);
+    return std::min(w, nwin - 1);
+  };
+  for (const RequestRecord& rec : recs) {
+    WindowStats& aw = rep.windows[window_of(rec.arrival_ms)];
+    ++aw.arrivals;
+    if (rec.rejected()) ++aw.rejected;
+    if (!rec.completed()) continue;
+    const std::size_t cw = window_of(rec.done_ms);
+    WindowStats& dw = rep.windows[cw];
+    ++dw.completed;
+    if (!rec.within_deadline()) ++dw.deadline_misses;
+    dw.gcups += static_cast<double>(rec.cells);
+    win_latencies[cw].push_back(rec.latency_ms());
+    if (rec.within_deadline()) ++win_good[window_of(rec.arrival_ms)];
+    for (std::size_t o = 0; o < cfg_.slo.objectives.size(); ++o) {
+      const SloObjective& obj = cfg_.slo.objectives[o];
+      if (obj.kind == SloObjective::Kind::kQuantileLatency &&
+          rec.latency_ms() > obj.latency_bound_ms) {
+        ++win_violations[cw][o];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < nwin; ++i) {
+    WindowStats& w = rep.windows[i];
+    // Waiting at window close: admitted, not yet started.
+    for (const RequestRecord& rec : recs) {
+      if (rec.rejected() || rec.outcome == Outcome::kPending) continue;
+      if (rec.arrival_ms <= w.end_ms && rec.start_ms > w.end_ms)
+        ++w.queue_depth_end;
+    }
+    auto& lat = win_latencies[i];
+    if (!lat.empty()) {
+      std::sort(lat.begin(), lat.end());
+      const auto rank = static_cast<std::size_t>(
+          std::ceil(0.99 * static_cast<double>(lat.size())));
+      w.p99_ms = lat[std::max<std::size_t>(rank, 1) - 1];
+    }
+    w.goodput = w.arrivals > 0 ? static_cast<double>(win_good[i]) /
+                                     static_cast<double>(w.arrivals)
+                               : 1.0;
+    w.gcups = w.gcups / (cfg_.window_ms / 1000.0) * 1e-9;
+    w.burn.resize(cfg_.slo.objectives.size(), 0.0);
+    for (std::size_t o = 0; o < cfg_.slo.objectives.size(); ++o) {
+      const SloObjective& obj = cfg_.slo.objectives[o];
+      if (obj.kind == SloObjective::Kind::kQuantileLatency) {
+        w.burn[o] =
+            latency_burn_rate(win_violations[i][o], w.completed, obj.quantile);
+      } else {
+        w.burn[o] =
+            goodput_burn_rate(w.goodput, obj.goodput_target, w.arrivals);
+      }
+    }
+  }
+
+  // ---- whole-run SLO standing.
+  for (const SloObjective& obj : cfg_.slo.objectives) {
+    SloStatus st;
+    st.label = obj.label();
+    if (obj.kind == SloObjective::Kind::kQuantileLatency) {
+      st.bound = obj.latency_bound_ms;
+      st.observed = rep.latency_ms.quantile(obj.quantile);
+      std::uint64_t violations = 0;
+      for (const RequestRecord& rec : recs) {
+        if (rec.completed() && rec.latency_ms() > obj.latency_bound_ms)
+          ++violations;
+      }
+      st.burn_rate = latency_burn_rate(violations, rep.completed, obj.quantile);
+    } else {
+      st.bound = obj.goodput_target;
+      st.observed = rep.goodput();
+      st.burn_rate =
+          goodput_burn_rate(rep.goodput(), obj.goodput_target, rep.arrivals);
+    }
+    st.ok = st.burn_rate <= 1.0;
+    rep.slo.push_back(st);
+  }
+
+  // ---- per-request async lanes + SLO counter tracks in the trace.
+  obs::ensure_env_trace();
+  if (obs::TraceWriter* w = obs::trace()) {
+    w->name_process(kServicePid, "service (simulated)");
+    w->name_track(kServicePid, 0, "requests");
+    const auto ev = [&](const RequestRecord& rec, const char* name,
+                       double ts_ms) {
+      obs::TraceEvent e;
+      e.name = name;
+      e.cat = cfg_.trace_cat;
+      e.pid = kServicePid;
+      e.tid = 0;
+      e.ts_us = ts_ms * 1000.0;
+      e.async_id = rec.id;
+      return e;
+    };
+    for (const RequestRecord& rec : recs) {
+      if (rec.outcome == Outcome::kPending) continue;
+      {
+        obs::TraceEvent b = ev(rec, "request", rec.arrival_ms);
+        b.args_json = util::JsonFields()
+                          .field("query_length",
+                                 static_cast<std::uint64_t>(rec.query_length))
+                          .field("cells", rec.cells)
+                          .field("outcome", outcome_name(rec.outcome))
+                          .list();
+        w->async_begin(std::move(b));
+      }
+      if (rec.rejected()) {
+        obs::TraceEvent n = ev(rec, "rejected", rec.arrival_ms);
+        n.args_json = util::JsonFields()
+                          .field("reason", outcome_name(rec.outcome))
+                          .list();
+        w->async_instant(std::move(n));
+        w->async_end(ev(rec, "request", rec.arrival_ms));
+        continue;
+      }
+      w->async_begin(ev(rec, "admit", rec.arrival_ms));
+      w->async_end(ev(rec, "admit", rec.arrival_ms));
+      w->async_begin(ev(rec, "queue", rec.arrival_ms));
+      w->async_end(ev(rec, "queue", rec.start_ms));
+      {
+        obs::TraceEvent b = ev(rec, "execute", rec.start_ms);
+        b.args_json = util::JsonFields()
+                          .field("batch",
+                                 static_cast<std::uint64_t>(rec.batch))
+                          .list();
+        w->async_begin(std::move(b));
+      }
+      w->async_end(ev(rec, "execute", rec.end_ms));
+      w->async_begin(ev(rec, "reduce", rec.end_ms));
+      w->async_end(ev(rec, "reduce", rec.done_ms));
+      w->async_end(ev(rec, "request", rec.done_ms));
+    }
+    for (const WindowStats& win : rep.windows) {
+      obs::TraceEvent c;
+      c.name = "service";
+      c.cat = "serve";
+      c.pid = kServicePid;
+      c.tid = 0;
+      c.ts_us = win.end_ms * 1000.0;
+      c.args_json = util::JsonFields()
+                        .field("goodput", win.goodput)
+                        .field("gcups", win.gcups)
+                        .field("queue_depth",
+                               static_cast<std::uint64_t>(win.queue_depth_end))
+                        .list();
+      w->counter(std::move(c));
+      if (!cfg_.slo.objectives.empty()) {
+        util::JsonFields burns;
+        for (std::size_t o = 0; o < cfg_.slo.objectives.size(); ++o) {
+          burns.field(objective_key(cfg_.slo.objectives[o]), win.burn[o]);
+        }
+        obs::TraceEvent s;
+        s.name = "slo burn rate";
+        s.cat = "serve";
+        s.pid = kServicePid;
+        s.tid = 0;
+        s.ts_us = win.end_ms * 1000.0;
+        s.args_json = burns.list();
+        w->counter(std::move(s));
+      }
+    }
+  }
+
+  // ---- registry mirror (bit-for-bit from the report, like LaunchStats).
+  obs::Registry& reg = obs::Registry::global();
+  reg.counter("serve.arrivals").add(rep.arrivals);
+  reg.counter("serve.admitted").add(rep.admitted);
+  reg.counter("serve.rejected.queue").add(rep.rejected_queue);
+  reg.counter("serve.rejected.concurrency").add(rep.rejected_concurrency);
+  reg.counter("serve.rejected.budget").add(rep.rejected_budget);
+  reg.counter("serve.completed").add(rep.completed);
+  reg.counter("serve.deadline_misses").add(rep.deadline_misses);
+  reg.counter("serve.batches").add(rep.batches);
+  reg.counter("serve.cells").add(rep.cells);
+  reg.gauge("serve.latency_ms.p50").set(rep.latency_ms.quantile(0.50));
+  reg.gauge("serve.latency_ms.p90").set(rep.latency_ms.quantile(0.90));
+  reg.gauge("serve.latency_ms.p99").set(rep.latency_ms.quantile(0.99));
+  reg.gauge("serve.latency_ms.p999").set(rep.latency_ms.quantile(0.999));
+  reg.gauge("serve.goodput").set(rep.goodput());
+  reg.gauge("serve.gcups").set(rep.gcups());
+  for (std::size_t o = 0; o < cfg_.slo.objectives.size(); ++o) {
+    reg.gauge("serve.slo." + objective_key(cfg_.slo.objectives[o]) +
+              ".burn_rate")
+        .set(rep.slo[o].burn_rate);
+  }
+  return rep;
+}
+
+}  // namespace cusw::serve

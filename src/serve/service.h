@@ -1,0 +1,182 @@
+// Search-as-a-service: an event-driven request scheduler over the
+// simulated clock (DESIGN.md §11).
+//
+// Arrivals come from a seeded ArrivalProcess, pass AdmissionController,
+// wait in a BatchQueue, and execute as batches on the device fleet
+// through the existing cudasw pipeline (multi_gpu_search, so the PR 3
+// fault ladder — retries, failover, CPU degradation — composes for
+// degraded-fleet runs). Every phase transition is timestamped on the
+// simulated clock and rendered as a per-request async lane in the Chrome
+// trace (phases: admit, queue, execute, reduce); latency / queue-delay /
+// batch-size quantiles come from bounded-relative-error LogHistograms,
+// and SLO burn-rate + goodput/GCUPS tracks are emitted per window.
+//
+// Determinism: the scheduler is a single-threaded discrete-event loop and
+// every duration it consumes is simulated (arrival gaps from the seeded
+// RNG, service times from the simulator's cost model), so the same seed
+// produces identical admission decisions and bit-identical latency
+// histograms for any CUSW_THREADS.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cudasw/multi_gpu.h"
+#include "obs/log_histogram.h"
+#include "serve/admission.h"
+#include "serve/arrival.h"
+#include "serve/batching.h"
+#include "serve/request.h"
+#include "serve/slo.h"
+
+namespace cusw::serve {
+
+/// Trace pid of the simulated service timeline (host = 1, devices >= 100).
+inline constexpr int kServicePid = 50;
+
+/// Runs queries on the fleet and memoizes per-query results, so a service
+/// run replaying the same pooled query costs one simulation, not one per
+/// request. Shareable across Service runs with the same fleet config.
+class Executor {
+ public:
+  Executor(const gpusim::DeviceSpec& spec, int gpus,
+           const seq::SequenceDB& db, const sw::ScoringMatrix& matrix,
+           const cudasw::MultiGpuConfig& cfg);
+
+  struct Result {
+    double seconds = 0.0;  // simulated fleet seconds for one scan
+    std::uint64_t cells = 0;
+    int best_score = 0;
+    bool degraded_to_cpu = false;
+    std::uint64_t failovers = 0;
+  };
+
+  /// Scan `query` against the database; memoized by `query_index`.
+  const Result& run(std::size_t query_index,
+                    const std::vector<seq::Code>& query);
+
+  const seq::SequenceDB& db() const { return *db_; }
+  std::uint64_t db_residues() const { return db_residues_; }
+  int gpus() const { return gpus_; }
+
+ private:
+  gpusim::DeviceSpec spec_;
+  int gpus_;
+  const seq::SequenceDB* db_;
+  const sw::ScoringMatrix* matrix_;
+  cudasw::MultiGpuConfig cfg_;
+  std::uint64_t db_residues_ = 0;
+  std::vector<Result> memo_;
+  std::vector<bool> ready_;
+};
+
+struct ServiceConfig {
+  ArrivalConfig arrival;
+  AdmissionConfig admission;
+  BatchPolicy policy = BatchPolicy::kFifo;
+  std::size_t max_batch = 8;
+  /// Per-request relative deadline in sim ms; 0 = none. Drives EDF
+  /// ordering and the goodput definition.
+  double deadline_ms = 0.0;
+  /// Requests to generate before closing the arrival stream.
+  std::size_t num_requests = 200;
+  std::uint64_t seed = 0x5e37;
+  /// Modelled post-execution merge/rank phase per request.
+  double reduce_ms = 0.05;
+  /// Per-batch dispatch overhead (host-side batching cost).
+  double batch_overhead_ms = 0.1;
+  /// Dashboard / burn-rate window.
+  double window_ms = 250.0;
+  SloSpec slo;  // empty = no SLO accounting
+  /// Trace category of this run's request lanes. Async lanes are matched
+  /// by (cat, id) and request ids restart at 1 every run, so two runs
+  /// sharing one trace file must use distinct categories.
+  std::string trace_cat = "serve.request";
+
+  /// Overlay the CUSW_SERVE spec, e.g.
+  /// "arrivals=bursty,rate=200,queue=64,inflight=128,cells_per_s=5e9,
+  ///  policy=sqf,batch=8,deadline_ms=40,requests=500,window_ms=250,seed=7"
+  /// and CUSW_SLO. Throws std::invalid_argument on unknown keys.
+  void apply_env();
+  /// Overlay one CUSW_SERVE-format spec string.
+  void apply_spec(std::string_view spec);
+};
+
+/// Per-window service telemetry (one dashboard row / counter sample).
+struct WindowStats {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deadline_misses = 0;
+  std::size_t queue_depth_end = 0;  // waiting requests at window close
+  double p99_ms = 0.0;              // completion latencies in this window
+  double goodput = 0.0;             // completions in window / arrivals in window
+  double gcups = 0.0;               // cells completed in window / window time
+  std::vector<double> burn;         // per SLO objective, this window
+};
+
+struct ServiceReport {
+  std::vector<RequestRecord> requests;  // by request id
+  obs::LogHistogram latency_ms;
+  obs::LogHistogram queue_delay_ms;
+  obs::LogHistogram batch_size;
+
+  std::uint64_t arrivals = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_queue = 0;
+  std::uint64_t rejected_concurrency = 0;
+  std::uint64_t rejected_budget = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t deadline_misses = 0;
+  std::size_t batches = 0;
+  std::uint64_t cells = 0;    // executed DP cells
+  double sim_seconds = 0.0;   // simulated makespan (last completion)
+  bool degraded_to_cpu = false;
+  std::uint64_t failovers = 0;
+
+  std::vector<SloStatus> slo;     // whole-run standing per objective
+  std::vector<WindowStats> windows;
+
+  std::uint64_t rejected() const {
+    return rejected_queue + rejected_concurrency + rejected_budget;
+  }
+  /// Arrivals that completed within their deadline, over all arrivals
+  /// (rejections burn goodput; with deadline 0 any completion counts).
+  double goodput() const;
+  double gcups() const {
+    return sim_seconds > 0.0
+               ? static_cast<double>(cells) / sim_seconds * 1e-9
+               : 0.0;
+  }
+
+  /// ASCII dashboard: a summary block plus one row per window.
+  std::string dashboard() const;
+  /// Full JSON document (summary, SLO standing, histograms, windows).
+  std::string to_json() const;
+
+  ServiceReport();
+};
+
+class Service {
+ public:
+  /// `queries` is the pooled query set requests draw from (uniformly, via
+  /// the seeded RNG); `exec` may be shared across runs to reuse its memo.
+  Service(const ServiceConfig& cfg, Executor& exec,
+          const std::vector<std::vector<seq::Code>>& queries);
+
+  /// Run the full simulation: generate cfg.num_requests arrivals, drain
+  /// the queue, and return the report. Also mirrors headline counters and
+  /// quantile gauges into the obs registry (serve.*) and renders the
+  /// per-request lanes + SLO counter tracks into the active trace.
+  ServiceReport run();
+
+ private:
+  ServiceConfig cfg_;
+  Executor* exec_;
+  const std::vector<std::vector<seq::Code>>* queries_;
+};
+
+}  // namespace cusw::serve

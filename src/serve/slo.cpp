@@ -1,0 +1,129 @@
+#include "serve/slo.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "util/env.h"
+
+namespace cusw::serve {
+
+namespace {
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t')) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+[[noreturn]] void bad(const std::string& term, const std::string& why) {
+  throw std::invalid_argument("bad SLO term '" + term + "': " + why);
+}
+
+/// "40ms" / "1.5s" / "250us" -> milliseconds.
+double parse_latency_ms(const std::string& term, std::string_view text) {
+  double scale = 1.0;
+  std::string_view num = text;
+  if (text.size() >= 2 && text.substr(text.size() - 2) == "ms") {
+    num = text.substr(0, text.size() - 2);
+  } else if (text.size() >= 2 && text.substr(text.size() - 2) == "us") {
+    scale = 1e-3;
+    num = text.substr(0, text.size() - 2);
+  } else if (!text.empty() && text.back() == 's') {
+    scale = 1e3;
+    num = text.substr(0, text.size() - 1);
+  }
+  if (num.empty()) bad(term, "missing latency bound");
+  const double v = util::parse_double(num, "SLO latency bound") * scale;
+  if (v <= 0.0) bad(term, "latency bound must be > 0");
+  return v;
+}
+
+}  // namespace
+
+std::string SloObjective::label() const {
+  char buf[64];
+  if (kind == Kind::kQuantileLatency) {
+    // p99 / p99.9 style: strip trailing zeros of the percent rendering.
+    double pct = quantile * 100.0;
+    std::snprintf(buf, sizeof(buf), "%.6g", pct);
+    std::string out = "p";
+    out += buf;
+    std::snprintf(buf, sizeof(buf), "<%.6gms", latency_bound_ms);
+    out += buf;
+    return out;
+  }
+  std::snprintf(buf, sizeof(buf), "goodput>%.6g", goodput_target);
+  return buf;
+}
+
+double SloObjective::budget() const {
+  return kind == Kind::kQuantileLatency ? 1.0 - quantile
+                                        : 1.0 - goodput_target;
+}
+
+SloSpec SloSpec::parse(std::string_view spec) {
+  SloSpec out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string term = trim(
+        spec.substr(pos, comma == std::string_view::npos ? spec.size() - pos
+                                                         : comma - pos));
+    pos = comma == std::string_view::npos ? spec.size() + 1 : comma + 1;
+    if (term.empty()) continue;
+
+    SloObjective obj;
+    if (term[0] == 'p' || term[0] == 'P') {
+      const std::size_t lt = term.find('<');
+      if (lt == std::string::npos)
+        bad(term, "expected p<quantile><bound, e.g. p99<40ms");
+      const std::string q = term.substr(1, lt - 1);
+      if (q.empty()) bad(term, "missing quantile");
+      const double pct = util::parse_double(q, "SLO quantile");
+      if (pct <= 0.0 || pct >= 100.0) bad(term, "quantile must be in (0, 100)");
+      obj.kind = SloObjective::Kind::kQuantileLatency;
+      obj.quantile = pct / 100.0;
+      obj.latency_bound_ms = parse_latency_ms(term, term.substr(lt + 1));
+    } else if (term.rfind("goodput", 0) == 0) {
+      const std::size_t gt = term.find('>');
+      if (gt == std::string::npos)
+        bad(term, "expected goodput><target>, e.g. goodput>0.95");
+      obj.kind = SloObjective::Kind::kGoodput;
+      obj.goodput_target =
+          util::parse_double(term.substr(gt + 1), "SLO goodput target");
+      if (obj.goodput_target <= 0.0 || obj.goodput_target >= 1.0)
+        bad(term, "goodput target must be in (0, 1)");
+    } else {
+      bad(term, "unknown objective (expected pNN<bound or goodput>target)");
+    }
+    out.objectives.push_back(obj);
+  }
+  return out;
+}
+
+SloSpec SloSpec::from_env() {
+  const char* spec = std::getenv("CUSW_SLO");
+  if (spec == nullptr || *spec == '\0') return {};
+  return parse(spec);
+}
+
+double latency_burn_rate(std::uint64_t violations, std::uint64_t total,
+                         double quantile) {
+  if (total == 0) return 0.0;
+  const double budget = 1.0 - quantile;
+  if (budget <= 0.0) return 0.0;
+  return (static_cast<double>(violations) / static_cast<double>(total)) /
+         budget;
+}
+
+double goodput_burn_rate(double goodput, double target,
+                         std::uint64_t arrivals) {
+  if (arrivals == 0) return 0.0;
+  const double budget = 1.0 - target;
+  if (budget <= 0.0) return 0.0;
+  return (1.0 - goodput) / budget;
+}
+
+}  // namespace cusw::serve

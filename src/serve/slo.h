@@ -1,0 +1,73 @@
+// Service-level objectives and error-budget burn rates.
+//
+// An SLO spec is a comma list of objectives, e.g.
+//
+//   CUSW_SLO=p99<40ms,goodput>0.95
+//
+//   - `p<quantile><<bound>[us|ms|s]` — the latency at that quantile must
+//     stay under the bound. Its error budget is the allowed violation
+//     fraction 1 - quantile (p99 tolerates 1% of requests over the
+//     bound); the burn rate is observed_violation_fraction / budget, so
+//     burn 1.0 consumes the budget exactly at the sustainable rate and
+//     burn > 1 forecasts an SLO breach.
+//   - `goodput><target>` — the fraction of arrivals that complete within
+//     their deadline must exceed `target` in (0, 1). Budget = 1 - target,
+//     burn = (1 - observed_goodput) / (1 - target).
+//
+// Burn rates are computed over the whole run and per dashboard window, so
+// a degraded fleet shows up as a burn-rate spike in the trace's counter
+// track long before the run-level quantile moves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cusw::serve {
+
+struct SloObjective {
+  enum class Kind { kQuantileLatency, kGoodput };
+  Kind kind = Kind::kQuantileLatency;
+  double quantile = 0.99;      // latency objectives; in (0, 1)
+  double latency_bound_ms = 0.0;
+  double goodput_target = 0.0;  // goodput objectives; in (0, 1)
+
+  /// "p99<40ms" / "goodput>0.95" — round-trips through parse().
+  std::string label() const;
+  /// The allowed violation fraction (error budget).
+  double budget() const;
+};
+
+struct SloSpec {
+  std::vector<SloObjective> objectives;
+
+  bool enabled() const { return !objectives.empty(); }
+
+  /// Parse "p99<40ms,goodput>0.95". Throws std::invalid_argument on
+  /// malformed terms, unknown keys, or out-of-range values.
+  static SloSpec parse(std::string_view spec);
+  /// From CUSW_SLO; disabled (empty) when unset or empty.
+  static SloSpec from_env();
+};
+
+/// One objective's standing over some population of requests.
+struct SloStatus {
+  std::string label;
+  double observed = 0.0;   // observed quantile latency (ms) or goodput
+  double bound = 0.0;      // the objective's bound/target
+  double burn_rate = 0.0;  // error-budget burn; <= 1 is sustainable
+  bool ok = true;          // objective currently met
+};
+
+/// Burn rate of a latency objective given violation counts:
+/// (violations / total) / (1 - quantile); 0 when total == 0.
+double latency_burn_rate(std::uint64_t violations, std::uint64_t total,
+                         double quantile);
+
+/// Burn rate of a goodput objective: (1 - goodput) / (1 - target); 0 when
+/// there were no arrivals.
+double goodput_burn_rate(double goodput, double target,
+                         std::uint64_t arrivals);
+
+}  // namespace cusw::serve

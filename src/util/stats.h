@@ -42,8 +42,10 @@ class OnlineStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
-/// edge bins so totals always match the sample count.
+/// Fixed-width histogram over [lo, hi). Out-of-range samples are NOT
+/// clamped into the edge bins — they are counted in explicit underflow /
+/// overflow counters so outliers stay visible; the totals invariant is
+/// total() == Σ bin(i) + underflow() + overflow().
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins)
@@ -52,18 +54,31 @@ class Histogram {
   }
 
   void add(double x) {
-    double t = (x - lo_) / (hi_ - lo_);
+    ++total_;
+    if (x < lo_) {
+      ++underflow_;
+      return;
+    }
+    if (x >= hi_) {
+      ++overflow_;
+      return;
+    }
+    const double t = (x - lo_) / (hi_ - lo_);
     auto idx = static_cast<std::int64_t>(t * static_cast<double>(counts_.size()));
-    if (idx < 0) idx = 0;
+    // x < hi_ can still round onto the end bin boundary; keep it in range.
     if (idx >= static_cast<std::int64_t>(counts_.size()))
       idx = static_cast<std::int64_t>(counts_.size()) - 1;
     ++counts_[static_cast<std::size_t>(idx)];
-    ++total_;
   }
 
   std::uint64_t bin(std::size_t i) const { return counts_.at(i); }
   std::size_t bins() const { return counts_.size(); }
+  /// All samples ever added, in-range or not.
   std::uint64_t total() const { return total_; }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  /// Samples that landed in a bin.
+  std::uint64_t in_range() const { return total_ - underflow_ - overflow_; }
   double bin_lo(std::size_t i) const {
     return lo_ + (hi_ - lo_) * static_cast<double>(i) /
                      static_cast<double>(counts_.size());
@@ -73,6 +88,8 @@ class Histogram {
   double lo_, hi_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 /// Inverse standard normal CDF (Acklam's rational approximation, ~1e-9

@@ -35,6 +35,10 @@ class EmitGuard {
 
 TEST(BenchJson, EmitJsonStampsProvenanceHeader) {
   bench::slice_factor_slot() = 1.0 / 30.0;  // as a C1060 slice would set
+  bench::device_name_slot() = "Tesla C1060";
+  bench::rng_seed_slot() = 0;
+  bench::note_seed(0xFA17);
+  bench::note_seed(99);  // first call wins: the primary workload seed
   EmitGuard guard("test_stamp");
   ASSERT_TRUE(bench::emit_json(
       "test_stamp", "{\n  \"bench\": \"unit\",\n  \"tables\": []\n}\n"));
@@ -56,10 +60,22 @@ TEST(BenchJson, EmitJsonStampsProvenanceHeader) {
   ASSERT_NE(factor, nullptr);
   EXPECT_NEAR(factor->number, 1.0 / 30.0, 1e-12);
 
+  // v2: the workload seed and device-spec name make the run reproducible
+  // from its own file.
+  const obs::json::Value* seed = doc.find("seed");
+  ASSERT_NE(seed, nullptr);
+  EXPECT_EQ(seed->number, static_cast<double>(0xFA17));
+
+  const obs::json::Value* device = doc.find("device");
+  ASSERT_NE(device, nullptr);
+  EXPECT_EQ(device->string, "Tesla C1060");
+
   // The original payload survives around the stamp.
   ASSERT_NE(doc.find("bench"), nullptr);
   EXPECT_EQ(doc.find("bench")->string, "unit");
   bench::slice_factor_slot() = 1.0;
+  bench::device_name_slot() = "";
+  bench::rng_seed_slot() = 0;
 }
 
 TEST(BenchJson, EmitJsonLeavesEmptyObjectsAlone) {

@@ -84,15 +84,27 @@ TEST(Stats, OnlineStatsBasics) {
   EXPECT_EQ(st.max(), 9.0);
 }
 
-TEST(Stats, HistogramClampsOutliers) {
+TEST(Stats, HistogramSurfacesOutliersInsteadOfClamping) {
   Histogram h(0.0, 10.0, 10);
   h.add(-5.0);
   h.add(0.5);
   h.add(9.5);
   h.add(100.0);
   EXPECT_EQ(h.total(), 4u);
-  EXPECT_EQ(h.bin(0), 2u);
-  EXPECT_EQ(h.bin(9), 2u);
+  // Out-of-range samples land in explicit underflow/overflow counters,
+  // never silently in the edge bins.
+  EXPECT_EQ(h.bin(0), 1u);
+  EXPECT_EQ(h.bin(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.in_range(), 2u);
+  // The totals invariant: every sample is accounted for exactly once.
+  std::uint64_t binned = 0;
+  for (std::size_t i = 0; i < h.bins(); ++i) binned += h.bin(i);
+  EXPECT_EQ(binned + h.underflow() + h.overflow(), h.total());
+  // The upper bound itself is out of range ([lo, hi) is half-open).
+  h.add(10.0);
+  EXPECT_EQ(h.overflow(), 2u);
 }
 
 TEST(Stats, LogNormalTailFitHitsTarget) {
