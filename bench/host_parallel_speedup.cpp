@@ -33,7 +33,7 @@ bool reports_identical(const std::vector<cudasw::SearchReport>& a,
   return true;
 }
 
-void run(std::size_t parallel_threads, int repeat) {
+void run(std::size_t parallel_threads, int repeat, bool hardware_limited) {
   bench::print_header(
       "Host-parallel speedup — serial vs CUSW_THREADS worker sharding",
       "this repo's host execution model (DESIGN.md §5); workload from "
@@ -97,6 +97,14 @@ void run(std::size_t parallel_threads, int repeat) {
       "hosts (>= 2x with >= 4 hardware threads); 'simulated identical'\n"
       "must always be yes.\n\n",
       hw, sim_gcups);
+  if (hardware_limited) {
+    std::printf(
+        "NOTE: worker count clamped to the %zu available hardware "
+        "thread(s);\nwall-clock speedup is not meaningful on this host "
+        "and downstream\ncomparisons (tools/perf_diff --bench) skip the "
+        "wall-clock keys.\n\n",
+        hw);
+  }
 
   // Keys and filename are the cross-PR perf-trajectory contract; keep
   // them stable (the payload is custom, so it goes through emit_json
@@ -109,6 +117,7 @@ void run(std::size_t parallel_threads, int repeat) {
                 "%zu queries\",\n"
                 "  \"hardware_threads\": %zu,\n"
                 "  \"parallel_threads\": %zu,\n"
+                "  \"hardware_limited\": %s,\n"
                 "  \"serial_wall_seconds\": %.6f,\n"
                 "  \"parallel_wall_seconds\": %.6f,\n"
                 "  \"speedup\": %.3f,\n"
@@ -116,7 +125,8 @@ void run(std::size_t parallel_threads, int repeat) {
                 "  \"simulated_gcups\": %.3f\n"
                 "}\n",
                 db.size(), queries.size(), hw, parallel_threads,
-                serial.wall_seconds, parallel.wall_seconds, speedup,
+                hardware_limited ? "true" : "false", serial.wall_seconds,
+                parallel.wall_seconds, speedup,
                 identical ? "true" : "false", sim_gcups);
   bench::emit_json("host_parallel", payload);
 }
@@ -128,11 +138,19 @@ int main(int argc, char** argv) {
   cusw::bench::note_seed(0x51AB);  // primary workload seed, stamped into the JSON
   cusw::Cli cli(argc, argv);
   const auto threads = static_cast<long>(cli.get_int("threads", 0));
-  const std::size_t parallel_threads =
+  const std::size_t requested =
       threads > 1
           ? static_cast<std::size_t>(threads)
           : std::max<std::size_t>(2, cusw::ThreadPool::default_thread_count());
+  // A worker count above the hardware's parallelism cannot produce a real
+  // speedup — on a 1-thread box it used to report a meaningless ~1.0x
+  // "parallel" figure. Clamp, and stamp the JSON so perf_diff knows the
+  // wall-clock keys carry no signal on this host.
+  const std::size_t limit = std::min(cusw::util::parallelism(),
+                                     cusw::ThreadPool::default_thread_count());
+  const bool hardware_limited = requested > limit;
+  const std::size_t parallel_threads = hardware_limited ? limit : requested;
   const auto repeat = static_cast<int>(cli.get_int("repeat", 1));
-  cusw::run(parallel_threads, std::max(1, repeat));
+  cusw::run(parallel_threads, std::max(1, repeat), hardware_limited);
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "cudasw/memo_util.h"
 #include "util/check.h"
 
 namespace cusw::cudasw {
@@ -67,6 +68,43 @@ KernelRun run_inter_task(gpusim::Device& dev,
   cfg.regs_per_thread = params.regs_per_thread;
 
   const double cell_cycles = dev.cost_model().cycles_per_cell;
+
+  // Block memoization (DESIGN.md §12). A block's simulated timing is fully
+  // determined by the query length, the tile/profile parameters, its lanes'
+  // sequence lengths, and the position of its footprint modulo the device's
+  // cache translation period: every address the block touches is one of the
+  // region bases plus a multiple of s_u plus the lane index, so pushing each
+  // base, the stride, and base_seq modulo the period pins the coalescer and
+  // cache behaviour exactly. Scores are recomputed on replay.
+  const swps3::StripedEngine engine(query, matrix, gap);
+  cfg.memo_key = [&](int block, const gpusim::MemoPeriods& p,
+                     std::vector<std::uint64_t>& key) {
+    const int base_seq = block * tpb;
+    const int lanes = std::min(tpb, s_threads - base_seq);
+    key.push_back(m);
+    key.push_back(static_cast<std::uint64_t>(tile_cols) << 33 |
+                  static_cast<std::uint64_t>(tile_rows) << 1 |
+                  (params.use_query_profile ? 1u : 0u));
+    key.push_back(s_u % p.global);
+    key.push_back(db_base % p.global);
+    key.push_back(h_base % p.global);
+    key.push_back(f_base % p.global);
+    key.push_back(static_cast<std::uint64_t>(base_seq) % p.global);
+    key.push_back(static_cast<std::uint64_t>(lanes));
+    for (int l = 0; l < lanes; ++l) {
+      key.push_back(group[static_cast<std::size_t>(base_seq + l)].length());
+    }
+  };
+  cfg.memo_replay = [&](int block) {
+    const int base_seq = block * tpb;
+    const int lanes = std::min(tpb, s_threads - base_seq);
+    for (int l = 0; l < lanes; ++l) {
+      const auto& target =
+          group[static_cast<std::size_t>(base_seq + l)].residues;
+      out.scores[static_cast<std::size_t>(base_seq + l)] =
+          memo_replay_score(engine, query, target, matrix, gap);
+    }
+  };
 
   out.stats = dev.launch(cfg, [&](gpusim::BlockCtx& ctx) {
     const int block = ctx.block_id();

@@ -4,6 +4,7 @@
 #include <array>
 #include <limits>
 
+#include "cudasw/memo_util.h"
 #include "gpusim/occupancy.h"
 #include "util/check.h"
 
@@ -77,6 +78,38 @@ KernelRun run_inter_task_simd(gpusim::Device& dev,
   cfg.shared_bytes_per_block = static_cast<std::size_t>(2 * 2 * tpb) * 4;
 
   const double cell_cycles = dev.cost_model().cycles_per_cell;
+
+  // Block memoization (DESIGN.md §12). Database fetches address
+  // db_base + (k % max_len) * |group| + base_seq + q, so beyond the quad
+  // lengths the key pins max_len (which shapes the k-periodic term), the
+  // group-size stride and base_seq modulo the translation period.
+  const swps3::StripedEngine engine(query, matrix, gap);
+  cfg.memo_key = [&](int block, const gpusim::MemoPeriods& p,
+                     std::vector<std::uint64_t>& key) {
+    const int base_seq = block * quads_per_block;
+    const int quads =
+        std::min(quads_per_block, static_cast<int>(group.size()) - base_seq);
+    key.push_back(m);
+    key.push_back(max_len);
+    key.push_back(db_base % p.global);
+    key.push_back(static_cast<std::uint64_t>(group.size()) % p.global);
+    key.push_back(static_cast<std::uint64_t>(base_seq) % p.global);
+    key.push_back(static_cast<std::uint64_t>(quads));
+    for (int q = 0; q < quads; ++q) {
+      key.push_back(group[static_cast<std::size_t>(base_seq + q)].length());
+    }
+  };
+  cfg.memo_replay = [&](int block) {
+    const int base_seq = block * quads_per_block;
+    const int quads =
+        std::min(quads_per_block, static_cast<int>(group.size()) - base_seq);
+    for (int q = 0; q < quads; ++q) {
+      const auto& target =
+          group[static_cast<std::size_t>(base_seq + q)].residues;
+      out.scores[static_cast<std::size_t>(base_seq + q)] =
+          memo_replay_score(engine, query, target, matrix, gap);
+    }
+  };
 
   out.stats = dev.launch(cfg, [&](gpusim::BlockCtx& ctx) {
     const int block = ctx.block_id();

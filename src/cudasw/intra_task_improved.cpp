@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "cudasw/memo_util.h"
 #include "util/check.h"
 
 namespace cusw::cudasw {
@@ -108,6 +109,50 @@ KernelRun run_intra_task_improved(gpusim::Device& dev,
       (params.shared_only ? params.shared_only_max_len * 4 : 0);
 
   const double cell_cycles = dev.cost_model().cycles_per_cell;
+
+  // Block memoization (DESIGN.md §12). Unlike the other kernels, this one's
+  // texture-fetch addresses depend on the target's residue *content* (the
+  // profile texel index is a function of each database symbol), so the key
+  // carries the full residue vector packed eight symbols per word. The
+  // texture base addresses are the first two arena reservations and thus a
+  // function of (m, alphabet) alone; the remaining regions enter via their
+  // per-block base modulo the translation period.
+  const swps3::StripedEngine sw_engine(query, matrix, gap);
+  cfg.memo_key = [&](int block, const gpusim::MemoPeriods& p,
+                     std::vector<std::uint64_t>& key) {
+    const auto blk = static_cast<std::size_t>(block);
+    const auto& target = longs[blk].residues;
+    key.push_back(m);
+    key.push_back(target.size());
+    key.push_back(matrix.alphabet().size());
+    key.push_back(static_cast<std::uint64_t>(th) << 32 |
+                  static_cast<std::uint64_t>(tw));
+    key.push_back(params.shared_only_max_len);
+    key.push_back((params.packed_profile ? 1u : 0u) |
+                  (params.coalesced_strip_io ? 2u : 0u) |
+                  (params.shared_only ? 4u : 0u) |
+                  (params.persistent_pipeline ? 8u : 0u) |
+                  (params.deep_swap ? 16u : 0u) |
+                  (params.unroll_profile_loop ? 32u : 0u));
+    key.push_back((db_base + db_offset[blk]) % p.global);
+    key.push_back((row_h_base + row_offset[blk] * 4) % p.global);
+    key.push_back((row_f_base + row_offset[blk] * 4) % p.global);
+    key.push_back(spill_base % p.global);
+    std::uint64_t word = 0;
+    for (std::size_t c = 0; c < target.size(); ++c) {
+      word = word << 8 | static_cast<std::uint64_t>(target[c]);
+      if ((c & 7) == 7) {
+        key.push_back(word);
+        word = 0;
+      }
+    }
+    if (target.size() & 7) key.push_back(word);
+  };
+  cfg.memo_replay = [&](int block) {
+    const auto blk = static_cast<std::size_t>(block);
+    out.scores[blk] =
+        memo_replay_score(sw_engine, query, longs[blk].residues, matrix, gap);
+  };
 
   out.stats = dev.launch(cfg, [&](gpusim::BlockCtx& ctx) {
     const auto blk = static_cast<std::size_t>(ctx.block_id());

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "cudasw/memo_util.h"
 #include "util/check.h"
 
 namespace cusw::cudasw {
@@ -62,6 +63,27 @@ KernelRun run_intra_task_original(gpusim::Device& dev,
   cfg.prefer_l1 = true;  // the kernel uses no shared memory
 
   const double cell_cycles = dev.cost_model().cycles_per_cell;
+
+  // Block memoization (DESIGN.md §12). Every address a block touches is one
+  // of three base terms — its wavefront bank region, its database slice, or
+  // the shared query buffer — plus an offset that is a pure function of
+  // (m, n, diagonal index), so the key is (m, n) plus each base modulo the
+  // cache translation period.
+  const swps3::StripedEngine engine(query, matrix, gap);
+  cfg.memo_key = [&](int block, const gpusim::MemoPeriods& p,
+                     std::vector<std::uint64_t>& key) {
+    const auto blk = static_cast<std::size_t>(block);
+    key.push_back(m);
+    key.push_back(longs[blk].length());
+    key.push_back((wave_base + blk * 7 * m_pad * 4) % p.global);
+    key.push_back((db_base + db_offset[blk]) % p.global);
+    key.push_back(query_base % p.global);
+  };
+  cfg.memo_replay = [&](int block) {
+    const auto blk = static_cast<std::size_t>(block);
+    out.scores[blk] =
+        memo_replay_score(engine, query, longs[blk].residues, matrix, gap);
+  };
 
   out.stats = dev.launch(cfg, [&](gpusim::BlockCtx& ctx) {
     const auto blk = static_cast<std::size_t>(ctx.block_id());

@@ -1,0 +1,30 @@
+// Helpers shared by the kernels' block-memoization hooks (gpusim/launch.h,
+// DESIGN.md §12). Replayed blocks skip the simulated DP body, so the score
+// each block would have produced is recomputed on the host with the
+// adaptive striped engine (saturating 8-bit pass, exact 16-bit fallback) —
+// proven score-identical to the exact reference in the test suite —
+// falling back to the linear-space reference where even the 16-bit
+// kernel's arithmetic could saturate.
+#pragma once
+
+#include <vector>
+
+#include "seq/database.h"
+#include "sw/scoring.h"
+#include "sw/smith_waterman.h"
+#include "swps3/striped8.h"
+
+namespace cusw::cudasw {
+
+/// Exact local-alignment score for memo replay.
+inline int memo_replay_score(const swps3::StripedEngine& engine,
+                             const std::vector<seq::Code>& query,
+                             const std::vector<seq::Code>& target,
+                             const sw::ScoringMatrix& matrix,
+                             sw::GapPenalty gap) {
+  const int s = engine.score(target);
+  if (s < 30000) return s;  // int16 headroom exhausted: recompute exactly
+  return sw::sw_score(query, target, matrix, gap);
+}
+
+}  // namespace cusw::cudasw

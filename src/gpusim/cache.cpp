@@ -70,4 +70,20 @@ void Cache::clear() {
   for (auto& w : lines_) w = Way{};
 }
 
+std::size_t Cache::translation_span(std::size_t size_bytes,
+                                    std::size_t line_bytes,
+                                    int associativity) {
+  // Mirrors the constructor's geometry: sets rounded down to a power of
+  // two. Shifting addresses by line_bytes * sets adds a multiple of the
+  // set count to every line number (set index preserved, pow2 mask) and
+  // shifts every tag by the same amount (tag equalities preserved), so
+  // the whole LRU state machine replays identically.
+  if (size_bytes == 0) return 0;
+  std::size_t sets = size_bytes / line_bytes /
+                     static_cast<std::size_t>(associativity);
+  if (sets == 0) return 0;
+  while (!is_pow2(sets)) --sets;
+  return line_bytes * sets;
+}
+
 }  // namespace cusw::gpusim

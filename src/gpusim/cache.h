@@ -29,6 +29,18 @@ class Cache {
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
 
+  /// Address-translation period of a cache with this geometry: shifting
+  /// every address of a trace by a multiple of `line_bytes * sets` maps
+  /// each line to the same set with consistently shifted tags, so the
+  /// hit/miss/eviction sequence is preserved exactly. Zero for a disabled
+  /// cache (no constraint). This is what makes block memoization sound:
+  /// two blocks whose footprints are translates of each other by a
+  /// multiple of every enabled cache's period behave identically
+  /// (gpusim/launch.h, MemoPeriods).
+  static std::size_t translation_span(std::size_t size_bytes,
+                                      std::size_t line_bytes,
+                                      int associativity);
+
  private:
   struct Way {
     std::uint64_t tag = ~std::uint64_t{0};

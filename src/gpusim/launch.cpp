@@ -5,9 +5,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <numeric>
 #include <queue>
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -40,6 +44,16 @@ std::uint64_t to_ticks(double cycles) {
              ? 0
              : static_cast<std::uint64_t>(std::llround(
                    cycles * static_cast<double>(kStallTicksPerCycle)));
+}
+
+// CUSW_SIM_MEMO gate: block memoization defaults to on; "off", "0" or
+// "false" disable it. Read per launch (not cached) so tests and tools can
+// flip it with setenv between launches.
+bool memo_env_enabled() {
+  const char* v = std::getenv("CUSW_SIM_MEMO");
+  if (v == nullptr || *v == '\0') return true;
+  return std::strcmp(v, "off") != 0 && std::strcmp(v, "0") != 0 &&
+         std::strcmp(v, "false") != 0;
 }
 
 // Fold one block's counters into the launch total. Only the fields a
@@ -101,6 +115,7 @@ void publish_launch_metrics(const LaunchConfig& cfg, const LaunchStats& s) {
   reg.gauge(p + "seconds").add(s.seconds);
   reg.gauge(p + "makespan_cycles").add(s.makespan_cycles);
   reg.gauge(p + "total_block_cycles").add(s.total_block_cycles);
+  reg.counter(p + "total_block_ticks").add(s.total_block_ticks);
 
   reg.counter("gpusim.launch.count").inc();
   reg.gauge("gpusim.launch.seconds").add(s.seconds);
@@ -172,6 +187,8 @@ void emit_device_trace(obs::TraceWriter& tw, int pid, double t0,
                        const std::vector<double>& block_cycles,
                        const std::vector<int>& block_slot,
                        const std::vector<double>& block_start,
+                       const std::vector<LaunchStats>& block_stats,
+                       const std::vector<std::uint8_t>& replayed,
                        const TraceCollector& collector) {
   const double us_per_cycle = 1.0 / (eff.clock_ghz * 1e3);
 
@@ -244,6 +261,32 @@ void emit_device_trace(obs::TraceWriter& tw, int pid, double t0,
     be.dur_us = block_cycles[bi] * us_per_cycle;
     tw.span(std::move(be));
 
+    if (replayed[bi]) {
+      // Memoized block: no per-window events were recorded (the kernel
+      // body never ran); one replay span carries the cached block-level
+      // totals instead, with the same sum-to-charged stall contract the
+      // validator enforces on window spans.
+      const LaunchStats& bs = block_stats[bi];
+      obs::TraceEvent we;
+      we.name = "memo replay";
+      we.cat = "window";
+      we.pid = pid;
+      we.tid = slot + 1;
+      we.ts_us = block_ts;
+      we.dur_us = block_cycles[bi] * us_per_cycle;
+      util::JsonFields wf;
+      wf.field("requests", bs.global.requests + bs.local.requests +
+                               bs.texture.requests)
+          .field("transactions", bs.global.transactions +
+                                     bs.local.transactions +
+                                     bs.texture.transactions)
+          .field("windows", bs.windows);
+      stall_args(wf, bs.stall);
+      we.args_json = wf.list();
+      tw.span(std::move(we));
+      continue;
+    }
+
     for (const WindowEvent& w : collector.windows(b)) {
       obs::TraceEvent we;
       we.name = w.barrier ? "window (sync)" : "window";
@@ -297,6 +340,7 @@ BlockCtx::BlockCtx(const DeviceSpec& spec, const CostModel& cost,
 void BlockCtx::shared_access(int lane, std::uint64_t n) {
   stats_->shared_accesses += n;
   lane_compute_[lane] += static_cast<double>(n) * cost_->cycles_per_shared_access;
+  if (lane >= lane_hi_) lane_hi_ = lane + 1;
 }
 
 int BlockCtx::bank_conflict_degree(int word_stride) {
@@ -318,6 +362,7 @@ void BlockCtx::shared_access_strided(int lane, std::uint64_t n,
   const double cycles = static_cast<double>(n) * static_cast<double>(degree) *
                         cost_->cycles_per_shared_access;
   lane_compute_[lane] += cycles;
+  if (lane >= lane_hi_) lane_hi_ = lane + 1;
   if (degree > 1) {
     stats_->bank_conflict_cycles += static_cast<std::uint64_t>(
         static_cast<double>(n) * static_cast<double>(degree - 1) *
@@ -327,6 +372,7 @@ void BlockCtx::shared_access_strided(int lane, std::uint64_t n,
 
 void BlockCtx::access(Space space, int lane, std::uint64_t addr,
                       std::uint32_t bytes, bool write, SiteId site) {
+  mem_pending_ = true;
   records_.push_back(Record{addr, bytes, static_cast<std::uint16_t>(lane / 32),
                             site, space, write});
   warp_instr_[static_cast<std::size_t>(lane / 32)] += 1.0 / 32.0;
@@ -334,6 +380,7 @@ void BlockCtx::access(Space space, int lane, std::uint64_t addr,
 
 void BlockCtx::warp_access(Space space, int warp, std::uint64_t addr,
                            std::uint64_t bytes, bool write, SiteId site) {
+  mem_pending_ = true;
   warp_instr_[static_cast<std::size_t>(warp)] += 1.0;
   // Split long cooperative runs so a single record never spans more than
   // 1 GiB (records store 32-bit lengths); typical runs are far smaller.
@@ -359,6 +406,7 @@ void BlockCtx::local_access(int lane, int array_id, std::uint32_t index,
       (static_cast<std::uint64_t>(index) * static_cast<std::uint64_t>(threads_) +
        static_cast<std::uint64_t>(lane)) *
           elem_bytes;
+  mem_pending_ = true;
   records_.push_back(Record{addr, elem_bytes,
                             static_cast<std::uint16_t>(lane / 32), site,
                             Space::Local, write});
@@ -370,28 +418,41 @@ void BlockCtx::close_window(bool barrier) {
   const double cores_eff = static_cast<double>(spec_->cores_per_sm) /
                            static_cast<double>(resident_per_sm_);
   double per_warp_max_sum = 0.0;
-  bool any_lane = false;
-  for (double c : lane_compute_) {
-    if (c != 0.0) {
-      any_lane = true;
-      break;
-    }
-  }
-  if (any_lane) {
-    for (int w = 0; w < warp_count; ++w) {
+  if (lane_hi_ > 0) {
+    // Lanes above the charge watermark hold 0.0 by invariant, so both the
+    // per-warp max scan and the reset stop there.
+    const int warp_hi = (lane_hi_ + 31) / 32;
+    for (int w = 0; w < warp_hi; ++w) {
       double m = 0.0;
       const int lo = w * 32;
-      const int hi = std::min(threads_, lo + 32);
+      const int hi = std::min(lane_hi_, lo + 32);
       for (int lane = lo; lane < hi; ++lane)
         m = std::max(m, lane_compute_[lane]);
       per_warp_max_sum += m;
     }
-    std::fill(lane_compute_.begin(), lane_compute_.end(), 0.0);
+    std::fill(lane_compute_.begin(), lane_compute_.begin() + lane_hi_, 0.0);
+    lane_hi_ = 0;
   }
   per_warp_max_sum += uniform_compute_ * warp_count + warp_uniform_sum_;
   uniform_compute_ = 0.0;
   warp_uniform_sum_ = 0.0;
   const double compute_term = per_warp_max_sum * 32.0 / cores_eff;
+
+  // ---- memory stages ------------------------------------------------------
+  // Fast-forward: when the window carried no memory records or memory
+  // instructions (mem_pending_ unset — proven, not inferred), the
+  // coalescer, cache walk and latency chains are exact no-ops on their
+  // empty inputs, so they are skipped and the closed-form window cost
+  // below sees zero memory terms. Bit-identical to walking the empty
+  // structures.
+  double bw_term = 0.0;
+  double lat_term = 0.0;
+  double issue_term = 0.0;
+  double max_chain_lat_part = 0.0;
+  double max_chain_issue_part = 0.0;
+  site_weights_.clear();
+  if (mem_pending_) {
+    mem_pending_ = false;
 
   // ---- coalescing: expand records into per-warp 128 B segments -----------
   segs_.clear();
@@ -406,30 +467,33 @@ void BlockCtx::close_window(bool barrier) {
       const std::uint32_t covered = static_cast<std::uint32_t>(
           std::min<std::uint64_t>(r.addr + r.bytes, seg_hi) -
           std::max<std::uint64_t>(r.addr, seg_lo));
-      segs_.push_back(SegKey{s, covered, r.warp, r.site, r.space, r.write});
+      segs_.push_back(SegKey{s, covered,
+                             static_cast<std::uint32_t>(segs_.size()), r.warp,
+                             r.site, r.space, r.write});
     }
   }
   records_.clear();
 
-  // Stable sort: the site is *not* part of the merge key (two sites
-  // touching the same segment in one window still coalesce into one
-  // transaction, as on hardware), so the merged transaction is attributed
-  // to the site whose record was issued first. Stability makes that
-  // attribution follow kernel program order — deterministic for any host
+  // The site is *not* part of the merge key (two sites touching the same
+  // segment in one window still coalesce into one transaction, as on
+  // hardware), so the merged transaction is attributed to the site whose
+  // record was issued first. The insertion index is the final tiebreaker,
+  // which makes the order total and program-order-stable under plain
+  // std::sort (std::stable_sort allocates a temp buffer per call — a
+  // measurable cost at millions of windows) — deterministic for any host
   // thread count and across runs.
-  std::stable_sort(segs_.begin(), segs_.end(),
-                   [](const SegKey& a, const SegKey& b) {
-                     if (a.warp != b.warp) return a.warp < b.warp;
-                     if (a.space != b.space) return a.space < b.space;
-                     if (a.write != b.write) return a.write < b.write;
-                     return a.seg < b.seg;
-                   });
+  std::sort(segs_.begin(), segs_.end(), [](const SegKey& a, const SegKey& b) {
+    if (a.warp != b.warp) return a.warp < b.warp;
+    if (a.space != b.space) return a.space < b.space;
+    if (a.write != b.write) return a.write < b.write;
+    if (a.seg != b.seg) return a.seg < b.seg;
+    return a.seq < b.seq;
+  });
 
   // ---- cache filtering + latency chains ----------------------------------
   // Stall-attribution weights: every transaction contributes its observed
   // latency plus its issue cost to its (site, space) row; the window's
   // memory-reason ticks are later split proportionally over these weights.
-  site_weights_.clear();
   const auto add_weight = [this](SiteId site, Space space, double w) {
     for (SiteWeight& sw : site_weights_) {
       if (sw.site == site && sw.space == space) {
@@ -531,13 +595,12 @@ void BlockCtx::close_window(bool barrier) {
   // Latency chain of the slowest warp: each memory *instruction* stalls the
   // warp for the average observed latency of its transactions, plus the
   // per-transaction issue cost (which is what makes uncoalesced instructions
-  // expensive); MLP lets a few stalls overlap.
+  // expensive); MLP lets a few stalls overlap. The slowest warp's chain
+  // components are kept apart (outer-scope max_chain_*_part) so a
+  // latency-bound window can be attributed between exposed latency and
+  // issue throughput.
   double max_warp_chain = 0.0;
   double instr_issue_sum = 0.0;
-  // The slowest warp's chain components, kept apart so a latency-bound
-  // window can be attributed between exposed latency and issue throughput.
-  double max_chain_lat_part = 0.0;
-  double max_chain_issue_part = 0.0;
   for (std::size_t w = 0; w < warp_instr_.size(); ++w) {
     const double txns = static_cast<double>(warp_txn_[w]);
     if (txns == 0.0 && warp_instr_[w] == 0.0) continue;
@@ -557,15 +620,15 @@ void BlockCtx::close_window(bool barrier) {
   }
   // Memory instructions occupy issue slots even when every access hits a
   // cache; fold their issue cost into the compute term.
-  const double issue_term =
-      instr_issue_sum * cost_->mem_issue_cycles * 32.0 / cores_eff;
+  issue_term = instr_issue_sum * cost_->mem_issue_cycles * 32.0 / cores_eff;
 
-  // ---- combine ------------------------------------------------------------
   const double bw_per_block =
       spec_->bytes_per_cycle() / static_cast<double>(concurrent_blocks_);
-  const double bw_term = static_cast<double>(window_dram_bytes) / bw_per_block;
-  const double lat_term = max_warp_chain / cost_->mlp;
+  bw_term = static_cast<double>(window_dram_bytes) / bw_per_block;
+  lat_term = max_warp_chain / cost_->mlp;
+  }  // if (mem_pending_)
 
+  // ---- combine ------------------------------------------------------------
   double window = std::max({compute_term + issue_term, bw_term, lat_term});
   if (barrier) {
     window += cost_->sync_cycles;
@@ -578,7 +641,17 @@ void BlockCtx::close_window(bool barrier) {
   // Each step takes min(share, remainder) and the final component takes
   // what is left, so the parts sum to total_ticks exactly — in integers,
   // hence bit-identically for any block/thread interleaving.
-  const std::uint64_t total_ticks = to_ticks(window);
+  //
+  // The window's tick count is the *cumulative* block total rounded once,
+  // minus what previous windows already charged: the rounding remainder is
+  // carried across windows instead of being dropped per window, so a
+  // block's charged ticks equal to_ticks(final block cycles) exactly and
+  // the launch identity `charged - occupancy_idle == total_block_ticks`
+  // holds without tolerance (to_ticks is monotone and window >= 0, so the
+  // subtraction never underflows).
+  const std::uint64_t cum_ticks = to_ticks(block_cycles_ + window);
+  const std::uint64_t total_ticks = cum_ticks - charged_ticks_cum_;
+  charged_ticks_cum_ = cum_ticks;
   StallBreakdown ws;
   ws.charged = total_ticks;
   std::uint64_t rem = total_ticks;
@@ -752,6 +825,52 @@ LaunchStats Device::launch(const LaunchConfig& cfg,
                       eff.l2_bytes / static_cast<std::size_t>(concurrent));
   }
 
+  // ---- block memoization setup (DESIGN.md §12) ---------------------------
+  // Engaged when the kernel provides both hooks, no user observer is
+  // attached (per-window/per-block callbacks must fire from a real
+  // simulation) and CUSW_SIM_MEMO is not off. Tracing does not disengage
+  // it: replayed blocks draw a single "memo replay" span instead of
+  // window spans.
+  const bool memo_on = cfg.memo_key != nullptr && cfg.memo_replay != nullptr &&
+                       observer_ == nullptr && memo_env_enabled();
+  MemoPeriods periods;
+  std::vector<std::uint64_t> memo_prefix;
+  if (memo_on) {
+    // Translation periods per space: lcm of the 128 B coalescing segment
+    // and every enabled cache's set span under *this launch's* effective
+    // capacities (all powers of two, so the lcm is just the max — std::lcm
+    // keeps it honest if a future geometry is not).
+    const auto fold = [](std::uint64_t& p, std::size_t size, std::size_t line,
+                         int assoc) {
+      const std::size_t span = Cache::translation_span(size, line, assoc);
+      if (span != 0) p = std::lcm(p, static_cast<std::uint64_t>(span));
+    };
+    if (eff.has_l1) fold(periods.global, l1_eff, 128, 4);
+    if (eff.has_l2) fold(periods.global, l2_eff, 128, 16);
+    fold(periods.texture, eff.tex_cache_bytes, 32, 4);
+    fold(periods.texture, eff.tex_l2_bytes, 32, 8);
+    if (eff.has_l2) fold(periods.texture, l2_eff, 128, 16);
+    // Launch-level key context: the label (length-prefixed, so keys are
+    // prefix-free across kernels) plus every launch knob the per-block
+    // cost model reads. The kernel's memo_key appends the rest.
+    const std::string_view label(cfg.label);
+    memo_prefix.push_back(label.size());
+    std::uint64_t packed = 0;
+    for (std::size_t c = 0; c < label.size(); ++c) {
+      packed = (packed << 8) | static_cast<unsigned char>(label[c]);
+      if ((c + 1) % 8 == 0) {
+        memo_prefix.push_back(packed);
+        packed = 0;
+      }
+    }
+    if (label.size() % 8 != 0) memo_prefix.push_back(packed);
+    memo_prefix.push_back(static_cast<std::uint64_t>(cfg.threads_per_block));
+    memo_prefix.push_back(static_cast<std::uint64_t>(concurrent));
+    memo_prefix.push_back(static_cast<std::uint64_t>(resident_per_sm));
+    memo_prefix.push_back(static_cast<std::uint64_t>(l1_eff));
+    memo_prefix.push_back(static_cast<std::uint64_t>(l2_eff));
+  }
+
   // Execute blocks sharded across host workers. Each worker owns private
   // L2 / texture-L2 clones (cleared before every block) and each block
   // accumulates into a private LaunchStats, so per-block results do not
@@ -787,9 +906,36 @@ LaunchStats Device::launch(const LaunchConfig& cfg,
 
   std::vector<LaunchStats> block_stats(static_cast<std::size_t>(cfg.blocks));
   std::vector<double> block_cycles(static_cast<std::size_t>(cfg.blocks), 0.0);
+  std::vector<std::uint8_t> replayed(static_cast<std::size_t>(cfg.blocks), 0);
+  std::atomic<std::uint64_t> memo_hits{0};
+  std::atomic<std::uint64_t> memo_misses{0};
   ThreadPool::shared().run_indexed(
       static_cast<std::size_t>(cfg.blocks), workers,
       [&](std::size_t worker, std::size_t b) {
+        std::vector<std::uint64_t> key;
+        if (memo_on) {
+          key.reserve(memo_prefix.size() + 72);
+          key = memo_prefix;
+          cfg.memo_key(static_cast<int>(b), periods, key);
+          bool hit = false;
+          {
+            std::lock_guard<std::mutex> lk(memo_mu_);
+            const auto it = memo_.find(key);
+            if (it != memo_.end()) {
+              block_stats[b] = it->second.stats;
+              block_cycles[b] = it->second.cycles;
+              hit = true;
+            }
+          }
+          if (hit) {
+            // Replay: cached accounting above, functional outputs here.
+            cfg.memo_replay(static_cast<int>(b));
+            replayed[b] = 1;
+            memo_hits.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+          memo_misses.fetch_add(1, std::memory_order_relaxed);
+        }
         WorkerCaches& wc = caches[worker];
         wc.l2.clear();
         wc.tex_l2.clear();
@@ -798,6 +944,11 @@ LaunchStats Device::launch(const LaunchConfig& cfg,
                      resident_per_sm, concurrent, effective);
         body(ctx);
         block_cycles[b] = ctx.finish();
+        if (memo_on) {
+          std::lock_guard<std::mutex> lk(memo_mu_);
+          memo_.emplace(std::move(key),
+                        MemoEntry{block_stats[b], block_cycles[b]});
+        }
         if (effective != nullptr) {
           BlockEvent ev;
           ev.block_id = static_cast<int>(b);
@@ -840,15 +991,36 @@ LaunchStats Device::launch(const LaunchConfig& cfg,
   stats.seconds = makespan / (eff.clock_ghz * 1e9) +
                   eff.launch_overhead_us * 1e-6;
 
+  // Each block's charged ticks are its cycle total rounded once (the
+  // per-window carry in close_window), so the pre-idle charged sum IS the
+  // exact fixed-point image of the per-block cycle totals.
+  stats.total_block_ticks = stats.stall.charged;
+
   // Occupancy idle: ticks the concurrently occupied SM slots spend empty
   // between their last block retiring and the launch's end. A launch-level
   // reason — blocks never see it — folded into the charged total so the
   // stall breakdown accounts for device time, not just block time.
-  const double idle_cycles =
-      makespan * static_cast<double>(concurrent) - stats.total_block_cycles;
-  const std::uint64_t idle_ticks = to_ticks(idle_cycles);
+  // Computed in integer ticks against total_block_ticks so that
+  // `charged - occupancy_idle == total_block_ticks` holds exactly (the
+  // saturation guard covers the sub-tick case where per-block rounding
+  // lands above the rounded device-time product).
+  const std::uint64_t device_ticks =
+      to_ticks(makespan * static_cast<double>(concurrent));
+  const std::uint64_t idle_ticks = device_ticks > stats.total_block_ticks
+                                       ? device_ticks - stats.total_block_ticks
+                                       : 0;
   stats.stall.occupancy_idle = idle_ticks;
   stats.stall.charged += idle_ticks;
+
+  if (memo_on) {
+    auto& reg = obs::Registry::global();
+    reg.counter("gpusim.memo.hits")
+        .add(memo_hits.load(std::memory_order_relaxed));
+    reg.counter("gpusim.memo.misses")
+        .add(memo_misses.load(std::memory_order_relaxed));
+    reg.counter("gpusim.memo.blocks_replayed")
+        .add(memo_hits.load(std::memory_order_relaxed));
+  }
 
   publish_launch_metrics(cfg, stats);
   if (effective != nullptr) effective->on_launch(cfg, stats);
@@ -870,7 +1042,8 @@ LaunchStats Device::launch(const LaunchConfig& cfg,
         trace_cursor_us_ += stats.seconds * 1e6;
       }
       emit_device_trace(*tw, trace_pid_, t0, cfg, eff, stats, block_cycles,
-                        block_slot, block_start, *collector);
+                        block_slot, block_start, block_stats, replayed,
+                        *collector);
     }
   }
   return stats;

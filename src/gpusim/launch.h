@@ -19,6 +19,7 @@
 #include <functional>
 #include <mutex>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "gpusim/cache.h"
@@ -33,6 +34,21 @@
 namespace cusw::gpusim {
 
 class FaultInjector;
+
+/// Address-translation periods of the launch's effective cache configs
+/// (DESIGN.md §12). Two blocks of one kernel behave identically — same
+/// counters, stall rows and cycles — when their address footprints are
+/// translates of each other by a multiple of the relevant space's period:
+/// 128 B coalescing segments and every enabled cache's set span
+/// (Cache::translation_span) divide the period, so the coalescer and
+/// cache state machines replay exactly. A kernel's `memo_key` callback
+/// folds each block-dependent region offset *modulo* these periods into
+/// the key; block-invariant regions (e.g. the local-memory arena)
+/// contribute nothing.
+struct MemoPeriods {
+  std::uint64_t global = 128;   // global + local read/write path
+  std::uint64_t texture = 128;  // texture read path
+};
 
 struct LaunchConfig {
   int blocks = 1;
@@ -51,6 +67,23 @@ struct LaunchConfig {
   /// `cells` counter, the GCUPS trace timeline and the roofline verdict;
   /// zero simply disables those.
   std::uint64_t cells = 0;
+
+  /// Block-memoization hooks (both must be set for memoization to engage;
+  /// see DESIGN.md §12 and Device::launch). `memo_key` appends, to `key`,
+  /// words that determine the block's simulation outcome exactly: every
+  /// block-dependent loop bound (sequence lengths), every block-dependent
+  /// region offset reduced modulo the matching MemoPeriods period, and —
+  /// for kernels whose accounted addresses depend on data — the data
+  /// itself. The device prepends launch-level context (label, geometry,
+  /// effective cache sizes), and entries match only on full key equality,
+  /// so a conservative key can only cost hits, never correctness.
+  std::function<void(int block, const MemoPeriods&,
+                     std::vector<std::uint64_t>& key)>
+      memo_key;
+  /// Invoked instead of the kernel body when a block is replayed from the
+  /// memo store: recompute the block's *functional* outputs (scores) —
+  /// the accounting side is restored from the cached LaunchStats.
+  std::function<void(int block)> memo_replay;
 };
 
 /// Per-(site, space) slice of a launch's counters: the attribution rows
@@ -73,14 +106,19 @@ struct LaunchStats {
   std::vector<SiteCounters> sites;
   /// Per-reason attribution of every charged cycle (gpusim/stall.h):
   /// the seven reasons sum to `stall.charged` exactly, and
-  /// `stall.charged - stall.occupancy_idle` is total_block_cycles in
-  /// ticks (up to half-a-tick rounding per window).
+  /// `stall.charged - stall.occupancy_idle` equals `total_block_ticks`
+  /// exactly (each block carries its tick-rounding remainder across
+  /// windows, so a block's charged ticks are its total cycles rounded
+  /// once, not once per window).
   StallBreakdown stall;
   std::uint64_t shared_accesses = 0;
   std::uint64_t bank_conflict_cycles = 0;
   std::uint64_t syncs = 0;
   std::uint64_t windows = 0;
   double total_block_cycles = 0.0;  // sum over blocks
+  /// Sum over blocks of each block's charged stall ticks — the exact
+  /// fixed-point image of total_block_cycles (one rounding per block).
+  std::uint64_t total_block_ticks = 0;
   double makespan_cycles = 0.0;     // after scheduling onto SM slots
   double seconds = 0.0;             // makespan / clock + launch overhead
   Occupancy occupancy;
@@ -113,18 +151,27 @@ struct LaunchStats {
     syncs += o.syncs;
     windows += o.windows;
     total_block_cycles += o.total_block_cycles;
+    total_block_ticks += o.total_block_ticks;
     makespan_cycles += o.makespan_cycles;
     seconds += o.seconds;
     blocks += o.blocks;
     concurrent_blocks = std::max(concurrent_blocks, o.concurrent_blocks);
     // Merge the occupancy range; a stats object whose range was never set
-    // contributes its point occupancy (tests build these by hand).
-    if (o.occupancy.blocks_per_sm != 0 || o.occupancy_min != 0.0) {
+    // contributes its point occupancy (tests build these by hand). A side
+    // with no occupancy sample at all — default-constructed, or shape-only
+    // with every occupancy figure still zero — contributes nothing: its
+    // zero "minimum" comes from never having launched, and must not
+    // clobber a real minimum.
+    const auto has_sample = [](const LaunchStats& s) {
+      return s.occupancy_min != 0.0 || s.occupancy_max != 0.0 ||
+             s.occupancy.occupancy != 0.0;
+    };
+    if (has_sample(o)) {
       const double lo =
           o.occupancy_min != 0.0 ? o.occupancy_min : o.occupancy.occupancy;
       const double hi =
           o.occupancy_max != 0.0 ? o.occupancy_max : o.occupancy.occupancy;
-      if (occupancy.blocks_per_sm != 0 || occupancy_min != 0.0) {
+      if (has_sample(*this)) {
         occupancy_min = std::min(
             occupancy_min != 0.0 ? occupancy_min : occupancy.occupancy, lo);
         occupancy_max = std::max(
@@ -186,7 +233,10 @@ class BlockCtx {
 
   // ---- compute charges -------------------------------------------------
   /// Charge `cycles` of arithmetic to one lane.
-  void charge(int lane, double cycles) { lane_compute_[lane] += cycles; }
+  void charge(int lane, double cycles) {
+    lane_compute_[lane] += cycles;
+    if (lane >= lane_hi_) lane_hi_ = lane + 1;
+  }
   /// Charge the same arithmetic to every lane of the block (fast path).
   void charge_uniform(double cycles) { uniform_compute_ += cycles; }
   /// Charge `cycles` per lane to exactly `active_warps` warps — the fast
@@ -313,6 +363,21 @@ class BlockCtx {
   std::vector<double> warp_lat_sum_;
   std::vector<std::uint32_t> warp_txn_;
   double block_cycles_ = 0.0;
+  // Charged ticks so far: to_ticks(block_cycles_) after every window.
+  // Each window charges to_ticks(block_cycles_ + window) - charged so far,
+  // carrying the fixed-point remainder across windows — the block's
+  // charged total is its cycle total rounded once, which is what makes
+  // `stall.charged - occupancy_idle == total_block_ticks` exact.
+  std::uint64_t charged_ticks_cum_ = 0;
+  // Set by access()/warp_access()/local_access(); false means the open
+  // window carried no memory records or instructions, so close_window can
+  // skip the coalescer/cache/latency walk entirely (the fast-forward path
+  // — those stages are exact no-ops on empty input).
+  bool mem_pending_ = false;
+  // Highest lane index touched by charge() since the last window close
+  // (exclusive). Lanes above the watermark hold 0.0 by invariant, so the
+  // per-warp max scan and the reset stop there.
+  int lane_hi_ = 0;
 
   // Profiler hook. The per-window hot path pays one null check when no
   // observer is attached; the previous-counter copy for window deltas is
@@ -324,6 +389,10 @@ class BlockCtx {
   struct SegKey {
     std::uint64_t seg;
     std::uint32_t bytes;
+    // Insertion index: the last sort tiebreaker, making the order a total
+    // one so plain std::sort (no per-call temp buffer, unlike
+    // std::stable_sort) reproduces the stable program-order attribution.
+    std::uint32_t seq;
     std::uint16_t warp;
     SiteId site;
     Space space;
@@ -399,6 +468,18 @@ class Device {
   FaultInjector* fault_injector() const { return fault_; }
   int fault_device_id() const { return fault_device_id_; }
 
+  /// Blocks currently memoized on this device (testing/introspection).
+  std::size_t memo_entries() const {
+    std::lock_guard<std::mutex> lk(memo_mu_);
+    return memo_.size();
+  }
+  /// Drop every memo entry (testing; never required for correctness —
+  /// keys cover everything an entry's validity depends on).
+  void memo_clear() {
+    std::lock_guard<std::mutex> lk(memo_mu_);
+    memo_.clear();
+  }
+
  private:
   DeviceSpec spec_;
   CostModel cost_;
@@ -406,6 +487,31 @@ class Device {
   LaunchObserver* observer_ = nullptr;
   FaultInjector* fault_ = nullptr;
   int fault_device_id_ = 0;
+
+  // Block-memoization store (DESIGN.md §12). Keyed by the *full* key
+  // vector — launch-level context plus the kernel's memo_key words — and
+  // compared by equality, so a lookup can never alias two different
+  // blocks: the hash only buckets. Device-scoped because kernels allocate
+  // from per-run arenas (identical addresses for identical-shape runs),
+  // so entries stay valid across launches; hit/miss *counts* depend on
+  // host thread timing, the replayed values never do.
+  struct MemoEntry {
+    LaunchStats stats;    // block-level counters, sites and stall rows
+    double cycles = 0.0;  // the block's total simulated cycles
+  };
+  struct MemoKeyHash {
+    std::size_t operator()(const std::vector<std::uint64_t>& key) const {
+      std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the words
+      for (const std::uint64_t w : key) {
+        h ^= w;
+        h *= 1099511628211ull;
+      }
+      return static_cast<std::size_t>(h);
+    }
+  };
+  mutable std::mutex memo_mu_;
+  std::unordered_map<std::vector<std::uint64_t>, MemoEntry, MemoKeyHash>
+      memo_;
 
   // Trace state: this device's track group in the trace file and the
   // simulated-time cursor launches reserve their spans from (launches on

@@ -124,10 +124,10 @@ StripedEngine::StripedEngine(const std::vector<seq::Code>& query,
     : prof8_(query, matrix), prof16_(query, matrix), gap_(gap) {}
 
 int StripedEngine::score(const std::vector<seq::Code>& target) const {
-  ++scored_;
+  scored_.fetch_add(1, std::memory_order_relaxed);
   const Striped8Result r8 = striped8_sw_score(prof8_, target, gap_);
   if (!r8.overflow) return r8.score;
-  ++fallbacks_;
+  fallbacks_.fetch_add(1, std::memory_order_relaxed);
   return striped_sw_score(prof16_, target, gap_).score;
 }
 

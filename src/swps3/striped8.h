@@ -11,6 +11,8 @@
 // score up to 255 - bias that never clamped stays exact.
 #pragma once
 
+#include <atomic>
+
 #include "swps3/striped_sw.h"
 
 namespace cusw::swps3 {
@@ -64,18 +66,24 @@ class StripedEngine {
   StripedEngine(const std::vector<seq::Code>& query,
                 const sw::ScoringMatrix& matrix, sw::GapPenalty gap);
 
+  /// Thread-safe: one engine may score targets from concurrent workers
+  /// (the memo replay hooks do).
   int score(const std::vector<seq::Code>& target) const;
 
   /// How many of the scored targets needed the 16-bit fallback.
-  std::uint64_t fallbacks() const { return fallbacks_; }
-  std::uint64_t scored() const { return scored_; }
+  std::uint64_t fallbacks() const {
+    return fallbacks_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t scored() const {
+    return scored_.load(std::memory_order_relaxed);
+  }
 
  private:
   StripedProfile8 prof8_;
   StripedProfile prof16_;
   sw::GapPenalty gap_;
-  mutable std::uint64_t fallbacks_ = 0;
-  mutable std::uint64_t scored_ = 0;
+  mutable std::atomic<std::uint64_t> fallbacks_{0};
+  mutable std::atomic<std::uint64_t> scored_{0};
 };
 
 }  // namespace cusw::swps3

@@ -67,6 +67,69 @@ TEST(PerfDiff, WorkloadRoundTripsThroughBaselineJson) {
   EXPECT_EQ(r.compared, current.size());
 }
 
+TEST(PerfDiff, BenchDocumentFlattensNumericScalars) {
+  const std::string doc = R"({
+    "bench": "host_parallel_speedup",
+    "workload": "swissprot-profile",
+    "hardware_threads": 8,
+    "parallel_threads": 8,
+    "hardware_limited": false,
+    "serial_wall_seconds": 4.2,
+    "parallel_wall_seconds": 1.1,
+    "speedup": 3.8,
+    "simulated_identical": true,
+    "simulated_gcups": 1.25
+  })";
+  std::map<std::string, double> out;
+  std::string error;
+  ASSERT_TRUE(load_bench_document(doc, out, &error)) << error;
+  // Numeric scalars land under bench.<name>.<field>; strings and bools do
+  // not become keys.
+  EXPECT_EQ(out.at("bench.host_parallel_speedup.speedup"), 3.8);
+  EXPECT_EQ(out.at("bench.host_parallel_speedup.serial_wall_seconds"), 4.2);
+  EXPECT_EQ(out.at("bench.host_parallel_speedup.simulated_gcups"), 1.25);
+  EXPECT_EQ(out.count("bench.host_parallel_speedup.workload"), 0u);
+  EXPECT_EQ(out.count("bench.host_parallel_speedup.simulated_identical"), 0u);
+  EXPECT_EQ(out.size(), 6u);
+  // The default tolerances carry a bench.* entry so wall-clock noise does
+  // not trip the gate.
+  EXPECT_GT(tolerance_for(default_perf_tolerances(),
+                          "bench.host_parallel_speedup.speedup"),
+            0.0);
+}
+
+TEST(PerfDiff, BenchDocumentDropsWallClockKeysWhenHardwareLimited) {
+  const std::string doc = R"({
+    "bench": "host_parallel_speedup",
+    "hardware_threads": 1,
+    "parallel_threads": 1,
+    "hardware_limited": true,
+    "serial_wall_seconds": 4.2,
+    "parallel_wall_seconds": 4.3,
+    "speedup": 0.983,
+    "simulated_gcups": 1.25
+  })";
+  std::map<std::string, double> out;
+  std::string error;
+  ASSERT_TRUE(load_bench_document(doc, out, &error)) << error;
+  // The meaningless 1-hardware-thread "speedup" and its wall-clock inputs
+  // must not become gated keys; the simulated figures still do.
+  EXPECT_EQ(out.count("bench.host_parallel_speedup.speedup"), 0u);
+  EXPECT_EQ(out.count("bench.host_parallel_speedup.serial_wall_seconds"), 0u);
+  EXPECT_EQ(out.count("bench.host_parallel_speedup.parallel_wall_seconds"),
+            0u);
+  EXPECT_EQ(out.at("bench.host_parallel_speedup.simulated_gcups"), 1.25);
+  EXPECT_EQ(out.at("bench.host_parallel_speedup.hardware_threads"), 1.0);
+}
+
+TEST(PerfDiff, BenchDocumentRejectsMalformedJson) {
+  std::map<std::string, double> out;
+  std::string error;
+  EXPECT_FALSE(load_bench_document("not json", out, &error));
+  EXPECT_FALSE(load_bench_document("[1, 2]", out, &error));
+  EXPECT_TRUE(out.empty());
+}
+
 TEST(PerfDiff, CanonicalWorkloadMatchesCheckedInBaseline) {
   std::map<std::string, double> base, tol;
   std::string error;

@@ -106,6 +106,35 @@ TEST(Report, OccupancyMergeIntoDefaultAdoptsRange) {
   EXPECT_DOUBLE_EQ(sum.occupancy_max, 0.75);
 }
 
+TEST(Report, OccupancyMergeIgnoresSampleLessStats) {
+  // Merging a default-constructed (zero-launch) stats object must not let
+  // its zero-valued min clobber the real minimum — a zero-launch side
+  // carries no occupancy sample at all.
+  LaunchStats a = sample_stats();
+  a.occupancy.occupancy = 0.75;
+  a.occupancy_min = 0.5;
+  a.occupancy_max = 0.75;
+  a += LaunchStats{};
+  EXPECT_DOUBLE_EQ(a.occupancy_min, 0.5);
+  EXPECT_DOUBLE_EQ(a.occupancy_max, 0.75);
+
+  // Shape-only stats (blocks_per_sm set, all occupancy figures zero) are
+  // likewise sample-less and must not drag the minimum to zero.
+  LaunchStats shape_only;
+  shape_only.occupancy.blocks_per_sm = 4;
+  a += shape_only;
+  EXPECT_DOUBLE_EQ(a.occupancy_min, 0.5);
+  EXPECT_DOUBLE_EQ(a.occupancy_max, 0.75);
+
+  // The symmetric direction: accumulating real stats into a shape-only
+  // accumulator adopts the range rather than pinning the minimum at zero.
+  LaunchStats sum;
+  sum.occupancy.blocks_per_sm = 2;
+  sum += a;
+  EXPECT_DOUBLE_EQ(sum.occupancy_min, 0.5);
+  EXPECT_DOUBLE_EQ(sum.occupancy_max, 0.75);
+}
+
 TEST(Report, OccupancyMergeFallsBackToPointOccupancy) {
   // Hand-built stats (tests, tools) often set `occupancy` but not the
   // range; merging treats them as a point at occupancy.occupancy.

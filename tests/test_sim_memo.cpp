@@ -1,0 +1,297 @@
+// Block memoization (DESIGN.md §12): replayed blocks must be invisible in
+// every reported number. Scores, per-space counters, per-site rows, stall
+// breakdowns and simulated cycles are bit-identical with CUSW_SIM_MEMO on
+// vs off, across CUSW_THREADS, for all four CUDASW++ kernels; the memo
+// actually engages on repeated block shapes; and memoization composes with
+// fault injection (an aborted launch neither consults nor pollutes the
+// store).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cudasw/inter_task.h"
+#include "cudasw/inter_task_simd.h"
+#include "cudasw/intra_task_improved.h"
+#include "cudasw/intra_task_original.h"
+#include "cudasw/multi_gpu.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/fault.h"
+#include "gpusim/launch.h"
+#include "obs/metrics.h"
+#include "seq/generate.h"
+#include "sw/scoring.h"
+#include "test_helpers.h"
+
+namespace cusw {
+namespace {
+
+/// Scoped environment override that restores the previous value on exit.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* prev = std::getenv(name);
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (had_prev_)
+      setenv(name_.c_str(), prev_.c_str(), 1);
+    else
+      unsetenv(name_.c_str());
+  }
+
+ private:
+  std::string name_;
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+void expect_counters_eq(const gpusim::SpaceCounters& a,
+                        const gpusim::SpaceCounters& b) {
+  gpusim::for_each_space_counter_field(
+      a, [&](const char* field, std::uint64_t av) {
+        gpusim::for_each_space_counter_field(
+            b, [&](const char* bf, std::uint64_t bv) {
+              if (std::string_view(field) == bf) {
+                EXPECT_EQ(av, bv) << field;
+              }
+            });
+      });
+}
+
+std::vector<std::uint64_t> stall_reasons(const gpusim::StallBreakdown& b) {
+  std::vector<std::uint64_t> v;
+  gpusim::for_each_stall_reason(
+      b, [&](const char*, std::uint64_t x) { v.push_back(x); });
+  return v;
+}
+
+/// Full bit-identity: every counter, site row, stall row and simulated
+/// cycle figure (EXPECT_EQ on doubles is deliberate — the contract is
+/// bit-identical, not approximately equal).
+void expect_stats_eq(const gpusim::LaunchStats& a,
+                     const gpusim::LaunchStats& b) {
+  expect_counters_eq(a.global, b.global);
+  expect_counters_eq(a.local, b.local);
+  expect_counters_eq(a.texture, b.texture);
+  ASSERT_EQ(a.sites.size(), b.sites.size());
+  for (std::size_t i = 0; i < a.sites.size(); ++i) {
+    EXPECT_EQ(gpusim::site_name(a.sites[i].site),
+              gpusim::site_name(b.sites[i].site));
+    EXPECT_EQ(a.sites[i].space, b.sites[i].space);
+    expect_counters_eq(a.sites[i].counters, b.sites[i].counters);
+  }
+  EXPECT_EQ(stall_reasons(a.stall), stall_reasons(b.stall));
+  EXPECT_EQ(a.stall.charged, b.stall.charged);
+  EXPECT_EQ(a.stall.occupancy_idle, b.stall.occupancy_idle);
+  EXPECT_EQ(a.total_block_ticks, b.total_block_ticks);
+  EXPECT_EQ(a.shared_accesses, b.shared_accesses);
+  EXPECT_EQ(a.bank_conflict_cycles, b.bank_conflict_cycles);
+  EXPECT_EQ(a.syncs, b.syncs);
+  EXPECT_EQ(a.windows, b.windows);
+  EXPECT_EQ(a.total_block_cycles, b.total_block_cycles);
+  EXPECT_EQ(a.makespan_cycles, b.makespan_cycles);
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.blocks, b.blocks);
+  EXPECT_EQ(a.concurrent_blocks, b.concurrent_blocks);
+}
+
+gpusim::Device one_sm_c1060() {
+  auto spec = gpusim::DeviceSpec::tesla_c1060();
+  return gpusim::Device(spec.scaled(1.0 / spec.sm_count));
+}
+
+const sw::ScoringMatrix& blosum() { return sw::ScoringMatrix::blosum62(); }
+
+/// A database with heavy block-shape repetition so the memo engages within
+/// a single launch: `copies` equal-length (and for the improved kernel's
+/// content-keyed memo, *identical*) long sequences plus a short tail of
+/// equal-length ones for the inter-task kernels.
+seq::SequenceDB repeated_long_db(std::uint64_t seed, int copies) {
+  seq::SequenceDB db;
+  Rng rng(seed);
+  const seq::Sequence s = seq::random_protein(3200, rng);
+  for (int i = 0; i < copies; ++i) db.add(s);
+  return db;
+}
+
+seq::SequenceDB uniform_short_db(std::uint64_t seed, int count,
+                                 std::size_t len) {
+  seq::SequenceDB db;
+  Rng rng(seed);
+  for (int i = 0; i < count; ++i) db.add(seq::random_protein(len, rng));
+  return db;
+}
+
+using KernelFn = cudasw::KernelRun (*)(gpusim::Device&,
+                                       const std::vector<seq::Code>&,
+                                       const seq::SequenceDB&);
+
+cudasw::KernelRun run_inter(gpusim::Device& dev,
+                            const std::vector<seq::Code>& q,
+                            const seq::SequenceDB& db) {
+  return cudasw::run_inter_task(dev, q, db, blosum(), {10, 2}, {});
+}
+cudasw::KernelRun run_simd(gpusim::Device& dev,
+                           const std::vector<seq::Code>& q,
+                           const seq::SequenceDB& db) {
+  return cudasw::run_inter_task_simd(dev, q, db, blosum(), {10, 2}, {});
+}
+cudasw::KernelRun run_original(gpusim::Device& dev,
+                               const std::vector<seq::Code>& q,
+                               const seq::SequenceDB& db) {
+  return cudasw::run_intra_task_original(dev, q, db, blosum(), {10, 2}, {});
+}
+cudasw::KernelRun run_improved(gpusim::Device& dev,
+                               const std::vector<seq::Code>& q,
+                               const seq::SequenceDB& db) {
+  return cudasw::run_intra_task_improved(dev, q, db, blosum(), {10, 2}, {});
+}
+
+struct KernelCase {
+  const char* name;
+  KernelFn run;
+  bool intra;  // long-sequence workload vs many-short-sequence workload
+};
+
+const KernelCase kKernels[] = {
+    {"inter_task", &run_inter, false},
+    {"inter_task_simd", &run_simd, false},
+    {"intra_task_original", &run_original, true},
+    {"intra_task_improved", &run_improved, true},
+};
+
+TEST(SimMemo, BitIdenticalOnVsOffAcrossKernelsAndThreads) {
+  for (const KernelCase& k : kKernels) {
+    SCOPED_TRACE(k.name);
+    const auto query = test::random_codes(k.intra ? 567 : 120, 41);
+    // Mix repeated shapes (which replay) with unique ones (which do not).
+    seq::SequenceDB db = k.intra ? repeated_long_db(42, 4)
+                                 : uniform_short_db(43, 192, 200);
+    if (k.intra) {
+      Rng rng(44);
+      db.add(seq::random_protein(2800, rng));
+    } else {
+      db.append(seq::lognormal_db(64, 180, 60, 45));
+    }
+    db.sort_by_length();
+
+    cudasw::KernelRun off;
+    {
+      EnvGuard memo("CUSW_SIM_MEMO", "off");
+      EnvGuard threads("CUSW_THREADS", "1");
+      auto dev = one_sm_c1060();
+      off = k.run(dev, query, db);
+    }
+    for (const char* threads : {"1", "4"}) {
+      SCOPED_TRACE(threads);
+      EnvGuard memo("CUSW_SIM_MEMO", "on");
+      EnvGuard tg("CUSW_THREADS", threads);
+      auto dev = one_sm_c1060();
+      const auto on = k.run(dev, query, db);
+      EXPECT_EQ(on.scores, off.scores);
+      EXPECT_EQ(on.cells, off.cells);
+      expect_stats_eq(on.stats, off.stats);
+    }
+  }
+}
+
+TEST(SimMemo, EngagesOnRepeatedShapesAndCountsInRegistry) {
+  for (const KernelCase& k : kKernels) {
+    SCOPED_TRACE(k.name);
+    EnvGuard memo("CUSW_SIM_MEMO", "on");
+    const auto query = test::random_codes(k.intra ? 567 : 120, 51);
+    seq::SequenceDB db = k.intra ? repeated_long_db(52, 4)
+                                 : uniform_short_db(53, 256, 180);
+    auto dev = one_sm_c1060();
+    const obs::Snapshot before = obs::Registry::global().snapshot();
+    k.run(dev, query, db);
+    const obs::Snapshot delta =
+        obs::Registry::global().snapshot().diff(before);
+    EXPECT_GT(delta.counter("gpusim.memo.hits"), 0u);
+    EXPECT_GT(delta.counter("gpusim.memo.misses"), 0u);
+    EXPECT_EQ(delta.counter("gpusim.memo.blocks_replayed"),
+              delta.counter("gpusim.memo.hits"));
+    EXPECT_GT(dev.memo_entries(), 0u);
+    dev.memo_clear();
+    EXPECT_EQ(dev.memo_entries(), 0u);
+  }
+}
+
+TEST(SimMemo, StorePersistsAcrossLaunchesOfOneDevice) {
+  // The second identical run replays every block: per-run arenas make
+  // addresses run-invariant, so cross-launch reuse is sound (the serving
+  // scenario bench/sim_speed measures).
+  EnvGuard memo("CUSW_SIM_MEMO", "on");
+  const auto query = test::random_codes(567, 61);
+  const auto db = repeated_long_db(62, 3);
+  auto dev = one_sm_c1060();
+  const auto first = run_improved(dev, query, db);
+  const std::size_t entries = dev.memo_entries();
+  ASSERT_GT(entries, 0u);
+
+  const obs::Snapshot before = obs::Registry::global().snapshot();
+  const auto second = run_improved(dev, query, db);
+  const obs::Snapshot delta = obs::Registry::global().snapshot().diff(before);
+  EXPECT_EQ(delta.counter("gpusim.memo.misses"), 0u);
+  EXPECT_EQ(delta.counter("gpusim.memo.hits"),
+            static_cast<std::uint64_t>(second.stats.blocks));
+  EXPECT_EQ(dev.memo_entries(), entries);
+  EXPECT_EQ(second.scores, first.scores);
+  expect_stats_eq(second.stats, first.stats);
+}
+
+TEST(SimMemo, OffDisablesTheStoreAndPublishesNoCounters) {
+  EnvGuard memo("CUSW_SIM_MEMO", "off");
+  const auto query = test::random_codes(567, 71);
+  const auto db = repeated_long_db(72, 3);
+  auto dev = one_sm_c1060();
+  const obs::Snapshot before = obs::Registry::global().snapshot();
+  run_improved(dev, query, db);
+  const obs::Snapshot delta = obs::Registry::global().snapshot().diff(before);
+  EXPECT_EQ(dev.memo_entries(), 0u);
+  EXPECT_EQ(delta.counter("gpusim.memo.hits"), 0u);
+  EXPECT_EQ(delta.counter("gpusim.memo.misses"), 0u);
+}
+
+TEST(SimMemo, ComposesWithFaultInjection) {
+  // Fault injection aborts a launch before any block is simulated, so a
+  // faulted attempt neither consults nor pollutes the memo store, and the
+  // retried launch replays exactly what a clean memoized run would.
+  const auto spec = gpusim::DeviceSpec::tesla_c1060().scaled(0.1);
+  const auto query = test::random_codes(48, 81);
+  seq::SequenceDB db = uniform_short_db(82, 48, 160);
+  const auto& matrix = sw::ScoringMatrix::blosum62();
+
+  cudasw::MultiGpuConfig faulted_cfg;
+  faulted_cfg.faults =
+      gpusim::FaultPlan::parse("seed=7,transfer=0.4,launch=0.4");
+  faulted_cfg.backoff.max_retries = 10;
+
+  std::vector<int> clean_off, clean_on, faulted_on;
+  {
+    EnvGuard memo("CUSW_SIM_MEMO", "off");
+    clean_off = cudasw::multi_gpu_search(spec, 2, query, db, matrix,
+                                         cudasw::SearchConfig{})
+                    .scores;
+  }
+  {
+    EnvGuard memo("CUSW_SIM_MEMO", "on");
+    clean_on = cudasw::multi_gpu_search(spec, 2, query, db, matrix,
+                                        cudasw::SearchConfig{})
+                   .scores;
+    const auto faulted =
+        cudasw::multi_gpu_search(spec, 2, query, db, matrix, faulted_cfg);
+    faulted_on = faulted.scores;
+    EXPECT_GE(faulted.faults.retries, 1u);
+  }
+  EXPECT_EQ(clean_on, clean_off);
+  EXPECT_EQ(faulted_on, clean_off);
+}
+
+}  // namespace
+}  // namespace cusw

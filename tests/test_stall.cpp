@@ -174,20 +174,23 @@ TEST(Stall, BreakdownIsBitIdenticalAcrossThreadCounts) {
   }
 }
 
-TEST(Stall, ChargedMinusIdleMatchesTotalBlockCycles) {
+TEST(Stall, ChargedMinusIdleMatchesTotalBlockTicksExactly) {
   auto dev = one_sm_c1060();
   const auto run = cudasw::run_intra_task_improved(
       dev, test::random_codes(567, 67), long_db(68), blosum(), {10, 2}, {});
   const gpusim::LaunchStats& s = run.stats;
   ASSERT_GE(s.stall.charged, s.stall.occupancy_idle);
-  // Per-window llround loses at most half a tick, so the reassembled
-  // block cycles match to windows/2 ticks (plus one for the idle round).
-  const double block_cycles =
-      gpusim::stall_ticks_to_cycles(s.stall.charged - s.stall.occupancy_idle);
-  const double tol =
-      (static_cast<double>(s.windows) * 0.5 + 1.0) /
-      static_cast<double>(gpusim::kStallTicksPerCycle);
-  EXPECT_NEAR(block_cycles, s.total_block_cycles, tol);
+  // Each window is charged the tick-rounded *cumulative* block time minus
+  // what earlier windows already took (the remainder carries across
+  // windows), so the identity holds exactly — no per-window rounding slop.
+  EXPECT_EQ(s.stall.charged - s.stall.occupancy_idle, s.total_block_ticks);
+  // And the tick total is the rounding of the block-cycle total itself:
+  // each block contributes round(block_cycles * ticks_per_cycle), so the
+  // residual error is at most half a tick per block.
+  const double block_cycles = gpusim::stall_ticks_to_cycles(s.total_block_ticks);
+  EXPECT_NEAR(block_cycles, s.total_block_cycles,
+              0.5 * static_cast<double>(s.blocks) /
+                  static_cast<double>(gpusim::kStallTicksPerCycle));
 }
 
 TEST(Stall, RegistryMirrorsBreakdownAndCells) {

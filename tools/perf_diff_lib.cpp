@@ -1,12 +1,14 @@
 #include "tools/perf_diff_lib.h"
 
 #include <cmath>
+#include <string_view>
 
 #include "cudasw/inter_task_simd.h"
 #include "cudasw/intra_task_improved.h"
 #include "cudasw/intra_task_original.h"
 #include "gpusim/device_spec.h"
 #include "gpusim/stall.h"
+#include "obs/trace_check.h"
 #include "seq/generate.h"
 #include "util/rng.h"
 
@@ -104,7 +106,42 @@ std::map<std::string, double> run_perf_workload(
 }
 
 std::map<std::string, double> default_perf_tolerances() {
-  return {{"default", 0.0}, {"rate.", 0.02}};
+  // Wall-clock figures are host-load dependent; 25% catches regressions of
+  // the "suddenly 2x slower" kind without flaking on scheduler noise.
+  return {{"default", 0.0}, {"rate.", 0.02}, {"bench.", 0.25}};
+}
+
+bool load_bench_document(const std::string& text,
+                         std::map<std::string, double>& out,
+                         std::string* error) {
+  obs::json::Value doc;
+  if (!obs::json::parse(text, doc, error)) return false;
+  if (doc.kind != obs::json::Value::Kind::kObject) {
+    if (error) *error = "bench document: top level is not an object";
+    return false;
+  }
+  std::string name = "unknown";
+  if (const obs::json::Value* n = doc.find("bench");
+      n != nullptr && n->kind == obs::json::Value::Kind::kString) {
+    name = n->string;
+  }
+  const obs::json::Value* limited = doc.find("hardware_limited");
+  const bool hardware_limited = limited != nullptr &&
+                                limited->kind ==
+                                    obs::json::Value::Kind::kBool &&
+                                limited->boolean;
+  const auto is_wall_clock = [](std::string_view field) {
+    constexpr std::string_view kSuffix = "wall_seconds";
+    return field == "speedup" ||
+           (field.size() >= kSuffix.size() &&
+            field.substr(field.size() - kSuffix.size()) == kSuffix);
+  };
+  for (const auto& [field, v] : doc.object) {
+    if (v.kind != obs::json::Value::Kind::kNumber) continue;
+    if (hardware_limited && is_wall_clock(field)) continue;
+    out["bench." + name + "." + field] = v.number;
+  }
+  return true;
 }
 
 }  // namespace cusw::tools

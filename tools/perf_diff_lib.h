@@ -40,7 +40,19 @@ std::map<std::string, double> run_perf_workload();
 std::map<std::string, double> run_perf_workload(
     const gpusim::CostModel& cost);
 
-/// Tolerances for a fresh perf baseline: exact raw cycles, 2% on rates.
+/// Tolerances for a fresh perf baseline: exact raw cycles, 2% on rates,
+/// 25% on host wall-clock figures folded in via --bench.
 std::map<std::string, double> default_perf_tolerances();
+
+/// Flatten a bench JSON document (a BENCH_*.json payload) into `out`:
+/// every top-level numeric scalar becomes `bench.<name>.<field>`, where
+/// <name> is the document's "bench" field. Wall-clock keys (any field
+/// ending in "wall_seconds", plus "speedup") are dropped when the document
+/// stamps `"hardware_limited": true` — a host without enough hardware
+/// threads produces no wall-clock signal worth gating on (see
+/// bench/host_parallel_speedup.cpp). Returns false on parse failure.
+bool load_bench_document(const std::string& text,
+                         std::map<std::string, double>& out,
+                         std::string* error);
 
 }  // namespace cusw::tools

@@ -1,6 +1,6 @@
 // perf_diff CLI — the CI gate behind `ctest -R perf_baseline`.
 //
-//   perf_diff [--baselines <dir>] [--update]
+//   perf_diff [--baselines <dir>] [--update] [--bench <BENCH_*.json>]...
 //
 // Without --update: replay the canonical Table I / Fig 2 one-SM slices,
 // compare their simulated-performance profile (charged cycles, stall
@@ -8,11 +8,19 @@
 // any violations and exit non-zero. With --update: regenerate the
 // baseline file in place, preserving its tolerances (run this after an
 // intentional cost-model or kernel change and commit the result).
+//
+// --bench folds a bench harness's JSON payload into the comparison as
+// `bench.<name>.<field>` keys. These are opt-in on both sides: a bench key
+// is only compared when it appears in the current run AND the baseline, so
+// adding --bench never breaks an older baseline (run --update with the
+// same --bench flags to start gating them). Documents stamped
+// `"hardware_limited": true` contribute no wall-clock keys.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "tools/counter_diff_lib.h"
 #include "tools/perf_diff_lib.h"
@@ -33,21 +41,35 @@ bool read_file(const std::string& path, std::string& out) {
 int main(int argc, char** argv) {
   std::string dir = "baselines";
   bool update = false;
+  std::vector<std::string> bench_files;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--update") == 0) {
       update = true;
     } else if (std::strcmp(argv[i], "--baselines") == 0 && i + 1 < argc) {
       dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--bench") == 0 && i + 1 < argc) {
+      bench_files.push_back(argv[++i]);
     } else {
       std::fprintf(stderr,
-                   "usage: perf_diff [--baselines <dir>] [--update]\n");
+                   "usage: perf_diff [--baselines <dir>] [--update] "
+                   "[--bench <file>]...\n");
       return 2;
     }
   }
   const std::string path = dir + "/perf_baseline.json";
 
   std::printf("perf_diff: replaying canonical perf workloads...\n");
-  const auto current = cusw::tools::run_perf_workload();
+  auto current = cusw::tools::run_perf_workload();
+
+  for (const std::string& f : bench_files) {
+    std::string text, error;
+    if (!read_file(f, text) ||
+        !cusw::tools::load_bench_document(text, current, &error)) {
+      std::fprintf(stderr, "perf_diff: cannot load bench document %s%s%s\n",
+                   f.c_str(), error.empty() ? "" : ": ", error.c_str());
+      return 2;
+    }
+  }
 
   std::map<std::string, double> base, tol;
   std::string text, error;
@@ -77,6 +99,20 @@ int main(int argc, char** argv) {
                  path.c_str());
     return 2;
   }
+  // Bench keys are opt-in on both sides (see the header comment): drop any
+  // bench.* key that only one side knows about before diffing.
+  const auto prune_bench = [](std::map<std::string, double>& a,
+                              const std::map<std::string, double>& b) {
+    for (auto it = a.begin(); it != a.end();) {
+      if (it->first.rfind("bench.", 0) == 0 && b.count(it->first) == 0) {
+        it = a.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+  prune_bench(current, base);
+  prune_bench(base, current);
   const auto r = cusw::tools::diff_counters(current, base, tol);
   for (const std::string& f : r.failures)
     std::fprintf(stderr, "perf_diff: FAIL %s\n", f.c_str());
