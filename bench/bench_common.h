@@ -20,10 +20,14 @@
 #include <vector>
 
 #include "cudasw/pipeline.h"
+#include "cusw_version.h"
 #include "gpusim/device_spec.h"
 #include "gpusim/stall.h"
+#include "obs/capsule.h"
+#include "obs/profile.h"
 #include "seq/generate.h"
 #include "util/cli.h"
+#include "util/env.h"
 #include "util/json.h"
 #include "util/parallel.h"
 #include "util/table.h"
@@ -77,8 +81,10 @@ inline void note_seed(std::uint64_t seed) {
 
 /// Schema of the BENCH_*.json documents; bump when the stamped header or
 /// table mirror changes shape. v2 added the `seed` and `device`
-/// provenance fields.
-inline constexpr int kBenchJsonSchemaVersion = 2;
+/// provenance fields; v3 added `git_sha` and the effective `memo` state,
+/// so every artifact is traceable to a commit and a simulator fast-path
+/// configuration.
+inline constexpr int kBenchJsonSchemaVersion = 3;
 
 /// Write `payload` (a complete JSON document) to `BENCH_<name>.json` in
 /// the working directory. Every bench reports through this one sink so the
@@ -95,17 +101,24 @@ inline bool emit_json(const std::string& name, const std::string& payload) {
     ++body;
   if (body != std::string::npos && body < stamped.size() &&
       stamped[body] != '}') {
-    char stamp[320];
+    char stamp[448];
     std::snprintf(stamp, sizeof(stamp),
                   "\n  \"schema_version\": %d,\n  \"threads\": %zu,\n"
                   "  \"slice_factor\": %.12g,\n  \"seed\": %llu,\n"
-                  "  \"device\": \"%s\",",
+                  "  \"device\": \"%s\",\n  \"git_sha\": \"%s\",\n"
+                  "  \"memo\": \"%s\",",
                   kBenchJsonSchemaVersion, util::parallelism(),
                   slice_factor_slot(),
                   static_cast<unsigned long long>(rng_seed_slot()),
-                  util::json_escape(device_name_slot()).c_str());
+                  util::json_escape(device_name_slot()).c_str(),
+                  util::json_escape(CUSW_GIT_SHA).c_str(),
+                  util::env_enabled("CUSW_SIM_MEMO", true) ? "on" : "off");
     stamped.insert(brace + 1, stamp);
   }
+  // The stamped document doubles as a capsule section, so a bench run
+  // with CUSW_CAPSULE set archives its tables next to the counters and
+  // sampled series it produced.
+  obs::capsule_note_section("bench." + name, stamped);
   const std::string path = "BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
@@ -130,6 +143,10 @@ class BenchMain {
       : name_(std::move(name)) {
     Cli cli(argc, argv);
     threads_ = apply_threads_flag(cli);
+    // Arm the process-exit observability surface up front (CUSW_CAPSULE /
+    // CUSW_SAMPLE_EVERY / CUSW_TRACE ...), so even a bench that never
+    // launches a simulated kernel honours the report modes.
+    obs::install_process_exports();
     active_slot() = this;
   }
   BenchMain(const BenchMain&) = delete;

@@ -7,6 +7,8 @@
 // "Our kernel always improves performance. The gain is at least 6.7% on the
 // C2050 (17.5% on the C1060) and as much as 39.3% on the C2050 (67.0% on
 // the C1060)."
+#include <variant>
+
 #include "bench_common.h"
 
 namespace cusw {
@@ -58,11 +60,14 @@ void run_sweep(bool caches_enabled) {
       const auto r = cudasw::search(dev, query, db, matrix, cfg);
       pct_intra = 100.0 * static_cast<double>(r.intra_sequences) /
                   static_cast<double>(db.size());
-      row_a.push_back(c.gpu.eq(r.gcups()));
-      row_b.push_back(100.0 * r.intra_time_fraction());
+      // In-place construction: a Cell temporary's variant move triggers
+      // a GCC 12 -Wmaybe-uninitialized false positive under -Werror.
+      row_a.emplace_back(std::in_place_type<double>, c.gpu.eq(r.gcups()));
+      row_b.emplace_back(std::in_place_type<double>,
+                         100.0 * r.intra_time_fraction());
     }
-    row_a.insert(row_a.begin(), pct_intra);
-    row_b.insert(row_b.begin(), pct_intra);
+    row_a.emplace(row_a.begin(), std::in_place_type<double>, pct_intra);
+    row_b.emplace(row_b.begin(), std::in_place_type<double>, pct_intra);
     a.add_row(std::move(row_a));
     b.add_row(std::move(row_b));
   }

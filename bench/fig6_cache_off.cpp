@@ -6,6 +6,8 @@
 // C2050 with both of the L1 and L2 caches turned off. [...] the
 // improvements gained by the original kernel on a Tesla C2050 are almost
 // completely attributed to the cache."
+#include <variant>
+
 #include "bench_common.h"
 
 namespace cusw {
@@ -62,11 +64,14 @@ void run() {
       const auto r = cudasw::search(dev, query, db, matrix, cfg);
       pct_intra = 100.0 * static_cast<double>(r.intra_sequences) /
                   static_cast<double>(db.size());
-      row_t.push_back(100.0 * r.intra_time_fraction());
-      row_g.push_back(c.gpu.eq(r.gcups()));
+      // In-place construction: a Cell temporary's variant move triggers
+      // a GCC 12 -Wmaybe-uninitialized false positive under -Werror.
+      row_t.emplace_back(std::in_place_type<double>,
+                         100.0 * r.intra_time_fraction());
+      row_g.emplace_back(std::in_place_type<double>, c.gpu.eq(r.gcups()));
     }
-    row_t.insert(row_t.begin(), pct_intra);
-    row_g.insert(row_g.begin(), pct_intra);
+    row_t.emplace(row_t.begin(), std::in_place_type<double>, pct_intra);
+    row_g.emplace(row_g.begin(), std::in_place_type<double>, pct_intra);
     t.add_row(std::move(row_t));
     g.add_row(std::move(row_g));
   }

@@ -6,7 +6,6 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <numeric>
 #include <queue>
@@ -16,8 +15,10 @@
 
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "util/check.h"
+#include "util/env.h"
 #include "util/json.h"
 #include "util/parallel.h"
 #include "util/thread_pool.h"
@@ -49,12 +50,7 @@ std::uint64_t to_ticks(double cycles) {
 // CUSW_SIM_MEMO gate: block memoization defaults to on; "off", "0" or
 // "false" disable it. Read per launch (not cached) so tests and tools can
 // flip it with setenv between launches.
-bool memo_env_enabled() {
-  const char* v = std::getenv("CUSW_SIM_MEMO");
-  if (v == nullptr || *v == '\0') return true;
-  return std::strcmp(v, "off") != 0 && std::strcmp(v, "0") != 0 &&
-         std::strcmp(v, "false") != 0;
-}
+bool memo_env_enabled() { return util::env_enabled("CUSW_SIM_MEMO", true); }
 
 // Fold one block's counters into the launch total. Only the fields a
 // BlockCtx mutates are added here; occupancy, block counts and the
@@ -1025,26 +1021,41 @@ LaunchStats Device::launch(const LaunchConfig& cfg,
   publish_launch_metrics(cfg, stats);
   if (effective != nullptr) effective->on_launch(cfg, stats);
 
-  if (collector != nullptr) {
-    if (obs::TraceWriter* tw = obs::trace()) {
-      double t0 = 0.0;
-      {
-        // Assign this device's trace pid lazily and reserve a disjoint
-        // simulated-time interval; concurrent host-side launches serialise
-        // on the cursor, matching the one-queue device model.
-        std::lock_guard<std::mutex> lk(trace_mu_);
-        if (trace_pid_ == 0) {
-          trace_pid_ = next_device_trace_pid();
-          tw->name_process(trace_pid_, spec_.name + " (simulated)");
-          tw->name_track(trace_pid_, 0, "launches");
-        }
-        t0 = trace_cursor_us_;
-        trace_cursor_us_ += stats.seconds * 1e6;
-      }
-      emit_device_trace(*tw, trace_pid_, t0, cfg, eff, stats, block_cycles,
-                        block_slot, block_start, block_stats, replayed,
-                        *collector);
+  // Reserve this launch's interval on the device's simulated timeline —
+  // unconditionally, so the trace writer and the telemetry sampler place
+  // the launch at the same simulated time whichever of them is enabled.
+  // Concurrent host-side launches serialise on the cursor, matching the
+  // one-queue device model. The trace pid is still assigned lazily, only
+  // when a trace is being recorded.
+  obs::TraceWriter* tw = collector != nullptr ? obs::trace() : nullptr;
+  double t0 = 0.0;
+  {
+    std::lock_guard<std::mutex> lk(timeline_mu_);
+    t0 = sim_cursor_us_;
+    sim_cursor_us_ += stats.seconds * 1e6;
+    if (tw != nullptr && trace_pid_ == 0) {
+      trace_pid_ = next_device_trace_pid();
+      tw->name_process(trace_pid_, spec_.name + " (simulated)");
+      tw->name_track(trace_pid_, 0, "launches");
     }
+  }
+  if (obs::Sampler* sp = obs::Sampler::active()) {
+    // Launch aggregates (seconds, cells, stall ticks) are bit-identical
+    // for any CUSW_THREADS and for memo replay vs simulation, and the
+    // cursor above serialises launches per device — so the sampled
+    // series inherit the simulator's determinism contract.
+    std::vector<std::pair<std::string, std::uint64_t>> reasons;
+    for_each_stall_reason(stats.stall,
+                          [&](const char* reason, std::uint64_t v) {
+                            reasons.emplace_back(reason, v);
+                          });
+    sp->record_launch(spec_.name, t0 * 1e-3, stats.seconds * 1e3, cfg.cells,
+                      reasons, stats.stall.charged);
+  }
+  if (tw != nullptr) {
+    emit_device_trace(*tw, trace_pid_, t0, cfg, eff, stats, block_cycles,
+                      block_slot, block_start, block_stats, replayed,
+                      *collector);
   }
   return stats;
 }

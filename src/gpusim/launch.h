@@ -513,13 +513,15 @@ class Device {
   std::unordered_map<std::vector<std::uint64_t>, MemoEntry, MemoKeyHash>
       memo_;
 
-  // Trace state: this device's track group in the trace file and the
-  // simulated-time cursor launches reserve their spans from (launches on
-  // one device serialise, so concurrent host-side launches book disjoint
-  // device-time intervals).
-  std::mutex trace_mu_;
+  // Device timeline state: the simulated-time cursor every launch
+  // reserves its interval from — always advanced, so the trace writer and
+  // the telemetry sampler agree on when a launch ran whichever surfaces
+  // are enabled (launches on one device serialise, so concurrent
+  // host-side launches book disjoint device-time intervals) — plus this
+  // device's lazily assigned track group in the trace file.
+  std::mutex timeline_mu_;
   int trace_pid_ = 0;
-  double trace_cursor_us_ = 0.0;
+  double sim_cursor_us_ = 0.0;
 };
 
 }  // namespace cusw::gpusim

@@ -7,7 +7,9 @@
 #include <mutex>
 #include <vector>
 
+#include "obs/capsule.h"
 #include "obs/counters.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "util/table.h"
 
@@ -90,8 +92,19 @@ bool profile_requested() {
 namespace {
 
 void export_at_exit() {
+  // Sampled telemetry rides in the trace as counter tracks; render it
+  // before the flush so an armed sampler and CUSW_TRACE compose.
+  if (TraceWriter* tw = trace()) {
+    Sampler::global().render_trace(*tw);
+  }
   if (const std::string path = flush_trace(); !path.empty()) {
     std::printf("cusw-obs: wrote trace to %s\n", path.c_str());
+  }
+  if (const char* path = std::getenv("CUSW_CAPSULE");
+      path != nullptr && *path != '\0') {
+    if (write_capsule(path)) {
+      std::printf("cusw-obs: wrote run capsule to %s\n", path);
+    }
   }
   if (const char* path = std::getenv("CUSW_METRICS");
       path != nullptr && *path != '\0') {
@@ -131,6 +144,15 @@ void install_process_exports() {
   static std::once_flag once;
   std::call_once(once, [] {
     ensure_env_trace();
+    Sampler::ensure_env();
+    // The exit hook reads the sampler's and the capsule section
+    // registry's function-local statics; construct them now so their
+    // destructors — which run in reverse construction order, interleaved
+    // with atexit handlers — fire after the hook, not before. Without
+    // this, a static first touched mid-run (e.g. by capsule_note_section)
+    // is already destroyed when the hook serializes the capsule.
+    (void)Sampler::global().every_ms();
+    capsule_init();
     std::atexit(export_at_exit);
   });
 }

@@ -10,6 +10,10 @@
 //   CUSW_TRACE=<path>     write the Chrome trace at exit (see trace.h)
 //   CUSW_COUNTERS=<path>  write the per-site counter JSON and print the
 //                         cusw-counters table at exit (see counters.h)
+//   CUSW_CAPSULE=<path>   write the run capsule at exit (see capsule.h)
+//   CUSW_SAMPLE_EVERY=<ms> arm the simulated-time telemetry sampler
+//                         (see sampler.h); series land in the capsule
+//                         and, with CUSW_TRACE, as counter tracks
 // It is called lazily from the simulator and the pipeline, so every
 // binary that runs a search supports the report mode without changes.
 #pragma once
@@ -29,8 +33,9 @@ std::string format_kernel_profile(const Snapshot& snap);
 /// except "0").
 bool profile_requested();
 
-/// Idempotent, thread-safe: reads CUSW_TRACE and registers the atexit
-/// handler that honours CUSW_PROF / CUSW_METRICS / CUSW_TRACE.
+/// Idempotent, thread-safe: reads CUSW_TRACE / CUSW_SAMPLE_EVERY and
+/// registers the atexit handler that honours CUSW_PROF / CUSW_METRICS /
+/// CUSW_TRACE / CUSW_COUNTERS / CUSW_CAPSULE.
 void install_process_exports();
 
 }  // namespace cusw::obs

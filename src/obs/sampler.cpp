@@ -1,0 +1,268 @@
+#include "obs/sampler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/trace.h"
+#include "util/env.h"
+#include "util/json.h"
+
+namespace cusw::obs {
+
+namespace {
+
+// One interval's accumulated launch activity. Stall shares are kept in
+// double ticks because a launch contributes fractionally to every
+// interval it overlaps; the fractions per interval are a deterministic
+// function of the launch aggregates and the interval grid alone.
+struct Bucket {
+  double cells = 0.0;
+  double charged = 0.0;
+  std::map<std::string, double> reasons;
+};
+
+struct LaunchSeries {
+  std::map<std::int64_t, Bucket> buckets;  // interval index -> activity
+  double max_end_ms = 0.0;                 // latest launch end seen
+  std::uint64_t dropped = 0;
+};
+
+struct PointSeries {
+  std::deque<SamplePoint> points;
+  std::uint64_t dropped = 0;
+};
+
+}  // namespace
+
+struct Sampler::Impl {
+  mutable std::mutex mu;
+  double every_ms = 0.0;  // 0 = disarmed
+  std::size_t cap = 4096;
+  std::map<std::string, LaunchSeries> launches;  // device name -> series
+  std::map<std::string, PointSeries> points;     // series name -> points
+};
+
+Sampler::Impl& Sampler::impl() const {
+  static Impl i;
+  return i;
+}
+
+Sampler& Sampler::global() {
+  static Sampler s;
+  return s;
+}
+
+Sampler* Sampler::active() {
+  Sampler& s = global();
+  std::lock_guard<std::mutex> lk(s.impl().mu);
+  return s.impl().every_ms > 0.0 ? &s : nullptr;
+}
+
+void Sampler::configure(double every_ms, std::size_t capacity) {
+  if (every_ms <= 0.0)
+    throw std::invalid_argument("sampler interval must be > 0 ms");
+  if (capacity == 0)
+    throw std::invalid_argument("sampler capacity must be > 0");
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  im.every_ms = every_ms;
+  im.cap = capacity;
+}
+
+void Sampler::disable() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  im.every_ms = 0.0;
+  im.launches.clear();
+  im.points.clear();
+}
+
+void Sampler::clear() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  im.launches.clear();
+  im.points.clear();
+}
+
+void Sampler::ensure_env() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    if (const char* v = std::getenv("CUSW_SAMPLE_EVERY");
+        v != nullptr && *v != '\0') {
+      global().configure(
+          util::parse_double(v, "CUSW_SAMPLE_EVERY (simulated ms)"));
+    }
+  });
+}
+
+double Sampler::every_ms() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  return im.every_ms;
+}
+
+std::size_t Sampler::capacity() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  return im.cap;
+}
+
+void Sampler::record_launch(
+    const std::string& device, double t0_ms, double dur_ms,
+    std::uint64_t cells,
+    const std::vector<std::pair<std::string, std::uint64_t>>& stall_ticks,
+    std::uint64_t charged_ticks) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  if (im.every_ms <= 0.0) return;
+  LaunchSeries& ls = im.launches[device];
+  const double t1_ms = t0_ms + std::max(dur_ms, 0.0);
+  ls.max_end_ms = std::max(ls.max_end_ms, t1_ms);
+
+  // Spread the launch aggregates over the intervals it overlaps,
+  // proportional to overlap. A zero-duration launch lands whole in the
+  // interval containing its start.
+  const double every = im.every_ms;
+  const auto add = [&](std::int64_t k, double frac) {
+    Bucket& b = ls.buckets[k];
+    b.cells += static_cast<double>(cells) * frac;
+    b.charged += static_cast<double>(charged_ticks) * frac;
+    for (const auto& [reason, ticks] : stall_ticks)
+      b.reasons[reason] += static_cast<double>(ticks) * frac;
+  };
+  if (dur_ms <= 0.0) {
+    add(static_cast<std::int64_t>(std::floor(t0_ms / every)), 1.0);
+  } else {
+    const auto k0 = static_cast<std::int64_t>(std::floor(t0_ms / every));
+    const auto k1 = static_cast<std::int64_t>(
+        std::ceil(t1_ms / every));  // exclusive upper interval bound
+    for (std::int64_t k = k0; k < k1; ++k) {
+      const double lo = std::max(t0_ms, static_cast<double>(k) * every);
+      const double hi =
+          std::min(t1_ms, (static_cast<double>(k) + 1.0) * every);
+      if (hi <= lo) continue;
+      add(k, (hi - lo) / dur_ms);
+    }
+  }
+  // Ring bound: evict the oldest intervals beyond the capacity, so a
+  // long-running process keeps the tail of the run at fixed memory.
+  while (ls.buckets.size() > im.cap) {
+    ls.buckets.erase(ls.buckets.begin());
+    ++ls.dropped;
+  }
+}
+
+void Sampler::record_point(
+    const std::string& series, double t_ms,
+    const std::vector<std::pair<std::string, double>>& values) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  if (im.every_ms <= 0.0) return;
+  PointSeries& ps = im.points[series];
+  SamplePoint p;
+  p.t_ms = t_ms;
+  p.values = values;
+  std::sort(p.values.begin(), p.values.end());
+  ps.points.push_back(std::move(p));
+  while (ps.points.size() > im.cap) {
+    ps.points.pop_front();
+    ++ps.dropped;
+  }
+}
+
+std::vector<SampleSeries> Sampler::series() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  std::vector<SampleSeries> out;
+  const double every = im.every_ms;
+  for (const auto& [device, ls] : im.launches) {
+    SampleSeries s;
+    s.name = "gpusim." + device;
+    s.dropped = ls.dropped;
+    for (const auto& [k, b] : ls.buckets) {
+      SamplePoint p;
+      // The sample sits at the interval's end, clamped to the latest data
+      // so the final point never claims time past the run (only the last
+      // interval can be cut short; earlier interval ends precede it).
+      p.t_ms = std::min((static_cast<double>(k) + 1.0) * every,
+                        ls.max_end_ms);
+      const double interval_s = every * 1e-3;
+      p.values.emplace_back("gcups", b.cells / interval_s * 1e-9);
+      for (const auto& [reason, ticks] : b.reasons) {
+        p.values.emplace_back("stall_frac." + reason,
+                              b.charged > 0.0 ? ticks / b.charged : 0.0);
+      }
+      s.points.push_back(std::move(p));
+    }
+    out.push_back(std::move(s));
+  }
+  for (const auto& [name, ps] : im.points) {
+    SampleSeries s;
+    s.name = name;
+    s.dropped = ps.dropped;
+    s.points.assign(ps.points.begin(), ps.points.end());
+    out.push_back(std::move(s));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SampleSeries& a, const SampleSeries& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string Sampler::to_json() const {
+  const std::vector<SampleSeries> all = series();
+  util::JsonFields top;
+  top.field("every_ms", every_ms())
+      .field("capacity", static_cast<std::uint64_t>(capacity()));
+  std::string arr = "[";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const SampleSeries& s = all[i];
+    std::string pts = "[";
+    for (std::size_t j = 0; j < s.points.size(); ++j) {
+      const SamplePoint& p = s.points[j];
+      util::JsonFields vals;
+      for (const auto& [channel, v] : p.values) vals.field(channel, v);
+      pts += std::string(j ? ", " : "") + "{\"t_ms\": " +
+             util::json_number(p.t_ms) + ", \"values\": " + vals.object() +
+             "}";
+    }
+    pts += "]";
+    util::JsonFields sf;
+    sf.field("name", s.name).field("dropped", s.dropped).raw("points", pts);
+    arr += std::string(i ? ",\n  " : "\n  ") + sf.object();
+  }
+  arr += all.empty() ? "]" : "\n ]";
+  top.raw("series", arr);
+  return top.object();
+}
+
+void Sampler::render_trace(TraceWriter& tw) const {
+  const std::vector<SampleSeries> all = series();
+  if (all.empty()) return;
+  tw.name_process(kSamplerPid, "telemetry (sampled)");
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const SampleSeries& s = all[i];
+    const int tid = static_cast<int>(i);
+    tw.name_track(kSamplerPid, tid, s.name);
+    for (const SamplePoint& p : s.points) {
+      if (p.values.empty()) continue;
+      TraceEvent e;
+      e.name = s.name;
+      e.cat = "sample";
+      e.pid = kSamplerPid;
+      e.tid = tid;
+      e.ts_us = p.t_ms * 1000.0;
+      util::JsonFields vals;
+      for (const auto& [channel, v] : p.values) vals.field(channel, v);
+      e.args_json = vals.list();
+      tw.counter(std::move(e));
+    }
+  }
+}
+
+}  // namespace cusw::obs

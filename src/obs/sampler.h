@@ -1,0 +1,114 @@
+// Simulated-time telemetry sampling (DESIGN.md §13).
+//
+// The metrics registry answers "what did the whole run do"; traces answer
+// "what happened when" at full event resolution. The sampler sits between
+// the two: it buckets run activity into fixed intervals of *simulated*
+// time (CUSW_SAMPLE_EVERY=<ms>) and keeps ring-buffered series of derived
+// rates per interval — GCUPS and per-reason stall fractions for every
+// simulated device, queue depth / goodput / GCUPS / SLO burn rates for
+// the serve layer. The series land in run capsules (obs/capsule.h) and,
+// when a trace is being recorded, as Chrome-trace counter tracks on a
+// dedicated "telemetry (sampled)" process.
+//
+// Determinism contract: sample points are simulated-time events derived
+// from launch aggregates that are themselves bit-identical for any
+// CUSW_THREADS and for memo replay vs simulation (DESIGN.md §12); they
+// are recorded from the simulator's serial post-pass in launch order, and
+// every container below iterates in sorted key order — so the serialized
+// series are byte-identical across host thread counts and memo states.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cusw::obs {
+
+class TraceWriter;
+
+/// Trace process id of the sampled-telemetry counter tracks (between the
+/// serve layer at 50 and the first simulated device at 100).
+inline constexpr int kSamplerPid = 60;
+
+/// One sample: derived channel values at the end of one interval.
+struct SamplePoint {
+  double t_ms = 0.0;  // simulated ms; the interval's end (clamped to data)
+  /// channel name -> value, in sorted channel order.
+  std::vector<std::pair<std::string, double>> values;
+};
+
+/// One named time series, points in increasing simulated time.
+struct SampleSeries {
+  std::string name;
+  std::vector<SamplePoint> points;
+  /// Intervals evicted by the ring bound (oldest first) — nonzero means
+  /// the series shows only the tail of the run.
+  std::uint64_t dropped = 0;
+};
+
+/// Process-global periodic sampler on the simulated clock. Disabled (and
+/// costing one atomic-free null check per launch) until configure() or
+/// CUSW_SAMPLE_EVERY arms it.
+class Sampler {
+ public:
+  static Sampler& global();
+
+  /// The global sampler when armed, nullptr otherwise — instrumentation
+  /// sites guard on this so the disabled path stays free.
+  static Sampler* active();
+
+  /// Arm the sampler: bucket activity into `every_ms` intervals of
+  /// simulated time, keeping at most `capacity` intervals per series
+  /// (oldest evicted first). Throws on every_ms <= 0 or capacity == 0.
+  void configure(double every_ms, std::size_t capacity = 4096);
+  /// Disarm and drop all recorded series.
+  void disable();
+  /// Drop recorded series but keep the configuration.
+  void clear();
+  /// Read CUSW_SAMPLE_EVERY=<simulated ms> once and arm the sampler.
+  static void ensure_env();
+
+  double every_ms() const;
+  std::size_t capacity() const;
+
+  /// Record one finished device launch: `cells` cell updates and the
+  /// per-reason stall ticks, spread uniformly over the intervals the
+  /// launch [t0_ms, t0_ms + dur_ms) overlaps. Called from the simulator's
+  /// serial post-pass; launches on one device arrive in cursor order.
+  void record_launch(
+      const std::string& device, double t0_ms, double dur_ms,
+      std::uint64_t cells,
+      const std::vector<std::pair<std::string, std::uint64_t>>& stall_ticks,
+      std::uint64_t charged_ticks);
+
+  /// Record one pre-aggregated sample point (the serve layer's per-window
+  /// telemetry). Points of one series must arrive in non-decreasing t_ms;
+  /// concurrent runs sharing a process must use distinct series names
+  /// (the serve layer keys by its trace category).
+  void record_point(const std::string& series, double t_ms,
+                    const std::vector<std::pair<std::string, double>>& values);
+
+  /// Assemble every series, sorted by name, points in time order, channel
+  /// values sorted by channel. Launch series are named `gpusim.<device>`
+  /// with channels `gcups` and `stall_frac.<reason>`.
+  std::vector<SampleSeries> series() const;
+
+  /// The capsule "series" section: {"every_ms": ..., "capacity": ...,
+  /// "series": [{"name", "dropped", "points": [{"t_ms", "values"}]}]}.
+  /// Deterministic (sorted, %.12g numbers); {"every_ms": 0, ...} with an
+  /// empty series list when the sampler is disarmed.
+  std::string to_json() const;
+
+  /// Emit every series as Chrome-trace "C" events (cat "sample") on
+  /// kSamplerPid, one tid per series. No-op when disarmed or empty.
+  void render_trace(TraceWriter& tw) const;
+
+ private:
+  Sampler() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace cusw::obs

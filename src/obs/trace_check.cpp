@@ -304,6 +304,20 @@ TraceCheck validate_chrome_trace(std::string_view text) {
   };
   std::map<std::tuple<int, std::string, std::string>, AsyncLane> lanes;
 
+  // Sampled-telemetry counters (cat "sample") are checked against the
+  // run's span — the extent of every timestamped non-sample event — after
+  // the pass, since samples may precede the events they summarise in
+  // file order.
+  double run_min = 0.0;
+  double run_max = 0.0;
+  bool have_run = false;
+  std::vector<std::pair<std::size_t, double>> sample_events;
+  const auto note_run = [&](double lo, double hi) {
+    run_min = have_run ? std::min(run_min, lo) : lo;
+    run_max = have_run ? std::max(run_max, hi) : hi;
+    have_run = true;
+  };
+
   for (std::size_t i = 0; i < events->array.size(); ++i) {
     const json::Value& e = events->array[i];
     if (e.kind != json::Value::Kind::kObject) {
@@ -355,6 +369,7 @@ TraceCheck validate_chrome_trace(std::string_view text) {
         return out;
       }
       ++out.asyncs;
+      note_run(ts->number, ts->number);
       AsyncLane& lane = lanes[{static_cast<int>(pid->number), cat->string,
                                lane_id}];
       if (lane.closed) {
@@ -423,6 +438,14 @@ TraceCheck validate_chrome_trace(std::string_view text) {
         }
       }
       ++out.counters;
+      const json::Value* ccat = e.find("cat");
+      if (ccat != nullptr && ccat->kind == json::Value::Kind::kString &&
+          ccat->string == "sample") {
+        ++out.samples;
+        sample_events.emplace_back(i, ts->number);
+      } else {
+        note_run(ts->number, ts->number);
+      }
       const std::pair<int, int> track{static_cast<int>(pid->number),
                                       static_cast<int>(tid->number)};
       const auto [it, fresh] = last_ts.emplace(track, ts->number);
@@ -447,6 +470,7 @@ TraceCheck validate_chrome_trace(std::string_view text) {
         return out;
       }
       ++out.instants;
+      note_run(ts->number, ts->number);
       const std::pair<int, int> track{static_cast<int>(pid->number),
                                       static_cast<int>(tid->number)};
       const auto [it, fresh] = last_ts.emplace(track, ts->number);
@@ -502,6 +526,7 @@ TraceCheck validate_chrome_trace(std::string_view text) {
                                     static_cast<int>(tid->number)};
     const double start = ts->number;
     const double end = start + dur->number;
+    note_run(start, end);
     const auto [it, fresh] = last_ts.emplace(track, start);
     if (!fresh) {
       if (start + kEps < it->second) {
@@ -521,6 +546,18 @@ TraceCheck validate_chrome_trace(std::string_view text) {
       return out;
     }
     stack.push_back({start, end});
+  }
+  for (const auto& [i, sts] : sample_events) {
+    if (!have_run) {
+      out.error =
+          event_err(i, "sampled counter in a trace with no run events");
+      return out;
+    }
+    if (sts + kEps < run_min || sts > run_max + kEps) {
+      out.error =
+          event_err(i, "sampled counter outside its run's span");
+      return out;
+    }
   }
   for (const auto& [key, lane] : lanes) {
     if (!lane.open.empty()) {

@@ -44,6 +44,7 @@ struct TraceCheck {
   std::size_t spans = 0;      // complete ("X") events
   std::size_t instants = 0;   // instant ("i") events
   std::size_t counters = 0;   // counter ("C") samples
+  std::size_t samples = 0;    // sampled-telemetry counters (cat "sample")
   std::size_t asyncs = 0;     // async ("b"/"n"/"e") events
   std::size_t lanes = 0;      // distinct async (pid, cat, id) lanes
   std::size_t tracks = 0;     // distinct (pid, tid) with at least one span
@@ -70,6 +71,13 @@ struct TraceCheck {
 /// span), no span ends before it begins, "n" instants only occur inside
 /// an open span, every "b" is closed by the end of the file, and once a
 /// lane's outermost span has closed no further events may use that lane.
+///
+/// Sampled-telemetry counter tracks (cat "sample", emitted by
+/// obs::Sampler::render_trace) get one extra rule: every sampled counter
+/// must fall inside the span of the run it samples — no earlier than the
+/// first timestamped non-sample event and no later than the last one
+/// ends. Per-track timestamp monotonicity already applies through the
+/// counter rule above (sample points are simulated-time events).
 TraceCheck validate_chrome_trace(std::string_view text);
 
 }  // namespace cusw::obs

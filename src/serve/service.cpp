@@ -8,7 +8,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/capsule.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/sampler.h"
 #include "obs/trace.h"
 #include "util/check.h"
 #include "util/env.h"
@@ -506,8 +509,31 @@ ServiceReport Service::run() {
     rep.slo.push_back(st);
   }
 
+  // ---- sampled service telemetry + capsule section.
+  // The sampler series is keyed by the run's trace category (distinct
+  // per concurrent run, same contract as the trace lanes), one point per
+  // telemetry window; the whole-run report rides in the capsule under the
+  // same name. Like the gpusim series, the points are simulated-time
+  // events derived from the deterministic event loop above, so they are
+  // byte-identical for any CUSW_THREADS.
+  if (obs::Sampler* sp = obs::Sampler::active()) {
+    for (const WindowStats& win : rep.windows) {
+      std::vector<std::pair<std::string, double>> vals;
+      vals.emplace_back("queue_depth",
+                        static_cast<double>(win.queue_depth_end));
+      vals.emplace_back("goodput", win.goodput);
+      vals.emplace_back("gcups", win.gcups);
+      for (std::size_t o = 0; o < cfg_.slo.objectives.size(); ++o) {
+        vals.emplace_back("burn." + objective_key(cfg_.slo.objectives[o]),
+                          win.burn[o]);
+      }
+      sp->record_point(cfg_.trace_cat, win.end_ms, vals);
+    }
+  }
+  obs::capsule_note_section(cfg_.trace_cat, rep.to_json());
+
   // ---- per-request async lanes + SLO counter tracks in the trace.
-  obs::ensure_env_trace();
+  obs::install_process_exports();
   if (obs::TraceWriter* w = obs::trace()) {
     w->name_process(kServicePid, "service (simulated)");
     w->name_track(kServicePid, 0, "requests");

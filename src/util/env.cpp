@@ -53,6 +53,13 @@ double parse_double(std::string_view text, std::string_view what) {
   return v;
 }
 
+bool env_enabled(const char* name, bool dflt) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return dflt;
+  const std::string_view s(v);
+  return s != "off" && s != "0" && s != "false";
+}
+
 long long parse_int(std::string_view text, std::string_view what) {
   const std::string s(text);
   char* end = nullptr;

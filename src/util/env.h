@@ -21,4 +21,10 @@ std::vector<std::pair<std::string, std::string>> parse_kv_spec(
 double parse_double(std::string_view text, std::string_view what);
 long long parse_int(std::string_view text, std::string_view what);
 
+/// Boolean environment toggle with the CUSW_SIM_MEMO convention: unset or
+/// empty yields `dflt`; "off", "0" and "false" disable; anything else
+/// enables. Read on every call (not cached) so tests and tools can flip a
+/// toggle with setenv between operations.
+bool env_enabled(const char* name, bool dflt);
+
 }  // namespace cusw::util

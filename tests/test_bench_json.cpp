@@ -1,6 +1,7 @@
 // The bench JSON sink (bench/bench_common.h): every emitted
 // BENCH_<name>.json carries the provenance stamp — schema version,
-// effective worker threads, device-slice factor — and stays valid JSON.
+// effective worker threads, device-slice factor, git sha and memo state —
+// stays valid JSON, and doubles as a capsule section.
 #include <gtest/gtest.h>
 
 #include <cstdio>
@@ -70,12 +71,42 @@ TEST(BenchJson, EmitJsonStampsProvenanceHeader) {
   ASSERT_NE(device, nullptr);
   EXPECT_EQ(device->string, "Tesla C1060");
 
+  // v3: commit and simulator fast-path provenance.
+  const obs::json::Value* sha = doc.find("git_sha");
+  ASSERT_NE(sha, nullptr);
+  EXPECT_EQ(sha->kind, obs::json::Value::Kind::kString);
+  EXPECT_FALSE(sha->string.empty());
+  const obs::json::Value* memo = doc.find("memo");
+  ASSERT_NE(memo, nullptr);
+  EXPECT_TRUE(memo->string == "on" || memo->string == "off") << memo->string;
+
   // The original payload survives around the stamp.
   ASSERT_NE(doc.find("bench"), nullptr);
   EXPECT_EQ(doc.find("bench")->string, "unit");
   bench::slice_factor_slot() = 1.0;
   bench::device_name_slot() = "";
   bench::rng_seed_slot() = 0;
+}
+
+TEST(BenchJson, EmitJsonContributesACapsuleSection) {
+  obs::capsule_clear_sections();
+  EmitGuard guard("test_section");
+  ASSERT_TRUE(bench::emit_json("test_section",
+                               "{\n  \"bench\": \"unit\",\n  \"x\": 1\n}\n"));
+  const std::string capsule = obs::capsule_to_json("bench_test");
+  obs::capsule_clear_sections();
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(capsule, doc, &error)) << error;
+  const obs::json::Value* sections = doc.find("sections");
+  ASSERT_NE(sections, nullptr);
+  const obs::json::Value* section = sections->find("bench.test_section");
+  ASSERT_NE(section, nullptr);
+  EXPECT_EQ(section->find("bench")->string, "unit");
+  EXPECT_EQ(section->find("x")->number, 1.0);
+  // The section carries the stamped document, schema version included.
+  EXPECT_EQ(section->find("schema_version")->number,
+            bench::kBenchJsonSchemaVersion);
 }
 
 TEST(BenchJson, EmitJsonLeavesEmptyObjectsAlone) {

@@ -1,0 +1,207 @@
+// Run capsules (obs/capsule.h): a registry-diff capsule of a real kernel
+// run validates, carries provenance (git sha, threads, memo state) and the
+// exact per-kernel stall/site tree, composes contributed sections sorted
+// by name, round-trips through write_capsule, and the validator rejects
+// structurally broken documents (unordered time series).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "cudasw/intra_task_original.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/launch.h"
+#include "obs/capsule.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "obs/trace_check.h"
+#include "seq/generate.h"
+#include "sw/scoring.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace cusw {
+namespace {
+
+/// Arm the global sampler for one test and disarm it on exit, so tests in
+/// this binary stay order-independent.
+class SamplerGuard {
+ public:
+  explicit SamplerGuard(double every_ms) {
+    obs::Sampler::global().configure(every_ms);
+    obs::Sampler::global().clear();
+  }
+  ~SamplerGuard() { obs::Sampler::global().disable(); }
+};
+
+gpusim::Device one_sm_c1060() {
+  auto spec = gpusim::DeviceSpec::tesla_c1060();
+  return gpusim::Device(spec.scaled(1.0 / spec.sm_count));
+}
+
+seq::SequenceDB small_db(std::uint64_t seed) {
+  seq::SequenceDB db;
+  Rng rng(seed);
+  for (const std::size_t len : {3200, 3600}) {
+    db.add(seq::random_protein(len, rng));
+  }
+  return db;
+}
+
+/// One isolated run capsule: fresh device, registry snapshot diff.
+std::string run_capsule(const std::string& run) {
+  obs::capsule_clear_sections();
+  const obs::Snapshot before = obs::Registry::global().snapshot();
+  auto dev = one_sm_c1060();
+  cudasw::run_intra_task_original(dev, test::random_codes(128, 7),
+                                  small_db(11), sw::ScoringMatrix::blosum62(),
+                                  {10, 2}, {});
+  return obs::capsule_to_json(obs::Registry::global().snapshot().diff(before),
+                              run);
+}
+
+TEST(Capsule, RunCapsuleValidatesAndCarriesTheKernelTree) {
+  SamplerGuard sampler(0.5);
+  const std::string capsule = run_capsule("test_run");
+  const obs::CapsuleCheck check = obs::validate_capsule(capsule);
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.kernels, 1u);
+  EXPECT_GE(check.series, 1u);
+  EXPECT_GE(check.points, 1u);
+
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(capsule, doc, &error)) << error;
+  const obs::json::Value* kernels = doc.find("kernels");
+  ASSERT_NE(kernels, nullptr);
+  ASSERT_EQ(kernels->array.size(), 1u);
+  const obs::json::Value& k = kernels->array[0];
+  EXPECT_EQ(k.find("label")->string, "intra_task_original");
+
+  // The stall rows are exact integer ticks and sum to "charged".
+  const obs::json::Value* stall = k.find("stall_ticks");
+  ASSERT_NE(stall, nullptr);
+  double charged = 0.0, sum = 0.0;
+  for (const auto& [reason, v] : stall->object) {
+    ASSERT_EQ(v.kind, obs::json::Value::Kind::kNumber) << reason;
+    if (reason == "charged") {
+      charged = v.number;
+    } else {
+      sum += v.number;
+    }
+  }
+  EXPECT_GT(charged, 0.0);
+  EXPECT_EQ(sum, charged);
+
+  const obs::json::Value* sites = k.find("sites");
+  ASSERT_NE(sites, nullptr);
+  EXPECT_GT(sites->array.size(), 0u);
+}
+
+TEST(Capsule, ProvenanceNamesShaThreadsAndMemoState) {
+  SamplerGuard sampler(0.25);
+  const std::string capsule = run_capsule("prov");
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(capsule, doc, &error)) << error;
+  const obs::json::Value* prov = doc.find("provenance");
+  ASSERT_NE(prov, nullptr);
+  const obs::json::Value* sha = prov->find("git_sha");
+  ASSERT_NE(sha, nullptr);
+  EXPECT_EQ(sha->kind, obs::json::Value::Kind::kString);
+  EXPECT_FALSE(sha->string.empty());
+  EXPECT_GE(prov->find("threads")->number, 1.0);
+  const std::string memo = prov->find("memo")->string;
+  EXPECT_TRUE(memo == "on" || memo == "off") << memo;
+  EXPECT_EQ(prov->find("sample_every_ms")->number, 0.25);
+}
+
+TEST(Capsule, SectionsComposeSortedByName) {
+  obs::capsule_clear_sections();
+  obs::capsule_note_section("zeta", "{\"a\": 1}");
+  obs::capsule_note_section("alpha", "[1, 2]");
+  const std::string capsule = obs::capsule_to_json("sections");
+  obs::capsule_clear_sections();
+
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(capsule, doc, &error)) << error;
+  const obs::json::Value* sections = doc.find("sections");
+  ASSERT_NE(sections, nullptr);
+  ASSERT_NE(sections->find("zeta"), nullptr);
+  EXPECT_EQ(sections->find("zeta")->find("a")->number, 1.0);
+  ASSERT_NE(sections->find("alpha"), nullptr);
+  EXPECT_EQ(sections->find("alpha")->array.size(), 2u);
+  EXPECT_LT(capsule.find("\"alpha\""), capsule.find("\"zeta\""));
+}
+
+TEST(Capsule, WriteCapsuleRoundTrips) {
+  const std::string path = testing::TempDir() + "cusw_capsule_test.json";
+  ASSERT_TRUE(obs::write_capsule(path, "roundtrip"));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  std::remove(path.c_str());
+
+  const obs::CapsuleCheck check = obs::validate_capsule(text);
+  EXPECT_TRUE(check.ok) << check.error;
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(text, doc, &error)) << error;
+  EXPECT_EQ(doc.find("run")->string, "roundtrip");
+}
+
+TEST(Capsule, DiffCapsuleOmitsKernelsThatDidNotRun) {
+  // Ensure the process registry has kernel metrics from earlier activity,
+  // then capsule an empty window: no kernel may survive the diff filter.
+  {
+    auto dev = one_sm_c1060();
+    cudasw::run_intra_task_original(
+        dev, test::random_codes(64, 3), small_db(5),
+        sw::ScoringMatrix::blosum62(), {10, 2}, {});
+  }
+  const obs::Snapshot snap = obs::Registry::global().snapshot();
+  const std::string capsule =
+      obs::capsule_to_json(snap.diff(snap), "empty_window");
+  const obs::CapsuleCheck check = obs::validate_capsule(capsule);
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_EQ(check.kernels, 0u);
+}
+
+TEST(Capsule, RejectsUnorderedTimeSeries) {
+  const std::string bad = R"({
+    "capsule_version": 1,
+    "provenance": {},
+    "series": {"every_ms": 1, "capacity": 4, "series": [
+      {"name": "s", "dropped": 0, "points": [
+        {"t_ms": 2, "values": {"x": 1}},
+        {"t_ms": 1, "values": {"x": 2}}
+      ]}
+    ]}
+  })";
+  const obs::CapsuleCheck check = obs::validate_capsule(bad);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("unordered"), std::string::npos) << check.error;
+}
+
+TEST(Capsule, RejectsNonNumericChannelValues) {
+  const std::string bad = R"({
+    "capsule_version": 1,
+    "provenance": {},
+    "series": {"every_ms": 1, "capacity": 4, "series": [
+      {"name": "s", "dropped": 0, "points": [
+        {"t_ms": 1, "values": {"x": "oops"}}
+      ]}
+    ]}
+  })";
+  const obs::CapsuleCheck check = obs::validate_capsule(bad);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("not numeric"), std::string::npos) << check.error;
+}
+
+}  // namespace
+}  // namespace cusw

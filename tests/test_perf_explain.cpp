@@ -1,0 +1,236 @@
+// tools/perf_explain_lib.h: differential capsule attribution. A capsule
+// explained against itself is a zero delta; a perturbed stall row is
+// attributed exactly to its leaf (and nothing else); a charged total that
+// disagrees with its reasons trips the residue bound; site perturbations
+// land on the (site, space) row; lone unmatched kernels pair as
+// "labelA -> labelB"; and the canonical Table I orig-vs-improved pair
+// explains with >= 99% of the cycle delta attributed.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "obs/capsule.h"
+#include "obs/trace_check.h"
+#include "tools/perf_explain_lib.h"
+
+namespace cusw::tools {
+namespace {
+
+/// A minimal handmade capsule with one kernel: `compute` + `mem_issue`
+/// stall ticks (everything else zero), two global site rows whose
+/// stall_ticks must sum to mem_issue for a residue-free tree.
+std::string handmade(std::uint64_t compute, std::uint64_t mem_issue,
+                     std::uint64_t charged, std::uint64_t s1_ticks,
+                     std::uint64_t s2_ticks, const char* label = "k",
+                     double gcups = 1.0) {
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      " \"capsule_version\": 1,\n"
+      " \"run\": \"test\",\n"
+      " \"provenance\": {\"git_sha\": \"test\", \"threads\": 1,"
+      " \"memo\": \"on\", \"sample_every_ms\": 0},\n"
+      " \"kernels\": [{\n"
+      "  \"label\": \"%s\", \"launches\": 1, \"cells\": 1000,"
+      "  \"seconds\": 0.001, \"gcups\": %.12g,\n"
+      "  \"stall_ticks\": {\"bank_conflict\": 0, \"charged\": %llu,"
+      " \"compute\": %llu, \"exposed_latency\": 0, \"mem_issue\": %llu,"
+      " \"occupancy_idle\": 0, \"sync\": 0, \"txn_issue\": 0},\n"
+      "  \"spaces\": {},\n"
+      "  \"sites\": [\n"
+      "   {\"site\": \"s1\", \"space\": \"global\","
+      " \"counters\": {\"stall_ticks\": %llu, \"transactions\": 7}},\n"
+      "   {\"site\": \"s2\", \"space\": \"global\","
+      " \"counters\": {\"stall_ticks\": %llu}}\n"
+      "  ]\n"
+      " }]\n"
+      "}\n",
+      label, gcups, static_cast<unsigned long long>(charged),
+      static_cast<unsigned long long>(compute),
+      static_cast<unsigned long long>(mem_issue),
+      static_cast<unsigned long long>(s1_ticks),
+      static_cast<unsigned long long>(s2_ticks));
+  return buf;
+}
+
+// 1000 cycles of compute + 2 cycles of memory, split evenly over the two
+// site rows (ticks are 1024ths of a cycle, gpusim/stall.h).
+constexpr std::uint64_t kCompute = 1024 * 1000;
+constexpr std::uint64_t kMem = 2048;
+constexpr std::uint64_t kCharged = kCompute + kMem;
+
+const ExplainNode* find_child(const ExplainNode& n, const std::string& name) {
+  for (const ExplainNode& c : n.children) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+TEST(PerfExplain, CapsuleAgainstItselfIsZeroDelta) {
+  const std::string a = handmade(kCompute, kMem, kCharged, 1024, 1024);
+  const ExplainReport rep = explain_capsules(a, a);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.total_delta_cycles, 0.0);
+  EXPECT_EQ(rep.max_residue_share, 0.0);
+  EXPECT_EQ(rep.attributed_share, 1.0);
+  EXPECT_TRUE(rep.within_residue_bound);
+  ASSERT_EQ(rep.root.children.size(), 1u);
+  EXPECT_EQ(rep.root.children[0].name, "k");
+  EXPECT_EQ(rep.root.children[0].delta, 0.0);
+  ASSERT_EQ(rep.rates.size(), 1u);
+  EXPECT_EQ(rep.rates[0].gcups_a, rep.rates[0].gcups_b);
+}
+
+TEST(PerfExplain, PerturbedStallRowIsAttributedExactlyToItsLeaf) {
+  // B spends 10 extra cycles of compute; charged grows to match.
+  const std::uint64_t extra = 10 * 1024;
+  const std::string a = handmade(kCompute, kMem, kCharged, 1024, 1024);
+  const std::string b =
+      handmade(kCompute + extra, kMem, kCharged + extra, 1024, 1024);
+  const ExplainReport rep = explain_capsules(a, b);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.total_delta_cycles, 10.0);
+  EXPECT_EQ(rep.max_residue_share, 0.0);
+  EXPECT_EQ(rep.attributed_share, 1.0);
+  EXPECT_TRUE(rep.within_residue_bound);
+
+  ASSERT_EQ(rep.root.children.size(), 1u);
+  const ExplainNode& kernel = rep.root.children[0];
+  EXPECT_EQ(kernel.delta, 10.0);
+  EXPECT_EQ(kernel.residue, 0.0);
+  const ExplainNode* compute = find_child(kernel, "compute");
+  ASSERT_NE(compute, nullptr);
+  EXPECT_EQ(compute->delta, 10.0);
+  EXPECT_EQ(compute->share, 1.0);
+  // The zero-delta rows (sync, bank_conflict, occupancy_idle, memory)
+  // fold into one below-threshold aggregate.
+  bool found_fold = false;
+  for (const ExplainNode& c : kernel.children) {
+    if (c.folded > 0) {
+      found_fold = true;
+      EXPECT_EQ(c.delta, 0.0);
+      EXPECT_NE(c.name.find("below threshold"), std::string::npos) << c.name;
+    } else {
+      EXPECT_EQ(c.name, "compute");
+    }
+  }
+  EXPECT_TRUE(found_fold);
+}
+
+TEST(PerfExplain, ChargedReasonMismatchTripsTheResidueBound) {
+  // B claims 10 more charged cycles without any reason carrying them.
+  const std::uint64_t extra = 10 * 1024;
+  const std::string a = handmade(kCompute, kMem, kCharged, 1024, 1024);
+  const std::string b = handmade(kCompute, kMem, kCharged + extra, 1024, 1024);
+  const ExplainReport rep = explain_capsules(a, b);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.total_delta_cycles, 10.0);
+  EXPECT_EQ(rep.max_residue_share, 1.0);
+  EXPECT_EQ(rep.attributed_share, 0.0);
+  EXPECT_FALSE(rep.within_residue_bound);
+  EXPECT_NE(rep.to_ascii().find("FAIL"), std::string::npos);
+}
+
+TEST(PerfExplain, SitePerturbationLandsOnTheSiteRow) {
+  // B's s1 row absorbs 10 extra memory cycles; mem_issue and charged grow
+  // to match, so the delta threads total -> kernel -> memory -> s1.
+  const std::uint64_t extra = 10 * 1024;
+  const std::string a = handmade(kCompute, kMem, kCharged, 1024, 1024);
+  const std::string b = handmade(kCompute, kMem + extra, kCharged + extra,
+                                 1024 + extra, 1024);
+  const ExplainReport rep = explain_capsules(a, b);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_EQ(rep.total_delta_cycles, 10.0);
+  EXPECT_EQ(rep.max_residue_share, 0.0);
+  EXPECT_TRUE(rep.within_residue_bound);
+
+  ASSERT_EQ(rep.root.children.size(), 1u);
+  const ExplainNode* memory = find_child(rep.root.children[0], "memory");
+  ASSERT_NE(memory, nullptr);
+  EXPECT_EQ(memory->delta, 10.0);
+  EXPECT_EQ(memory->residue, 0.0);
+  const ExplainNode* s1 = find_child(*memory, "s1 (global)");
+  ASSERT_NE(s1, nullptr);
+  EXPECT_EQ(s1->delta, 10.0);
+  EXPECT_EQ(s1->share, 1.0);
+  ASSERT_FALSE(s1->notes.empty());
+  EXPECT_EQ(s1->notes[0].first, "transactions");
+  const ExplainNode* s2 = find_child(*memory, "s2 (global)");
+  ASSERT_NE(s2, nullptr);
+  EXPECT_EQ(s2->delta, 0.0);
+}
+
+TEST(PerfExplain, LoneUnmatchedKernelsPairAsRename) {
+  const std::uint64_t extra = 100 * 1024;
+  const std::string a =
+      handmade(kCompute, kMem, kCharged, 1024, 1024, "orig", 1.0);
+  const std::string b = handmade(kCompute - extra, kMem, kCharged - extra,
+                                 1024, 1024, "impr", 2.0);
+  const ExplainReport rep = explain_capsules(a, b);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  ASSERT_EQ(rep.root.children.size(), 1u);
+  EXPECT_EQ(rep.root.children[0].name, "orig -> impr");
+  EXPECT_EQ(rep.total_delta_cycles, -100.0);
+  ASSERT_EQ(rep.rates.size(), 1u);
+  EXPECT_EQ(rep.rates[0].name, "orig -> impr");
+  EXPECT_EQ(rep.rates[0].gcups_a, 1.0);
+  EXPECT_EQ(rep.rates[0].gcups_b, 2.0);
+}
+
+TEST(PerfExplain, ReportJsonParses) {
+  const std::uint64_t extra = 10 * 1024;
+  const std::string a = handmade(kCompute, kMem, kCharged, 1024, 1024);
+  const std::string b =
+      handmade(kCompute + extra, kMem, kCharged + extra, 1024, 1024);
+  const ExplainReport rep = explain_capsules(a, b);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  obs::json::Value doc;
+  std::string error;
+  ASSERT_TRUE(obs::json::parse(rep.to_json(), doc, &error)) << error;
+  EXPECT_TRUE(doc.find("within_residue_bound")->boolean);
+  EXPECT_EQ(doc.find("total_delta_cycles")->number, 10.0);
+  const obs::json::Value* tree = doc.find("tree");
+  ASSERT_NE(tree, nullptr);
+  EXPECT_EQ(tree->find("name")->string, "total");
+  ASSERT_NE(tree->find("children"), nullptr);
+  EXPECT_EQ(tree->find("children")->array.size(), 1u);
+}
+
+TEST(PerfExplain, InvalidCapsuleReportsError) {
+  const ExplainReport rep =
+      explain_capsules("{\"not\": \"a capsule\"}",
+                       handmade(kCompute, kMem, kCharged, 1024, 1024));
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.error.find("capsule A"), std::string::npos) << rep.error;
+}
+
+TEST(PerfExplain, CanonicalTableOnePairExplainsWithinBound) {
+  const std::string orig = canonical_capsule_original();
+  const std::string impr = canonical_capsule_improved();
+  ASSERT_TRUE(obs::validate_capsule(orig).ok)
+      << obs::validate_capsule(orig).error;
+  ASSERT_TRUE(obs::validate_capsule(impr).ok)
+      << obs::validate_capsule(impr).error;
+
+  // Against itself: exact zero.
+  const ExplainReport self = explain_capsules(orig, orig);
+  ASSERT_TRUE(self.ok) << self.error;
+  EXPECT_EQ(self.total_delta_cycles, 0.0);
+  EXPECT_EQ(self.max_residue_share, 0.0);
+
+  // Original vs improved: the paper's speedup, >= 99% attributed.
+  const ExplainReport rep = explain_capsules(orig, impr);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_LT(rep.total_delta_cycles, 0.0);  // improved spends fewer cycles
+  EXPECT_TRUE(rep.within_residue_bound) << rep.to_ascii();
+  EXPECT_GE(rep.attributed_share, 0.99);
+  ASSERT_EQ(rep.rates.size(), 1u);
+  EXPECT_EQ(rep.rates[0].name, "intra_task_original -> intra_task_improved");
+  EXPECT_GT(rep.rates[0].gcups_b, rep.rates[0].gcups_a);
+}
+
+}  // namespace
+}  // namespace cusw::tools

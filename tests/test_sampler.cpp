@@ -1,0 +1,251 @@
+// Simulated-time telemetry sampling (obs/sampler.h): the serialized
+// series are byte-identical across CUSW_THREADS and memo on/off, the ring
+// bound evicts oldest-first with a dropped count, rendered counter tracks
+// pass the Chrome-trace validator, and the validator's sample-extent rule
+// rejects counters outside their run's span.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cudasw/intra_task_original.h"
+#include "gpusim/device_spec.h"
+#include "gpusim/launch.h"
+#include "obs/sampler.h"
+#include "obs/trace.h"
+#include "obs/trace_check.h"
+#include "seq/generate.h"
+#include "sw/scoring.h"
+#include "test_helpers.h"
+#include "util/rng.h"
+
+namespace cusw {
+namespace {
+
+/// Scoped environment override that restores the previous value on exit.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* prev = std::getenv(name);
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (had_prev_)
+      setenv(name_.c_str(), prev_.c_str(), 1);
+    else
+      unsetenv(name_.c_str());
+  }
+
+ private:
+  std::string name_;
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+class SamplerGuard {
+ public:
+  explicit SamplerGuard(double every_ms, std::size_t capacity = 4096) {
+    obs::Sampler::global().configure(every_ms, capacity);
+    obs::Sampler::global().clear();
+  }
+  ~SamplerGuard() { obs::Sampler::global().disable(); }
+};
+
+seq::SequenceDB workload_db(std::uint64_t seed) {
+  seq::SequenceDB db;
+  Rng rng(seed);
+  for (const std::size_t len : {3200, 4000, 4800, 3600}) {
+    db.add(seq::random_protein(len, rng));
+  }
+  return db;
+}
+
+/// One fresh-device run of the intra-task kernel (multi-block, so host
+/// parallelism actually shards it) and the sampler JSON it produced.
+std::string sampled_run_json() {
+  obs::Sampler::global().clear();
+  auto spec = gpusim::DeviceSpec::tesla_c1060();
+  gpusim::Device dev(spec.scaled(1.0 / spec.sm_count));
+  cudasw::run_intra_task_original(dev, test::random_codes(256, 21),
+                                  workload_db(33),
+                                  sw::ScoringMatrix::blosum62(), {10, 2}, {});
+  return obs::Sampler::global().to_json();
+}
+
+TEST(Sampler, DisarmedByDefault) {
+  ASSERT_EQ(obs::Sampler::global().every_ms(), 0.0);
+  EXPECT_EQ(obs::Sampler::active(), nullptr);
+  // Disarmed record calls are dropped, not queued.
+  obs::Sampler::global().record_point("s", 1.0, {{"x", 1.0}});
+  EXPECT_TRUE(obs::Sampler::global().series().empty());
+}
+
+TEST(Sampler, ConfigureRejectsBadArguments) {
+  EXPECT_THROW(obs::Sampler::global().configure(0.0), std::invalid_argument);
+  EXPECT_THROW(obs::Sampler::global().configure(-1.0), std::invalid_argument);
+  EXPECT_THROW(obs::Sampler::global().configure(1.0, 0),
+               std::invalid_argument);
+  EXPECT_EQ(obs::Sampler::active(), nullptr);
+}
+
+TEST(Sampler, SeriesAreByteIdenticalAcrossThreadCounts) {
+  SamplerGuard sampler(0.5);
+  std::string serial, parallel;
+  {
+    EnvGuard threads("CUSW_THREADS", "1");
+    serial = sampled_run_json();
+  }
+  {
+    EnvGuard threads("CUSW_THREADS", "4");
+    parallel = sampled_run_json();
+  }
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find("gpusim."), std::string::npos) << serial;
+}
+
+TEST(Sampler, SeriesAreByteIdenticalAcrossMemoStates) {
+  SamplerGuard sampler(0.5);
+  std::string off, on;
+  {
+    EnvGuard memo("CUSW_SIM_MEMO", "off");
+    off = sampled_run_json();
+  }
+  {
+    EnvGuard memo("CUSW_SIM_MEMO", "1");
+    on = sampled_run_json();
+  }
+  EXPECT_EQ(off, on);
+}
+
+TEST(Sampler, LaunchSeriesCarriesGcupsAndStallFractions) {
+  SamplerGuard sampler(0.5);
+  sampled_run_json();
+  const std::vector<obs::SampleSeries> all = obs::Sampler::global().series();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].name.rfind("gpusim.", 0), 0u) << all[0].name;
+  ASSERT_FALSE(all[0].points.empty());
+  double last_t = -1.0;
+  for (const obs::SamplePoint& p : all[0].points) {
+    EXPECT_GE(p.t_ms, last_t);
+    last_t = p.t_ms;
+    bool have_gcups = false, have_stall = false;
+    for (const auto& [channel, v] : p.values) {
+      if (channel == "gcups") {
+        have_gcups = true;
+        EXPECT_GE(v, 0.0);
+      }
+      if (channel.rfind("stall_frac.", 0) == 0) {
+        have_stall = true;
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0 + 1e-9);
+      }
+    }
+    EXPECT_TRUE(have_gcups);
+    EXPECT_TRUE(have_stall);
+  }
+}
+
+TEST(Sampler, PointRingEvictsOldestAndCounts) {
+  SamplerGuard sampler(1.0, 2);
+  obs::Sampler& s = obs::Sampler::global();
+  s.record_point("serve", 1.0, {{"b", 2.0}, {"a", 1.0}});
+  s.record_point("serve", 2.0, {{"a", 3.0}});
+  s.record_point("serve", 3.0, {{"a", 4.0}});
+  const std::vector<obs::SampleSeries> all = s.series();
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0].dropped, 1u);
+  ASSERT_EQ(all[0].points.size(), 2u);
+  EXPECT_EQ(all[0].points[0].t_ms, 2.0);
+  EXPECT_EQ(all[0].points[1].t_ms, 3.0);
+}
+
+TEST(Sampler, RecordPointSortsChannels) {
+  SamplerGuard sampler(1.0);
+  obs::Sampler& s = obs::Sampler::global();
+  s.record_point("serve", 1.0, {{"zeta", 2.0}, {"alpha", 1.0}});
+  const std::vector<obs::SampleSeries> all = s.series();
+  ASSERT_EQ(all.size(), 1u);
+  ASSERT_EQ(all[0].points.size(), 1u);
+  ASSERT_EQ(all[0].points[0].values.size(), 2u);
+  EXPECT_EQ(all[0].points[0].values[0].first, "alpha");
+  EXPECT_EQ(all[0].points[0].values[1].first, "zeta");
+}
+
+TEST(Sampler, RenderedCounterTracksPassTraceValidation) {
+  SamplerGuard sampler(0.5);
+  sampled_run_json();
+  const std::vector<obs::SampleSeries> all = obs::Sampler::global().series();
+  ASSERT_FALSE(all.empty());
+  double max_t_us = 0.0;
+  for (const obs::SampleSeries& s : all) {
+    for (const obs::SamplePoint& p : s.points) {
+      max_t_us = std::max(max_t_us, p.t_ms * 1000.0);
+    }
+  }
+
+  obs::TraceWriter tw("unwritten.json");
+  // The run span the samples must fall inside (in a real trace the device
+  // launch spans provide it; see gpusim/launch.cpp).
+  obs::TraceEvent run;
+  run.name = "launch";
+  run.cat = "gpusim";
+  run.pid = 100;
+  run.tid = 0;
+  run.ts_us = 0.0;
+  run.dur_us = max_t_us;
+  tw.span(std::move(run));
+  obs::Sampler::global().render_trace(tw);
+
+  const obs::TraceCheck check = obs::validate_chrome_trace(tw.to_json());
+  ASSERT_TRUE(check.ok) << check.error;
+  EXPECT_GT(check.samples, 0u);
+  EXPECT_EQ(check.counters, check.samples);
+}
+
+TEST(Sampler, ValidatorRejectsSampleOutsideRunSpan) {
+  obs::TraceWriter tw("unwritten.json");
+  obs::TraceEvent run;
+  run.name = "launch";
+  run.cat = "gpusim";
+  run.pid = 100;
+  run.tid = 0;
+  run.ts_us = 0.0;
+  run.dur_us = 10.0;
+  tw.span(std::move(run));
+  obs::TraceEvent sample;
+  sample.name = "gpusim.dev";
+  sample.cat = "sample";
+  sample.pid = obs::kSamplerPid;
+  sample.tid = 0;
+  sample.ts_us = 50.0;  // past the only run span
+  sample.args_json = "\"gcups\": 1.0";
+  tw.counter(std::move(sample));
+  const obs::TraceCheck check = obs::validate_chrome_trace(tw.to_json());
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("outside its run's span"), std::string::npos)
+      << check.error;
+}
+
+TEST(Sampler, ValidatorRejectsSampleWithNoRunEvents) {
+  obs::TraceWriter tw("unwritten.json");
+  obs::TraceEvent sample;
+  sample.name = "gpusim.dev";
+  sample.cat = "sample";
+  sample.pid = obs::kSamplerPid;
+  sample.tid = 0;
+  sample.ts_us = 1.0;
+  sample.args_json = "\"gcups\": 1.0";
+  tw.counter(std::move(sample));
+  const obs::TraceCheck check = obs::validate_chrome_trace(tw.to_json());
+  EXPECT_FALSE(check.ok);
+  EXPECT_NE(check.error.find("no run events"), std::string::npos)
+      << check.error;
+}
+
+}  // namespace
+}  // namespace cusw

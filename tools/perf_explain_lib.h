@@ -1,0 +1,102 @@
+// perf_explain: differential attribution over run capsules (obs/capsule.h).
+//
+// Loads two capsules — typically "before" and "after" some change — aligns
+// their per-kernel counter trees, and attributes the total charged-cycle
+// delta hierarchically:
+//
+//   total
+//     └─ kernel (matched by label; a lone unmatched kernel on each side is
+//        paired as "labelA -> labelB", the orig-vs-improved case)
+//          ├─ compute / sync / bank_conflict / occupancy_idle leaves
+//          └─ memory (mem_issue + txn_issue + exposed_latency)
+//               └─ per-(site, space) rows from the kernels' site
+//                  attribution, annotated with transaction / DRAM-byte
+//                  deltas
+//
+// The simulator's fixed-point invariants (reasons sum to charged exactly;
+// site stall ticks sum to the memory reasons exactly — gpusim/stall.h,
+// DESIGN.md §9) mean every internal node's delta equals the sum of its
+// children's; any difference is reported as that node's "unattributed
+// residue" and gated against ExplainOptions::max_residue. Children too
+// small to matter (|delta| below `threshold` of the |total delta|) fold
+// into one aggregate row per parent.
+//
+// The canonical_capsule_*() pair reruns the paper's Table I slice (the
+// same workload as tools/perf_diff_lib.h) into isolated capsules; CI runs
+// them through explain_capsules() and archives both artifacts.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cusw::tools {
+
+struct ExplainOptions {
+  /// Children whose |delta| is below this share of the |total delta| are
+  /// folded into one "(below threshold: N rows)" aggregate per parent.
+  double threshold = 0.005;
+  /// The report fails (within_residue_bound == false) when any internal
+  /// node's |unattributed residue| exceeds this share of the |total delta|.
+  double max_residue = 0.01;
+};
+
+/// One node of the attribution tree. Cycle values are exact: stall ticks
+/// are parsed as integers and divided by the fixed-point scale once.
+struct ExplainNode {
+  std::string name;
+  double cycles_a = 0.0;
+  double cycles_b = 0.0;
+  double delta = 0.0;      // cycles_b - cycles_a
+  double share = 0.0;      // delta / total delta (signed); 0 when total == 0
+  std::size_t folded = 0;  // >0: aggregate of that many below-threshold rows
+  /// Internal nodes: delta - sum(children deltas). Exactly 0 when the
+  /// capsule honours the simulator's partition invariants.
+  double residue = 0.0;
+  /// Site rows: supporting space-counter deltas (transactions, dram_bytes).
+  std::vector<std::pair<std::string, double>> notes;
+  std::vector<ExplainNode> children;
+};
+
+/// Per-kernel throughput framing of the same delta.
+struct KernelRate {
+  std::string name;
+  double gcups_a = 0.0;
+  double gcups_b = 0.0;
+};
+
+struct ExplainReport {
+  bool ok = false;
+  std::string error;  // parse/validation failure, empty when ok
+  ExplainNode root;   // name "total"; children are kernel nodes
+  std::vector<KernelRate> rates;
+  double total_delta_cycles = 0.0;
+  /// 1 - (sum of internal |residue|) / |total delta|; 1 when everything
+  /// attributed. The acceptance bar is >= 0.99.
+  double attributed_share = 1.0;
+  /// max over internal nodes of |residue| / |total delta|.
+  double max_residue_share = 0.0;
+  bool within_residue_bound = false;
+  ExplainOptions options;
+
+  std::string to_ascii() const;
+  std::string to_json() const;
+};
+
+/// Attribute capsule B's simulated-cycle delta against capsule A down the
+/// kernel -> stall-reason -> (site, space) tree.
+ExplainReport explain_capsules(std::string_view capsule_a,
+                               std::string_view capsule_b,
+                               const ExplainOptions& options = {});
+
+/// Canonical Table I capsules: the paper's intra-task kernel pair on the
+/// over-threshold Swiss-Prot subset (one-SM C1060 slice, the
+/// tools/perf_diff_lib.h workload), each run on a fresh device into an
+/// isolated registry-diff capsule with the sampler armed. Byte-identical
+/// for any CUSW_THREADS and for memo on/off.
+std::string canonical_capsule_original();
+std::string canonical_capsule_improved();
+
+}  // namespace cusw::tools

@@ -1,0 +1,143 @@
+// perf_explain CLI: attribute the simulated-cycle delta between two run
+// capsules (see tools/perf_explain_lib.h).
+//
+//   perf_explain A.json B.json [--threshold=F] [--max-residue=F]
+//                [--json=PATH]
+//   perf_explain --emit-canonical=DIR   write the canonical Table I
+//                capsule pair to DIR and explain improved-vs-original
+//   perf_explain --canonical-check      same pair, in memory (the
+//                `perf_explain_canonical` ctest)
+//
+// Exit status is 0 only when both capsules parse/validate and every
+// internal node's unattributed residue stays within --max-residue of the
+// total delta.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/capsule.h"
+#include "tools/perf_explain_lib.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+bool flag_value(const std::string& arg, const char* name, std::string& out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: perf_explain A.json B.json [--threshold=F] [--max-residue=F]"
+      " [--json=PATH]\n"
+      "       perf_explain --emit-canonical=DIR [--json=PATH]\n"
+      "       perf_explain --canonical-check [--json=PATH]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cusw::tools::ExplainOptions opts;
+  std::string json_path, emit_dir, value;
+  bool canonical_check = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (flag_value(arg, "threshold", value)) {
+      opts.threshold = std::atof(value.c_str());
+    } else if (flag_value(arg, "max-residue", value)) {
+      opts.max_residue = std::atof(value.c_str());
+    } else if (flag_value(arg, "json", value)) {
+      json_path = value;
+    } else if (flag_value(arg, "emit-canonical", value)) {
+      emit_dir = value;
+    } else if (arg == "--canonical-check") {
+      canonical_check = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  std::string a, b;
+  if (canonical_check || !emit_dir.empty()) {
+    if (!paths.empty()) return usage();
+    std::printf("perf_explain: building canonical Table I capsules...\n");
+    a = cusw::tools::canonical_capsule_original();
+    b = cusw::tools::canonical_capsule_improved();
+    for (const auto& [name, text] :
+         {std::pair<const char*, const std::string&>("original", a),
+          std::pair<const char*, const std::string&>("improved", b)}) {
+      const cusw::obs::CapsuleCheck check = cusw::obs::validate_capsule(text);
+      if (!check.ok) {
+        std::fprintf(stderr, "perf_explain: canonical %s capsule invalid: %s\n",
+                     name, check.error.c_str());
+        return 1;
+      }
+      std::printf(
+          "  canonical %s capsule: %zu kernel(s), %zu series, %zu points\n",
+          name, check.kernels, check.series, check.points);
+    }
+    if (!emit_dir.empty()) {
+      for (const auto& [file, text] :
+           {std::pair<const char*, const std::string&>(
+                "capsule_table1_original.json", a),
+            std::pair<const char*, const std::string&>(
+                "capsule_table1_improved.json", b)}) {
+        const std::string path = emit_dir + "/" + file;
+        if (!write_file(path, text)) {
+          std::fprintf(stderr, "perf_explain: cannot write %s\n",
+                       path.c_str());
+          return 1;
+        }
+        std::printf("wrote %s\n", path.c_str());
+      }
+    }
+  } else {
+    if (paths.size() != 2) return usage();
+    if (!read_file(paths[0], a)) {
+      std::fprintf(stderr, "perf_explain: cannot read %s\n", paths[0].c_str());
+      return 1;
+    }
+    if (!read_file(paths[1], b)) {
+      std::fprintf(stderr, "perf_explain: cannot read %s\n", paths[1].c_str());
+      return 1;
+    }
+  }
+
+  const cusw::tools::ExplainReport report =
+      cusw::tools::explain_capsules(a, b, opts);
+  std::printf("%s", report.to_ascii().c_str());
+  if (!json_path.empty()) {
+    if (!write_file(json_path, report.to_json() + "\n")) {
+      std::fprintf(stderr, "perf_explain: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return report.ok && report.within_residue_bound ? 0 : 1;
+}
