@@ -1,0 +1,50 @@
+// Causal what-if profile of the Table I original-kernel workload
+// (DESIGN.md §14, EXPERIMENTS.md): virtual-speedup sweeps per hot target,
+// ranked by end-to-end causal gain, cross-validated against
+// tools/perf_explain's differential attribution.
+//
+// Where the other benches measure what the simulated clock *did*, this
+// one measures what it *would have done*: each row re-runs the workload
+// with one cost scaled, so the gains include every downstream interaction
+// (window max() backfill, occupancy idle, scheduling) a local stall share
+// cannot see.
+//
+// Flags: --db=N database size (default scaled 2400); --top=N targets;
+// --service adds the p50/p99/burn-rate projection per sweep point
+// (slower). Writes BENCH_causal_gains.json with the full report.
+#include "bench_common.h"
+
+#include "tools/causal_profile_lib.h"
+
+int main(int argc, char** argv) {
+  cusw::bench::BenchMain bench_main(argc, argv, "");
+  cusw::bench::note_seed(0xAB1E);  // canonical-workload database seed
+  cusw::Cli cli(argc, argv);
+
+  cusw::tools::CausalOptions opts;
+  opts.db_sequences = static_cast<std::size_t>(cli.get_int(
+      "db", static_cast<std::int64_t>(cusw::bench::scaled(2400))));
+  opts.top_n = static_cast<std::size_t>(cli.get_int("top", 6));
+  opts.service = cli.get_bool("service", false);
+
+  cusw::bench::print_header(
+      "Causal what-if profile: virtual speedups on the simulated clock",
+      "this repo's what-if layer (DESIGN.md §14) over the Table I workload "
+      "of Hains et al., IPDPS'11");
+
+  const cusw::tools::CausalReport report =
+      cusw::tools::causal_profile_canonical(opts);
+  std::printf("%s", report.to_ascii().c_str());
+  if (!report.ok) {
+    std::printf("causal_profile: %s\n", report.error.c_str());
+    return 1;
+  }
+  std::printf(
+      "\nexpected shape: the memory-bound original kernel ranks its\n"
+      "dominant load site first with a superlinear slope (removing load\n"
+      "stalls also drains occupancy idle); stall:occupancy_idle ranks\n"
+      "second; compute targets are causally flat.\n");
+
+  cusw::bench::emit_json("causal_gains", report.to_json());
+  return 0;
+}

@@ -17,6 +17,7 @@
 #include "obs/profile.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
+#include "obs/whatif.h"
 #include "util/check.h"
 #include "util/env.h"
 #include "util/json.h"
@@ -52,6 +53,75 @@ std::uint64_t to_ticks(double cycles) {
 // flip it with setenv between launches.
 bool memo_env_enabled() { return util::env_enabled("CUSW_SIM_MEMO", true); }
 
+// Resolve the active what-if plan (obs/whatif.h, DESIGN.md §14) against
+// this launch: kernel:<label> factors fold into every per-reason
+// multiplier, site targets are interned, factor-1.0 targets are dropped
+// outright (they are exact no-ops by definition, and dropping them keeps
+// an all-ones plan on the unscaled code path byte for byte). Returns
+// nullptr when nothing in the plan can affect this launch, so such
+// launches also keep their unsalted memo keys and share entries with
+// plan-free runs.
+std::unique_ptr<WhatIfResolved> resolve_whatif(const obs::whatif::Plan* plan,
+                                               const char* label) {
+  if (plan == nullptr) return nullptr;
+  auto r = std::make_unique<WhatIfResolved>();
+  bool effective = false;
+  for (const obs::whatif::Target& t : plan->targets) {
+    if (t.factor == 1.0) continue;
+    switch (t.kind) {
+      case obs::whatif::Target::Kind::kKernel:
+        if (t.name == label) {
+          r->compute *= t.factor;
+          r->mem_issue *= t.factor;
+          r->txn_issue *= t.factor;
+          r->exposed_latency *= t.factor;
+          r->sync *= t.factor;
+          r->bank_conflict *= t.factor;
+          r->occupancy_idle *= t.factor;
+          effective = true;
+        }
+        break;
+      case obs::whatif::Target::Kind::kStall:
+        // Names were validated against the reason list at parse time.
+        if (t.name == "compute") r->compute *= t.factor;
+        else if (t.name == "mem_issue") r->mem_issue *= t.factor;
+        else if (t.name == "txn_issue") r->txn_issue *= t.factor;
+        else if (t.name == "exposed_latency") r->exposed_latency *= t.factor;
+        else if (t.name == "sync") r->sync *= t.factor;
+        else if (t.name == "bank_conflict") r->bank_conflict *= t.factor;
+        else if (t.name == "occupancy_idle") r->occupancy_idle *= t.factor;
+        effective = true;
+        break;
+      case obs::whatif::Target::Kind::kSite: {
+        int space = -1;
+        if (t.space == "global") space = static_cast<int>(Space::Global);
+        else if (t.space == "local") space = static_cast<int>(Space::Local);
+        else if (t.space == "texture") space = static_cast<int>(Space::Texture);
+        r->sites.push_back(
+            WhatIfResolved::SiteFactor{intern_site(t.name), space, t.factor});
+        effective = true;
+        break;
+      }
+      case obs::whatif::Target::Kind::kParam:
+        if (t.name == "dram_latency") r->dram_latency *= t.factor;
+        else if (t.name == "l1_latency") r->l1_latency *= t.factor;
+        else if (t.name == "l2_latency") r->l2_latency *= t.factor;
+        else if (t.name == "tex_hit_latency") r->tex_hit_latency *= t.factor;
+        effective = true;
+        break;
+    }
+  }
+  if (!effective) return nullptr;
+  return r;
+}
+
+// Scale an integer latency parameter; identity factors never round.
+int scale_latency(int latency, double factor) {
+  if (factor == 1.0) return latency;
+  return static_cast<int>(
+      std::llround(factor * static_cast<double>(latency)));
+}
+
 // Fold one block's counters into the launch total. Only the fields a
 // BlockCtx mutates are added here; occupancy, block counts and the
 // scheduling-derived cycle figures belong to the launch, not to blocks.
@@ -62,6 +132,7 @@ void add_block_counters(LaunchStats& into, const LaunchStats& block) {
   for (const SiteCounters& sc : block.sites)
     into.site_counters(sc.site, sc.space) += sc.counters;
   into.stall += block.stall;
+  into.whatif_removed_ticks += block.whatif_removed_ticks;
   into.shared_accesses += block.shared_accesses;
   into.bank_conflict_cycles += block.bank_conflict_cycles;
   into.syncs += block.syncs;
@@ -112,6 +183,12 @@ void publish_launch_metrics(const LaunchConfig& cfg, const LaunchStats& s) {
   reg.gauge(p + "makespan_cycles").add(s.makespan_cycles);
   reg.gauge(p + "total_block_cycles").add(s.total_block_cycles);
   reg.counter(p + "total_block_ticks").add(s.total_block_ticks);
+  // Net ticks a what-if plan removed — published only when a plan
+  // actually changed something, so plan-free registries are unchanged.
+  if (s.whatif_removed_ticks != 0) {
+    reg.gauge(p + "whatif.removed_ticks")
+        .add(static_cast<double>(s.whatif_removed_ticks));
+  }
 
   reg.counter("gpusim.launch.count").inc();
   reg.gauge("gpusim.launch.seconds").add(s.seconds);
@@ -312,7 +389,7 @@ BlockCtx::BlockCtx(const DeviceSpec& spec, const CostModel& cost,
                    LaunchStats& stats, Cache& l2, Cache& tex_l2,
                    std::size_t l1_bytes, int block_id, int threads,
                    int resident_per_sm, int concurrent_blocks,
-                   LaunchObserver* observer)
+                   LaunchObserver* observer, const WhatIfResolved* whatif)
     : spec_(&spec),
       cost_(&cost),
       stats_(&stats),
@@ -331,7 +408,8 @@ BlockCtx::BlockCtx(const DeviceSpec& spec, const CostModel& cost,
       warp_instr_(static_cast<std::size_t>((threads + 31) / 32), 0.0),
       warp_lat_sum_(warp_instr_.size(), 0.0),
       warp_txn_(warp_instr_.size(), 0),
-      observer_(observer) {}
+      observer_(observer),
+      whatif_(whatif) {}
 
 void BlockCtx::shared_access(int lane, std::uint64_t n) {
   stats_->shared_accesses += n;
@@ -683,20 +761,46 @@ void BlockCtx::close_window(bool barrier) {
   }
   conflict_base_ = stats_->bank_conflict_cycles;
 
+  // ---- what-if virtual speedup: block-scope reasons ----------------------
+  // Scale the selected reasons of the *unscaled* partition above
+  // (DESIGN.md §14). The memory reasons are scaled here as a group input
+  // to the site distribution; a site-targeted plan rescales individual
+  // rows below and the three memory reasons are then re-partitioned to
+  // the new total with the same min/remainder scheme, so
+  // Σ reasons == charged is restored exactly at every factor. Identity
+  // factors never reach llround, which is what keeps a factor-1.0 plan
+  // byte-identical to no plan.
+  if (whatif_ != nullptr) {
+    const auto scale = [](std::uint64_t& v, double f) {
+      if (f != 1.0 && v != 0) {
+        v = static_cast<std::uint64_t>(
+            std::llround(f * static_cast<double>(v)));
+      }
+    };
+    scale(ws.compute, whatif_->compute);
+    scale(ws.mem_issue, whatif_->mem_issue);
+    scale(ws.txn_issue, whatif_->txn_issue);
+    scale(ws.exposed_latency, whatif_->exposed_latency);
+    scale(ws.sync, whatif_->sync);
+    scale(ws.bank_conflict, whatif_->bank_conflict);
+  }
+
   // Distribute the memory-reason ticks over the (site, space) rows whose
   // transactions this window issued, proportional to observed latency +
   // issue weight. Sequential cumulative rounding with a last-row
-  // remainder keeps Σ site rows == Σ space totals exact per field.
+  // remainder keeps Σ site rows == Σ space totals exact per field. The
+  // shares are staged in site_shares_ so a what-if plan can rescale
+  // individual rows before they are committed.
   const std::uint64_t mem_ticks = ws.memory_ticks();
+  site_shares_.clear();
   if (mem_ticks > 0) {
     double total_weight = 0.0;
     for (const SiteWeight& sw : site_weights_) total_weight += sw.weight;
     if (total_weight <= 0.0) {
       // No transactions observed (statistical-only traffic): keep the
       // invariant by attributing to the unattributed global row.
-      stats_->counters_for(Space::Global).stall_ticks += mem_ticks;
-      stats_->site_counters(kSiteUnattributed, Space::Global).stall_ticks +=
-          mem_ticks;
+      site_shares_.push_back(
+          SiteShare{kSiteUnattributed, Space::Global, mem_ticks});
     } else {
       std::uint64_t allocated = 0;
       double cum_weight = 0.0;
@@ -714,10 +818,73 @@ void BlockCtx::close_window(bool barrier) {
         const std::uint64_t share = target - allocated;
         allocated = target;
         if (share == 0) continue;
-        stats_->counters_for(sw.space).stall_ticks += share;
-        stats_->site_counters(sw.site, sw.space).stall_ticks += share;
+        site_shares_.push_back(SiteShare{sw.site, sw.space, share});
       }
     }
+    // ---- what-if virtual speedup: (site, space) rows ---------------------
+    if (whatif_ != nullptr && !whatif_->sites.empty()) {
+      std::int64_t removed = 0;
+      for (SiteShare& sh : site_shares_) {
+        const double f = whatif_->site_factor(sh.site, sh.space);
+        if (f == 1.0 || sh.ticks == 0) continue;
+        const std::uint64_t scaled = static_cast<std::uint64_t>(
+            std::llround(f * static_cast<double>(sh.ticks)));
+        removed += static_cast<std::int64_t>(sh.ticks) -
+                   static_cast<std::int64_t>(scaled);
+        sh.ticks = scaled;
+      }
+      if (removed != 0) {
+        // Re-partition {mem_issue, txn_issue, exposed_latency} to the new
+        // site total with the same cumulative min/remainder scheme, so
+        // the reasons again sum to the site rows exactly. Guarded on
+        // removed != 0: the re-partition reproduces the inputs only up to
+        // llround, so an untouched window must never enter it.
+        const std::uint64_t new_total = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(mem_ticks) - removed);
+        std::uint64_t vals[3] = {ws.mem_issue, ws.txn_issue,
+                                 ws.exposed_latency};
+        std::uint64_t allocated = 0;
+        std::uint64_t cum = 0;
+        for (int i = 0; i < 3; ++i) {
+          cum += vals[i];
+          std::uint64_t target =
+              i == 2 ? new_total
+                     : std::min(new_total,
+                                static_cast<std::uint64_t>(std::llround(
+                                    static_cast<double>(new_total) *
+                                    static_cast<double>(cum) /
+                                    static_cast<double>(mem_ticks))));
+          target = std::max(target, allocated);
+          vals[i] = target - allocated;
+          allocated = target;
+        }
+        ws.mem_issue = vals[0];
+        ws.txn_issue = vals[1];
+        ws.exposed_latency = vals[2];
+      }
+    }
+    for (const SiteShare& sh : site_shares_) {
+      if (sh.ticks == 0) continue;
+      stats_->counters_for(sh.space).stall_ticks += sh.ticks;
+      stats_->site_counters(sh.site, sh.space).stall_ticks += sh.ticks;
+    }
+  }
+
+  // Re-derive the charged total from the (possibly scaled) reasons; the
+  // ticks the plan deleted leave the clock through the removed-ticks
+  // carry, never through the per-window rounding remainder (the raw
+  // cycle/tick carry above is untouched, so the unscaled accounting of
+  // later windows is bit-identical with and without a plan).
+  std::int64_t removed_w = 0;
+  if (whatif_ != nullptr) {
+    const std::uint64_t charged_scaled = ws.compute + ws.mem_issue +
+                                         ws.txn_issue + ws.exposed_latency +
+                                         ws.sync + ws.bank_conflict;
+    removed_w = static_cast<std::int64_t>(total_ticks) -
+                static_cast<std::int64_t>(charged_scaled);
+    ws.charged = charged_scaled;
+    removed_ticks_cum_ += removed_w;
+    stats_->whatif_removed_ticks += removed_w;
   }
   stats_->stall += ws;
 
@@ -732,6 +899,16 @@ void BlockCtx::close_window(bool barrier) {
     e.window_index = s.windows - 1;
     e.start_cycles = block_cycles_;
     e.cycles = window;
+    if (whatif_ != nullptr) {
+      // Events report the *effective* clock: raw cycles minus what the
+      // plan removed (prior windows for the start, this window for the
+      // duration, clamped against the sub-tick rounding remainder).
+      e.start_cycles -= static_cast<double>(removed_ticks_cum_ - removed_w) /
+                        static_cast<double>(kStallTicksPerCycle);
+      e.cycles = std::max(
+          0.0, e.cycles - static_cast<double>(removed_w) /
+                              static_cast<double>(kStallTicksPerCycle));
+    }
     e.barrier = barrier;
     e.requests = (s.global.requests - b.global.requests) +
                  (s.local.requests - b.local.requests) +
@@ -762,7 +939,13 @@ void BlockCtx::close_window(bool barrier) {
 
 double BlockCtx::finish() {
   close_window(false);
-  return block_cycles_;
+  if (whatif_ == nullptr) return block_cycles_;
+  // Effective block cycles: raw minus the removed ticks. The clamp covers
+  // the sub-cycle case where the block's (single) rounding remainder left
+  // fewer raw cycles than removed ticks.
+  return std::max(0.0, block_cycles_ -
+                           static_cast<double>(removed_ticks_cum_) /
+                               static_cast<double>(kStallTicksPerCycle));
 }
 
 Device::Device(DeviceSpec spec, CostModel cost)
@@ -779,11 +962,29 @@ LaunchStats Device::launch(const LaunchConfig& cfg,
   stats.blocks = cfg.blocks;
   if (cfg.blocks == 0) return stats;
 
+  // Active what-if plan, resolved once per launch (DESIGN.md §14);
+  // nullptr when no plan is set or nothing in it affects this launch —
+  // then every path below is the unscaled one, bit for bit.
+  const obs::whatif::Plan* whatif_plan = obs::whatif::active_plan();
+  const std::unique_ptr<WhatIfResolved> whatif =
+      resolve_whatif(whatif_plan, cfg.label);
+
   // Fermi's configurable shared/L1 split.
   DeviceSpec eff = spec_;
   if (eff.has_l1 && cfg.prefer_l1) {
     eff.l1_bytes = 48 * 1024;
     eff.shared_mem_per_sm = 16 * 1024;
+  }
+  if (whatif != nullptr) {
+    // param:<name> targets scale the latency parameter itself; the
+    // coalescer/cache walk then reprices every window downstream (weights,
+    // chains and the window max all shift), which is exactly the
+    // counterfactual a parameter sweep asks for.
+    eff.dram_latency = scale_latency(eff.dram_latency, whatif->dram_latency);
+    eff.l1_latency = scale_latency(eff.l1_latency, whatif->l1_latency);
+    eff.l2_latency = scale_latency(eff.l2_latency, whatif->l2_latency);
+    eff.tex_hit_latency =
+        scale_latency(eff.tex_hit_latency, whatif->tex_hit_latency);
   }
   CUSW_REQUIRE(cfg.shared_bytes_per_block <= eff.shared_mem_per_sm,
                "block shared memory exceeds the SM's");
@@ -849,22 +1050,32 @@ LaunchStats Device::launch(const LaunchConfig& cfg,
     // Launch-level key context: the label (length-prefixed, so keys are
     // prefix-free across kernels) plus every launch knob the per-block
     // cost model reads. The kernel's memo_key appends the rest.
-    const std::string_view label(cfg.label);
-    memo_prefix.push_back(label.size());
-    std::uint64_t packed = 0;
-    for (std::size_t c = 0; c < label.size(); ++c) {
-      packed = (packed << 8) | static_cast<unsigned char>(label[c]);
-      if ((c + 1) % 8 == 0) {
-        memo_prefix.push_back(packed);
-        packed = 0;
+    const auto pack_string = [&memo_prefix](std::string_view sv) {
+      memo_prefix.push_back(sv.size());
+      std::uint64_t packed = 0;
+      for (std::size_t c = 0; c < sv.size(); ++c) {
+        packed = (packed << 8) | static_cast<unsigned char>(sv[c]);
+        if ((c + 1) % 8 == 0) {
+          memo_prefix.push_back(packed);
+          packed = 0;
+        }
       }
-    }
-    if (label.size() % 8 != 0) memo_prefix.push_back(packed);
+      if (sv.size() % 8 != 0) memo_prefix.push_back(packed);
+    };
+    pack_string(cfg.label);
     memo_prefix.push_back(static_cast<std::uint64_t>(cfg.threads_per_block));
     memo_prefix.push_back(static_cast<std::uint64_t>(concurrent));
     memo_prefix.push_back(static_cast<std::uint64_t>(resident_per_sm));
     memo_prefix.push_back(static_cast<std::uint64_t>(l1_eff));
     memo_prefix.push_back(static_cast<std::uint64_t>(l2_eff));
+    if (whatif != nullptr) {
+      // Salt the key with the plan's canonical spec so memoization
+      // composes with what-if runs instead of silently replaying blocks
+      // cached under a different (or no) plan. Plans that resolve to
+      // nullptr (ineffective for this launch) keep the unsalted key and
+      // share entries with plan-free runs — their results are identical.
+      pack_string(whatif_plan->spec);
+    }
   }
 
   // Execute blocks sharded across host workers. Each worker owns private
@@ -937,7 +1148,7 @@ LaunchStats Device::launch(const LaunchConfig& cfg,
         wc.tex_l2.clear();
         BlockCtx ctx(eff, cost_, block_stats[b], wc.l2, wc.tex_l2, l1_eff,
                      static_cast<int>(b), cfg.threads_per_block,
-                     resident_per_sm, concurrent, effective);
+                     resident_per_sm, concurrent, effective, whatif.get());
         body(ctx);
         block_cycles[b] = ctx.finish();
         if (memo_on) {
@@ -1002,9 +1213,29 @@ LaunchStats Device::launch(const LaunchConfig& cfg,
   // lands above the rounded device-time product).
   const std::uint64_t device_ticks =
       to_ticks(makespan * static_cast<double>(concurrent));
-  const std::uint64_t idle_ticks = device_ticks > stats.total_block_ticks
-                                       ? device_ticks - stats.total_block_ticks
-                                       : 0;
+  std::uint64_t idle_ticks = device_ticks > stats.total_block_ticks
+                                 ? device_ticks - stats.total_block_ticks
+                                 : 0;
+  if (whatif != nullptr && whatif->occupancy_idle != 1.0 && idle_ticks != 0) {
+    // stall:occupancy_idle (or a whole-kernel factor) also shrinks the
+    // idle tail: the removed idle ticks come off the makespan — spread
+    // over the `concurrent` slots they were counted across — and the
+    // launch's wall seconds follow. Subtraction (not recomputation) so an
+    // identity factor leaves every derived figure byte-identical.
+    const std::uint64_t idle_scaled = static_cast<std::uint64_t>(std::llround(
+        whatif->occupancy_idle * static_cast<double>(idle_ticks)));
+    const std::int64_t removed = static_cast<std::int64_t>(idle_ticks) -
+                                 static_cast<std::int64_t>(idle_scaled);
+    stats.whatif_removed_ticks += removed;
+    makespan = std::max(
+        0.0, makespan - static_cast<double>(removed) /
+                            static_cast<double>(kStallTicksPerCycle) /
+                            static_cast<double>(concurrent));
+    stats.makespan_cycles = makespan;
+    stats.seconds =
+        makespan / (eff.clock_ghz * 1e9) + eff.launch_overhead_us * 1e-6;
+    idle_ticks = idle_scaled;
+  }
   stats.stall.occupancy_idle = idle_ticks;
   stats.stall.charged += idle_ticks;
 
@@ -1049,6 +1280,17 @@ LaunchStats Device::launch(const LaunchConfig& cfg,
                           [&](const char* reason, std::uint64_t v) {
                             reasons.emplace_back(reason, v);
                           });
+    // Active what-if channel: the ticks the plan removed ride along as a
+    // pseudo-reason, so the sampled series show the virtual speedup as a
+    // share of the (scaled) charged total. Appended only when nonzero —
+    // plan-free series stay byte-identical. A net virtual *slowdown*
+    // (negative removal) has no unsigned representation here and is
+    // visible in the registry gauge instead.
+    if (stats.whatif_removed_ticks > 0) {
+      reasons.emplace_back(
+          "whatif_removed",
+          static_cast<std::uint64_t>(stats.whatif_removed_ticks));
+    }
     sp->record_launch(spec_.name, t0 * 1e-3, stats.seconds * 1e3, cfg.cells,
                       reasons, stats.stall.charged);
   }

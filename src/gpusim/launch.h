@@ -86,6 +86,50 @@ struct LaunchConfig {
   std::function<void(int block)> memo_replay;
 };
 
+/// The active what-if plan (obs/whatif.h) resolved against one launch:
+/// per-reason tick multipliers with any kernel:<label> factor already
+/// folded in, the (site, space) factors, and the DeviceSpec latency
+/// parameter factors. A null WhatIfResolved pointer on a BlockCtx means
+/// no injection — the per-window path then pays one null check, and the
+/// scaled path is constructed so every factor-1.0 multiplication is
+/// skipped outright, keeping an all-ones plan byte-identical to no plan.
+struct WhatIfResolved {
+  // Per-reason multipliers (kernel factor folded in; occupancy_idle is
+  // applied at launch scope, the rest per window).
+  double compute = 1.0;
+  double mem_issue = 1.0;
+  double txn_issue = 1.0;
+  double exposed_latency = 1.0;
+  double sync = 1.0;
+  double bank_conflict = 1.0;
+  double occupancy_idle = 1.0;
+  struct SiteFactor {
+    SiteId site = kSiteUnattributed;
+    int space = -1;  // -1 = any space, else static_cast<int>(Space)
+    double factor = 1.0;
+  };
+  std::vector<SiteFactor> sites;
+  // DeviceSpec latency parameter multipliers (applied to the launch's
+  // effective spec before any block runs).
+  double dram_latency = 1.0;
+  double l1_latency = 1.0;
+  double l2_latency = 1.0;
+  double tex_hit_latency = 1.0;
+
+  /// The multiplier for one (site, space) attribution row: the product
+  /// of every matching site target (space-qualified and any-space).
+  double site_factor(SiteId site, Space space) const {
+    double f = 1.0;
+    for (const SiteFactor& sf : sites) {
+      if (sf.site == site &&
+          (sf.space < 0 || sf.space == static_cast<int>(space))) {
+        f *= sf.factor;
+      }
+    }
+    return f;
+  }
+};
+
 /// Per-(site, space) slice of a launch's counters: the attribution rows
 /// behind the space totals. Each transaction, hit and DRAM byte is
 /// attributed to exactly one site, so summing `counters` over all entries
@@ -121,6 +165,11 @@ struct LaunchStats {
   std::uint64_t total_block_ticks = 0;
   double makespan_cycles = 0.0;     // after scheduling onto SM slots
   double seconds = 0.0;             // makespan / clock + launch overhead
+  /// Net ticks removed (negative: added) by an active what-if plan
+  /// (obs/whatif.h, DESIGN.md §14) — the difference between what the
+  /// unscaled cost model charged and what was recorded. Exactly 0 when
+  /// no plan is active or every factor is 1.0.
+  std::int64_t whatif_removed_ticks = 0;
   Occupancy occupancy;
   /// Occupancy range across accumulated launches: a merged report keeps
   /// the *first* launch's `occupancy` for shape context, and these track
@@ -150,6 +199,7 @@ struct LaunchStats {
     bank_conflict_cycles += o.bank_conflict_cycles;
     syncs += o.syncs;
     windows += o.windows;
+    whatif_removed_ticks += o.whatif_removed_ticks;
     total_block_cycles += o.total_block_cycles;
     total_block_ticks += o.total_block_ticks;
     makespan_cycles += o.makespan_cycles;
@@ -335,7 +385,8 @@ class BlockCtx {
   BlockCtx(const DeviceSpec& spec, const CostModel& cost, LaunchStats& stats,
            Cache& l2, Cache& tex_l2, std::size_t l1_bytes, int block_id,
            int threads, int resident_per_sm, int concurrent_blocks,
-           LaunchObserver* observer = nullptr);
+           LaunchObserver* observer = nullptr,
+           const WhatIfResolved* whatif = nullptr);
 
   void close_window(bool barrier);
   double finish();  // returns total block cycles
@@ -412,6 +463,24 @@ class BlockCtx {
   // Launch-total bank-conflict cycles at the last window close, so the
   // window's conflict delta can be split out of the compute term.
   std::uint64_t conflict_base_ = 0;
+
+  // Active what-if injection (null = none; see WhatIfResolved). The
+  // block's cycle/tick carry (block_cycles_, charged_ticks_cum_) stays
+  // *unscaled* so the per-window rounding remainder is identical with
+  // and without a plan; removed_ticks_cum_ tracks the net ticks the plan
+  // deleted, and the block's effective cycles are raw minus
+  // removed / kStallTicksPerCycle (exactly raw when nothing was removed).
+  const WhatIfResolved* whatif_ = nullptr;
+  std::int64_t removed_ticks_cum_ = 0;
+  // Per-window (site, space) share scratch of the memory-tick
+  // distribution, so what-if site factors can rescale the rows before
+  // they are committed to the launch stats.
+  struct SiteShare {
+    SiteId site;
+    Space space;
+    std::uint64_t ticks;
+  };
+  std::vector<SiteShare> site_shares_;
 };
 
 class Device {

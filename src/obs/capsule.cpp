@@ -1,6 +1,7 @@
 #include "obs/capsule.h"
 
 #include <cstdio>
+#include <exception>
 #include <map>
 #include <mutex>
 #include <sstream>
@@ -10,6 +11,7 @@
 #include "obs/counters.h"
 #include "obs/sampler.h"
 #include "obs/trace_check.h"
+#include "obs/whatif.h"
 #include "util/env.h"
 #include "util/json.h"
 #include "util/parallel.h"
@@ -98,6 +100,16 @@ std::string capsule_to_json(const Snapshot& snap, const std::string& run) {
                          util::env_enabled("CUSW_SIM_MEMO", true) ? "on"
                                                                   : "off"))
       .field("sample_every_ms", Sampler::global().every_ms());
+  // A capsule captured under an active what-if plan is a counterfactual,
+  // not a measurement — stamp the plan so no tool compares it against a
+  // real baseline by accident. Malformed CUSW_WHATIF is recorded rather
+  // than thrown: provenance is best-effort at process exit.
+  try {
+    if (const whatif::Plan* plan = whatif::active_plan(); plan != nullptr)
+      prov.field("whatif", std::string_view(plan->spec));
+  } catch (const std::exception&) {
+    prov.field("whatif", std::string_view("<invalid CUSW_WHATIF>"));
+  }
 
   std::ostringstream os;
   os << "{\n  \"capsule_version\": " << kCapsuleVersion << ",\n";
@@ -220,6 +232,16 @@ CapsuleCheck validate_capsule(std::string_view text) {
                                 name->string + "' is not numeric");
         }
         ++out.points;
+      }
+      if (const json::Value* dropped = s.find("dropped");
+          dropped != nullptr &&
+          dropped->kind == json::Value::Kind::kNumber &&
+          dropped->number > 0.0) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.0f", dropped->number);
+        out.warnings.push_back("time series '" + name->string +
+                               "' dropped " + buf +
+                               " point(s) to the sampler ring bound");
       }
       ++out.series;
     }

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -60,13 +61,20 @@ struct CapsuleCheck {
   std::size_t kernels = 0;  // kernel entries
   std::size_t series = 0;   // time series
   std::size_t points = 0;   // sample points across all series
+  /// Non-fatal observations: a valid capsule whose telemetry is known to
+  /// be incomplete, e.g. a time series that dropped points to the
+  /// sampler's ring bound. The capsule still validates (ok stays true) —
+  /// the holes are honest and recorded — but consumers should surface
+  /// them before trusting series-derived conclusions.
+  std::vector<std::string> warnings;
 };
 
 /// Structural validation of a capsule document: top-level object with a
 /// numeric capsule_version, a provenance object, and — when present — a
 /// kernels array of objects and a series section whose per-series points
 /// carry numeric, non-decreasing t_ms timestamps and numeric channel
-/// values (unordered time series are rejected).
+/// values (unordered time series are rejected). Series that report
+/// dropped points (ring overflow) produce warnings, not errors.
 CapsuleCheck validate_capsule(std::string_view text);
 
 }  // namespace cusw::obs

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/env.h"
 #include "util/json.h"
@@ -150,9 +151,16 @@ void Sampler::record_launch(
   }
   // Ring bound: evict the oldest intervals beyond the capacity, so a
   // long-running process keeps the tail of the run at fixed memory.
+  std::uint64_t evicted = 0;
   while (ls.buckets.size() > im.cap) {
     ls.buckets.erase(ls.buckets.begin());
     ++ls.dropped;
+    ++evicted;
+  }
+  if (evicted > 0) {
+    Registry::global()
+        .gauge("obs.sampler.dropped")
+        .add(static_cast<double>(evicted));
   }
 }
 
@@ -168,9 +176,16 @@ void Sampler::record_point(
   p.values = values;
   std::sort(p.values.begin(), p.values.end());
   ps.points.push_back(std::move(p));
+  std::uint64_t evicted = 0;
   while (ps.points.size() > im.cap) {
     ps.points.pop_front();
     ++ps.dropped;
+    ++evicted;
+  }
+  if (evicted > 0) {
+    Registry::global()
+        .gauge("obs.sampler.dropped")
+        .add(static_cast<double>(evicted));
   }
 }
 

@@ -1,0 +1,184 @@
+#include "obs/whatif.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "util/env.h"
+#include "util/json.h"
+
+namespace cusw::obs::whatif {
+
+namespace {
+
+// Validation vocabularies. The obs layer sits below gpusim, so the
+// simulator's names are mirrored here rather than included; test_whatif
+// cross-checks the reason list against gpusim/stall.h's visitor.
+constexpr const char* kStallReasons[] = {
+    "compute",   "mem_issue", "txn_issue",      "exposed_latency",
+    "sync",      "bank_conflict", "occupancy_idle",
+};
+constexpr const char* kSpaces[] = {"global", "local", "texture"};
+constexpr const char* kParams[] = {"dram_latency", "l1_latency",
+                                   "l2_latency", "tex_hit_latency"};
+
+template <std::size_t N>
+bool known(const char* const (&names)[N], const std::string& s) {
+  for (const char* n : names) {
+    if (s == n) return true;
+  }
+  return false;
+}
+
+[[noreturn]] void bad(const std::string& entry, const std::string& why) {
+  throw std::invalid_argument("CUSW_WHATIF entry '" + entry + "': " + why);
+}
+
+Target parse_target(const std::string& entry) {
+  const std::size_t star = entry.rfind('*');
+  if (star == std::string::npos || star + 1 == entry.size())
+    bad(entry, "missing '*<factor>'");
+  Target t;
+  t.factor = util::parse_double(entry.substr(star + 1).c_str(),
+                                "CUSW_WHATIF factor");
+  if (t.factor < 0.0) bad(entry, "factor must be >= 0");
+  const std::string target = entry.substr(0, star);
+  const std::size_t colon = target.find(':');
+  if (colon == std::string::npos)
+    bad(entry, "expected site:/stall:/kernel:/param: prefix");
+  const std::string kind = target.substr(0, colon);
+  std::string name = target.substr(colon + 1);
+  if (name.empty()) bad(entry, "empty target name");
+  if (kind == "site") {
+    t.kind = Target::Kind::kSite;
+    if (const std::size_t at = name.rfind('@'); at != std::string::npos) {
+      t.space = name.substr(at + 1);
+      name = name.substr(0, at);
+      if (name.empty()) bad(entry, "empty site name");
+      if (!known(kSpaces, t.space))
+        bad(entry, "unknown space '" + t.space +
+                       "' (global, local or texture)");
+    }
+  } else if (kind == "stall") {
+    t.kind = Target::Kind::kStall;
+    if (!known(kStallReasons, name))
+      bad(entry, "unknown stall reason '" + name + "'");
+  } else if (kind == "kernel") {
+    t.kind = Target::Kind::kKernel;
+  } else if (kind == "param") {
+    t.kind = Target::Kind::kParam;
+    if (!known(kParams, name))
+      bad(entry, "unknown parameter '" + name +
+                     "' (dram_latency, l1_latency, l2_latency or "
+                     "tex_hit_latency)");
+  } else {
+    bad(entry, "unknown target kind '" + kind + "'");
+  }
+  t.name = std::move(name);
+  return t;
+}
+
+std::mutex& mu() {
+  static std::mutex m;
+  return m;
+}
+
+struct State {
+  const Plan* programmatic = nullptr;
+  // Plans live for the process (active_plan() hands out raw pointers a
+  // running launch may still hold when the plan is swapped): parsed env
+  // plans are interned by spec, programmatic plans are retired, never
+  // freed. Sweeps install a few dozen plans at most.
+  std::map<std::string, std::unique_ptr<Plan>> env_plans;
+  std::vector<std::unique_ptr<Plan>> retired;
+  std::string env_seen;
+  const Plan* env_plan = nullptr;
+};
+
+State& state() {
+  static State* s = new State;  // leaked: see lifetime note above
+  return *s;
+}
+
+}  // namespace
+
+std::string Target::spec() const {
+  switch (kind) {
+    case Kind::kSite:
+      return "site:" + name + (space.empty() ? "" : "@" + space);
+    case Kind::kStall:
+      return "stall:" + name;
+    case Kind::kKernel:
+      return "kernel:" + name;
+    case Kind::kParam:
+      return "param:" + name;
+  }
+  return name;  // unreachable
+}
+
+Plan parse_plan(const std::string& spec) {
+  Plan plan;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    const std::string entry = spec.substr(pos, end - pos);
+    if (!entry.empty()) {
+      Target t = parse_target(entry);
+      if (!plan.spec.empty()) plan.spec += ',';
+      plan.spec += t.spec();
+      plan.spec += '*';
+      plan.spec += util::json_number(t.factor);
+      plan.targets.push_back(std::move(t));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return plan;
+}
+
+void set_plan(Plan plan) {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(mu());
+  if (plan.empty()) {
+    s.programmatic = nullptr;
+    return;
+  }
+  s.retired.push_back(std::make_unique<Plan>(std::move(plan)));
+  s.programmatic = s.retired.back().get();
+}
+
+void clear_plan() {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(mu());
+  s.programmatic = nullptr;
+}
+
+const Plan* active_plan() {
+  State& s = state();
+  std::lock_guard<std::mutex> lk(mu());
+  if (s.programmatic != nullptr) return s.programmatic;
+  const char* v = std::getenv("CUSW_WHATIF");
+  const std::string env = v != nullptr ? v : "";
+  if (env != s.env_seen) {
+    s.env_seen = env;
+    s.env_plan = nullptr;
+    if (!env.empty()) {
+      const auto it = s.env_plans.find(env);
+      if (it != s.env_plans.end()) {
+        s.env_plan = it->second.get();
+      } else {
+        Plan parsed = parse_plan(env);  // throws on malformed input
+        if (!parsed.empty()) {
+          auto owned = std::make_unique<Plan>(std::move(parsed));
+          s.env_plan = owned.get();
+          s.env_plans.emplace(env, std::move(owned));
+        }
+      }
+    }
+  }
+  return s.env_plan;
+}
+
+}  // namespace cusw::obs::whatif

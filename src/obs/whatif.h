@@ -1,0 +1,101 @@
+// Causal "what-if" plans: virtual-speedup experiments on the simulated
+// clock (DESIGN.md §14).
+//
+// A plan names one or more cost *targets* inside the simulator — a
+// (site, space) attribution row, a stall reason, a whole kernel, or a
+// device latency parameter — and a scale factor per target. The
+// simulator (gpusim/launch.cpp) resolves the active plan once per launch
+// and scales the *charged ticks* of the selected targets by the factor,
+// re-partitioning the stall breakdown with the same min/remainder scheme
+// that makes the unscaled attribution exact, so Σ reasons == charged
+// still holds bit-for-bit at every factor. The functional score path is
+// never touched: a what-if run returns bit-identical scores and answers
+// only "what would the clock have said".
+//
+// This is the causal-profiling move (Coz, Curtsinger & Berger, SOSP'15)
+// made exact: instead of slowing everything else down on real hardware,
+// the simulated cost of one target is actually scaled and the workload
+// re-run, so the end-to-end delta *is* the causal effect — including
+// every downstream interaction (window max() terms, occupancy idle,
+// scheduling, service queueing) that a local stall share cannot see.
+//
+// Wiring: CUSW_WHATIF=<target>*<factor>[,<target>*<factor>...] selects a
+// plan for the process (read per launch, so tests can flip it with
+// setenv between launches); tools call set_plan()/clear_plan() to drive
+// factor sweeps programmatically (a programmatic plan wins over the
+// environment). Target grammar:
+//
+//   site:<name>            every (site, *) attribution row, any space
+//   site:<name>@<space>    one (site, space) row; space is global,
+//                          local or texture
+//   stall:<reason>         one stall reason (gpusim/stall.h), e.g.
+//                          stall:compute or stall:occupancy_idle
+//   kernel:<label>         every charged tick of launches whose label
+//                          matches
+//   param:<name>           a device latency parameter: dram_latency,
+//                          l1_latency, l2_latency or tex_hit_latency
+//                          (scales the parameter, not ticks — the
+//                          coalescer/caches then reprice every window)
+//
+// Factors are >= 0; 0 deletes the cost entirely ("what if this were
+// free"), values > 1 are virtual slowdowns. Factor 1.0 is a byte-exact
+// no-op by construction — the injected scaling only rounds when it
+// actually changes a value.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cusw::obs::whatif {
+
+/// One scaled target of a plan.
+struct Target {
+  enum class Kind {
+    kSite,    // (site, space) attribution rows; space may be "any"
+    kStall,   // one stall reason
+    kKernel,  // every charged tick of a labelled kernel
+    kParam,   // a DeviceSpec latency parameter
+  };
+  Kind kind = Kind::kSite;
+  std::string name;   // site name, stall reason, kernel label, param name
+  std::string space;  // kSite only: "global", "local", "texture" or ""
+  double factor = 1.0;
+
+  /// The canonical spec of this target (no factor): "site:x@global", ...
+  std::string spec() const;
+};
+
+/// A parsed what-if plan: the targets plus the canonical spec string the
+/// simulator folds into memo keys (so memoized blocks can never replay
+/// under the wrong plan) and capsules record as provenance.
+struct Plan {
+  std::vector<Target> targets;
+  /// Canonical round-trip of the plan: per-target `spec()*factor`,
+  /// comma-joined in target order, factors rendered with %.12g.
+  std::string spec;
+
+  bool empty() const { return targets.empty(); }
+};
+
+/// Parse a CUSW_WHATIF spec. Throws std::invalid_argument naming the
+/// offending entry on malformed input: unknown target kind, unknown
+/// stall reason / space / parameter name, missing or negative factor.
+Plan parse_plan(const std::string& spec);
+
+/// Install `plan` as the process's active plan (wins over CUSW_WHATIF);
+/// an empty plan is equivalent to clear_plan(). Swap only between
+/// launches — the simulator reads the plan at launch entry.
+void set_plan(Plan plan);
+
+/// Drop the programmatic plan; CUSW_WHATIF (if set) takes over again.
+void clear_plan();
+
+/// The active plan: the programmatic one if set, else the parsed
+/// CUSW_WHATIF environment plan, else nullptr. The pointee is kept alive
+/// for the life of the process (plans are small and sweeps bounded), so
+/// the pointer stays valid across later set_plan/clear_plan calls.
+/// Throws on a malformed CUSW_WHATIF the first time it is seen.
+const Plan* active_plan();
+
+}  // namespace cusw::obs::whatif

@@ -11,6 +11,7 @@
 #include "obs/capsule.h"
 #include "obs/metrics.h"
 #include "obs/profile.h"
+#include "obs/whatif.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "util/check.h"
@@ -138,6 +139,9 @@ double ServiceReport::goodput() const {
 
 std::string ServiceReport::dashboard() const {
   std::ostringstream os;
+  if (!whatif.empty()) {
+    os << "WHAT-IF PROJECTION (counterfactual clock): " << whatif << "\n";
+  }
   Table summary({"metric", "value"}, 3);
   summary.add_row({std::string("arrivals"),
                    static_cast<std::int64_t>(arrivals)});
@@ -213,6 +217,7 @@ std::string ServiceReport::to_json() const {
       .field("gcups", gcups())
       .field("degraded_to_cpu", degraded_to_cpu)
       .field("failovers", failovers);
+  if (!whatif.empty()) f.field("whatif", whatif);
   f.raw("latency_ms", latency_ms.to_json());
   f.raw("queue_delay_ms", queue_delay_ms.to_json());
   f.raw("batch_size", batch_size.to_json());
@@ -290,6 +295,18 @@ struct Running {
 
 ServiceReport Service::run() {
   ServiceReport rep;
+  // Stamp the active what-if plan (if any) up front: every latency number
+  // below is then a counterfactual projection, and the report must carry
+  // that wherever it is rendered. A malformed CUSW_WHATIF surfaces on the
+  // first launch anyway; here it only marks the report.
+  try {
+    if (const obs::whatif::Plan* plan = obs::whatif::active_plan();
+        plan != nullptr) {
+      rep.whatif = plan->spec;
+    }
+  } catch (const std::exception&) {
+    rep.whatif = "<invalid CUSW_WHATIF>";
+  }
   SplitMix64 sm(cfg_.seed);
   ArrivalProcess arrivals(cfg_.arrival, sm.next());
   Rng pick(sm.next());

@@ -139,6 +139,10 @@ struct ServiceReport {
 
   std::vector<SloStatus> slo;     // whole-run standing per objective
   std::vector<WindowStats> windows;
+  /// Canonical spec of the what-if plan active during the run ("" when
+  /// none): a projection under a virtual speedup is a counterfactual and
+  /// must say so wherever its numbers travel (obs/whatif.h).
+  std::string whatif;
 
   std::uint64_t rejected() const {
     return rejected_queue + rejected_concurrency + rejected_budget;

@@ -1,0 +1,109 @@
+// capsule_summary (tools/capsule_summary_lib.h): the one-screen digest
+// names the run, surfaces validator warnings, tops the kernel and site
+// tables with the right rows, and renders SLO standing from any serve
+// section embedded in the capsule.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/capsule.h"
+#include "obs/metrics.h"
+#include "obs/sampler.h"
+#include "tools/capsule_summary_lib.h"
+#include "tools/perf_explain_lib.h"
+
+namespace cusw {
+namespace {
+
+class SamplerGuard {
+ public:
+  explicit SamplerGuard(double every_ms, std::size_t capacity = 4096) {
+    obs::Sampler::global().configure(every_ms, capacity);
+    obs::Sampler::global().clear();
+  }
+  ~SamplerGuard() { obs::Sampler::global().disable(); }
+};
+
+TEST(CapsuleSummary, DigestsCanonicalCapsule) {
+  const std::string capsule = tools::canonical_capsule_original(200);
+  bool ok = false;
+  const std::string digest =
+      tools::summarize_capsule(capsule, {}, &ok);
+  ASSERT_TRUE(ok) << digest;
+  EXPECT_NE(digest.find("capsule: run '"), std::string::npos) << digest;
+  EXPECT_NE(digest.find("provenance:"), std::string::npos) << digest;
+  EXPECT_NE(digest.find("top kernels by charged cycles:"),
+            std::string::npos)
+      << digest;
+  EXPECT_NE(digest.find("intra_task_original"), std::string::npos)
+      << digest;
+  EXPECT_NE(digest.find("top sites by stall ticks:"), std::string::npos)
+      << digest;
+  EXPECT_NE(digest.find("wavefront.load (global)"), std::string::npos)
+      << digest;
+  // No serve section was noted, so no SLO block appears.
+  EXPECT_EQ(digest.find("SLO standing"), std::string::npos) << digest;
+}
+
+TEST(CapsuleSummary, TopNTruncatesSiteTable) {
+  const std::string capsule = tools::canonical_capsule_original(200);
+  tools::SummaryOptions opts;
+  opts.top_n = 1;
+  bool ok = false;
+  const std::string digest = tools::summarize_capsule(capsule, opts, &ok);
+  ASSERT_TRUE(ok) << digest;
+  EXPECT_NE(digest.find("(+"), std::string::npos) << digest;
+  // The truncated table keeps the hottest site…
+  EXPECT_NE(digest.find("wavefront.load (global)"), std::string::npos);
+  // …and drops the rest.
+  EXPECT_EQ(digest.find("query.symbol_load"), std::string::npos) << digest;
+}
+
+TEST(CapsuleSummary, RejectsInvalidCapsule) {
+  bool ok = true;
+  const std::string digest =
+      tools::summarize_capsule("{\"not\": \"a capsule\"}", {}, &ok);
+  EXPECT_FALSE(ok);
+  EXPECT_NE(digest.find("invalid capsule"), std::string::npos) << digest;
+}
+
+TEST(CapsuleSummary, RendersSloStandingFromSections) {
+  obs::capsule_clear_sections();
+  obs::capsule_note_section(
+      "serve",
+      "{\"slo\": ["
+      "{\"objective\": \"p99<30ms\", \"observed\": 41.5, \"bound\": 30.0, "
+      "\"burn_rate\": 12.5, \"ok\": false}, "
+      "{\"objective\": \"goodput>0.9\", \"observed\": 0.95, "
+      "\"bound\": 0.9, \"burn_rate\": 0.5, \"ok\": true}]}");
+  const std::string capsule =
+      obs::capsule_to_json(obs::Registry::global().snapshot(), "slo");
+  obs::capsule_clear_sections();
+  bool ok = false;
+  const std::string digest = tools::summarize_capsule(capsule, {}, &ok);
+  ASSERT_TRUE(ok) << digest;
+  EXPECT_NE(digest.find("SLO standing (section 'serve'):"),
+            std::string::npos)
+      << digest;
+  EXPECT_NE(digest.find("VIOLATED"), std::string::npos) << digest;
+  EXPECT_NE(digest.find("p99<30ms"), std::string::npos) << digest;
+  EXPECT_NE(digest.find("goodput>0.9"), std::string::npos) << digest;
+}
+
+TEST(CapsuleSummary, SurfacesDroppedPointWarnings) {
+  SamplerGuard sampler(1.0, 2);
+  for (int i = 1; i <= 4; ++i) {
+    obs::Sampler::global().record_point("serve", static_cast<double>(i),
+                                        {{"a", 1.0}});
+  }
+  const std::string capsule =
+      obs::capsule_to_json(obs::Registry::global().snapshot(), "overflow");
+  bool ok = false;
+  const std::string digest = tools::summarize_capsule(capsule, {}, &ok);
+  ASSERT_TRUE(ok) << digest;  // warnings are non-fatal
+  EXPECT_NE(digest.find("warning:"), std::string::npos) << digest;
+  EXPECT_NE(digest.find("dropped 2 point(s)"), std::string::npos) << digest;
+}
+
+}  // namespace
+}  // namespace cusw

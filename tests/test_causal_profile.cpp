@@ -1,0 +1,158 @@
+// causal_profile (tools/causal_profile_lib.h): target enumeration from a
+// capsule's counter tree, the factor sweep's self-checks (factor 1.0 is a
+// zero-gain no-op, ranking is sorted, the dominant memory site tops the
+// list), the locally-hot/causally-flat verdict, and byte-identical JSON
+// reports across CUSW_THREADS and memo on/off.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/whatif.h"
+#include "tools/causal_profile_lib.h"
+#include "tools/perf_explain_lib.h"
+
+namespace cusw {
+namespace {
+
+/// Scoped environment override that restores the previous value on exit.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* prev = std::getenv(name);
+    had_prev_ = prev != nullptr;
+    if (had_prev_) prev_ = prev;
+    setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (had_prev_)
+      setenv(name_.c_str(), prev_.c_str(), 1);
+    else
+      unsetenv(name_.c_str());
+  }
+
+ private:
+  std::string name_;
+  bool had_prev_ = false;
+  std::string prev_;
+};
+
+TEST(CausalProfile, EnumeratesTargetsFromCapsule) {
+  const std::string capsule = tools::canonical_capsule_original(200);
+  std::string error;
+  const std::vector<tools::CausalTarget> targets =
+      tools::enumerate_targets(capsule, 16, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  ASSERT_FALSE(targets.empty());
+  double share_sum = 0.0;
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    const tools::CausalTarget& t = targets[i];
+    // Ranked by local stall ticks, descending.
+    if (i > 0) {
+      EXPECT_LE(t.ticks, targets[i - 1].ticks) << t.spec;
+    }
+    EXPECT_GT(t.local_share, 0.0) << t.spec;
+    share_sum += t.local_share;
+    // The memory reasons are excluded (sites decompose them exactly) and
+    // the unattributed catch-all row is not an actionable target.
+    EXPECT_EQ(t.spec.find("stall:mem_issue"), std::string::npos);
+    EXPECT_EQ(t.spec.find("stall:txn_issue"), std::string::npos);
+    EXPECT_EQ(t.spec.find("stall:exposed_latency"), std::string::npos);
+    EXPECT_EQ(t.spec.find("unattributed"), std::string::npos);
+    // Every mined spec parses under the what-if grammar.
+    EXPECT_NO_THROW(obs::whatif::parse_plan(t.spec + "*0.5")) << t.spec;
+    if (t.spec.rfind("site:", 0) == 0) {
+      EXPECT_EQ(t.kernel, "intra_task_original") << t.spec;
+    } else {
+      EXPECT_EQ(t.kernel, "") << t.spec;
+    }
+  }
+  // Sites + non-memory reasons partition the charge, so shares can't
+  // exceed 1 (unattributed rows may leave a gap below it).
+  EXPECT_LE(share_sum, 1.0 + 1e-9);
+  EXPECT_EQ(targets[0].spec, "site:wavefront.load@global");
+
+  // top_n truncates the same ranking.
+  const std::vector<tools::CausalTarget> top =
+      tools::enumerate_targets(capsule, 2, &error);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].spec, targets[0].spec);
+  EXPECT_EQ(top[1].spec, targets[1].spec);
+}
+
+TEST(CausalProfile, EnumerateRejectsInvalidCapsule) {
+  std::string error;
+  const std::vector<tools::CausalTarget> targets =
+      tools::enumerate_targets("{\"not\": \"a capsule\"}", 4, &error);
+  EXPECT_TRUE(targets.empty());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(CausalProfile, SweepSelfChecksAndRanks) {
+  tools::CausalOptions opts;
+  opts.factors = {0.5, 1.0, 0.0};
+  opts.top_n = 3;
+  opts.db_sequences = 400;
+  opts.flat_ratio = 10.0;  // absurd bound: every ranked target reads flat
+  opts.min_local_share = 0.0;
+  const tools::CausalReport rep = tools::causal_profile_canonical(opts);
+  ASSERT_TRUE(rep.ok) << rep.error;
+  EXPECT_GT(rep.base_charged_cycles, 0.0);
+  EXPECT_GT(rep.base_gcups, 0.0);
+  ASSERT_EQ(rep.ranked.size(), 3u);
+  for (std::size_t i = 0; i < rep.ranked.size(); ++i) {
+    const tools::TargetResult& r = rep.ranked[i];
+    if (i > 0) {
+      EXPECT_LE(r.max_gain, rep.ranked[i - 1].max_gain);
+    }
+    ASSERT_EQ(r.points.size(), 3u);
+    EXPECT_EQ(r.points[0].factor, 0.5);
+    EXPECT_EQ(r.points[1].factor, 1.0);
+    EXPECT_EQ(r.points[2].factor, 0.0);
+    // Factor 1.0 is a byte-exact no-op, so its gain is exactly zero.
+    EXPECT_EQ(r.points[1].gain, 0.0) << r.target.spec;
+    EXPECT_EQ(r.points[1].charged_cycles, rep.base_charged_cycles)
+        << r.target.spec;
+    // More virtual speedup never loses end-to-end time.
+    EXPECT_GE(r.points[2].gain, r.points[0].gain - 1e-12) << r.target.spec;
+    EXPECT_TRUE(r.causally_flat) << r.target.spec;  // flat_ratio = 10
+  }
+  // The dominant memory site wins, causally, not just locally.
+  EXPECT_EQ(rep.ranked[0].target.spec, "site:wavefront.load@global");
+  EXPECT_GT(rep.ranked[0].max_gain, 0.25);
+  EXPECT_GT(rep.ranked[0].slope, 0.0);
+  // Cross-validation ran and agreed on the ranking (the error bound is
+  // calibrated for the full canonical db, so rel_error is not asserted).
+  EXPECT_TRUE(rep.xval.ran);
+  EXPECT_EQ(rep.xval.site_spec, "site:wavefront.load@global");
+  EXPECT_TRUE(rep.xval.ranking_agrees) << rep.xval.detail;
+  EXPECT_NE(rep.to_ascii().find("wavefront.load"), std::string::npos);
+}
+
+TEST(CausalProfile, ReportJsonIsIdenticalAcrossThreadsAndMemo) {
+  tools::CausalOptions opts;
+  opts.factors = {0.5};
+  opts.top_n = 2;
+  opts.db_sequences = 300;
+  std::string first;
+  for (const auto& [threads, memo] :
+       std::vector<std::pair<const char*, const char*>>{{"1", "0"},
+                                                        {"4", "1"}}) {
+    EnvGuard tg("CUSW_THREADS", threads);
+    EnvGuard mg("CUSW_SIM_MEMO", memo);
+    const tools::CausalReport rep = tools::causal_profile_canonical(opts);
+    ASSERT_TRUE(rep.ok) << rep.error;
+    const std::string json = rep.to_json();
+    if (first.empty()) {
+      first = json;
+    } else {
+      EXPECT_EQ(json, first) << "threads=" << threads << " memo=" << memo;
+    }
+  }
+  EXPECT_NE(first.find("\"cross_validation\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cusw

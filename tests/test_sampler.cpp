@@ -14,6 +14,8 @@
 #include "cudasw/intra_task_original.h"
 #include "gpusim/device_spec.h"
 #include "gpusim/launch.h"
+#include "obs/capsule.h"
+#include "obs/metrics.h"
 #include "obs/sampler.h"
 #include "obs/trace.h"
 #include "obs/trace_check.h"
@@ -229,6 +231,35 @@ TEST(Sampler, ValidatorRejectsSampleOutsideRunSpan) {
   EXPECT_FALSE(check.ok);
   EXPECT_NE(check.error.find("outside its run's span"), std::string::npos)
       << check.error;
+}
+
+TEST(Sampler, RingOverflowPublishesDroppedGauge) {
+  SamplerGuard sampler(1.0, 2);
+  obs::Sampler& s = obs::Sampler::global();
+  const obs::Snapshot before = obs::Registry::global().snapshot();
+  s.record_point("serve", 1.0, {{"a", 1.0}});
+  s.record_point("serve", 2.0, {{"a", 2.0}});
+  s.record_point("serve", 3.0, {{"a", 3.0}});
+  s.record_point("serve", 4.0, {{"a", 4.0}});
+  const obs::Snapshot diff =
+      obs::Registry::global().snapshot().diff(before);
+  EXPECT_EQ(diff.gauge("obs.sampler.dropped"), 2.0);
+}
+
+TEST(Sampler, DroppedSeriesWarnsButValidates) {
+  SamplerGuard sampler(1.0, 2);
+  obs::Sampler& s = obs::Sampler::global();
+  for (int i = 1; i <= 5; ++i) {
+    s.record_point("serve", static_cast<double>(i), {{"a", 1.0}});
+  }
+  const std::string capsule =
+      obs::capsule_to_json(obs::Registry::global().snapshot(), "overflow");
+  const obs::CapsuleCheck check = obs::validate_capsule(capsule);
+  EXPECT_TRUE(check.ok) << check.error;
+  ASSERT_EQ(check.warnings.size(), 1u);
+  EXPECT_NE(check.warnings[0].find("'serve' dropped 3 point(s)"),
+            std::string::npos)
+      << check.warnings[0];
 }
 
 TEST(Sampler, ValidatorRejectsSampleWithNoRunEvents) {

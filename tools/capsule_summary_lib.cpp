@@ -1,0 +1,212 @@
+#include "tools/capsule_summary_lib.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "gpusim/stall.h"
+#include "obs/capsule.h"
+#include "obs/trace_check.h"
+
+namespace cusw::tools {
+
+namespace {
+
+double num_or(const obs::json::Value* v, double fallback) {
+  return v != nullptr && v->kind == obs::json::Value::Kind::kNumber
+             ? v->number
+             : fallback;
+}
+
+const std::string& str_or(const obs::json::Value* v,
+                          const std::string& fallback) {
+  return v != nullptr && v->kind == obs::json::Value::Kind::kString
+             ? v->string
+             : fallback;
+}
+
+struct KernelRow {
+  std::string label;
+  double charged_ticks = 0.0;
+  double launches = 0.0;
+  double seconds = 0.0;
+  double gcups = 0.0;
+};
+
+struct SiteRow {
+  std::string name;  // "site (space)"
+  std::string kernel;
+  double stall_ticks = 0.0;
+};
+
+}  // namespace
+
+std::string summarize_capsule(std::string_view capsule,
+                              const SummaryOptions& options, bool* ok) {
+  *ok = false;
+  const obs::CapsuleCheck check = obs::validate_capsule(capsule);
+  if (!check.ok) {
+    return "capsule_summary: invalid capsule: " + check.error + "\n";
+  }
+  obs::json::Value root;
+  std::string perr;
+  if (!obs::json::parse(capsule, root, &perr)) {
+    return "capsule_summary: " + perr + "\n";
+  }
+
+  std::ostringstream os;
+  char buf[256];
+  const std::string none;
+  os << "capsule: run '" << str_or(root.find("run"), none) << "'\n";
+  for (const std::string& w : check.warnings) {
+    os << "warning: " << w << "\n";
+  }
+
+  if (const obs::json::Value* prov = root.find("provenance");
+      prov != nullptr && prov->kind == obs::json::Value::Kind::kObject) {
+    os << "provenance:";
+    for (const auto& [key, v] : prov->object) {
+      os << " " << key << "=";
+      if (v.kind == obs::json::Value::Kind::kString) {
+        os << v.string;
+      } else if (v.kind == obs::json::Value::Kind::kNumber) {
+        std::snprintf(buf, sizeof(buf), "%g", v.number);
+        os << buf;
+      } else {
+        os << "?";
+      }
+    }
+    os << "\n";
+  }
+  std::snprintf(buf, sizeof(buf),
+                "contents: %zu kernel(s), %zu series, %zu sample point(s)\n",
+                check.kernels, check.series, check.points);
+  os << buf;
+
+  std::vector<KernelRow> kernels;
+  std::vector<SiteRow> sites;
+  if (const obs::json::Value* ks = root.find("kernels");
+      ks != nullptr && ks->kind == obs::json::Value::Kind::kArray) {
+    for (const obs::json::Value& k : ks->array) {
+      if (k.kind != obs::json::Value::Kind::kObject) continue;
+      KernelRow row;
+      row.label = str_or(k.find("label"), none);
+      row.launches = num_or(k.find("launches"), 0.0);
+      row.seconds = num_or(k.find("seconds"), 0.0);
+      row.gcups = num_or(k.find("gcups"), 0.0);
+      if (const obs::json::Value* stall = k.find("stall_ticks");
+          stall != nullptr &&
+          stall->kind == obs::json::Value::Kind::kObject) {
+        row.charged_ticks = num_or(stall->find("charged"), 0.0);
+      }
+      if (const obs::json::Value* ss = k.find("sites");
+          ss != nullptr && ss->kind == obs::json::Value::Kind::kArray) {
+        for (const obs::json::Value& s : ss->array) {
+          if (s.kind != obs::json::Value::Kind::kObject) continue;
+          const obs::json::Value* ctr = s.find("counters");
+          if (ctr == nullptr ||
+              ctr->kind != obs::json::Value::Kind::kObject) {
+            continue;
+          }
+          SiteRow sr;
+          sr.name = str_or(s.find("site"), none) + " (" +
+                    str_or(s.find("space"), none) + ")";
+          sr.kernel = row.label;
+          sr.stall_ticks = num_or(ctr->find("stall_ticks"), 0.0);
+          if (sr.stall_ticks > 0.0) sites.push_back(std::move(sr));
+        }
+      }
+      kernels.push_back(std::move(row));
+    }
+  }
+
+  std::stable_sort(kernels.begin(), kernels.end(),
+                   [](const KernelRow& a, const KernelRow& b) {
+                     return a.charged_ticks > b.charged_ticks;
+                   });
+  if (!kernels.empty()) {
+    std::snprintf(buf, sizeof(buf), "\ntop kernels by charged cycles:\n");
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "  %-36s %9s %16s %10s %8s\n", "kernel",
+                  "launches", "charged cycles", "seconds", "GCUPS");
+    os << buf;
+    const std::size_t nk = std::min(options.top_n, kernels.size());
+    for (std::size_t i = 0; i < nk; ++i) {
+      const KernelRow& r = kernels[i];
+      std::snprintf(buf, sizeof(buf), "  %-36s %9.0f %16.1f %10.6f %8.3f\n",
+                    r.label.c_str(), r.launches,
+                    r.charged_ticks /
+                        static_cast<double>(gpusim::kStallTicksPerCycle),
+                    r.seconds, r.gcups);
+      os << buf;
+    }
+    if (kernels.size() > nk) {
+      std::snprintf(buf, sizeof(buf), "  (+%zu more)\n", kernels.size() - nk);
+      os << buf;
+    }
+  }
+
+  std::stable_sort(sites.begin(), sites.end(),
+                   [](const SiteRow& a, const SiteRow& b) {
+                     return a.stall_ticks > b.stall_ticks;
+                   });
+  if (!sites.empty()) {
+    os << "\ntop sites by stall ticks:\n";
+    std::snprintf(buf, sizeof(buf), "  %-28s %-36s %16s\n", "site", "kernel",
+                  "stall cycles");
+    os << buf;
+    const std::size_t ns = std::min(options.top_n, sites.size());
+    for (std::size_t i = 0; i < ns; ++i) {
+      const SiteRow& r = sites[i];
+      std::snprintf(buf, sizeof(buf), "  %-28s %-36s %16.1f\n",
+                    r.name.c_str(), r.kernel.c_str(),
+                    r.stall_ticks /
+                        static_cast<double>(gpusim::kStallTicksPerCycle));
+      os << buf;
+    }
+    if (sites.size() > ns) {
+      std::snprintf(buf, sizeof(buf), "  (+%zu more)\n", sites.size() - ns);
+      os << buf;
+    }
+  }
+
+  // SLO standing from any serve section (ServiceReport::to_json shape:
+  // an object with an "slo" array of objective rows).
+  if (const obs::json::Value* sections = root.find("sections");
+      sections != nullptr &&
+      sections->kind == obs::json::Value::Kind::kObject) {
+    for (const auto& [name, section] : sections->object) {
+      if (section.kind != obs::json::Value::Kind::kObject) continue;
+      const obs::json::Value* slo = section.find("slo");
+      if (slo == nullptr || slo->kind != obs::json::Value::Kind::kArray ||
+          slo->array.empty()) {
+        continue;
+      }
+      os << "\nSLO standing (section '" << name << "'):\n";
+      std::snprintf(buf, sizeof(buf), "  %-24s %12s %12s %10s %8s\n",
+                    "objective", "observed", "bound", "burn", "status");
+      os << buf;
+      for (const obs::json::Value& s : slo->array) {
+        if (s.kind != obs::json::Value::Kind::kObject) continue;
+        const obs::json::Value* okv = s.find("ok");
+        const bool met =
+            okv != nullptr && okv->kind == obs::json::Value::Kind::kBool &&
+            okv->boolean;
+        std::snprintf(buf, sizeof(buf), "  %-24s %12.3f %12.3f %10.2f %8s\n",
+                      str_or(s.find("objective"), none).c_str(),
+                      num_or(s.find("observed"), 0.0),
+                      num_or(s.find("bound"), 0.0),
+                      num_or(s.find("burn_rate"), 0.0),
+                      met ? "ok" : "VIOLATED");
+        os << buf;
+      }
+    }
+  }
+
+  *ok = true;
+  return os.str();
+}
+
+}  // namespace cusw::tools

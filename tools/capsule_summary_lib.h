@@ -1,0 +1,30 @@
+// capsule_summary: a one-screen ASCII digest of a run capsule
+// (obs/capsule.h).
+//
+// Capsules are complete by design — every counter, series and section a
+// run produced — which makes them the wrong artifact to *read*. This
+// tool answers "what is in this capsule" in a dozen lines: the
+// provenance block (run name, git sha, thread count, memo state, any
+// what-if plan), the top kernels by charged cycles, the top memory sites
+// by stall ticks across all kernels, and the SLO standing of any serve
+// section. Validation warnings (sampler ring overflow) are surfaced at
+// the top so nobody trusts a truncated series by accident.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace cusw::tools {
+
+struct SummaryOptions {
+  /// Rows per ranked table (kernels, sites).
+  std::size_t top_n = 5;
+};
+
+/// Render the digest. On an invalid capsule the returned text is a
+/// single error line and *ok is set to false.
+std::string summarize_capsule(std::string_view capsule,
+                              const SummaryOptions& options, bool* ok);
+
+}  // namespace cusw::tools

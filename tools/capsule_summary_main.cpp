@@ -1,0 +1,62 @@
+// capsule_summary CLI: one-screen digest of a run capsule
+// (see tools/capsule_summary_lib.h).
+//
+//   capsule_summary CAPSULE.json [--top=N]
+//
+// Exit status 0 when the capsule validates (warnings included), 1 on an
+// invalid or unreadable capsule.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "tools/capsule_summary_lib.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+int usage() {
+  std::fprintf(stderr, "usage: capsule_summary CAPSULE.json [--top=N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cusw::tools::SummaryOptions opts;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--top=";
+    if (arg.rfind(prefix, 0) == 0) {
+      opts.top_n =
+          static_cast<std::size_t>(std::atoi(arg.substr(prefix.size()).c_str()));
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 1) return usage();
+
+  std::string capsule;
+  if (!read_file(paths[0], capsule)) {
+    std::fprintf(stderr, "capsule_summary: cannot read %s\n",
+                 paths[0].c_str());
+    return 1;
+  }
+  bool ok = false;
+  const std::string digest =
+      cusw::tools::summarize_capsule(capsule, opts, &ok);
+  std::printf("%s", digest.c_str());
+  return ok ? 0 : 1;
+}

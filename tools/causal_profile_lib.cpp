@@ -1,0 +1,576 @@
+#include "tools/causal_profile_lib.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "cudasw/intra_task_original.h"
+#include "cudasw/multi_gpu.h"
+#include "gpusim/stall.h"
+#include "obs/capsule.h"
+#include "obs/trace_check.h"
+#include "obs/whatif.h"
+#include "seq/generate.h"
+#include "serve/service.h"
+#include "util/json.h"
+#include "util/rng.h"
+
+namespace cusw::tools {
+
+namespace {
+
+bool is_memory_reason(const std::string& reason) {
+  return reason == "mem_issue" || reason == "txn_issue" ||
+         reason == "exposed_latency";
+}
+
+std::uint64_t as_ticks(const obs::json::Value* v) {
+  if (v == nullptr || v->kind != obs::json::Value::Kind::kNumber ||
+      v->number <= 0.0) {
+    return 0;
+  }
+  return static_cast<std::uint64_t>(std::llround(v->number));
+}
+
+/// A sweep must see the clean baseline and exactly the plan it installs:
+/// shelve any ambient CUSW_WHATIF for the duration (the programmatic plan
+/// would shadow it anyway, but the baseline and service runs carry no
+/// plan at all).
+class WhatIfEnvShelf {
+ public:
+  WhatIfEnvShelf() {
+    if (const char* v = std::getenv("CUSW_WHATIF"); v != nullptr) {
+      had_ = true;
+      saved_ = v;
+      ::unsetenv("CUSW_WHATIF");
+    }
+  }
+  ~WhatIfEnvShelf() {
+    if (had_) ::setenv("CUSW_WHATIF", saved_.c_str(), 1);
+  }
+  WhatIfEnvShelf(const WhatIfEnvShelf&) = delete;
+  WhatIfEnvShelf& operator=(const WhatIfEnvShelf&) = delete;
+
+ private:
+  bool had_ = false;
+  std::string saved_;
+};
+
+struct RunCost {
+  std::uint64_t charged_ticks = 0;
+  double charged_cycles = 0.0;
+  double seconds = 0.0;
+  double gcups = 0.0;
+};
+
+/// One canonical run under whatever plan is active. Verifies the
+/// simulator's partition invariant (Σ reasons == charged) at this point
+/// of the sweep; a violation poisons the whole report.
+bool run_canonical_once(const CanonicalWorkload& w, RunCost& out,
+                        std::string* error) {
+  gpusim::Device dev(w.spec);
+  const cudasw::KernelRun run =
+      cudasw::run_intra_task_original(dev, w.query, w.longs, *w.matrix, w.gap,
+                                      {});
+  std::uint64_t reason_sum = 0;
+  gpusim::for_each_stall_reason(
+      run.stats.stall,
+      [&](const char*, std::uint64_t v) { reason_sum += v; });
+  if (reason_sum != run.stats.stall.charged) {
+    const obs::whatif::Plan* plan = obs::whatif::active_plan();
+    *error = "stall partition broken under plan '" +
+             (plan != nullptr ? plan->spec : std::string("<none>")) +
+             "': reasons sum to " + std::to_string(reason_sum) +
+             " ticks, charged " + std::to_string(run.stats.stall.charged);
+    return false;
+  }
+  out.charged_ticks = run.stats.stall.charged;
+  out.charged_cycles = gpusim::stall_ticks_to_cycles(out.charged_ticks);
+  out.seconds = run.stats.seconds;
+  out.gcups = out.seconds > 0.0
+                  ? static_cast<double>(run.cells) / out.seconds * 1e-9
+                  : 0.0;
+  return true;
+}
+
+/// Service objectives of the SLO projection. The bound sits a little
+/// under the baseline tail so the burn rate starts above 1 (the budget is
+/// being spent) and sweeps show how much of it each speedup buys back.
+const char* const kServiceSlo = "p99<30ms,goodput>0.9";
+constexpr std::uint64_t kServiceSeed = 0x51c0;
+
+struct ServicePoint {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_burn = 0.0;
+};
+
+/// Project service latency/SLO standing under the active plan. Built
+/// fresh per point: the Executor memoizes per query, so a cached scan
+/// from one plan must never serve another.
+ServicePoint run_service_once(const CausalOptions& opts) {
+  const auto& matrix = sw::ScoringMatrix::blosum62();
+  const auto db =
+      seq::DatabaseProfile::swissprot().synthesize(160, kServiceSeed);
+  const gpusim::DeviceSpec spec = gpusim::DeviceSpec::tesla_c1060();
+
+  // Route the bulk of Swiss-Prot to the original intra-task kernel: the
+  // projection asks what a fleet still running the paper's baseline
+  // kernel would feel if the swept cost went away.
+  cudasw::MultiGpuConfig mg;
+  mg.search.intra_kernel = cudasw::IntraKernel::kOriginal;
+  mg.search.threshold = 256;
+  serve::Executor exec(spec, 2, db, matrix, mg);
+
+  Rng qrng(kServiceSeed);
+  std::vector<std::vector<seq::Code>> pool;
+  for (const std::size_t len : {64, 144, 256, 367})
+    pool.push_back(seq::random_protein(len, qrng).residues);
+
+  serve::ServiceConfig cfg;
+  cfg.arrival.kind = serve::ArrivalConfig::Kind::kPoisson;
+  cfg.arrival.rate_rps = 45.0;
+  cfg.admission.max_queue = 32;
+  cfg.admission.max_inflight = 64;
+  cfg.policy = serve::BatchPolicy::kFifo;
+  cfg.deadline_ms = 30.0;
+  cfg.num_requests = opts.service_requests;
+  cfg.seed = kServiceSeed;
+  cfg.window_ms = 250.0;
+  cfg.slo = serve::SloSpec::parse(kServiceSlo);
+  cfg.trace_cat = "causal.service";
+  serve::Service svc(cfg, exec, pool);
+  const serve::ServiceReport rep = svc.run();
+
+  ServicePoint p;
+  p.p50_ms = rep.latency_ms.quantile(0.50);
+  p.p99_ms = rep.latency_ms.quantile(0.99);
+  for (const serve::SloStatus& s : rep.slo)
+    p.max_burn = std::max(p.max_burn, s.burn_rate);
+  return p;
+}
+
+/// Gain-vs-(1 - factor) slope, least squares through the origin.
+double fit_slope(const std::vector<SweepPoint>& points) {
+  double num = 0.0, den = 0.0;
+  for (const SweepPoint& p : points) {
+    const double s = 1.0 - p.factor;
+    num += s * p.gain;
+    den += s * s;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+/// "X (space)" — the node naming perf_explain uses for site rows.
+std::string explain_row_name(const CausalTarget& t) {
+  // spec is "site:<name>@<space>"; non-site targets have no explain row.
+  const std::string body = t.spec.substr(5);
+  const std::size_t at = body.rfind('@');
+  return body.substr(0, at) + " (" + body.substr(at + 1) + ")";
+}
+
+std::string format_gain_header(double factor) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "gain@%.2f", factor);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<CausalTarget> enumerate_targets(std::string_view capsule,
+                                            std::size_t top_n,
+                                            std::string* error) {
+  std::vector<CausalTarget> out;
+  const obs::CapsuleCheck check = obs::validate_capsule(capsule);
+  if (!check.ok) {
+    *error = "capsule: " + check.error;
+    return out;
+  }
+  obs::json::Value root;
+  std::string perr;
+  if (!obs::json::parse(capsule, root, &perr)) {
+    *error = "capsule: " + perr;
+    return out;
+  }
+  const obs::json::Value* kernels = root.find("kernels");
+  if (kernels == nullptr) return out;
+
+  std::uint64_t total_charged = 0;
+  std::vector<CausalTarget> candidates;
+  std::map<std::string, std::uint64_t> reasons;  // launch-wide, all kernels
+  for (const obs::json::Value& k : kernels->array) {
+    const std::string label = k.find("label")->string;  // validated above
+    if (const obs::json::Value* stall = k.find("stall_ticks");
+        stall != nullptr && stall->kind == obs::json::Value::Kind::kObject) {
+      for (const auto& [reason, v] : stall->object) {
+        const std::uint64_t ticks = as_ticks(&v);
+        if (reason == "charged") {
+          total_charged += ticks;
+        } else if (!is_memory_reason(reason) && ticks > 0) {
+          // Memory reasons are excluded: the site rows below decompose
+          // them exactly, and sweeping both would double-count the cost.
+          reasons[reason] += ticks;
+        }
+      }
+    }
+    if (const obs::json::Value* sites = k.find("sites");
+        sites != nullptr && sites->kind == obs::json::Value::Kind::kArray) {
+      for (const obs::json::Value& s : sites->array) {
+        if (s.kind != obs::json::Value::Kind::kObject) continue;
+        const obs::json::Value* site = s.find("site");
+        const obs::json::Value* space = s.find("space");
+        const obs::json::Value* ctr = s.find("counters");
+        if (site == nullptr || site->kind != obs::json::Value::Kind::kString ||
+            space == nullptr ||
+            space->kind != obs::json::Value::Kind::kString ||
+            ctr == nullptr || ctr->kind != obs::json::Value::Kind::kObject) {
+          continue;
+        }
+        // The remainder bucket is not an actionable code location.
+        if (site->string == "unattributed") continue;
+        const std::uint64_t ticks = as_ticks(ctr->find("stall_ticks"));
+        if (ticks == 0) continue;
+        CausalTarget t;
+        t.spec = "site:" + site->string + "@" + space->string;
+        t.kernel = label;
+        t.ticks = ticks;
+        candidates.push_back(std::move(t));
+      }
+    }
+  }
+  for (const auto& [reason, ticks] : reasons) {
+    CausalTarget t;
+    t.spec = "stall:" + reason;
+    t.ticks = ticks;
+    candidates.push_back(std::move(t));
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const CausalTarget& a, const CausalTarget& b) {
+              return a.ticks != b.ticks ? a.ticks > b.ticks
+                                        : a.spec < b.spec;
+            });
+  if (candidates.size() > top_n) candidates.resize(top_n);
+  for (CausalTarget& t : candidates) {
+    t.local_share = total_charged > 0
+                        ? static_cast<double>(t.ticks) /
+                              static_cast<double>(total_charged)
+                        : 0.0;
+  }
+  return candidates;
+}
+
+CausalReport causal_profile_canonical(const CausalOptions& options) {
+  CausalReport rep;
+  rep.options = options;
+  if (options.factors.empty()) {
+    rep.error = "no factors to sweep";
+    return rep;
+  }
+
+  WhatIfEnvShelf shelf;
+  obs::whatif::clear_plan();
+
+  // 1. Capsule of the unmodified workload -> candidate targets.
+  const std::string base_capsule =
+      canonical_capsule_original(options.db_sequences);
+  std::string enum_error;
+  std::vector<CausalTarget> targets =
+      enumerate_targets(base_capsule, options.top_n, &enum_error);
+  if (!enum_error.empty()) {
+    rep.error = enum_error;
+    return rep;
+  }
+  if (targets.empty()) {
+    rep.error = "no sweepable targets in the canonical capsule";
+    return rep;
+  }
+
+  // 2. Baseline re-run: establishes the denominators and proves the
+  // sweep harness reproduces the capsule's numbers exactly.
+  const CanonicalWorkload w = canonical_workload(options.db_sequences);
+  RunCost base;
+  if (!run_canonical_once(w, base, &rep.error)) return rep;
+  rep.base_charged_cycles = base.charged_cycles;
+  rep.base_seconds = base.seconds;
+  rep.base_gcups = base.gcups;
+  if (options.service) {
+    const ServicePoint sp = run_service_once(options);
+    rep.base_p50_ms = sp.p50_ms;
+    rep.base_p99_ms = sp.p99_ms;
+    rep.base_max_burn = sp.max_burn;
+    rep.slo_spec = kServiceSlo;
+  }
+
+  // 3. The sweep: one re-run per (target, factor).
+  for (CausalTarget& target : targets) {
+    TargetResult tr;
+    tr.target = std::move(target);
+    double min_factor = options.factors.front();
+    for (const double factor : options.factors) {
+      obs::whatif::set_plan(obs::whatif::parse_plan(
+          tr.target.spec + "*" + util::json_number(factor)));
+      SweepPoint p;
+      p.factor = factor;
+      RunCost cost;
+      const bool ran = run_canonical_once(w, cost, &rep.error);
+      if (ran && options.service) {
+        const ServicePoint sp = run_service_once(options);
+        p.p50_ms = sp.p50_ms;
+        p.p99_ms = sp.p99_ms;
+        p.max_burn = sp.max_burn;
+      }
+      obs::whatif::clear_plan();
+      if (!ran) return rep;
+      p.charged_cycles = cost.charged_cycles;
+      p.seconds = cost.seconds;
+      p.gcups = cost.gcups;
+      p.gain = base.charged_cycles > 0.0
+                   ? (base.charged_cycles - cost.charged_cycles) /
+                         base.charged_cycles
+                   : 0.0;
+      if (factor < min_factor) min_factor = factor;
+      tr.points.push_back(p);
+    }
+    for (const SweepPoint& p : tr.points) {
+      if (p.factor == min_factor) tr.max_gain = p.gain;
+    }
+    tr.slope = fit_slope(tr.points);
+    tr.causally_flat = tr.target.local_share > options.min_local_share &&
+                       tr.max_gain < options.flat_ratio *
+                                         tr.target.local_share;
+    rep.ranked.push_back(std::move(tr));
+  }
+  std::stable_sort(rep.ranked.begin(), rep.ranked.end(),
+                   [](const TargetResult& a, const TargetResult& b) {
+                     return a.max_gain != b.max_gain
+                                ? a.max_gain > b.max_gain
+                                : a.target.spec < b.target.spec;
+                   });
+
+  // 4. Cross-validation against perf_explain's differential attribution:
+  // the dominant memory site's full-speedup gain must predict the
+  // measured orig -> improved memory-node delta, and the sweep's rank-1
+  // target must be the attribution tree's dominant leaf.
+  CrossValidation& xv = rep.xval;
+  xv.ran = true;
+  xv.top_target = rep.ranked.front().target.spec;
+  const TargetResult* dominant_site = nullptr;
+  for (const TargetResult& tr : rep.ranked) {
+    if (tr.target.spec.rfind("site:", 0) != 0) continue;
+    if (dominant_site == nullptr ||
+        tr.target.ticks > dominant_site->target.ticks) {
+      dominant_site = &tr;
+    }
+  }
+  if (dominant_site == nullptr) {
+    xv.detail = "no site target swept; cannot cross-validate";
+  } else {
+    xv.site_spec = dominant_site->target.spec;
+    // Gain of deleting the site entirely: the factor-0 point when swept,
+    // else the fitted slope extrapolated to (1 - factor) == 1.
+    double gain_full = dominant_site->slope;
+    for (const SweepPoint& p : dominant_site->points) {
+      if (p.factor == 0.0) gain_full = p.gain;
+    }
+    xv.predicted_cycles = gain_full * base.charged_cycles;
+
+    ExplainOptions eopts;
+    eopts.threshold = 0.0;  // keep every site row unfolded
+    const ExplainReport explain = explain_capsules(
+        base_capsule, canonical_capsule_improved(options.db_sequences),
+        eopts);
+    if (!explain.ok) {
+      xv.detail = "perf_explain failed: " + explain.error;
+    } else {
+      const ExplainNode* memory = nullptr;
+      for (const ExplainNode& kernel : explain.root.children) {
+        for (const ExplainNode& c : kernel.children) {
+          if (c.name != "memory") continue;
+          if (memory == nullptr ||
+              std::fabs(c.delta) > std::fabs(memory->delta)) {
+            memory = &c;
+          }
+        }
+      }
+      if (memory == nullptr) {
+        xv.detail = "perf_explain tree has no memory node";
+      } else {
+        xv.measured_cycles = std::fabs(memory->delta);
+        const ExplainNode* leaf = nullptr;
+        for (const ExplainNode& row : memory->children) {
+          if (leaf == nullptr ||
+              std::fabs(row.delta) > std::fabs(leaf->delta)) {
+            leaf = &row;
+          }
+        }
+        xv.dominant_node = leaf != nullptr ? leaf->name : "";
+        xv.rel_error =
+            xv.measured_cycles > 0.0
+                ? std::fabs(xv.predicted_cycles - xv.measured_cycles) /
+                      xv.measured_cycles
+                : 1.0;
+        xv.ranking_agrees =
+            rep.ranked.front().target.spec.rfind("site:", 0) == 0 &&
+            explain_row_name(rep.ranked.front().target) == xv.dominant_node;
+        xv.ok = xv.rel_error <= options.xval_bound && xv.ranking_agrees;
+        char buf[256];
+        std::snprintf(buf, sizeof(buf),
+                      "predicted %.0f vs measured %.0f cycles (%.1f%%, "
+                      "bound %.1f%%); top target %s %s dominant node %s",
+                      xv.predicted_cycles, xv.measured_cycles,
+                      100.0 * xv.rel_error, 100.0 * options.xval_bound,
+                      xv.top_target.c_str(),
+                      xv.ranking_agrees ? "matches" : "DISAGREES with",
+                      xv.dominant_node.c_str());
+        xv.detail = buf;
+      }
+    }
+  }
+
+  rep.ok = true;
+  obs::capsule_note_section("causal_profile", rep.to_json());
+  return rep;
+}
+
+std::string CausalReport::to_ascii() const {
+  std::ostringstream os;
+  if (!ok) {
+    os << "causal_profile: " << error << "\n";
+    return os.str();
+  }
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "causal_profile: canonical Table I workload "
+                "(intra_task_original, one-SM C1060 slice, %zu-sequence "
+                "database)\n",
+                options.db_sequences);
+  os << buf;
+  std::snprintf(buf, sizeof(buf),
+                "baseline: charged %.1f cycles | %.6f s | %.3f GCUPS\n\n",
+                base_charged_cycles, base_seconds, base_gcups);
+  os << buf;
+
+  std::snprintf(buf, sizeof(buf), "%4s  %-36s %7s %7s", "rank", "target",
+                "local%", "slope");
+  os << buf;
+  const std::vector<double>& factors = options.factors;
+  for (const double f : factors) {
+    std::snprintf(buf, sizeof(buf), " %10s",
+                  format_gain_header(f).c_str());
+    os << buf;
+  }
+  os << "  verdict\n";
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const TargetResult& tr = ranked[i];
+    std::snprintf(buf, sizeof(buf), "%4zu  %-36s %6.1f%% %7.3f", i + 1,
+                  tr.target.spec.c_str(), 100.0 * tr.target.local_share,
+                  tr.slope);
+    os << buf;
+    for (const SweepPoint& p : tr.points) {
+      std::snprintf(buf, sizeof(buf), " %9.1f%%", 100.0 * p.gain);
+      os << buf;
+    }
+    os << "  " << (tr.causally_flat ? "causally flat" : "") << "\n";
+  }
+
+  if (!slo_spec.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "\nservice projection (%s; %zu requests):\n"
+                  "  baseline: p50 %8.2f ms  p99 %8.2f ms  burn %6.2f\n",
+                  slo_spec.c_str(), options.service_requests, base_p50_ms,
+                  base_p99_ms, base_max_burn);
+    os << buf;
+    std::snprintf(buf, sizeof(buf), "  %-36s %7s %10s %10s %7s\n", "target",
+                  "factor", "p50 (ms)", "p99 (ms)", "burn");
+    os << buf;
+    for (const TargetResult& tr : ranked) {
+      for (const SweepPoint& p : tr.points) {
+        std::snprintf(buf, sizeof(buf),
+                      "  %-36s %7.2f %10.2f %10.2f %7.2f\n",
+                      tr.target.spec.c_str(), p.factor, p.p50_ms, p.p99_ms,
+                      p.max_burn);
+        os << buf;
+      }
+    }
+  }
+
+  os << "\ncross-validation vs perf_explain: ";
+  if (!xval.ran || xval.measured_cycles <= 0.0) {
+    os << (xval.detail.empty() ? "not run" : xval.detail) << "\n";
+  } else {
+    os << (xval.ok ? "OK" : "FAIL") << "\n  " << xval.detail << "\n";
+  }
+  return os.str();
+}
+
+std::string CausalReport::to_json() const {
+  util::JsonFields f;
+  f.field("tool", std::string_view("causal_profile")).field("ok", ok);
+  if (!ok) {
+    f.field("error", std::string_view(error));
+    return f.object();
+  }
+  f.field("base_charged_cycles", base_charged_cycles)
+      .field("base_seconds", base_seconds)
+      .field("base_gcups", base_gcups)
+      .field("db_sequences", static_cast<std::uint64_t>(options.db_sequences))
+      .field("service", options.service);
+  if (!slo_spec.empty()) {
+    f.field("slo_spec", std::string_view(slo_spec))
+        .field("base_p50_ms", base_p50_ms)
+        .field("base_p99_ms", base_p99_ms)
+        .field("base_max_burn", base_max_burn);
+  }
+  std::string arr = "[";
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    const TargetResult& tr = ranked[i];
+    util::JsonFields t;
+    t.field("rank", static_cast<std::uint64_t>(i + 1))
+        .field("target", std::string_view(tr.target.spec))
+        .field("kernel", std::string_view(tr.target.kernel))
+        .field("local_share", tr.target.local_share)
+        .field("max_gain", tr.max_gain)
+        .field("slope", tr.slope)
+        .field("causally_flat", tr.causally_flat);
+    std::string pts = "[";
+    for (std::size_t j = 0; j < tr.points.size(); ++j) {
+      const SweepPoint& p = tr.points[j];
+      util::JsonFields pf;
+      pf.field("factor", p.factor)
+          .field("charged_cycles", p.charged_cycles)
+          .field("seconds", p.seconds)
+          .field("gcups", p.gcups)
+          .field("gain", p.gain);
+      if (options.service) {
+        pf.field("p50_ms", p.p50_ms)
+            .field("p99_ms", p.p99_ms)
+            .field("max_burn", p.max_burn);
+      }
+      pts += (j != 0 ? ", " : "") + pf.object();
+    }
+    pts += "]";
+    t.raw("points", pts);
+    arr += (i != 0 ? ", " : "") + t.object();
+  }
+  arr += "]";
+  f.raw("ranked", arr);
+
+  util::JsonFields xv;
+  xv.field("ran", xval.ran)
+      .field("ok", xval.ok)
+      .field("site", std::string_view(xval.site_spec))
+      .field("predicted_cycles", xval.predicted_cycles)
+      .field("measured_cycles", xval.measured_cycles)
+      .field("rel_error", xval.rel_error)
+      .field("top_target", std::string_view(xval.top_target))
+      .field("dominant_node", std::string_view(xval.dominant_node))
+      .field("ranking_agrees", xval.ranking_agrees)
+      .field("detail", std::string_view(xval.detail));
+  f.raw("cross_validation", xv.object());
+  return f.object();
+}
+
+}  // namespace cusw::tools

@@ -1,0 +1,154 @@
+// causal_profile: virtual-speedup experiments on the simulated clock
+// (obs/whatif.h, DESIGN.md §14).
+//
+// Classic profilers answer "where did the time go"; this tool answers
+// "what would happen if a cost went away". It enumerates the hottest
+// targets from a run capsule's counter tree — (site, space) attribution
+// rows and the non-memory stall reasons — then re-runs the canonical
+// Table I workload once per (target, factor) point with a what-if plan
+// installed that scales the target's charged ticks by the factor. The
+// end-to-end delta of each point (charged cycles, wall seconds, GCUPS)
+// *is* the causal effect of that virtual speedup, including every
+// downstream interaction a local stall share cannot see: window max()
+// terms, occupancy idle, scheduling, service queueing.
+//
+// The report ranks targets by their gain at the most aggressive factor,
+// fits a linear speedup curve through the sweep (gain per virtual %),
+// and flags targets that are *locally hot but causally flat* — a large
+// stall share whose removal barely moves the end-to-end clock because
+// another term of the window max() backfills it.
+//
+// Two self-checks make the advice trustworthy:
+//   - at every sweep point the simulator's Σ reasons == charged
+//     invariant still holds (validated through the capsule checker), and
+//     factor 1.0 is byte-identical to no plan at all;
+//   - cross-validation: the predicted gain from deleting the original
+//     kernel's dominant memory site must agree (within
+//     CausalOptions::xval_bound) with the orig→improved memory-node
+//     delta that tools/perf_explain measures, and the top-ranked target
+//     must *be* perf_explain's dominant attribution node.
+//
+// With CausalOptions::service set, every sweep point additionally runs a
+// small search-as-a-service projection (serve/service.h) under the same
+// plan and reports p50/p99 latency and the worst SLO burn rate — turning
+// "this optimisation removes N cycles" into "this optimisation buys back
+// this much error budget".
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "tools/perf_explain_lib.h"
+
+namespace cusw::tools {
+
+struct CausalOptions {
+  /// Virtual-speedup factors swept per target, applied in order. 0 means
+  /// "this cost is free"; 1.0 would be a byte-exact no-op.
+  std::vector<double> factors = {0.9, 0.75, 0.5, 0.0};
+  /// How many targets (by local stall share) to sweep.
+  std::size_t top_n = 6;
+  /// "Causally flat" when end-to-end gain at the most aggressive factor
+  /// is below this fraction of the target's local share…
+  double flat_ratio = 0.25;
+  /// …and the local share is big enough for the verdict to matter.
+  double min_local_share = 0.02;
+  /// Cross-validation bound: |predicted - measured| / measured of the
+  /// dominant memory site's full-speedup gain vs perf_explain's
+  /// memory-node delta.
+  double xval_bound = 0.15;
+  /// Project service p50/p99/burn-rate per sweep point (slower).
+  bool service = false;
+  /// Requests per service projection run.
+  std::size_t service_requests = 160;
+  /// Database size of the canonical workload; tests shrink it.
+  std::size_t db_sequences = 2400;
+};
+
+/// One candidate target mined from the capsule counter tree.
+struct CausalTarget {
+  std::string spec;    // what-if grammar: "site:x@global", "stall:sync", …
+  std::string kernel;  // owning kernel label ("" for launch-wide reasons)
+  std::uint64_t ticks = 0;   // local stall ticks attributed to the target
+  double local_share = 0.0;  // ticks / total charged ticks
+};
+
+/// One re-run of the workload under `factor` applied to one target.
+struct SweepPoint {
+  double factor = 1.0;
+  double charged_cycles = 0.0;
+  double seconds = 0.0;
+  double gcups = 0.0;
+  /// (baseline charged - charged) / baseline charged: the causal
+  /// end-to-end gain of this virtual speedup.
+  double gain = 0.0;
+  // Service projection (CausalOptions::service only):
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double max_burn = 0.0;  // worst SLO objective burn rate
+};
+
+struct TargetResult {
+  CausalTarget target;
+  std::vector<SweepPoint> points;  // in CausalOptions::factors order
+  double max_gain = 0.0;  // gain at the most aggressive factor
+  /// Least-squares slope through the origin of gain vs (1 - factor):
+  /// end-to-end gain per virtual % of this target's cost removed.
+  double slope = 0.0;
+  /// Locally hot, causally flat: big stall share, no clock movement.
+  bool causally_flat = false;
+};
+
+/// The two-way self-check against perf_explain's differential attribution.
+struct CrossValidation {
+  bool ran = false;
+  bool ok = false;  // rel_error <= bound AND ranking agreement
+  std::string site_spec;       // the dominant memory site target swept
+  double predicted_cycles = 0.0;  // its full-speedup charged-cycle gain
+  double measured_cycles = 0.0;   // |memory-node delta| orig -> improved
+  double rel_error = 0.0;
+  std::string top_target;      // rank-1 target of the sweep
+  std::string dominant_node;   // perf_explain's largest memory leaf
+  bool ranking_agrees = false;
+  std::string detail;          // human-readable failure description
+};
+
+struct CausalReport {
+  bool ok = false;
+  std::string error;  // validation failure, empty when ok
+  double base_charged_cycles = 0.0;
+  double base_seconds = 0.0;
+  double base_gcups = 0.0;
+  // Baseline service projection (CausalOptions::service only):
+  double base_p50_ms = 0.0;
+  double base_p99_ms = 0.0;
+  double base_max_burn = 0.0;
+  std::string slo_spec;  // objectives of the projection, "" without service
+  std::vector<TargetResult> ranked;  // sorted by max_gain, descending
+  CrossValidation xval;
+  CausalOptions options;
+
+  std::string to_ascii() const;
+  std::string to_json() const;
+};
+
+/// Mine the top-N what-if targets from a capsule: per-(site, space)
+/// attribution rows plus the non-memory stall reasons (compute, sync,
+/// bank_conflict, occupancy_idle), ranked by local stall share. The
+/// memory reasons themselves are excluded — the site rows decompose them
+/// exactly, so sweeping both would double-count the same cost. Returns
+/// an empty vector and sets *error on an invalid capsule.
+std::vector<CausalTarget> enumerate_targets(std::string_view capsule,
+                                            std::size_t top_n,
+                                            std::string* error);
+
+/// Run the full causal profile of the canonical Table I original-kernel
+/// workload: capsule → targets → factor sweep → ranking → cross-validation
+/// against perf_explain. On success, contributes the JSON report as the
+/// process capsule's "causal_profile" section. Byte-identical output for
+/// any CUSW_THREADS and for memo on/off.
+CausalReport causal_profile_canonical(const CausalOptions& options = {});
+
+}  // namespace cusw::tools

@@ -1,0 +1,158 @@
+// causal_profile CLI: virtual-speedup sweeps on the simulated clock
+// (see tools/causal_profile_lib.h).
+//
+//   causal_profile --canonical [--service] [--factors=0.9,0.5,0]
+//                  [--top=N] [--db=N] [--json=PATH]
+//       sweep the canonical Table I original-kernel workload and print
+//       the ranked advice
+//   causal_profile --canonical-check
+//       same sweep, exit 0 only when the report is valid AND the
+//       cross-validation against perf_explain passes (the
+//       `causal_profile_canonical` ctest / CI gate)
+//   causal_profile --list-targets CAPSULE.json [--top=N]
+//       mine the what-if targets of an arbitrary capsule without
+//       re-running anything (arbitrary workloads cannot be replayed;
+//       the sweep itself is canonical-only)
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "tools/causal_profile_lib.h"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+bool flag_value(const std::string& arg, const char* name, std::string& out) {
+  const std::string prefix = std::string("--") + name + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+bool parse_factors(const std::string& spec, std::vector<double>& out) {
+  out.clear();
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? spec.size() : comma;
+    const std::string entry = spec.substr(pos, end - pos);
+    if (!entry.empty()) {
+      char* rest = nullptr;
+      const double f = std::strtod(entry.c_str(), &rest);
+      if (rest == nullptr || *rest != '\0' || f < 0.0) return false;
+      out.push_back(f);
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return !out.empty();
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: causal_profile --canonical [--service] [--factors=F,F,...]"
+      " [--top=N] [--db=N] [--json=PATH]\n"
+      "       causal_profile --canonical-check [--json=PATH]\n"
+      "       causal_profile --list-targets CAPSULE.json [--top=N]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cusw::tools::CausalOptions opts;
+  std::string json_path, list_path, value;
+  bool canonical = false, canonical_check = false, list_targets = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--canonical") {
+      canonical = true;
+    } else if (arg == "--canonical-check") {
+      canonical_check = true;
+    } else if (arg == "--list-targets") {
+      list_targets = true;
+    } else if (arg == "--service") {
+      opts.service = true;
+    } else if (flag_value(arg, "factors", value)) {
+      if (!parse_factors(value, opts.factors)) {
+        std::fprintf(stderr, "causal_profile: bad --factors '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+    } else if (flag_value(arg, "top", value)) {
+      opts.top_n = static_cast<std::size_t>(std::atoi(value.c_str()));
+    } else if (flag_value(arg, "db", value)) {
+      opts.db_sequences = static_cast<std::size_t>(std::atoi(value.c_str()));
+    } else if (flag_value(arg, "json", value)) {
+      json_path = value;
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (list_targets) {
+    if (paths.size() != 1 || canonical || canonical_check) return usage();
+    std::string capsule;
+    if (!read_file(paths[0], capsule)) {
+      std::fprintf(stderr, "causal_profile: cannot read %s\n",
+                   paths[0].c_str());
+      return 1;
+    }
+    std::string error;
+    const auto targets =
+        cusw::tools::enumerate_targets(capsule, opts.top_n, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "causal_profile: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("%-40s %-28s %14s %7s\n", "target", "kernel", "stall ticks",
+                "local%");
+    for (const cusw::tools::CausalTarget& t : targets) {
+      std::printf("%-40s %-28s %14llu %6.1f%%\n", t.spec.c_str(),
+                  t.kernel.c_str(),
+                  static_cast<unsigned long long>(t.ticks),
+                  100.0 * t.local_share);
+    }
+    return 0;
+  }
+
+  if ((!canonical && !canonical_check) || !paths.empty()) return usage();
+  std::printf("causal_profile: sweeping %zu factors over the top %zu "
+              "targets...\n",
+              opts.factors.size(), opts.top_n);
+  const cusw::tools::CausalReport report =
+      cusw::tools::causal_profile_canonical(opts);
+  std::printf("%s", report.to_ascii().c_str());
+  if (!json_path.empty()) {
+    if (!write_file(json_path, report.to_json() + "\n")) {
+      std::fprintf(stderr, "causal_profile: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  if (!report.ok) return 1;
+  return canonical_check && !report.xval.ok ? 1 : 0;
+}

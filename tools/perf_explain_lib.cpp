@@ -54,11 +54,15 @@ double as_num(const obs::json::Value* v) {
 }
 
 bool load_capsule(std::string_view text, const char* which,
-                  std::vector<CapKernel>& out, std::string* error) {
+                  std::vector<CapKernel>& out, std::string* error,
+                  std::vector<std::string>* warnings) {
   const obs::CapsuleCheck check = obs::validate_capsule(text);
   if (!check.ok) {
     *error = std::string("capsule ") + which + ": " + check.error;
     return false;
+  }
+  for (const std::string& w : check.warnings) {
+    warnings->push_back(std::string("capsule ") + which + ": " + w);
   }
   obs::json::Value root;
   std::string perr;
@@ -195,31 +199,68 @@ struct KernelPair {
   const CapKernel* b = nullptr;
 };
 
-/// Align kernels by label. A lone unmatched kernel on each side is the
-/// renamed-kernel case (the canonical orig-vs-improved comparison) and is
-/// paired as "labelA -> labelB"; other leftovers stand alone.
-std::vector<KernelPair> pair_kernels(const std::vector<CapKernel>& ka,
-                                     const std::vector<CapKernel>& kb) {
-  std::map<std::string, const CapKernel*> by_label_b;
+std::string label_listing(const std::vector<const CapKernel*>& ks) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    out += (i != 0 ? ", " : "") + ks[i]->label;
+  }
+  return out + "]";
+}
+
+/// Align kernels by label. Explicit `--map=labelA=labelB` pairings apply
+/// first; a lone unmatched kernel on each side is the renamed-kernel case
+/// (the canonical orig-vs-improved comparison) and is paired as
+/// "labelA -> labelB". When renaming leaves several unmatched kernels on
+/// *each* side the pairing is ambiguous — guessing would attribute one
+/// kernel's delta to another — so that is an error directing the caller
+/// to --map. Leftovers with an empty opposite side (kernels genuinely
+/// added or removed) stand alone.
+bool pair_kernels(const std::vector<CapKernel>& ka,
+                  const std::vector<CapKernel>& kb,
+                  const ExplainOptions& options,
+                  std::vector<KernelPair>& out, std::string* error) {
+  std::map<std::string, const CapKernel*> by_label_a, by_label_b;
+  for (const CapKernel& a : ka) by_label_a[a.label] = &a;
   for (const CapKernel& b : kb) by_label_b[b.label] = &b;
 
-  std::vector<KernelPair> out;
-  std::set<std::string> matched;
+  std::set<std::string> matched_a, matched_b;
+  for (const auto& [la, lb] : options.label_map) {
+    const auto a = by_label_a.find(la);
+    const auto b = by_label_b.find(lb);
+    if (a == by_label_a.end() || b == by_label_b.end()) {
+      *error = "--map " + la + "=" + lb + ": " +
+               (a == by_label_a.end() ? "capsule A has no kernel '" + la + "'"
+                                      : "capsule B has no kernel '" + lb +
+                                            "'");
+      return false;
+    }
+    out.push_back({la + " -> " + lb, a->second, b->second});
+    matched_a.insert(la);
+    matched_b.insert(lb);
+  }
+
   std::vector<const CapKernel*> left_a, left_b;
   for (const CapKernel& a : ka) {
-    if (const auto it = by_label_b.find(a.label); it != by_label_b.end()) {
+    if (matched_a.count(a.label) != 0) continue;
+    if (const auto it = by_label_b.find(a.label);
+        it != by_label_b.end() && matched_b.count(a.label) == 0) {
       out.push_back({a.label, &a, it->second});
-      matched.insert(a.label);
+      matched_b.insert(a.label);
     } else {
       left_a.push_back(&a);
     }
   }
   for (const CapKernel& b : kb) {
-    if (matched.count(b.label) == 0) left_b.push_back(&b);
+    if (matched_b.count(b.label) == 0) left_b.push_back(&b);
   }
   if (left_a.size() == 1 && left_b.size() == 1) {
     out.push_back(
         {left_a[0]->label + " -> " + left_b[0]->label, left_a[0], left_b[0]});
+  } else if (!left_a.empty() && !left_b.empty()) {
+    *error = "ambiguous kernel pairing: capsule A has unmatched " +
+             label_listing(left_a) + " vs capsule B " + label_listing(left_b) +
+             "; pair them explicitly with --map=labelA=labelB";
+    return false;
   } else {
     for (const CapKernel* a : left_a) out.push_back({a->label, a, nullptr});
     for (const CapKernel* b : left_b) out.push_back({b->label, nullptr, b});
@@ -228,7 +269,7 @@ std::vector<KernelPair> pair_kernels(const std::vector<CapKernel>& ka,
             [](const KernelPair& x, const KernelPair& y) {
               return x.name < y.name;
             });
-  return out;
+  return true;
 }
 
 void set_shares(ExplainNode& n, double total) {
@@ -337,12 +378,16 @@ ExplainReport explain_capsules(std::string_view capsule_a,
   ExplainReport rep;
   rep.options = options;
   std::vector<CapKernel> ka, kb;
-  if (!load_capsule(capsule_a, "A", ka, &rep.error)) return rep;
-  if (!load_capsule(capsule_b, "B", kb, &rep.error)) return rep;
+  if (!load_capsule(capsule_a, "A", ka, &rep.error, &rep.warnings))
+    return rep;
+  if (!load_capsule(capsule_b, "B", kb, &rep.error, &rep.warnings))
+    return rep;
 
   ExplainNode root;
   root.name = "total";
-  for (const KernelPair& p : pair_kernels(ka, kb)) {
+  std::vector<KernelPair> pairs;
+  if (!pair_kernels(ka, kb, options, pairs, &rep.error)) return rep;
+  for (const KernelPair& p : pairs) {
     ExplainNode k = kernel_node(p.name, p.a, p.b);
     root.cycles_a += k.cycles_a;
     root.cycles_b += k.cycles_b;
@@ -379,6 +424,9 @@ std::string ExplainReport::to_ascii() const {
                 "(delta %+.1f)\n",
                 root.cycles_a, root.cycles_b, total_delta_cycles);
   os << buf;
+  for (const std::string& w : warnings) {
+    os << "warning: " << w << "\n";
+  }
   if (!rates.empty()) {
     os << "\nkernel GCUPS:\n";
     for (const KernelRate& r : rates) {
@@ -418,6 +466,14 @@ std::string ExplainReport::to_json() const {
       .field("within_residue_bound", within_residue_bound)
       .field("threshold", options.threshold)
       .field("max_residue", options.max_residue);
+  if (!warnings.empty()) {
+    std::string warr = "[";
+    for (std::size_t i = 0; i < warnings.size(); ++i) {
+      warr += (i != 0 ? ", \"" : "\"") + util::json_escape(warnings[i]) + "\"";
+    }
+    warr += "]";
+    f.raw("warnings", warr);
+  }
   std::string arr = "[";
   for (std::size_t i = 0; i < rates.size(); ++i) {
     util::JsonFields r;
@@ -439,18 +495,8 @@ namespace {
 /// far from the ring bound.
 constexpr double kCanonicalSampleEveryMs = 1.0;
 
-std::string canonical_capsule(bool improved) {
-  const auto& matrix = sw::ScoringMatrix::blosum62();
-  const sw::GapPenalty gap{10, 2};
-
-  // One-SM slice of the C1060 on the Table I over-threshold subset — the
-  // same canonical workload tools/perf_diff_lib.cpp replays.
-  gpusim::DeviceSpec spec = gpusim::DeviceSpec::tesla_c1060();
-  spec = spec.scaled(1.0 / spec.sm_count);
-  Rng rng(567);
-  const auto query = seq::random_protein(567, rng).residues;
-  const auto db = seq::DatabaseProfile::swissprot().synthesize(2400, 0xAB1E);
-  const auto longs = db.split_by_threshold(3072).second;
+std::string canonical_capsule(bool improved, std::size_t db_sequences) {
+  const CanonicalWorkload w = canonical_workload(db_sequences);
 
   obs::Sampler& sampler = obs::Sampler::global();
   const double prev_every = sampler.every_ms();
@@ -460,11 +506,13 @@ std::string canonical_capsule(bool improved) {
   obs::capsule_clear_sections();
 
   const obs::Snapshot before = obs::Registry::global().snapshot();
-  gpusim::Device dev(spec);
+  gpusim::Device dev(w.spec);
   if (improved) {
-    cudasw::run_intra_task_improved(dev, query, longs, matrix, gap, {});
+    cudasw::run_intra_task_improved(dev, w.query, w.longs, *w.matrix, w.gap,
+                                    {});
   } else {
-    cudasw::run_intra_task_original(dev, query, longs, matrix, gap, {});
+    cudasw::run_intra_task_original(dev, w.query, w.longs, *w.matrix, w.gap,
+                                    {});
   }
   const std::string capsule = obs::capsule_to_json(
       obs::Registry::global().snapshot().diff(before),
@@ -481,7 +529,32 @@ std::string canonical_capsule(bool improved) {
 
 }  // namespace
 
-std::string canonical_capsule_original() { return canonical_capsule(false); }
-std::string canonical_capsule_improved() { return canonical_capsule(true); }
+CanonicalWorkload canonical_workload(std::size_t db_sequences) {
+  CanonicalWorkload w;
+  // One-SM slice of the C1060 on the Table I over-threshold subset — the
+  // same canonical workload tools/perf_diff_lib.cpp replays.
+  w.spec = gpusim::DeviceSpec::tesla_c1060();
+  w.spec = w.spec.scaled(1.0 / w.spec.sm_count);
+  Rng rng(567);
+  w.query = seq::random_protein(567, rng).residues;
+  const auto db =
+      seq::DatabaseProfile::swissprot().synthesize(db_sequences, 0xAB1E);
+  w.longs = db.split_by_threshold(3072).second;
+  w.matrix = &sw::ScoringMatrix::blosum62();
+  return w;
+}
+
+std::string canonical_capsule_original() {
+  return canonical_capsule(false, 2400);
+}
+std::string canonical_capsule_improved() {
+  return canonical_capsule(true, 2400);
+}
+std::string canonical_capsule_original(std::size_t db_sequences) {
+  return canonical_capsule(false, db_sequences);
+}
+std::string canonical_capsule_improved(std::size_t db_sequences) {
+  return canonical_capsule(true, db_sequences);
+}
 
 }  // namespace cusw::tools

@@ -32,6 +32,10 @@
 #include <utility>
 #include <vector>
 
+#include "gpusim/device_spec.h"
+#include "seq/database.h"
+#include "sw/scoring.h"
+
 namespace cusw::tools {
 
 struct ExplainOptions {
@@ -41,6 +45,12 @@ struct ExplainOptions {
   /// The report fails (within_residue_bound == false) when any internal
   /// node's |unattributed residue| exceeds this share of the |total delta|.
   double max_residue = 0.01;
+  /// Explicit cross-capsule kernel pairings (labelA -> labelB), applied
+  /// before label matching — the `--map=labelA=labelB` flag. Required
+  /// when renaming leaves more than one unmatched kernel on each side:
+  /// guessing the pairing would silently attribute one kernel's delta to
+  /// another, so that case is an error instead.
+  std::vector<std::pair<std::string, std::string>> label_map;
 };
 
 /// One node of the attribution tree. Cycle values are exact: stall ticks
@@ -70,6 +80,9 @@ struct KernelRate {
 struct ExplainReport {
   bool ok = false;
   std::string error;  // parse/validation failure, empty when ok
+  /// Non-fatal capsule observations (obs::CapsuleCheck::warnings, e.g.
+  /// sampler ring overflow), prefixed with the capsule they came from.
+  std::vector<std::string> warnings;
   ExplainNode root;   // name "total"; children are kernel nodes
   std::vector<KernelRate> rates;
   double total_delta_cycles = 0.0;
@@ -91,12 +104,33 @@ ExplainReport explain_capsules(std::string_view capsule_a,
                                std::string_view capsule_b,
                                const ExplainOptions& options = {});
 
+/// The canonical Table I workload every canonical artifact replays: the
+/// 567-residue query against the over-threshold Swiss-Prot subset on a
+/// one-SM C1060 slice (the tools/perf_diff_lib.h slice). Shared by the
+/// capsule builders below and by tools/causal_profile_lib.h, so the
+/// capsules being explained and the sweeps being run can never drift
+/// apart.
+struct CanonicalWorkload {
+  gpusim::DeviceSpec spec;           // one-SM C1060 slice
+  std::vector<seq::Code> query;      // the 567-residue Table I query
+  seq::SequenceDB longs;             // sequences above the threshold
+  const sw::ScoringMatrix* matrix = nullptr;
+  sw::GapPenalty gap{10, 2};
+};
+
+/// Build the workload. `db_sequences` scales the synthesized database
+/// before the threshold split (2400 is the canonical Table I size; tests
+/// shrink it for speed).
+CanonicalWorkload canonical_workload(std::size_t db_sequences = 2400);
+
 /// Canonical Table I capsules: the paper's intra-task kernel pair on the
-/// over-threshold Swiss-Prot subset (one-SM C1060 slice, the
-/// tools/perf_diff_lib.h workload), each run on a fresh device into an
+/// canonical_workload() slice, each run on a fresh device into an
 /// isolated registry-diff capsule with the sampler armed. Byte-identical
 /// for any CUSW_THREADS and for memo on/off.
 std::string canonical_capsule_original();
 std::string canonical_capsule_improved();
+/// Same capsules on a shrunken database (tests/tools).
+std::string canonical_capsule_original(std::size_t db_sequences);
+std::string canonical_capsule_improved(std::size_t db_sequences);
 
 }  // namespace cusw::tools

@@ -50,7 +50,7 @@ int usage() {
   std::fprintf(
       stderr,
       "usage: perf_explain A.json B.json [--threshold=F] [--max-residue=F]"
-      " [--json=PATH]\n"
+      " [--map=labelA=labelB]... [--json=PATH]\n"
       "       perf_explain --emit-canonical=DIR [--json=PATH]\n"
       "       perf_explain --canonical-check [--json=PATH]\n");
   return 2;
@@ -69,6 +69,15 @@ int main(int argc, char** argv) {
       opts.threshold = std::atof(value.c_str());
     } else if (flag_value(arg, "max-residue", value)) {
       opts.max_residue = std::atof(value.c_str());
+    } else if (flag_value(arg, "map", value)) {
+      const std::size_t eq = value.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 == value.size()) {
+        std::fprintf(stderr,
+                     "perf_explain: --map wants labelA=labelB, got '%s'\n",
+                     value.c_str());
+        return 2;
+      }
+      opts.label_map.emplace_back(value.substr(0, eq), value.substr(eq + 1));
     } else if (flag_value(arg, "json", value)) {
       json_path = value;
     } else if (flag_value(arg, "emit-canonical", value)) {
